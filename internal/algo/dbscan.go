@@ -1,0 +1,102 @@
+package algo
+
+import (
+	"fmt"
+
+	"exdra/internal/matrix"
+)
+
+// DBSCAN implements density-based clustering — the density-based clustering
+// step §6.3 lists among the remaining use-case pipelines. It runs on local
+// data (e.g. per-site over a NES sink snapshot, like the GMM ensembles);
+// assignments are 1-based cluster indices, with 0 marking noise points.
+type DBSCANConfig struct {
+	// Eps is the neighborhood radius (Euclidean).
+	Eps float64
+	// MinPts is the minimum neighborhood size of a core point (default 4).
+	MinPts int
+}
+
+// DBSCANResult is a clustering of the input rows.
+type DBSCANResult struct {
+	// Assignments holds a 1-based cluster per row; 0 marks noise.
+	Assignments []int
+	// Clusters is the number of clusters found.
+	Clusters int
+}
+
+// DBSCAN clusters the rows of X.
+func DBSCAN(x *matrix.Dense, cfg DBSCANConfig) (*DBSCANResult, error) {
+	if cfg.Eps <= 0 {
+		return nil, fmt.Errorf("algo: DBSCAN requires a positive eps")
+	}
+	minPts := cfg.MinPts
+	if minPts <= 0 {
+		minPts = 4
+	}
+	n := x.Rows()
+	eps2 := cfg.Eps * cfg.Eps
+	neighbors := func(i int) []int {
+		var out []int
+		ri := x.Row(i)
+		for j := 0; j < n; j++ {
+			d := 0.0
+			rj := x.Row(j)
+			for k := range ri {
+				diff := ri[k] - rj[k]
+				d += diff * diff
+				if d > eps2 {
+					break
+				}
+			}
+			if d <= eps2 {
+				out = append(out, j)
+			}
+		}
+		return out
+	}
+
+	const (
+		unvisited = 0
+		noise     = -1
+	)
+	labels := make([]int, n) // 0 unvisited, -1 noise, >0 cluster id
+	cluster := 0
+	for i := 0; i < n; i++ {
+		if labels[i] != unvisited {
+			continue
+		}
+		nb := neighbors(i)
+		if len(nb) < minPts {
+			labels[i] = noise
+			continue
+		}
+		cluster++
+		labels[i] = cluster
+		// Expand the cluster over the density-reachable frontier.
+		queue := append([]int(nil), nb...)
+		for qi := 0; qi < len(queue); qi++ {
+			j := queue[qi]
+			if labels[j] == noise {
+				labels[j] = cluster // border point
+			}
+			if labels[j] != unvisited {
+				continue
+			}
+			labels[j] = cluster
+			jn := neighbors(j)
+			if len(jn) >= minPts {
+				queue = append(queue, jn...)
+			}
+		}
+	}
+	out := &DBSCANResult{Assignments: make([]int, n), Clusters: cluster}
+	for i, l := range labels {
+		if l == noise {
+			out.Assignments[i] = 0
+		} else {
+			out.Assignments[i] = l
+		}
+	}
+	return out, nil
+}

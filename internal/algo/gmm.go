@@ -1,0 +1,192 @@
+package algo
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+
+	"exdra/internal/matrix"
+)
+
+// GMMConfig configures a diagonal-covariance Gaussian mixture model — the
+// unsupervised anomaly-detection model of the fertilizer production use
+// case (§2.1).
+type GMMConfig struct {
+	K             int     // mixture components (default 3)
+	MaxIterations int     // EM iterations (default 50)
+	Tolerance     float64 // log-likelihood improvement threshold (default 1e-6)
+	Seed          int64
+	MinVariance   float64 // variance floor (default 1e-6)
+}
+
+// GMMResult is a fitted mixture.
+type GMMResult struct {
+	Weights       []float64     // K mixing weights
+	Means         *matrix.Dense // K x cols
+	Variances     *matrix.Dense // K x cols (diagonal covariances)
+	LogLikelihood float64
+	Iterations    int
+}
+
+// GMM fits a diagonal-covariance Gaussian mixture with EM on a local
+// matrix. In the ExDRa pipelines multiple GMM instances are trained
+// task-parallel per federated site (see TrainGMMEnsemble), matching the
+// paper's "task-parallel training of multiple GMM instances".
+func GMM(x *matrix.Dense, cfg GMMConfig) (*GMMResult, error) {
+	k := cfg.K
+	if k == 0 {
+		k = 3
+	}
+	maxIter := cfg.MaxIterations
+	if maxIter == 0 {
+		maxIter = 50
+	}
+	tol := cfg.Tolerance
+	if tol == 0 {
+		tol = 1e-6
+	}
+	minVar := cfg.MinVariance
+	if minVar == 0 {
+		minVar = 1e-6
+	}
+	n, d := x.Rows(), x.Cols()
+	if n < k {
+		return nil, fmt.Errorf("algo: GMM needs at least K=%d rows, have %d", k, n)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Initialize means at random rows, unit variances, uniform weights.
+	means := matrix.NewDense(k, d)
+	for i := 0; i < k; i++ {
+		copy(means.Row(i), x.Row(rng.Intn(n)))
+	}
+	vars := matrix.Fill(k, d, 1)
+	weights := make([]float64, k)
+	for i := range weights {
+		weights[i] = 1 / float64(k)
+	}
+
+	resp := matrix.NewDense(n, k)
+	prevLL := math.Inf(-1)
+	var ll float64
+	iters := 0
+	for ; iters < maxIter; iters++ {
+		// E-step: responsibilities via log-sum-exp.
+		ll = 0
+		for i := 0; i < n; i++ {
+			row := x.Row(i)
+			logp := make([]float64, k)
+			mx := math.Inf(-1)
+			for c := 0; c < k; c++ {
+				lp := math.Log(weights[c])
+				for j := 0; j < d; j++ {
+					v := vars.At(c, j)
+					diff := row[j] - means.At(c, j)
+					lp += -0.5 * (math.Log(2*math.Pi*v) + diff*diff/v)
+				}
+				logp[c] = lp
+				if lp > mx {
+					mx = lp
+				}
+			}
+			sum := 0.0
+			for c := 0; c < k; c++ {
+				logp[c] = math.Exp(logp[c] - mx)
+				sum += logp[c]
+			}
+			for c := 0; c < k; c++ {
+				resp.Set(i, c, logp[c]/sum)
+			}
+			ll += mx + math.Log(sum)
+		}
+		if ll-prevLL < tol*math.Abs(prevLL) && iters > 0 {
+			break
+		}
+		prevLL = ll
+
+		// M-step.
+		for c := 0; c < k; c++ {
+			nc := 0.0
+			for i := 0; i < n; i++ {
+				nc += resp.At(i, c)
+			}
+			weights[c] = nc / float64(n)
+			for j := 0; j < d; j++ {
+				mu := 0.0
+				for i := 0; i < n; i++ {
+					mu += resp.At(i, c) * x.At(i, j)
+				}
+				mu /= nc
+				means.Set(c, j, mu)
+				va := 0.0
+				for i := 0; i < n; i++ {
+					diff := x.At(i, j) - mu
+					va += resp.At(i, c) * diff * diff
+				}
+				va /= nc
+				if va < minVar {
+					va = minVar
+				}
+				vars.Set(c, j, va)
+			}
+		}
+	}
+	return &GMMResult{Weights: weights, Means: means, Variances: vars,
+		LogLikelihood: ll, Iterations: iters}, nil
+}
+
+// LogDensity returns the per-row mixture log-density — low values flag
+// anomalies in the fertilizer monitoring pipeline.
+func (m *GMMResult) LogDensity(x *matrix.Dense) *matrix.Dense {
+	n, d := x.Rows(), x.Cols()
+	k := len(m.Weights)
+	out := matrix.NewDense(n, 1)
+	for i := 0; i < n; i++ {
+		row := x.Row(i)
+		mx := math.Inf(-1)
+		logp := make([]float64, k)
+		for c := 0; c < k; c++ {
+			lp := math.Log(m.Weights[c])
+			for j := 0; j < d; j++ {
+				v := m.Variances.At(c, j)
+				diff := row[j] - m.Means.At(c, j)
+				lp += -0.5 * (math.Log(2*math.Pi*v) + diff*diff/v)
+			}
+			logp[c] = lp
+			if lp > mx {
+				mx = lp
+			}
+		}
+		sum := 0.0
+		for c := 0; c < k; c++ {
+			sum += math.Exp(logp[c] - mx)
+		}
+		out.Set(i, 0, mx+math.Log(sum))
+	}
+	return out
+}
+
+// TrainGMMEnsemble trains one GMM per input partition concurrently —
+// the task-parallel multi-instance training of §6.3's pipeline discussion.
+func TrainGMMEnsemble(parts []*matrix.Dense, cfg GMMConfig) ([]*GMMResult, error) {
+	results := make([]*GMMResult, len(parts))
+	errs := make([]error, len(parts))
+	var wg sync.WaitGroup
+	for i, p := range parts {
+		wg.Add(1)
+		go func(i int, p *matrix.Dense) {
+			defer wg.Done()
+			c := cfg
+			c.Seed = cfg.Seed + int64(i)
+			results[i], errs[i] = GMM(p, c)
+		}(i, p)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}

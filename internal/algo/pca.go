@@ -1,0 +1,75 @@
+package algo
+
+import (
+	"exdra/internal/engine"
+	"exdra/internal/matrix"
+)
+
+// PCAConfig configures principal component analysis.
+type PCAConfig struct {
+	// K is the number of projected features (default 10, as in §6.1).
+	K int
+	// Center subtracts column means before computing the covariance
+	// (default true; set SkipCentering to disable).
+	SkipCentering bool
+}
+
+// PCAResult holds the fitted projection.
+type PCAResult struct {
+	// Components is cols x K (eigenvectors of the covariance matrix).
+	Components *matrix.Dense
+	// Values are the K leading eigenvalues.
+	Values *matrix.Dense
+	// Means are the column means used for centering (nil if disabled).
+	Means *matrix.Dense
+}
+
+// PCA is the non-iterative algorithm of §6.2: it computes the covariance
+// from the federated aggregate t(X) %*% X (one federated tsmm) plus column
+// means, eigen-decomposes at the coordinator, and projects the data via a
+// second matrix multiplication.
+func PCA(x engine.Mat, cfg PCAConfig) (res *PCAResult, proj engine.Mat, err error) {
+	defer engine.Guard(&err)
+	k := cfg.K
+	if k == 0 {
+		k = 10
+	}
+	if k > x.Cols() {
+		k = x.Cols()
+	}
+	n := float64(x.Rows())
+
+	xtx := engine.TSMM(x)
+	var means *matrix.Dense
+	cov := xtx
+	if !cfg.SkipCentering {
+		means = engine.Local(engine.ColAgg(matrix.AggMean, x)) // 1 x cols
+		// cov = (t(X)X - n * t(mu) mu) / (n-1)
+		mm := means.Transpose().MatMul(means).Scale(n)
+		cov = xtx.Sub(mm)
+	}
+	cov = cov.Scale(1 / (n - 1))
+
+	vals, vecs := matrix.EigenSym(cov)
+	comp := vecs.SliceCols(0, k)
+	top := vals.SliceRows(0, k)
+
+	// Project the (optionally centered) data: stays federated for federated
+	// inputs — the second dominating matrix multiplication of §6.2.
+	var centered engine.Mat = x
+	if means != nil {
+		centered = engine.Binary(matrix.OpSub, x, means)
+	}
+	proj = engine.MatMul(centered, comp)
+	return &PCAResult{Components: comp, Values: top, Means: means}, proj, nil
+}
+
+// Transform projects new data with the fitted components.
+func (m *PCAResult) Transform(x engine.Mat) (out engine.Mat, err error) {
+	defer engine.Guard(&err)
+	var centered engine.Mat = x
+	if m.Means != nil {
+		centered = engine.Binary(matrix.OpSub, x, m.Means)
+	}
+	return engine.MatMul(centered, m.Components), nil
+}

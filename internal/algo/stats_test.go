@@ -1,0 +1,97 @@
+package algo_test
+
+import (
+	"math"
+	"testing"
+
+	"exdra/internal/algo"
+	"exdra/internal/data"
+	"exdra/internal/matrix"
+)
+
+func TestCorrelationMatrixLocalAndFederated(t *testing.T) {
+	cl := startCluster(t, 3)
+	// Build columns with known correlations: c1, c2 = 2*c1 (corr 1),
+	// c3 = -c1 (corr -1), c4 independent.
+	n := 120
+	x := matrix.NewDense(n, 4)
+	for i := 0; i < n; i++ {
+		v := float64(i%13) - 6
+		w := float64((i*7)%11) - 5
+		x.Set(i, 0, v)
+		x.Set(i, 1, 2*v)
+		x.Set(i, 2, -v)
+		x.Set(i, 3, w)
+	}
+	local, err := algo.CorrelationMatrix(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(local.At(0, 1)-1) > 1e-9 || math.Abs(local.At(0, 2)+1) > 1e-9 {
+		t.Fatalf("known correlations: %v", local)
+	}
+	for i := 0; i < 4; i++ {
+		if math.Abs(local.At(i, i)-1) > 1e-9 {
+			t.Fatal("diagonal must be 1")
+		}
+	}
+	if math.Abs(local.At(0, 3)) > 0.3 {
+		t.Fatalf("independent columns correlate: %g", local.At(0, 3))
+	}
+	fed, err := algo.CorrelationMatrix(federate(t, cl, x))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fed.EqualApprox(local, 1e-9) {
+		t.Fatal("federated correlation matrix differs")
+	}
+	// Constant columns: zero variance handled without NaN.
+	c := matrix.CBind(x.SliceCols(0, 1), matrix.Fill(n, 1, 5))
+	cm, err := algo.CorrelationMatrix(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cm.At(1, 1) != 1 || cm.At(0, 1) != 0 {
+		t.Fatalf("constant column handling: %v", cm)
+	}
+}
+
+func TestDBSCANFindsBlobsAndNoise(t *testing.T) {
+	x, truth := data.Blobs(51, 240, 3, 3, 0.3)
+	// Add a few far-away noise points.
+	noisy := matrix.RBind(x, matrix.Fill(3, 3, 500))
+	res, err := algo.DBSCAN(noisy, algo.DBSCANConfig{Eps: 1.5, MinPts: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Clusters != 3 {
+		t.Fatalf("found %d clusters, want 3", res.Clusters)
+	}
+	// The injected outliers are noise.
+	for i := 240; i < 243; i++ {
+		if res.Assignments[i] != 0 {
+			t.Fatalf("outlier %d assigned to cluster %d", i, res.Assignments[i])
+		}
+	}
+	// Cluster purity against the generating blobs.
+	counts := map[[2]int]int{}
+	for i := 0; i < 240; i++ {
+		counts[[2]int{res.Assignments[i], truth[i]}]++
+	}
+	correct := 0
+	for c := 1; c <= 3; c++ {
+		best := 0
+		for tb := 0; tb < 3; tb++ {
+			if counts[[2]int{c, tb}] > best {
+				best = counts[[2]int{c, tb}]
+			}
+		}
+		correct += best
+	}
+	if purity := float64(correct) / 240; purity < 0.95 {
+		t.Fatalf("DBSCAN purity %g", purity)
+	}
+	if _, err := algo.DBSCAN(x, algo.DBSCANConfig{}); err == nil {
+		t.Fatal("eps 0 accepted")
+	}
+}

@@ -1,0 +1,152 @@
+// Package baseline provides independent, direct implementations of K-Means,
+// PCA, FFN, and CNN that stand in for the Scikit-learn and TensorFlow
+// comparators of Figure 7 in the ExDRa evaluation. They deliberately share
+// no code with the engine/algo stack (plain float64-slice kernels, their
+// own algorithms where sensible — e.g. power iteration instead of Jacobi
+// for PCA), so the comparison isolates framework overhead the way the
+// paper's best-of-breed system comparison does. See DESIGN.md,
+// substitutions.
+package baseline
+
+import (
+	"math"
+	"math/rand"
+)
+
+// KMeans is a textbook per-point Lloyd's iteration over row slices,
+// mirroring scikit-learn's dense K-Means loop structure.
+func KMeans(rows [][]float64, k, maxIter int, seed int64) (centroids [][]float64, inertia float64, iters int) {
+	rng := rand.New(rand.NewSource(seed))
+	d := len(rows[0])
+	centroids = make([][]float64, k)
+	for i := range centroids {
+		centroids[i] = append([]float64(nil), rows[rng.Intn(len(rows))]...)
+	}
+	assign := make([]int, len(rows))
+	for iters = 0; iters < maxIter; iters++ {
+		changed := false
+		inertia = 0
+		for i, r := range rows {
+			best, bi := math.Inf(1), 0
+			for c := range centroids {
+				dist := 0.0
+				for j := 0; j < d; j++ {
+					diff := r[j] - centroids[c][j]
+					dist += diff * diff
+				}
+				if dist < best {
+					best, bi = dist, c
+				}
+			}
+			if assign[i] != bi {
+				assign[i] = bi
+				changed = true
+			}
+			inertia += best
+		}
+		counts := make([]int, k)
+		sums := make([][]float64, k)
+		for c := range sums {
+			sums[c] = make([]float64, d)
+		}
+		for i, r := range rows {
+			c := assign[i]
+			counts[c]++
+			for j := 0; j < d; j++ {
+				sums[c][j] += r[j]
+			}
+		}
+		for c := range centroids {
+			if counts[c] == 0 {
+				continue
+			}
+			for j := 0; j < d; j++ {
+				centroids[c][j] = sums[c][j] / float64(counts[c])
+			}
+		}
+		if !changed {
+			iters++
+			break
+		}
+	}
+	return centroids, inertia, iters
+}
+
+// PCA computes the top-k principal components by power iteration with
+// deflation on the centered covariance — a different eigen algorithm than
+// the core library's Jacobi solver.
+func PCA(rows [][]float64, k int) (components [][]float64, values []float64) {
+	n, d := len(rows), len(rows[0])
+	means := make([]float64, d)
+	for _, r := range rows {
+		for j, v := range r {
+			means[j] += v
+		}
+	}
+	for j := range means {
+		means[j] /= float64(n)
+	}
+	cov := make([][]float64, d)
+	for i := range cov {
+		cov[i] = make([]float64, d)
+	}
+	for _, r := range rows {
+		for i := 0; i < d; i++ {
+			ci := r[i] - means[i]
+			for j := i; j < d; j++ {
+				cov[i][j] += ci * (r[j] - means[j])
+			}
+		}
+	}
+	for i := 0; i < d; i++ {
+		for j := i; j < d; j++ {
+			cov[i][j] /= float64(n - 1)
+			cov[j][i] = cov[i][j]
+		}
+	}
+	components = make([][]float64, k)
+	values = make([]float64, k)
+	rng := rand.New(rand.NewSource(99))
+	for c := 0; c < k; c++ {
+		v := make([]float64, d)
+		for j := range v {
+			v[j] = rng.NormFloat64()
+		}
+		var lambda float64
+		for it := 0; it < 500; it++ {
+			w := make([]float64, d)
+			for i := 0; i < d; i++ {
+				for j := 0; j < d; j++ {
+					w[i] += cov[i][j] * v[j]
+				}
+			}
+			norm := 0.0
+			for _, x := range w {
+				norm += x * x
+			}
+			norm = math.Sqrt(norm)
+			if norm == 0 {
+				break
+			}
+			conv := 0.0
+			for j := range w {
+				w[j] /= norm
+				conv += math.Abs(w[j] - v[j])
+			}
+			v = w
+			lambda = norm
+			if conv < 1e-12 {
+				break
+			}
+		}
+		components[c] = v
+		values[c] = lambda
+		// Deflate: cov -= lambda * v v^T.
+		for i := 0; i < d; i++ {
+			for j := 0; j < d; j++ {
+				cov[i][j] -= lambda * v[i] * v[j]
+			}
+		}
+	}
+	return components, values
+}

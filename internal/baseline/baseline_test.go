@@ -1,0 +1,122 @@
+package baseline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"exdra/internal/data"
+	"exdra/internal/matrix"
+)
+
+func toRows(m *matrix.Dense) [][]float64 {
+	out := make([][]float64, m.Rows())
+	for i := range out {
+		out[i] = m.Row(i)
+	}
+	return out
+}
+
+func TestKMeansSeparatesBlobs(t *testing.T) {
+	x, truth := data.Blobs(1, 300, 5, 3, 0.4)
+	centroids, inertia, iters := KMeans(toRows(x), 3, 50, 7)
+	if iters == 0 || inertia <= 0 {
+		t.Fatal("no iterations / inertia")
+	}
+	// Each true blob should have a nearby centroid.
+	blobMeans := map[int][]float64{}
+	counts := map[int]int{}
+	for i, c := range truth {
+		if blobMeans[c] == nil {
+			blobMeans[c] = make([]float64, 5)
+		}
+		for j := 0; j < 5; j++ {
+			blobMeans[c][j] += x.At(i, j)
+		}
+		counts[c]++
+	}
+	for c, mean := range blobMeans {
+		for j := range mean {
+			mean[j] /= float64(counts[c])
+		}
+		best := math.Inf(1)
+		for _, cent := range centroids {
+			d := 0.0
+			for j := range mean {
+				diff := mean[j] - cent[j]
+				d += diff * diff
+			}
+			if d < best {
+				best = d
+			}
+		}
+		if best > 1 {
+			t.Fatalf("blob %d has no close centroid (d=%g)", c, best)
+		}
+	}
+}
+
+func TestPCAMatchesCoreEigensolver(t *testing.T) {
+	x, _ := data.Blobs(2, 200, 8, 3, 1)
+	comps, vals := PCA(toRows(x), 3)
+	// Compare against the core library's Jacobi eigensolver.
+	mu := x.ColMeans()
+	centered := x.Sub(mu)
+	cov := centered.TSMM().Scale(1 / float64(x.Rows()-1))
+	wantVals, wantVecs := matrix.EigenSym(cov)
+	for c := 0; c < 3; c++ {
+		if math.Abs(vals[c]-wantVals.At(c, 0)) > 1e-6*wantVals.At(0, 0) {
+			t.Fatalf("eigenvalue %d: %g want %g", c, vals[c], wantVals.At(c, 0))
+		}
+		// Eigenvector agreement up to sign.
+		dot := 0.0
+		for j := 0; j < 8; j++ {
+			dot += comps[c][j] * wantVecs.At(j, c)
+		}
+		if math.Abs(math.Abs(dot)-1) > 1e-6 {
+			t.Fatalf("eigenvector %d disagrees (|dot|=%g)", c, math.Abs(dot))
+		}
+	}
+}
+
+func TestFFNLearns(t *testing.T) {
+	x, y := data.MultiClass(3, 400, 8, 3)
+	labels := make([]int, y.Rows())
+	for i := range labels {
+		labels[i] = int(y.At(i, 0)) - 1
+	}
+	f := NewFFN(8, 24, 3, 0.05, 0.9, 5)
+	rng := rand.New(rand.NewSource(6))
+	first := f.TrainEpoch(toRows(x), labels, 32, rng)
+	var last float64
+	for e := 0; e < 14; e++ {
+		last = f.TrainEpoch(toRows(x), labels, 32, rng)
+	}
+	if last >= first {
+		t.Fatalf("loss did not decrease: %g -> %g", first, last)
+	}
+	if acc := f.Accuracy(toRows(x), labels); acc < 0.9 {
+		t.Fatalf("baseline FFN accuracy %g", acc)
+	}
+}
+
+func TestCNNLearns(t *testing.T) {
+	x, y := data.SyntheticMNIST(4, 200)
+	labels := make([]int, y.Rows())
+	for i := range labels {
+		labels[i] = int(y.At(i, 0)) - 1
+	}
+	c := NewCNN(4, 10, 0.1, 7)
+	rng := rand.New(rand.NewSource(8))
+	first := c.TrainEpoch(toRows(x), labels, 32, rng)
+	var last float64
+	for e := 0; e < 4; e++ {
+		last = c.TrainEpoch(toRows(x), labels, 32, rng)
+	}
+	if last >= first {
+		t.Fatalf("CNN loss did not decrease: %g -> %g", first, last)
+	}
+	if acc := c.Accuracy(toRows(x), labels); acc < 0.5 {
+		t.Fatalf("baseline CNN accuracy %g", acc)
+	}
+}

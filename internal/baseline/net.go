@@ -1,0 +1,324 @@
+package baseline
+
+import (
+	"math"
+	"math/rand"
+)
+
+// FFN is an independent two-layer network on raw slices (the TensorFlow
+// FFN stand-in for Figure 7): in -> hidden (ReLU) -> classes, softmax
+// cross-entropy, SGD with Nesterov momentum.
+type FFN struct {
+	W1, W2 [][]float64
+	B1, B2 []float64
+	v1, v2 [][]float64
+	vb1    []float64
+	vb2    []float64
+	lr, mu float64
+}
+
+// NewFFN initializes the network.
+func NewFFN(in, hidden, classes int, lr, mu float64, seed int64) *FFN {
+	rng := rand.New(rand.NewSource(seed))
+	mk := func(r, c int, scale float64) [][]float64 {
+		m := make([][]float64, r)
+		for i := range m {
+			m[i] = make([]float64, c)
+			for j := range m[i] {
+				m[i][j] = scale * rng.NormFloat64()
+			}
+		}
+		return m
+	}
+	return &FFN{
+		W1: mk(in, hidden, math.Sqrt(2/float64(in))),
+		W2: mk(hidden, classes, math.Sqrt(2/float64(hidden))),
+		B1: make([]float64, hidden),
+		B2: make([]float64, classes),
+		v1: mk(in, hidden, 0), v2: mk(hidden, classes, 0),
+		vb1: make([]float64, hidden), vb2: make([]float64, classes),
+		lr: lr, mu: mu,
+	}
+}
+
+func (f *FFN) forward(x []float64) (h, p []float64) {
+	h = make([]float64, len(f.B1))
+	for j := range h {
+		s := f.B1[j]
+		for i, xv := range x {
+			s += xv * f.W1[i][j]
+		}
+		if s > 0 {
+			h[j] = s
+		}
+	}
+	p = make([]float64, len(f.B2))
+	mx := math.Inf(-1)
+	for j := range p {
+		s := f.B2[j]
+		for i, hv := range h {
+			s += hv * f.W2[i][j]
+		}
+		p[j] = s
+		if s > mx {
+			mx = s
+		}
+	}
+	sum := 0.0
+	for j := range p {
+		p[j] = math.Exp(p[j] - mx)
+		sum += p[j]
+	}
+	for j := range p {
+		p[j] /= sum
+	}
+	return h, p
+}
+
+// TrainEpoch runs one SGD epoch over (x, labels); labels are 0-based.
+// It returns the mean cross-entropy loss.
+func (f *FFN) TrainEpoch(x [][]float64, labels []int, batch int, rng *rand.Rand) float64 {
+	perm := rng.Perm(len(x))
+	total := 0.0
+	for b := 0; b < len(perm); b += batch {
+		e := b + batch
+		if e > len(perm) {
+			e = len(perm)
+		}
+		gW1 := zeros(len(f.W1), len(f.B1))
+		gW2 := zeros(len(f.W2), len(f.B2))
+		gB1 := make([]float64, len(f.B1))
+		gB2 := make([]float64, len(f.B2))
+		for _, pi := range perm[b:e] {
+			h, p := f.forward(x[pi])
+			total += -math.Log(math.Max(p[labels[pi]], 1e-15))
+			dOut := append([]float64(nil), p...)
+			dOut[labels[pi]] -= 1
+			for j, d := range dOut {
+				gB2[j] += d
+				for i, hv := range h {
+					gW2[i][j] += hv * d
+				}
+			}
+			for i := range h {
+				if h[i] <= 0 {
+					continue
+				}
+				dh := 0.0
+				for j, d := range dOut {
+					dh += f.W2[i][j] * d
+				}
+				gB1[i] += dh
+				for k, xv := range x[pi] {
+					gW1[k][i] += xv * dh
+				}
+			}
+		}
+		n := float64(e - b)
+		f.step(f.W1, f.v1, gW1, n)
+		f.step(f.W2, f.v2, gW2, n)
+		f.stepVec(f.B1, f.vb1, gB1, n)
+		f.stepVec(f.B2, f.vb2, gB2, n)
+	}
+	return total / float64(len(x))
+}
+
+func (f *FFN) step(w, v, g [][]float64, n float64) {
+	for i := range w {
+		for j := range w[i] {
+			prev := v[i][j]
+			v[i][j] = f.mu*v[i][j] - f.lr*g[i][j]/n
+			w[i][j] += -f.mu*prev + (1+f.mu)*v[i][j]
+		}
+	}
+}
+
+func (f *FFN) stepVec(w, v, g []float64, n float64) {
+	for i := range w {
+		prev := v[i]
+		v[i] = f.mu*v[i] - f.lr*g[i]/n
+		w[i] += -f.mu*prev + (1+f.mu)*v[i]
+	}
+}
+
+// Accuracy computes classification accuracy (0-based labels).
+func (f *FFN) Accuracy(x [][]float64, labels []int) float64 {
+	correct := 0
+	for i, r := range x {
+		_, p := f.forward(r)
+		best, bi := math.Inf(-1), 0
+		for j, v := range p {
+			if v > best {
+				best, bi = v, j
+			}
+		}
+		if bi == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(x))
+}
+
+func zeros(r, c int) [][]float64 {
+	m := make([][]float64, r)
+	for i := range m {
+		m[i] = make([]float64, c)
+	}
+	return m
+}
+
+// CNN is a compact independent convolutional classifier (the TensorFlow CNN
+// stand-in): one 5x5 conv with F filters over 28x28 inputs, ReLU, 2x2 max
+// pool, and a linear softmax head — trained with plain SGD.
+type CNN struct {
+	Filters [][]float64 // F x 25
+	FBias   []float64
+	W       [][]float64 // (F*14*14) x classes
+	B       []float64
+	lr      float64
+}
+
+// NewCNN initializes the baseline CNN.
+func NewCNN(filters, classes int, lr float64, seed int64) *CNN {
+	rng := rand.New(rand.NewSource(seed))
+	c := &CNN{FBias: make([]float64, filters), B: make([]float64, classes), lr: lr}
+	c.Filters = make([][]float64, filters)
+	for f := range c.Filters {
+		c.Filters[f] = make([]float64, 25)
+		for j := range c.Filters[f] {
+			c.Filters[f][j] = 0.28 * rng.NormFloat64()
+		}
+	}
+	c.W = make([][]float64, filters*14*14)
+	for i := range c.W {
+		c.W[i] = make([]float64, classes)
+		for j := range c.W[i] {
+			c.W[i][j] = 0.05 * rng.NormFloat64()
+		}
+	}
+	return c
+}
+
+// forward returns the pooled features and class probabilities for one
+// 784-pixel image.
+func (c *CNN) forward(img []float64) (pooled, probs []float64) {
+	nf := len(c.Filters)
+	conv := make([]float64, nf*28*28)
+	for f := 0; f < nf; f++ {
+		for oi := 0; oi < 28; oi++ {
+			for oj := 0; oj < 28; oj++ {
+				s := c.FBias[f]
+				for fi := 0; fi < 5; fi++ {
+					for fj := 0; fj < 5; fj++ {
+						ii, jj := oi-2+fi, oj-2+fj
+						if ii < 0 || jj < 0 || ii >= 28 || jj >= 28 {
+							continue
+						}
+						s += c.Filters[f][fi*5+fj] * img[ii*28+jj]
+					}
+				}
+				if s > 0 { // fused ReLU
+					conv[(f*28+oi)*28+oj] = s
+				}
+			}
+		}
+	}
+	pooled = make([]float64, nf*14*14)
+	for f := 0; f < nf; f++ {
+		for oi := 0; oi < 14; oi++ {
+			for oj := 0; oj < 14; oj++ {
+				mx := 0.0
+				for di := 0; di < 2; di++ {
+					for dj := 0; dj < 2; dj++ {
+						v := conv[(f*28+oi*2+di)*28+oj*2+dj]
+						if v > mx {
+							mx = v
+						}
+					}
+				}
+				pooled[(f*14+oi)*14+oj] = mx
+			}
+		}
+	}
+	probs = make([]float64, len(c.B))
+	mx := math.Inf(-1)
+	for j := range probs {
+		s := c.B[j]
+		for i, pv := range pooled {
+			s += pv * c.W[i][j]
+		}
+		probs[j] = s
+		if s > mx {
+			mx = s
+		}
+	}
+	sum := 0.0
+	for j := range probs {
+		probs[j] = math.Exp(probs[j] - mx)
+		sum += probs[j]
+	}
+	for j := range probs {
+		probs[j] /= sum
+	}
+	return pooled, probs
+}
+
+// TrainEpoch runs one SGD epoch (head-only gradient for the linear layer
+// plus filter bias; a pragmatic baseline sufficient for runtime-shape
+// comparison). Labels are 0-based. Returns mean loss.
+func (c *CNN) TrainEpoch(x [][]float64, labels []int, batch int, rng *rand.Rand) float64 {
+	perm := rng.Perm(len(x))
+	total := 0.0
+	for b := 0; b < len(perm); b += batch {
+		e := b + batch
+		if e > len(perm) {
+			e = len(perm)
+		}
+		gW := zeros(len(c.W), len(c.B))
+		gB := make([]float64, len(c.B))
+		for _, pi := range perm[b:e] {
+			pooled, p := c.forward(x[pi])
+			total += -math.Log(math.Max(p[labels[pi]], 1e-15))
+			for j := range p {
+				d := p[j]
+				if j == labels[pi] {
+					d -= 1
+				}
+				gB[j] += d
+				for i, pv := range pooled {
+					if pv != 0 {
+						gW[i][j] += pv * d
+					}
+				}
+			}
+		}
+		n := float64(e - b)
+		for i := range c.W {
+			for j := range c.W[i] {
+				c.W[i][j] -= c.lr * gW[i][j] / n
+			}
+		}
+		for j := range c.B {
+			c.B[j] -= c.lr * gB[j] / n
+		}
+	}
+	return total / float64(len(x))
+}
+
+// Accuracy computes classification accuracy (0-based labels).
+func (c *CNN) Accuracy(x [][]float64, labels []int) float64 {
+	correct := 0
+	for i, img := range x {
+		_, p := c.forward(img)
+		best, bi := math.Inf(-1), 0
+		for j, v := range p {
+			if v > best {
+				best, bi = v, j
+			}
+		}
+		if bi == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(x))
+}

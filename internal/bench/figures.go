@@ -1,0 +1,206 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"exdra/internal/baseline"
+	"exdra/internal/matrix"
+)
+
+// Fig5 reproduces Figure 5: basic algorithm comparison (Local vs Federated
+// LAN vs Federated WAN) and strong scaling over the number of federated
+// workers, plus the Fed LowerBound series for LM.
+func Fig5(out io.Writer, sc Scale, workerCounts []int) error {
+	fmt.Fprintln(out, "== Figure 5: basic algorithm comparison and scalability ==")
+	w := NewWorkloads(sc)
+	for _, name := range AlgorithmNames {
+		m, err := w.RunAlgorithm(name, Env{Mode: Local}, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, m.Row())
+		if name == "lm" {
+			lb, err := w.LMLowerBound()
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(out, lb.Row())
+		}
+		for _, mode := range []Mode{FedLAN, FedWAN} {
+			for _, nw := range workerCounts {
+				env := Env{Mode: mode, Workers: nw}
+				cl, err := env.Cluster()
+				if err != nil {
+					return err
+				}
+				m, err := w.RunAlgorithm(name, env, cl)
+				cl.Close()
+				if err != nil {
+					return err
+				}
+				fmt.Fprintln(out, m.Row())
+			}
+		}
+	}
+	return nil
+}
+
+// Fig6 reproduces Figure 6: the communication-settings comparison of LM,
+// K-Means, and FFN across Federated LAN, WAN, and WAN with SSL encryption.
+func Fig6(out io.Writer, sc Scale, workers int) error {
+	fmt.Fprintln(out, "== Figure 6: comparison of communication settings ==")
+	w := NewWorkloads(sc)
+	for _, name := range []string{"lm", "kmeans", "ffn"} {
+		for _, mode := range []Mode{FedLAN, FedWAN, FedWANSSL} {
+			env := Env{Mode: mode, Workers: workers}
+			cl, err := env.Cluster()
+			if err != nil {
+				return err
+			}
+			m, err := w.RunAlgorithm(name, env, cl)
+			cl.Close()
+			if err != nil {
+				return err
+			}
+			m.Experiment = "fig6"
+			fmt.Fprintln(out, m.Row())
+		}
+	}
+	return nil
+}
+
+// Fig7 reproduces Figure 7: comparison with other ML systems. K-Means and
+// PCA run against the Scikit-learn stand-in, FFN and CNN against the
+// TensorFlow stand-in (package baseline), in Local and Federated LAN
+// configurations of the core system.
+func Fig7(out io.Writer, sc Scale, workers int) error {
+	fmt.Fprintln(out, "== Figure 7: comparison with other ML systems ==")
+	w := NewWorkloads(sc)
+	for _, name := range []string{"kmeans", "pca", "ffn", "cnn"} {
+		m, err := w.RunAlgorithm(name, Env{Mode: Local}, nil)
+		if err != nil {
+			return err
+		}
+		m.Experiment = "fig7"
+		fmt.Fprintln(out, m.Row())
+		env := Env{Mode: FedLAN, Workers: workers}
+		cl, err := env.Cluster()
+		if err != nil {
+			return err
+		}
+		m, err = w.RunAlgorithm(name, env, cl)
+		cl.Close()
+		if err != nil {
+			return err
+		}
+		m.Experiment = "fig7"
+		fmt.Fprintln(out, m.Row())
+		bm := w.RunBaseline(name)
+		fmt.Fprintln(out, bm.Row())
+	}
+	return nil
+}
+
+// RunBaseline times the independent comparator implementation of one
+// Figure 7 workload under the same hyper-parameters.
+func (w *Workloads) RunBaseline(name string) Measurement {
+	m := Measurement{Experiment: "fig7", Algorithm: name, Mode: "baseline", Extra: map[string]float64{}}
+	rows := toRows(w.featuresFor(name))
+	start := time.Now()
+	switch name {
+	case "kmeans":
+		_, inertia, iters := baseline.KMeans(rows, w.Scale.KMeansK, 10, w.Scale.Seed)
+		m.Extra["wcss"] = inertia
+		m.Extra["iters"] = float64(iters)
+	case "pca":
+		_, vals := baseline.PCA(rows, w.Scale.PCAK)
+		m.Extra["lambda1"] = vals[0]
+	case "ffn":
+		labels := zeroBased(w.YMC)
+		net := baseline.NewFFN(w.Scale.Cols, w.Scale.FFNHidden, 4, 0.02, 0.9, w.Scale.Seed)
+		rng := rand.New(rand.NewSource(w.Scale.Seed))
+		var loss float64
+		for e := 0; e < w.Scale.FFNEpochs; e++ {
+			loss = net.TrainEpoch(rows, labels, w.Scale.FFNBatch, rng)
+		}
+		m.Extra["loss"] = loss
+	case "cnn":
+		labels := zeroBased(w.YMNIST)
+		net := baseline.NewCNN(w.Scale.CNNFilters, 10, 0.05, w.Scale.Seed)
+		rng := rand.New(rand.NewSource(w.Scale.Seed))
+		var loss float64
+		for e := 0; e < w.Scale.CNNEpochs; e++ {
+			loss = net.TrainEpoch(rows, labels, w.Scale.CNNBatch, rng)
+		}
+		m.Extra["loss"] = loss
+	}
+	m.Elapsed = time.Since(start)
+	return m
+}
+
+// Fig8 reproduces Figure 8: P2 pipeline scalability (P2_LM and P2_FNN) with
+// the number of federated workers, against local execution.
+func Fig8(out io.Writer, sc Scale, workerCounts []int) error {
+	fmt.Fprintln(out, "== Figure 8: ML pipeline scalability ==")
+	w := NewWorkloads(sc)
+	for _, algo := range []string{"lm", "ffn"} {
+		m, err := w.RunPipeline(algo, Env{Mode: Local}, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, m.Row())
+		for _, nw := range workerCounts {
+			env := Env{Mode: FedLAN, Workers: nw}
+			cl, err := env.Cluster()
+			if err != nil {
+				return err
+			}
+			m, err := w.RunPipeline(algo, env, cl)
+			cl.Close()
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(out, m.Row())
+		}
+	}
+	return nil
+}
+
+// Table1 prints the supported federated instruction classes of Table 1.
+// The coverage itself is verified element-wise against local execution by
+// TestTable1Coverage in internal/federated.
+func Table1(out io.Writer) {
+	fmt.Fprintln(out, "== Table 1: supported federated instructions ==")
+	rows := [][2]string{
+		{"Matmult", "mm, tsmm, mmchain, tmm (aligned)"},
+		{"Aggregates", "sum, min, max, sd, var, mean; rowSums..rowMeans, colSums..colMeans, rowIndexMax"},
+		{"Unary", "abs, cos, exp, floor, ceil, isNA, log, !, round, sin, sign, sqrt, tan, sigmoid, softmax"},
+		{"Binary", "&, /, ==, >, >=, %/%, <, <=, log, max, min, -, %%, *, !=, |, +, ^, xor"},
+		{"Ternary", "ctable, ifelse, +*, -*"},
+		{"Quaternary", "wcemm, wdivmm, wsigmoid, wsloss"},
+		{"Transform/Reorg", "tfencode, tfapply, tfdecode, rbind, cbind, t, removeEmpty, replace, reshape, X[:,:]"},
+	}
+	for _, r := range rows {
+		fmt.Fprintf(out, "%-16s %s\n", r[0], r[1])
+	}
+	fmt.Fprintln(out, "(verified vs local execution: go test ./internal/federated -run TestTable1Coverage)")
+}
+
+func toRows(m *matrix.Dense) [][]float64 {
+	out := make([][]float64, m.Rows())
+	for i := range out {
+		out[i] = m.Row(i)
+	}
+	return out
+}
+
+func zeroBased(y *matrix.Dense) []int {
+	out := make([]int, y.Rows())
+	for i := range out {
+		out[i] = int(y.At(i, 0)) - 1
+	}
+	return out
+}

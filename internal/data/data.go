@@ -1,0 +1,231 @@
+// Package data generates the synthetic workloads of the ExDRa evaluation
+// (§6.1): a mixed categorical/continuous table resembling the paper
+// production use case (encoding to ~1,050 one-hot features at full scale),
+// an MNIST-like image set for the CNN experiment, and fertilizer-mill
+// sensor readings for the anomaly-detection pipeline. All generators are
+// deterministic given their seed.
+package data
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"exdra/internal/frame"
+	"exdra/internal/matrix"
+	"exdra/internal/transform"
+)
+
+// Regression returns a dense feature matrix X ~ N(0,1) and targets
+// y = X w* + noise from a hidden linear model — the numeric workload for
+// LM-style experiments.
+func Regression(seed int64, rows, cols int, noise float64) (x, y *matrix.Dense) {
+	rng := rand.New(rand.NewSource(seed))
+	x = matrix.Randn(rng, rows, cols, 0, 1)
+	wStar := matrix.Randn(rng, cols, 1, 0, 1)
+	y = x.MatMul(wStar)
+	for i := range y.Data() {
+		y.Data()[i] += noise * rng.NormFloat64()
+	}
+	return x, y
+}
+
+// Classification returns features and labels in {-1, +1} separated by a
+// hidden hyperplane with the given label-flip rate.
+func Classification(seed int64, rows, cols int, flip float64) (x, y *matrix.Dense) {
+	rng := rand.New(rand.NewSource(seed))
+	x = matrix.Randn(rng, rows, cols, 0, 1)
+	wStar := matrix.Randn(rng, cols, 1, 0, 1)
+	scores := x.MatMul(wStar)
+	y = matrix.NewDense(rows, 1)
+	for i, s := range scores.Data() {
+		v := 1.0
+		if s < 0 {
+			v = -1
+		}
+		if rng.Float64() < flip {
+			v = -v
+		}
+		y.Data()[i] = v
+	}
+	return x, y
+}
+
+// MultiClass returns features drawn from k Gaussian blobs and 1-based class
+// labels.
+func MultiClass(seed int64, rows, cols, k int) (x, y *matrix.Dense) {
+	rng := rand.New(rand.NewSource(seed))
+	centers := matrix.Randn(rng, k, cols, 0, 4)
+	x = matrix.NewDense(rows, cols)
+	y = matrix.NewDense(rows, 1)
+	for i := 0; i < rows; i++ {
+		c := rng.Intn(k)
+		y.Set(i, 0, float64(c+1))
+		for j := 0; j < cols; j++ {
+			x.Set(i, j, centers.At(c, j)+rng.NormFloat64())
+		}
+	}
+	return x, y
+}
+
+// Blobs returns rows drawn from k spherical Gaussian clusters (for K-Means
+// and GMM experiments) together with the true assignment.
+func Blobs(seed int64, rows, cols, k int, spread float64) (x *matrix.Dense, assign []int) {
+	rng := rand.New(rand.NewSource(seed))
+	centers := matrix.Randn(rng, k, cols, 0, 8)
+	x = matrix.NewDense(rows, cols)
+	assign = make([]int, rows)
+	for i := 0; i < rows; i++ {
+		c := rng.Intn(k)
+		assign[i] = c
+		for j := 0; j < cols; j++ {
+			x.Set(i, j, centers.At(c, j)+spread*rng.NormFloat64())
+		}
+	}
+	return x, assign
+}
+
+// PaperProductionConfig scales the paper-production table.
+type PaperProductionConfig struct {
+	Rows int
+	// ContinuousCols is the number of numeric process signals (paper: 97
+	// signals; default 50).
+	ContinuousCols int
+	// RecipeCategories is the cardinality of the recipe-ID column
+	// (default 1000 — together with the numeric columns this one-hot
+	// encodes to roughly the paper's 1,050 features).
+	RecipeCategories int
+	// NullRate injects NULLs into the categorical quality class.
+	NullRate float64
+	Seed     int64
+}
+
+// PaperProduction generates the raw table of the paper production use case
+// (§2.2): continuous process signals (pulp quality, powers, inflows,
+// speeds, torques, humidity), a categorical recipe ID, a categorical
+// quality class with NULLs, and a continuous z-strength target column named
+// "zstrength". Encoding it with PaperProductionSpec yields the
+// 1M x ~1,050 matrix shape of §6.1 at full scale.
+func PaperProduction(cfg PaperProductionConfig) *frame.Frame {
+	if cfg.Rows == 0 {
+		cfg.Rows = 1000
+	}
+	if cfg.ContinuousCols == 0 {
+		cfg.ContinuousCols = 50
+	}
+	if cfg.RecipeCategories == 0 {
+		cfg.RecipeCategories = 1000
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	cols := make([]*frame.Column, 0, cfg.ContinuousCols+3)
+
+	signals := make([][]float64, cfg.ContinuousCols)
+	for j := range signals {
+		signals[j] = make([]float64, cfg.Rows)
+	}
+	recipes := make([]string, cfg.Rows)
+	quality := make([]string, cfg.Rows)
+	target := make([]float64, cfg.Rows)
+	for i := 0; i < cfg.Rows; i++ {
+		r := rng.Intn(cfg.RecipeCategories)
+		recipes[i] = fmt.Sprintf("R%03d", r)
+		recipeEffect := math.Sin(float64(r))
+		z := 2*recipeEffect + 0.5*rng.NormFloat64()
+		for j := 0; j < cfg.ContinuousCols; j++ {
+			v := rng.NormFloat64() + 0.3*recipeEffect
+			signals[j][i] = v
+			z += 0.05 * v * math.Cos(float64(j))
+		}
+		target[i] = z
+		switch {
+		case rng.Float64() < cfg.NullRate:
+			quality[i] = "" // NULL, to be imputed downstream
+		case z > 0.5:
+			quality[i] = "A"
+		case z > -0.5:
+			quality[i] = "B"
+		default:
+			quality[i] = "C"
+		}
+	}
+	for j := range signals {
+		cols = append(cols, frame.FloatColumn(fmt.Sprintf("signal_%02d", j), signals[j]))
+	}
+	cols = append(cols,
+		frame.StringColumn("recipe", recipes),
+		frame.StringColumn("quality", quality),
+		frame.FloatColumn("zstrength", target),
+	)
+	return frame.MustNew(cols...)
+}
+
+// PaperProductionSpec is the transformencode spec for the table: recode +
+// one-hot the recipe and quality class, pass the signals and target through.
+func PaperProductionSpec() transform.Spec {
+	return transform.Spec{Columns: []transform.ColumnSpec{
+		{Name: "recipe", Method: transform.Recode, OneHot: true},
+		{Name: "quality", Method: transform.Recode, OneHot: true},
+	}}
+}
+
+// SyntheticMNIST generates an MNIST-shaped dataset: n x 784 images whose
+// non-zero fraction sits just below the internal sparsity threshold (the
+// property the paper blames for SystemDS' sparse conv2d path on MNIST) and
+// 1-based labels 1..10 derived from the stroke pattern.
+func SyntheticMNIST(seed int64, n int) (x, y *matrix.Dense) {
+	rng := rand.New(rand.NewSource(seed))
+	x = matrix.NewDense(n, 784)
+	y = matrix.NewDense(n, 1)
+	for i := 0; i < n; i++ {
+		label := rng.Intn(10)
+		y.Set(i, 0, float64(label+1))
+		// Draw a class-specific blob pattern: a few Gaussian "strokes"
+		// whose position depends on the label, ~20% non-zeros.
+		for s := 0; s < 3; s++ {
+			cx := 6 + (label*5+s*7)%18
+			cy := 6 + (label*3+s*11)%18
+			for dy := -3; dy <= 3; dy++ {
+				for dx := -3; dx <= 3; dx++ {
+					px, py := cx+dx, cy+dy
+					if px < 0 || px >= 28 || py < 0 || py >= 28 {
+						continue
+					}
+					v := math.Exp(-float64(dx*dx+dy*dy)/4) * (0.7 + 0.3*rng.Float64())
+					if v > 0.1 {
+						x.Set(i, py*28+px, v)
+					}
+				}
+			}
+		}
+	}
+	return x, y
+}
+
+// FertilizerSensors generates a window of the grinding-mill telemetry of
+// §2.1: 68 sensor channels at 1-second granularity (power, currents,
+// temperatures, pressures, tank levels, speeds, vibrations, air flows,
+// humidity, weights) with rare injected anomalies. It returns the readings
+// and the ground-truth anomaly flags.
+func FertilizerSensors(seed int64, seconds int, anomalyRate float64) (x *matrix.Dense, anomalies []bool) {
+	const channels = 68
+	rng := rand.New(rand.NewSource(seed))
+	x = matrix.NewDense(seconds, channels)
+	anomalies = make([]bool, seconds)
+	base := make([]float64, channels)
+	for j := range base {
+		base[j] = 10 + 5*rng.Float64()
+	}
+	for i := 0; i < seconds; i++ {
+		anomalous := rng.Float64() < anomalyRate
+		anomalies[i] = anomalous
+		for j := 0; j < channels; j++ {
+			drift := math.Sin(float64(i)/60 + float64(j))
+			v := base[j] + drift + 0.2*rng.NormFloat64()
+			if anomalous {
+				v += 6 + 3*rng.Float64() // failure spike across channels
+			}
+			x.Set(i, j, v)
+		}
+	}
+	return x, anomalies
+}

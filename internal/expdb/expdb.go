@@ -1,0 +1,233 @@
+// Package expdb implements ExDRa's ExperimentDB (§3.3): a model and metric
+// store for pipeline versions and their runs — with operator-type
+// categorization of pipeline steps, JSON persistence, and query-based run
+// comparison — plus the prototype pipeline-recommendation engine that
+// embeds pipeline metadata and trains a model to score candidates.
+package expdb
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// OperatorType is the high-level categorization of a pipeline step.
+type OperatorType string
+
+// Operator types (the paper's taxonomy: ensembles, estimators, imputers,
+// scalers, selectors, generators, samplers, transformers).
+const (
+	Ensemble    OperatorType = "ensemble"
+	Estimator   OperatorType = "estimator"
+	Imputer     OperatorType = "imputer"
+	Scaler      OperatorType = "scaler"
+	Selector    OperatorType = "selector"
+	Generator   OperatorType = "generator"
+	Sampler     OperatorType = "sampler"
+	Transformer OperatorType = "transformer"
+	Unknown     OperatorType = "unknown"
+)
+
+// AllOperatorTypes lists the taxonomy in a stable order (used by the
+// recommendation embedding).
+var AllOperatorTypes = []OperatorType{
+	Ensemble, Estimator, Imputer, Scaler, Selector, Generator, Sampler, Transformer,
+}
+
+// Categorize assigns an operator type to a pipeline-step name by keyword —
+// the parsed-intermediate-representation categorization of §3.3.
+func Categorize(step string) OperatorType {
+	s := strings.ToLower(step)
+	switch {
+	case containsAny(s, "ensemble", "boost", "forest", "bagging", "stack"):
+		return Ensemble
+	case containsAny(s, "impute", "fillna", "mice", "missing"):
+		return Imputer
+	case containsAny(s, "scale", "normalize", "standardize", "clip", "minmax"):
+		return Scaler
+	case containsAny(s, "select", "filter_features", "variance_threshold", "chi2"):
+		return Selector
+	case containsAny(s, "generate", "synthesize", "augment", "polynomial"):
+		return Generator
+	case containsAny(s, "sample", "split", "holdout", "smote"):
+		return Sampler
+	case containsAny(s, "encode", "transform", "onehot", "recode", "hash", "bin", "pca", "embed"):
+		return Transformer
+	case containsAny(s, "lm", "svm", "logreg", "regress", "classif", "kmeans", "gmm", "train", "fit", "ffn", "cnn", "net"):
+		return Estimator
+	default:
+		return Unknown
+	}
+}
+
+func containsAny(s string, subs ...string) bool {
+	for _, sub := range subs {
+		if strings.Contains(s, sub) {
+			return true
+		}
+	}
+	return false
+}
+
+// Step is one categorized pipeline step.
+type Step struct {
+	Name string       `json:"name"`
+	Type OperatorType `json:"type"`
+}
+
+// Run records one execution of a pipeline version: its parameters, data
+// characteristics, resulting metrics, model artifact reference, and lineage.
+type Run struct {
+	ID         string             `json:"id"`
+	PipelineID string             `json:"pipeline_id"`
+	Version    int                `json:"version"`
+	Steps      []Step             `json:"steps"`
+	Params     map[string]string  `json:"params,omitempty"`
+	DataStats  map[string]float64 `json:"data_stats,omitempty"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+	ModelRef   string             `json:"model_ref,omitempty"`
+	Lineage    []string           `json:"lineage,omitempty"`
+	StartedAt  time.Time          `json:"started_at"`
+	Duration   time.Duration      `json:"duration"`
+}
+
+// Store is the model and metric store. A directory-backed store persists
+// each run as JSON; an empty dir keeps runs in memory only.
+type Store struct {
+	mu   sync.Mutex
+	dir  string
+	runs map[string]*Run
+	next int
+}
+
+// Open creates or loads a store at dir ("" = in-memory).
+func Open(dir string) (*Store, error) {
+	s := &Store{dir: dir, runs: map[string]*Run{}}
+	if dir == "" {
+		return s, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		var r Run
+		if err := json.Unmarshal(b, &r); err != nil {
+			return nil, fmt.Errorf("expdb: corrupt run %s: %w", e.Name(), err)
+		}
+		s.runs[r.ID] = &r
+		s.next++
+	}
+	return s, nil
+}
+
+// Track stores a run, assigning an ID if empty, categorizing steps without
+// a type, and persisting when directory-backed.
+func (s *Store) Track(r *Run) (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if r.ID == "" {
+		s.next++
+		r.ID = fmt.Sprintf("run-%06d", s.next)
+	}
+	for i := range r.Steps {
+		if r.Steps[i].Type == "" {
+			r.Steps[i].Type = Categorize(r.Steps[i].Name)
+		}
+	}
+	s.runs[r.ID] = r
+	if s.dir != "" {
+		b, err := json.MarshalIndent(r, "", "  ")
+		if err != nil {
+			return "", err
+		}
+		if err := os.WriteFile(filepath.Join(s.dir, r.ID+".json"), b, 0o644); err != nil {
+			return "", err
+		}
+	}
+	return r.ID, nil
+}
+
+// Get returns a run by ID.
+func (s *Store) Get(id string) (*Run, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.runs[id]
+	return r, ok
+}
+
+// Query returns runs matching the filter, sorted by start time.
+func (s *Store) Query(filter func(*Run) bool) []*Run {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []*Run
+	for _, r := range s.runs {
+		if filter == nil || filter(r) {
+			out = append(out, r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].StartedAt.Equal(out[j].StartedAt) {
+			return out[i].ID < out[j].ID
+		}
+		return out[i].StartedAt.Before(out[j].StartedAt)
+	})
+	return out
+}
+
+// Len returns the number of stored runs.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.runs)
+}
+
+// Best returns the run with the highest value of the metric.
+func (s *Store) Best(metric string) (*Run, bool) {
+	runs := s.Query(func(r *Run) bool { _, ok := r.Metrics[metric]; return ok })
+	if len(runs) == 0 {
+		return nil, false
+	}
+	best := runs[0]
+	for _, r := range runs[1:] {
+		if r.Metrics[metric] > best.Metrics[metric] {
+			best = r
+		}
+	}
+	return best, true
+}
+
+// Compare renders a side-by-side comparison of the given metric across runs
+// of one pipeline — the query-based pipeline comparison of §3.3.
+func (s *Store) Compare(pipelineID, metric string) []RunMetric {
+	runs := s.Query(func(r *Run) bool { return r.PipelineID == pipelineID })
+	out := make([]RunMetric, 0, len(runs))
+	for _, r := range runs {
+		if v, ok := r.Metrics[metric]; ok {
+			out = append(out, RunMetric{RunID: r.ID, Version: r.Version, Value: v})
+		}
+	}
+	return out
+}
+
+// RunMetric is one row of a comparison.
+type RunMetric struct {
+	RunID   string
+	Version int
+	Value   float64
+}

@@ -1,0 +1,135 @@
+package expdb
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCategorize(t *testing.T) {
+	cases := map[string]OperatorType{
+		"GradientBoosting":  Ensemble,
+		"mice_impute":       Imputer,
+		"standardize_cols":  Scaler,
+		"select_k_best":     Selector,
+		"polynomial_feats":  Generator,
+		"train_test_split":  Sampler,
+		"onehot_encode":     Transformer,
+		"l2svm_train":       Estimator,
+		"mystery_step":      Unknown,
+		"pca_projection":    Transformer,
+		"kmeans_clustering": Estimator,
+	}
+	for name, want := range cases {
+		if got := Categorize(name); got != want {
+			t.Errorf("Categorize(%q) = %v want %v", name, got, want)
+		}
+	}
+}
+
+func trackRun(t *testing.T, s *Store, pipeline string, version int, metric float64, steps ...string) *Run {
+	t.Helper()
+	r := &Run{
+		PipelineID: pipeline,
+		Version:    version,
+		Metrics:    map[string]float64{"accuracy": metric},
+		DataStats:  map[string]float64{"rows": 1000, "cols": 20, "classes": 2},
+		StartedAt:  time.Date(2021, 3, version, 0, 0, 0, 0, time.UTC),
+	}
+	for _, st := range steps {
+		r.Steps = append(r.Steps, Step{Name: st})
+	}
+	if _, err := s.Track(r); err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestTrackQueryBestCompare(t *testing.T) {
+	s, err := Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	trackRun(t, s, "p2", 1, 0.81, "onehot_encode", "standardize", "lm_train")
+	trackRun(t, s, "p2", 2, 0.88, "onehot_encode", "standardize", "ffn_train")
+	trackRun(t, s, "other", 1, 0.95, "impute", "boost")
+	if s.Len() != 3 {
+		t.Fatalf("len %d", s.Len())
+	}
+	// Steps are auto-categorized on Track.
+	r, _ := s.Get("run-000001")
+	if r.Steps[0].Type != Transformer || r.Steps[2].Type != Estimator {
+		t.Fatalf("categorization: %+v", r.Steps)
+	}
+	best, ok := s.Best("accuracy")
+	if !ok || best.PipelineID != "other" {
+		t.Fatal("Best")
+	}
+	cmp := s.Compare("p2", "accuracy")
+	if len(cmp) != 2 || cmp[0].Value != 0.81 || cmp[1].Version != 2 {
+		t.Fatalf("Compare: %+v", cmp)
+	}
+	runs := s.Query(func(r *Run) bool { return r.PipelineID == "p2" })
+	if len(runs) != 2 || runs[0].Version != 1 {
+		t.Fatal("Query order")
+	}
+}
+
+func TestPersistenceRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trackRun(t, s, "p", 1, 0.5, "encode")
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != 1 {
+		t.Fatalf("reloaded %d runs", s2.Len())
+	}
+	r, ok := s2.Get("run-000001")
+	if !ok || r.Metrics["accuracy"] != 0.5 {
+		t.Fatal("reloaded content")
+	}
+	// New runs after reload get fresh IDs.
+	r2 := trackRun(t, s2, "p", 2, 0.6, "encode")
+	if r2.ID == r.ID {
+		t.Fatal("ID collision after reload")
+	}
+}
+
+func TestRecommenderRanksByHistory(t *testing.T) {
+	s, err := Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// History: runs containing an imputer consistently score higher.
+	for i := 0; i < 8; i++ {
+		trackRun(t, s, "a", i+1, 0.9, "mice_impute", "onehot_encode", "lm_train")
+		trackRun(t, s, "b", i+1, 0.6, "onehot_encode", "lm_train")
+	}
+	rec, err := NewRecommender(s, "accuracy", 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := map[string]float64{"rows": 1000, "cols": 20, "classes": 2}
+	withImpute := Candidate{PipelineID: "c1", Steps: []Step{
+		{Name: "mice_impute"}, {Name: "onehot_encode"}, {Name: "lm_train"}}}
+	without := Candidate{PipelineID: "c2", Steps: []Step{
+		{Name: "onehot_encode"}, {Name: "lm_train"}}}
+	ranked := rec.Recommend([]Candidate{without, withImpute}, stats)
+	if ranked[0].Candidate.PipelineID != "c1" {
+		t.Fatalf("expected imputer pipeline first: %+v", ranked)
+	}
+	if ranked[0].Score <= ranked[1].Score {
+		t.Fatal("ranking order")
+	}
+}
+
+func TestRecommenderNeedsHistory(t *testing.T) {
+	s, _ := Open("")
+	if _, err := NewRecommender(s, "accuracy", 0.01); err == nil {
+		t.Fatal("recommender trained without history")
+	}
+}

@@ -1,0 +1,286 @@
+package federated
+
+import (
+	"fmt"
+
+	"exdra/internal/fedrpc"
+	"exdra/internal/matrix"
+)
+
+// AggFull computes a full aggregation (sum, min, max, mean, var, sd) over
+// the federated matrix. Workers return partial aggregation tuples
+// (sum, sumsq, min, max, n) which the coordinator combines — only
+// aggregates travel, never raw data.
+func (m *Matrix) AggFull(op matrix.AggOp) (float64, error) {
+	resps, err := m.c.parallelCall(m.fm.Partitions, func(i int, p Partition) []fedrpc.Request {
+		oid := m.c.NewID()
+		return []fedrpc.Request{
+			{Type: fedrpc.ExecInst, Inst: &fedrpc.Instruction{
+				Opcode: "ua_partial", Inputs: []int64{p.DataID}, Output: oid}},
+			{Type: fedrpc.Get, ID: oid},
+			{Type: fedrpc.ExecInst, Inst: &fedrpc.Instruction{Opcode: "rmvar", Inputs: []int64{oid}}},
+		}
+	})
+	if err != nil {
+		return 0, err
+	}
+	n := len(resps)
+	sums, sumSqs, mins, maxs, counts := make([]float64, n), make([]float64, n), make([]float64, n), make([]float64, n), make([]int, n)
+	for i, rs := range resps {
+		t := rs[1].Data.Matrix()
+		sums[i], sumSqs[i], mins[i], maxs[i], counts[i] = t.At(0, 0), t.At(0, 1), t.At(0, 2), t.At(0, 3), int(t.At(0, 4))
+	}
+	return matrix.CombinePartialAggs(op, sums, sumSqs, mins, maxs, counts), nil
+}
+
+// Sum returns the sum of all cells.
+func (m *Matrix) Sum() (float64, error) { return m.AggFull(matrix.AggSum) }
+
+// RowAgg computes per-row aggregates. For row-partitioned data the result
+// stays federated (each worker owns complete rows); for column-partitioned
+// data, per-partition partials are combined at the coordinator into a local
+// rows x 1 vector. Exactly one of the results is non-nil.
+func (m *Matrix) RowAgg(op matrix.AggOp) (*Matrix, *matrix.Dense, error) {
+	switch m.Scheme() {
+	case RowPartitioned:
+		outIDs := m.newIDs()
+		_, err := m.c.parallelCall(m.fm.Partitions, func(i int, p Partition) []fedrpc.Request {
+			return []fedrpc.Request{
+				{Type: fedrpc.ExecInst, Inst: &fedrpc.Instruction{
+					Opcode: "uar_" + op.String(), Inputs: []int64{p.DataID}, Output: outIDs[i]}},
+			}
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		out := m.derive(m.Rows(), 1, outIDs, func(r Range) Range {
+			return Range{RowBeg: r.RowBeg, RowEnd: r.RowEnd, ColBeg: 0, ColEnd: 1}
+		})
+		return out, nil, nil
+	case ColPartitioned:
+		// Transposed problem: combine per-partition column aggregates of
+		// the transposed view — equivalently, fetch per-partition row
+		// partials and merge. Only sum/min/max/mean compose from row
+		// partials without sumsq; use the 5-tuple per row.
+		local, err := m.colPartRowAgg(op)
+		return nil, local, err
+	default:
+		return nil, nil, fmt.Errorf("federated: rowAgg on irregular partitioning unsupported")
+	}
+}
+
+// colPartRowAgg combines row aggregates across column partitions by
+// fetching per-partition (rows x 5) partial tuples.
+func (m *Matrix) colPartRowAgg(op matrix.AggOp) (*matrix.Dense, error) {
+	resps, err := m.c.parallelCall(m.fm.Partitions, func(i int, p Partition) []fedrpc.Request {
+		// Partial tuples per row: transpose then uac_partial gives 5 x rows.
+		tid, oid := m.c.NewID(), m.c.NewID()
+		return []fedrpc.Request{
+			{Type: fedrpc.ExecInst, Inst: &fedrpc.Instruction{
+				Opcode: "t", Inputs: []int64{p.DataID}, Output: tid}},
+			{Type: fedrpc.ExecInst, Inst: &fedrpc.Instruction{
+				Opcode: "uac_partial", Inputs: []int64{tid}, Output: oid}},
+			{Type: fedrpc.Get, ID: oid},
+			{Type: fedrpc.ExecInst, Inst: &fedrpc.Instruction{Opcode: "rmvar", Inputs: []int64{tid, oid}}},
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return combineTupleColumns(op, resps, m.Rows(), func(i int) *matrix.Dense {
+		return resps[i][2].Data.Matrix()
+	})
+}
+
+// ColAgg computes per-column aggregates. For row-partitioned data the
+// coordinator combines per-partition 5 x cols partial tuples into a local
+// 1 x cols vector; for column-partitioned data the result stays federated.
+func (m *Matrix) ColAgg(op matrix.AggOp) (*Matrix, *matrix.Dense, error) {
+	switch m.Scheme() {
+	case RowPartitioned:
+		resps, err := m.c.parallelCall(m.fm.Partitions, func(i int, p Partition) []fedrpc.Request {
+			oid := m.c.NewID()
+			return []fedrpc.Request{
+				{Type: fedrpc.ExecInst, Inst: &fedrpc.Instruction{
+					Opcode: "uac_partial", Inputs: []int64{p.DataID}, Output: oid}},
+				{Type: fedrpc.Get, ID: oid},
+				{Type: fedrpc.ExecInst, Inst: &fedrpc.Instruction{Opcode: "rmvar", Inputs: []int64{oid}}},
+			}
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		local, err := combineTupleColumns(op, resps, m.Cols(), func(i int) *matrix.Dense {
+			return resps[i][1].Data.Matrix()
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		return nil, local.Transpose(), nil
+	case ColPartitioned:
+		outIDs := m.newIDs()
+		_, err := m.c.parallelCall(m.fm.Partitions, func(i int, p Partition) []fedrpc.Request {
+			tid := m.c.NewID()
+			return []fedrpc.Request{
+				{Type: fedrpc.ExecInst, Inst: &fedrpc.Instruction{
+					Opcode: "t", Inputs: []int64{p.DataID}, Output: tid}},
+				{Type: fedrpc.ExecInst, Inst: &fedrpc.Instruction{
+					Opcode: "uar_" + op.String(), Inputs: []int64{tid}, Output: outIDs[i]}},
+				{Type: fedrpc.ExecInst, Inst: &fedrpc.Instruction{Opcode: "rmvar", Inputs: []int64{tid}}},
+			}
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		// Each worker now holds a (colrange x 1) vector; flip to 1 x cols map.
+		fm := FedMap{Rows: 1, Cols: m.Cols()}
+		for i, p := range m.fm.Partitions {
+			_ = i
+			fm.Partitions = append(fm.Partitions, Partition{
+				Range:  Range{RowBeg: 0, RowEnd: 1, ColBeg: p.Range.ColBeg, ColEnd: p.Range.ColEnd},
+				Addr:   p.Addr,
+				DataID: outIDs[i],
+			})
+		}
+		// The worker-held vectors are colrange x 1, but the map says 1 x
+		// colrange; transpose them in place to match.
+		tFM, err := transposeInPlace(m.c, fm, outIDs)
+		if err != nil {
+			return nil, nil, err
+		}
+		out, err := FromMap(m.c, tFM)
+		return out, nil, err
+	default:
+		return nil, nil, fmt.Errorf("federated: colAgg on irregular partitioning unsupported")
+	}
+}
+
+// transposeInPlace rebinds each partition's data to its transpose under a
+// fresh ID, keeping the provided map.
+func transposeInPlace(c *Coordinator, fm FedMap, ids []int64) (FedMap, error) {
+	for i := range fm.Partitions {
+		cl, err := c.Client(fm.Partitions[i].Addr)
+		if err != nil {
+			return fm, err
+		}
+		nid := c.NewID()
+		if _, err := cl.CallOne(fedrpc.Request{Type: fedrpc.ExecInst, Inst: &fedrpc.Instruction{
+			Opcode: "t", Inputs: []int64{ids[i]}, Output: nid}}); err != nil {
+			return fm, err
+		}
+		fm.Partitions[i].DataID = nid
+	}
+	return fm, nil
+}
+
+// combineTupleColumns merges per-partition 5 x n tuple matrices
+// (sum, sumsq, min, max, count rows) into the final aggregate vector n x 1.
+func combineTupleColumns(op matrix.AggOp, resps [][]fedrpc.Response, n int, tuple func(i int) *matrix.Dense) (*matrix.Dense, error) {
+	out := matrix.NewDense(n, 1)
+	k := len(resps)
+	sums := make([]float64, k)
+	sumSqs := make([]float64, k)
+	mins := make([]float64, k)
+	maxs := make([]float64, k)
+	counts := make([]int, k)
+	for j := 0; j < n; j++ {
+		for i := 0; i < k; i++ {
+			t := tuple(i)
+			if t.Cols() != n || t.Rows() != 5 {
+				return nil, fmt.Errorf("federated: partial tuple is %dx%d, want 5x%d", t.Rows(), t.Cols(), n)
+			}
+			sums[i], sumSqs[i], mins[i], maxs[i], counts[i] = t.At(0, j), t.At(1, j), t.At(2, j), t.At(3, j), int(t.At(4, j))
+		}
+		out.Set(j, 0, matrix.CombinePartialAggs(op, sums, sumSqs, mins, maxs, counts))
+	}
+	return out, nil
+}
+
+// RowIndexMax returns the 1-based argmax column per row as a federated
+// vector (row-partitioned data only).
+func (m *Matrix) RowIndexMax() (*Matrix, error) {
+	if m.Scheme() != RowPartitioned {
+		return nil, fmt.Errorf("federated: rowIndexMax requires row partitioning")
+	}
+	outIDs := m.newIDs()
+	_, err := m.c.parallelCall(m.fm.Partitions, func(i int, p Partition) []fedrpc.Request {
+		return []fedrpc.Request{
+			{Type: fedrpc.ExecInst, Inst: &fedrpc.Instruction{
+				Opcode: "uar_indexmax", Inputs: []int64{p.DataID}, Output: outIDs[i]}},
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := m.derive(m.Rows(), 1, outIDs, func(r Range) Range {
+		return Range{RowBeg: r.RowBeg, RowEnd: r.RowEnd, ColBeg: 0, ColEnd: 1}
+	})
+	return out, nil
+}
+
+// Slice extracts the federated sub-matrix [rowBeg:rowEnd, colBeg:colEnd)
+// (DML matrix indexing X[:,:]). Only partitions overlapping the requested
+// range participate; each slices its intersection locally and the result
+// stays federated.
+func (m *Matrix) Slice(rowBeg, rowEnd, colBeg, colEnd int) (*Matrix, error) {
+	if rowBeg < 0 || colBeg < 0 || rowEnd > m.Rows() || colEnd > m.Cols() ||
+		rowBeg >= rowEnd || colBeg >= colEnd {
+		return nil, fmt.Errorf("federated: slice [%d:%d,%d:%d] out of range for %dx%d",
+			rowBeg, rowEnd, colBeg, colEnd, m.Rows(), m.Cols())
+	}
+	var parts []Partition
+	var rels []Range
+	for _, p := range m.fm.Partitions {
+		r := p.Range
+		irb, ire := maxInt(rowBeg, r.RowBeg), minInt(rowEnd, r.RowEnd)
+		icb, ice := maxInt(colBeg, r.ColBeg), minInt(colEnd, r.ColEnd)
+		if irb >= ire || icb >= ice {
+			continue
+		}
+		parts = append(parts, p)
+		rels = append(rels, Range{
+			RowBeg: irb - r.RowBeg, RowEnd: ire - r.RowBeg,
+			ColBeg: icb - r.ColBeg, ColEnd: ice - r.ColBeg,
+		})
+	}
+	outIDs := make([]int64, len(parts))
+	for i := range outIDs {
+		outIDs[i] = m.c.NewID()
+	}
+	_, err := m.c.parallelCall(parts, func(i int, p Partition) []fedrpc.Request {
+		rel := rels[i]
+		return []fedrpc.Request{
+			{Type: fedrpc.ExecInst, Inst: &fedrpc.Instruction{
+				Opcode: "rightIndex", Inputs: []int64{p.DataID}, Output: outIDs[i],
+				Scalars: []float64{float64(rel.RowBeg), float64(rel.RowEnd), float64(rel.ColBeg), float64(rel.ColEnd)}}},
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	fm := FedMap{Rows: rowEnd - rowBeg, Cols: colEnd - colBeg}
+	for i, p := range parts {
+		abs := Range{
+			RowBeg: p.Range.RowBeg + rels[i].RowBeg - rowBeg,
+			RowEnd: p.Range.RowBeg + rels[i].RowEnd - rowBeg,
+			ColBeg: p.Range.ColBeg + rels[i].ColBeg - colBeg,
+			ColEnd: p.Range.ColBeg + rels[i].ColEnd - colBeg,
+		}
+		fm.Partitions = append(fm.Partitions, Partition{Range: abs, Addr: p.Addr, DataID: outIDs[i]})
+	}
+	return FromMap(m.c, fm)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

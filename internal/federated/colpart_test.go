@@ -1,0 +1,128 @@
+package federated_test
+
+import (
+	"math"
+	"testing"
+
+	"exdra/internal/federated"
+	"exdra/internal/frame"
+	"exdra/internal/matrix"
+	"exdra/internal/privacy"
+	"exdra/internal/transform"
+)
+
+// TestColumnPartitionedCoverage exercises the column-partitioned (vertical
+// federated learning) specializations of §2.3/§4.2: aggregates, matmul
+// variants, and exactly co-partitioned element-wise operations.
+func TestColumnPartitionedCoverage(t *testing.T) {
+	cl := startCluster(t, 3)
+	x := randMat(200, 18, 9)
+	fx, err := federated.Distribute(cl.Coord, x, cl.Addrs, federated.ColPartitioned, privacy.Public)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fx.Scheme() != federated.ColPartitioned {
+		t.Fatal("scheme")
+	}
+
+	// Full aggregates combine across column partitions.
+	for _, op := range []matrix.AggOp{matrix.AggSum, matrix.AggMean, matrix.AggSD} {
+		got, err := fx.AggFull(op)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-x.Agg(op)) > 1e-9 {
+			t.Errorf("colpart full %v", op)
+		}
+	}
+	// Row aggregates combine partial tuples at the coordinator.
+	_, rows, err := fx.RowAgg(matrix.AggSum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rows.EqualApprox(x.RowSums(), 1e-9) {
+		t.Error("colpart rowSums")
+	}
+	// Column aggregates stay federated.
+	fedCols, _, err := fx.ColAgg(matrix.AggMean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotCols, err := fedCols.Consolidate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gotCols.EqualApprox(x.ColMeans(), 1e-9) {
+		t.Error("colpart colMeans")
+	}
+
+	// Exactly co-partitioned element-wise ops run fully federated.
+	fy, err := federated.Distribute(cl.Coord, x.Scale(2), cl.Addrs, federated.ColPartitioned, privacy.Public)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := fx.Binary(matrix.OpAdd, fy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs, err := sum.Consolidate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gs.EqualApprox(x.Scale(3), 1e-12) {
+		t.Error("colpart aligned binary")
+	}
+
+	// Misaligned column partitions fall back to consolidation.
+	rev := []string{cl.Addrs[2], cl.Addrs[1], cl.Addrs[0]}
+	fz, err := federated.Distribute(cl.Coord, x, rev, federated.ColPartitioned, privacy.Public)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff, err := fx.Binary(matrix.OpSub, fz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gd, err := diff.Consolidate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gd.Norm2() > 1e-12 {
+		t.Error("misaligned binary wrong")
+	}
+}
+
+func TestTransformDecodeFederated(t *testing.T) {
+	cl := startCluster(t, 2)
+	fr := frame.MustNew(
+		frame.StringColumn("A", []string{"a", "b", "a", "c"}),
+		frame.FloatColumn("B", []float64{1, 2, 3, 4}),
+	)
+	ff, err := federated.DistributeFrame(cl.Coord, fr, cl.Addrs, privacy.Public)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := transform.Spec{Columns: []transform.ColumnSpec{
+		{Name: "A", Method: transform.Recode, OneHot: true},
+	}}
+	fx, meta, err := ff.TransformEncode(spec, fr.Names())
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := federated.TransformDecode(fx, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := decoded.Consolidate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if got.Column(0).AsString(i) != fr.Column(0).AsString(i) {
+			t.Fatalf("decoded category row %d: %q", i, got.Column(0).AsString(i))
+		}
+		if got.Column(1).AsFloat(i) != fr.Column(1).AsFloat(i) {
+			t.Fatalf("decoded numeric row %d", i)
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package federated
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"exdra/internal/fedrpc"
+)
+
+// Coordinator is the main control program's view of the federation: it
+// manages one persistent connection per federated worker, allocates
+// federation-wide data IDs, and issues RPCs to all workers in parallel
+// (ExDRa §4.1).
+type Coordinator struct {
+	opts fedrpc.Options
+
+	mu      sync.Mutex
+	clients map[string]*fedrpc.Client
+	nextID  atomic.Int64
+}
+
+// NewCoordinator creates a coordinator; opts configure TLS and network
+// emulation for all worker connections.
+func NewCoordinator(opts fedrpc.Options) *Coordinator {
+	c := &Coordinator{opts: opts, clients: map[string]*fedrpc.Client{}}
+	c.nextID.Store(1)
+	return c
+}
+
+// NewID allocates a federation-unique data ID.
+func (c *Coordinator) NewID() int64 { return c.nextID.Add(1) }
+
+// Client returns the (lazily dialed) connection to a worker address.
+func (c *Coordinator) Client(addr string) (*fedrpc.Client, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cl, ok := c.clients[addr]; ok {
+		return cl, nil
+	}
+	cl, err := fedrpc.Dial(addr, c.opts)
+	if err != nil {
+		return nil, err
+	}
+	c.clients[addr] = cl
+	return cl, nil
+}
+
+// BytesSent returns the total bytes sent to all workers.
+func (c *Coordinator) BytesSent() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var n int64
+	for _, cl := range c.clients {
+		n += cl.BytesSent()
+	}
+	return n
+}
+
+// BytesReceived returns the total bytes received from all workers.
+func (c *Coordinator) BytesReceived() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var n int64
+	for _, cl := range c.clients {
+		n += cl.BytesReceived()
+	}
+	return n
+}
+
+// ClearAll sends CLEAR to every connected worker, releasing all
+// symbol-table objects of the training session.
+func (c *Coordinator) ClearAll() error {
+	c.mu.Lock()
+	clients := make([]*fedrpc.Client, 0, len(c.clients))
+	for _, cl := range c.clients {
+		clients = append(clients, cl)
+	}
+	c.mu.Unlock()
+	var firstErr error
+	for _, cl := range clients {
+		if _, err := cl.CallOne(fedrpc.Request{Type: fedrpc.Clear}); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Close terminates all worker connections.
+func (c *Coordinator) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, cl := range c.clients {
+		cl.Close()
+	}
+	c.clients = map[string]*fedrpc.Client{}
+}
+
+// partResult pairs a partition index with the responses of its RPC.
+type partResult struct {
+	idx   int
+	resps []fedrpc.Response
+	err   error
+}
+
+// parallelCall issues, for each partition, the request batch produced by
+// build, in parallel across workers, and returns the responses in partition
+// order. Any transport or per-request failure aborts with an error — the
+// caller's federated operation fails atomically from the coordinator's
+// perspective (worker-side partial state is reclaimed via rmvar/CLEAR).
+func (c *Coordinator) parallelCall(parts []Partition, build func(i int, p Partition) []fedrpc.Request) ([][]fedrpc.Response, error) {
+	results := make(chan partResult, len(parts))
+	for i, p := range parts {
+		go func(i int, p Partition) {
+			cl, err := c.Client(p.Addr)
+			if err != nil {
+				results <- partResult{idx: i, err: err}
+				return
+			}
+			reqs := build(i, p)
+			resps, err := cl.Call(reqs...)
+			if err == nil {
+				for ri, r := range resps {
+					if !r.OK {
+						err = fmt.Errorf("federated: %s %s: %s", p.Addr, reqs[ri].Type, r.Err)
+						break
+					}
+				}
+			}
+			results <- partResult{idx: i, resps: resps, err: err}
+		}(i, p)
+	}
+	out := make([][]fedrpc.Response, len(parts))
+	var firstErr error
+	for range parts {
+		r := <-results
+		if r.err != nil && firstErr == nil {
+			firstErr = r.err
+		}
+		out[r.idx] = r.resps
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}

@@ -1,0 +1,105 @@
+package federated_test
+
+import (
+	"math"
+	"testing"
+
+	"exdra/internal/federated"
+	"exdra/internal/matrix"
+	"exdra/internal/privacy"
+)
+
+func TestSumDPApproximatesTrueSum(t *testing.T) {
+	cl := startCluster(t, 3)
+	x := matrix.Fill(300, 4, 1) // sum = 1200
+	fx, err := federated.Distribute(cl.Coord, x, cl.Addrs, federated.RowPartitioned, privacy.Private)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Even Private data may release DP-noised aggregates.
+	got, err := fx.SumDP(1.0, 4.0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Laplace(4/1) noise per site, 3 sites: generous tolerance, tiny flake
+	// probability (>50 sigma would be needed to escape +-100).
+	if math.Abs(got-1200) > 100 {
+		t.Fatalf("DP sum %g too far from 1200", got)
+	}
+	if got == 1200 {
+		t.Fatal("DP sum is exact; no noise added")
+	}
+	// Determinism under a fixed seed.
+	again, err := fx.SumDP(1.0, 4.0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != got {
+		t.Fatal("seeded DP sum not deterministic")
+	}
+	// Larger epsilon, less noise.
+	tight, err := fx.SumDP(100, 4.0, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tight-1200) > 5 {
+		t.Fatalf("high-epsilon DP sum %g too noisy", tight)
+	}
+	if _, err := fx.SumDP(0, 1, 1); err == nil {
+		t.Fatal("epsilon 0 accepted")
+	}
+}
+
+func TestFederatedRemoveEmptyRows(t *testing.T) {
+	cl := startCluster(t, 3)
+	x := matrix.NewDense(12, 3)
+	for i := 0; i < 12; i += 2 { // rows 0,2,4,... non-empty
+		for j := 0; j < 3; j++ {
+			x.Set(i, j, float64(i+j+1))
+		}
+	}
+	fx, err := federated.Distribute(cl.Coord, x, cl.Addrs, federated.RowPartitioned, privacy.Public)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compact, err := fx.RemoveEmptyRows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := x.RemoveEmptyRows()
+	if compact.Rows() != want.Rows() {
+		t.Fatalf("kept %d rows, want %d", compact.Rows(), want.Rows())
+	}
+	got, err := compact.Consolidate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.EqualApprox(want, 0) {
+		t.Fatal("federated removeEmpty differs from local")
+	}
+}
+
+func TestCTableFed(t *testing.T) {
+	cl := startCluster(t, 2)
+	a := matrix.ColVector([]float64{1, 2, 2, 3, 1, 2})
+	b := matrix.ColVector([]float64{1, 1, 2, 1, 2, 2})
+	fa, err := federated.Distribute(cl.Coord, a, cl.Addrs, federated.RowPartitioned, privacy.PrivateAggregation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := federated.Distribute(cl.Coord, b, cl.Addrs, federated.RowPartitioned, privacy.PrivateAggregation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := federated.CTableFed(fa, fb, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := matrix.CTable(a, b, 3, 2)
+	if !got.EqualApprox(want, 0) {
+		t.Fatalf("ctable: %v want %v", got, want)
+	}
+	if _, err := federated.CTableFed(fa, fb, 0, 0); err == nil {
+		t.Fatal("missing caps accepted")
+	}
+}

@@ -1,0 +1,163 @@
+// Package federated implements the coordinator side of ExDRa's federated
+// runtime backend (§4): federated data objects described by federation maps,
+// federated linear-algebra operations composed from the six generic request
+// types, federated transformencode, and the consolidation and privacy rules
+// of §4.1–§4.4. It is the paper's primary contribution.
+package federated
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Range is a half-open, zero-based cell range [RowBeg,RowEnd) x
+// [ColBeg,ColEnd) of a federated object.
+type Range struct {
+	RowBeg, RowEnd int
+	ColBeg, ColEnd int
+}
+
+// NumRows returns the row extent of the range.
+func (r Range) NumRows() int { return r.RowEnd - r.RowBeg }
+
+// NumCols returns the column extent of the range.
+func (r Range) NumCols() int { return r.ColEnd - r.ColBeg }
+
+func (r Range) overlaps(o Range) bool {
+	return r.RowBeg < o.RowEnd && o.RowBeg < r.RowEnd &&
+		r.ColBeg < o.ColEnd && o.ColBeg < r.ColEnd
+}
+
+// Partition locates one disjoint region of a federated object: the range it
+// covers, the federated worker holding it, and the worker-local data ID.
+type Partition struct {
+	Range  Range
+	Addr   string // host:port of the federated worker
+	DataID int64  // symbol-table ID at the worker
+}
+
+// Scheme classifies a federation map's partitioning.
+type Scheme int
+
+// Partitioning schemes (ExDRa §2.3: row-partitioned / horizontal and
+// column-partitioned / vertical federated data).
+const (
+	RowPartitioned Scheme = iota
+	ColPartitioned
+	Irregular
+)
+
+// String returns the scheme name.
+func (s Scheme) String() string {
+	switch s {
+	case RowPartitioned:
+		return "row-partitioned"
+	case ColPartitioned:
+		return "column-partitioned"
+	default:
+		return "irregular"
+	}
+}
+
+// FedMap is the coordinator-held metadata of a federated object: overall
+// dimensions and the non-overlapping partition ranges with their locations
+// (Figure 2 of the paper).
+type FedMap struct {
+	Rows, Cols int
+	Partitions []Partition
+}
+
+// Validate checks that partitions are in-bounds, non-overlapping, and cover
+// the full object.
+func (fm FedMap) Validate() error {
+	covered := 0
+	for i, p := range fm.Partitions {
+		r := p.Range
+		if r.RowBeg < 0 || r.ColBeg < 0 || r.RowEnd > fm.Rows || r.ColEnd > fm.Cols ||
+			r.RowBeg >= r.RowEnd || r.ColBeg >= r.ColEnd {
+			return fmt.Errorf("federated: partition %d range %+v out of bounds for %dx%d",
+				i, r, fm.Rows, fm.Cols)
+		}
+		for j := i + 1; j < len(fm.Partitions); j++ {
+			if r.overlaps(fm.Partitions[j].Range) {
+				return fmt.Errorf("federated: partitions %d and %d overlap", i, j)
+			}
+		}
+		covered += r.NumRows() * r.NumCols()
+	}
+	if covered != fm.Rows*fm.Cols {
+		return fmt.Errorf("federated: partitions cover %d of %d cells", covered, fm.Rows*fm.Cols)
+	}
+	return nil
+}
+
+// Scheme classifies the map: row-partitioned if every partition spans all
+// columns, column-partitioned if every partition spans all rows.
+func (fm FedMap) Scheme() Scheme {
+	rowPart, colPart := true, true
+	for _, p := range fm.Partitions {
+		if p.Range.ColBeg != 0 || p.Range.ColEnd != fm.Cols {
+			rowPart = false
+		}
+		if p.Range.RowBeg != 0 || p.Range.RowEnd != fm.Rows {
+			colPart = false
+		}
+	}
+	switch {
+	case rowPart && len(fm.Partitions) > 0:
+		return RowPartitioned
+	case colPart && len(fm.Partitions) > 0:
+		return ColPartitioned
+	default:
+		return Irregular
+	}
+}
+
+// sorted returns partitions ordered by (RowBeg, ColBeg), the canonical
+// order used for alignment checks and consolidation.
+func (fm FedMap) sorted() []Partition {
+	out := append([]Partition(nil), fm.Partitions...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Range.RowBeg != out[j].Range.RowBeg {
+			return out[i].Range.RowBeg < out[j].Range.RowBeg
+		}
+		return out[i].Range.ColBeg < out[j].Range.ColBeg
+	})
+	return out
+}
+
+// AlignedRows reports whether two maps have identical worker addresses and
+// row ranges partition-by-partition (in canonical order) — the
+// co-partitioning condition under which federated-federated operations
+// execute without data movement (§4.2).
+func AlignedRows(a, b FedMap) bool {
+	if a.Rows != b.Rows || len(a.Partitions) != len(b.Partitions) {
+		return false
+	}
+	as, bs := a.sorted(), b.sorted()
+	for i := range as {
+		if as[i].Addr != bs[i].Addr ||
+			as[i].Range.RowBeg != bs[i].Range.RowBeg ||
+			as[i].Range.RowEnd != bs[i].Range.RowEnd {
+			return false
+		}
+	}
+	return true
+}
+
+// AlignedExact reports whether two maps are co-partitioned in both
+// dimensions (identical addresses, row ranges, and column ranges) — the
+// condition for element-wise federated-federated operations on
+// column-partitioned (and irregular) data.
+func AlignedExact(a, b FedMap) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols || len(a.Partitions) != len(b.Partitions) {
+		return false
+	}
+	as, bs := a.sorted(), b.sorted()
+	for i := range as {
+		if as[i].Addr != bs[i].Addr || as[i].Range != bs[i].Range {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,70 @@
+package federated_test
+
+import (
+	"strings"
+	"testing"
+
+	"exdra/internal/federated"
+	"exdra/internal/matrix"
+	"exdra/internal/privacy"
+)
+
+// TestFineGrainedColumnConstraints covers §4.1's fine-grained privacy
+// constraints: a federated matrix whose columns carry different levels
+// (e.g. public sensor readings next to a private customer-equipment
+// column in the vertical-FL setting of §2.3).
+func TestFineGrainedColumnConstraints(t *testing.T) {
+	cl := startCluster(t, 2)
+	x := randMat(80, 12, 5) // cols 0-2 public, 3 public, 4 private
+	colLevels := []privacy.Level{
+		privacy.Public, privacy.Public, privacy.Public, privacy.Public, privacy.Private,
+	}
+	fx, err := federated.DistributeWithColumns(cl.Coord, x, cl.Addrs,
+		federated.RowPartitioned, privacy.Public, colLevels)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The full object contains a private column: transfer denied.
+	if _, err := fx.Consolidate(); err == nil || !strings.Contains(err.Error(), "privacy") {
+		t.Fatalf("mixed-constraint matrix consolidated: %v", err)
+	}
+
+	// Slicing out only the public columns yields transferable data.
+	pub, err := fx.Slice(0, 12, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := pub.Consolidate()
+	if err != nil {
+		t.Fatalf("public column slice blocked: %v", err)
+	}
+	if !got.EqualApprox(x.SliceCols(0, 4), 0) {
+		t.Fatal("public slice content")
+	}
+
+	// A slice covering the private column stays untransferable.
+	priv, err := fx.Slice(0, 12, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := priv.Consolidate(); err == nil {
+		t.Fatal("slice containing private column consolidated")
+	}
+
+	// Operations touching the private column taint their output
+	// conservatively (full-width sum includes it, so the per-cell result
+	// of an element-wise op is Private; aggregates of Private stay
+	// Private per the lattice).
+	sq, err := fx.BinaryScalar(matrix.OpPow, 2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sq.Consolidate(); err == nil {
+		t.Fatal("derived matrix over private column consolidated")
+	}
+	// But aggregates over the public slice work.
+	if _, err := pub.Sum(); err != nil {
+		t.Fatal(err)
+	}
+}

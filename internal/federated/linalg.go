@@ -1,0 +1,241 @@
+package federated
+
+import (
+	"fmt"
+
+	"exdra/internal/fedrpc"
+	"exdra/internal/matrix"
+)
+
+// This file implements federated linear algebra (ExDRa §4.2): matrix
+// multiplication variants composed from broadcast / sliced-broadcast PUTs,
+// per-partition EXEC_INSTs, GETs of partial results, and coordinator-side
+// aggregation — exactly the strategies of Example 2 in the paper. Each
+// federated operation is one RPC per worker, issued in parallel, with
+// broadcast intermediates cleaned up via rmvar in the same request batch.
+
+// MatVec computes X %*% v for local v (matrix-vector, or matrix-matrix with
+// a small right-hand side). For row-partitioned X the full v is broadcast
+// and the output remains federated (logical rbind of the partition
+// results). For column-partitioned X, v is slice-broadcast by column ranges
+// and the partial n x k products are summed at the coordinator, yielding a
+// local result. Exactly one of the two results is non-nil.
+func (m *Matrix) MatVec(v *matrix.Dense) (*Matrix, *matrix.Dense, error) {
+	if v.Rows() != m.Cols() {
+		return nil, nil, fmt.Errorf("federated: matvec %dx%d by %dx%d", m.Rows(), m.Cols(), v.Rows(), v.Cols())
+	}
+	switch m.Scheme() {
+	case RowPartitioned:
+		outIDs := m.newIDs()
+		_, err := m.c.parallelCall(m.fm.Partitions, func(i int, p Partition) []fedrpc.Request {
+			bid := m.c.NewID()
+			return []fedrpc.Request{
+				{Type: fedrpc.Put, ID: bid, Data: fedrpc.MatrixPayload(v)},
+				{Type: fedrpc.ExecInst, Inst: &fedrpc.Instruction{
+					Opcode: "mm", Inputs: []int64{p.DataID, bid}, Output: outIDs[i]}},
+				{Type: fedrpc.ExecInst, Inst: &fedrpc.Instruction{Opcode: "rmvar", Inputs: []int64{bid}}},
+			}
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		out := m.derive(m.Rows(), v.Cols(), outIDs, func(r Range) Range {
+			return Range{RowBeg: r.RowBeg, RowEnd: r.RowEnd, ColBeg: 0, ColEnd: v.Cols()}
+		})
+		return out, nil, nil
+	case ColPartitioned:
+		resps, err := m.c.parallelCall(m.fm.Partitions, func(i int, p Partition) []fedrpc.Request {
+			bid, oid := m.c.NewID(), m.c.NewID()
+			vs := v.SliceRows(p.Range.ColBeg, p.Range.ColEnd)
+			return []fedrpc.Request{
+				{Type: fedrpc.Put, ID: bid, Data: fedrpc.MatrixPayload(vs)},
+				{Type: fedrpc.ExecInst, Inst: &fedrpc.Instruction{
+					Opcode: "mm", Inputs: []int64{p.DataID, bid}, Output: oid}},
+				{Type: fedrpc.Get, ID: oid},
+				{Type: fedrpc.ExecInst, Inst: &fedrpc.Instruction{Opcode: "rmvar", Inputs: []int64{bid, oid}}},
+			}
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		sum := matrix.NewDense(m.Rows(), v.Cols())
+		for _, rs := range resps {
+			sum.AddInPlace(rs[2].Data.Matrix())
+		}
+		return nil, sum, nil
+	default:
+		return nil, nil, fmt.Errorf("federated: matvec on irregular partitioning unsupported")
+	}
+}
+
+// TMatVec computes t(X) %*% b for local b with nrow(b) == nrow(X) — the
+// vector-matrix pattern of Example 2. For row-partitioned X, b is
+// slice-broadcast by row ranges; partial cols x k results are summed at the
+// coordinator.
+func (m *Matrix) TMatVec(b *matrix.Dense) (*matrix.Dense, error) {
+	if b.Rows() != m.Rows() {
+		return nil, fmt.Errorf("federated: tmatvec %dx%d by %dx%d", m.Rows(), m.Cols(), b.Rows(), b.Cols())
+	}
+	switch m.Scheme() {
+	case RowPartitioned:
+		resps, err := m.c.parallelCall(m.fm.Partitions, func(i int, p Partition) []fedrpc.Request {
+			bid, oid := m.c.NewID(), m.c.NewID()
+			bs := b.SliceRows(p.Range.RowBeg, p.Range.RowEnd)
+			return []fedrpc.Request{
+				{Type: fedrpc.Put, ID: bid, Data: fedrpc.MatrixPayload(bs)},
+				{Type: fedrpc.ExecInst, Inst: &fedrpc.Instruction{
+					Opcode: "tmm", Inputs: []int64{p.DataID, bid}, Output: oid}},
+				{Type: fedrpc.Get, ID: oid},
+				{Type: fedrpc.ExecInst, Inst: &fedrpc.Instruction{Opcode: "rmvar", Inputs: []int64{bid, oid}}},
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+		sum := matrix.NewDense(m.Cols(), b.Cols())
+		for _, rs := range resps {
+			sum.AddInPlace(rs[2].Data.Matrix())
+		}
+		return sum, nil
+	case ColPartitioned:
+		// Each partition computes t(X_j) %*% b over all rows; results stack
+		// by column ranges.
+		resps, err := m.c.parallelCall(m.fm.Partitions, func(i int, p Partition) []fedrpc.Request {
+			bid, oid := m.c.NewID(), m.c.NewID()
+			return []fedrpc.Request{
+				{Type: fedrpc.Put, ID: bid, Data: fedrpc.MatrixPayload(b)},
+				{Type: fedrpc.ExecInst, Inst: &fedrpc.Instruction{
+					Opcode: "tmm", Inputs: []int64{p.DataID, bid}, Output: oid}},
+				{Type: fedrpc.Get, ID: oid},
+				{Type: fedrpc.ExecInst, Inst: &fedrpc.Instruction{Opcode: "rmvar", Inputs: []int64{bid, oid}}},
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+		out := matrix.NewDense(m.Cols(), b.Cols())
+		for i, rs := range resps {
+			out.SetSlice(m.fm.Partitions[i].Range.ColBeg, 0, rs[2].Data.Matrix())
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("federated: tmatvec on irregular partitioning unsupported")
+	}
+}
+
+// TSMM computes t(X) %*% X by summing per-partition tsmm partials at the
+// coordinator (row-partitioned only; the result is a cols x cols aggregate).
+func (m *Matrix) TSMM() (*matrix.Dense, error) {
+	if m.Scheme() != RowPartitioned {
+		return nil, fmt.Errorf("federated: tsmm requires row partitioning, have %s", m.Scheme())
+	}
+	resps, err := m.c.parallelCall(m.fm.Partitions, func(i int, p Partition) []fedrpc.Request {
+		oid := m.c.NewID()
+		return []fedrpc.Request{
+			{Type: fedrpc.ExecInst, Inst: &fedrpc.Instruction{
+				Opcode: "tsmm", Inputs: []int64{p.DataID}, Output: oid}},
+			{Type: fedrpc.Get, ID: oid},
+			{Type: fedrpc.ExecInst, Inst: &fedrpc.Instruction{Opcode: "rmvar", Inputs: []int64{oid}}},
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	sum := matrix.NewDense(m.Cols(), m.Cols())
+	for _, rs := range resps {
+		sum.AddInPlace(rs[1].Data.Matrix())
+	}
+	return sum, nil
+}
+
+// MMChain computes the fused t(X) %*% (w * (X %*% v)) (w may be nil) with a
+// single broadcast of v (and sliced w), one fused per-partition kernel, and
+// coordinator-side summation — the inner pattern of LM and MLogReg.
+func (m *Matrix) MMChain(v, w *matrix.Dense) (*matrix.Dense, error) {
+	if m.Scheme() != RowPartitioned {
+		return nil, fmt.Errorf("federated: mmchain requires row partitioning")
+	}
+	if v.Rows() != m.Cols() {
+		return nil, fmt.Errorf("federated: mmchain v is %dx%d, want %dx1", v.Rows(), v.Cols(), m.Cols())
+	}
+	resps, err := m.c.parallelCall(m.fm.Partitions, func(i int, p Partition) []fedrpc.Request {
+		vid, oid := m.c.NewID(), m.c.NewID()
+		reqs := []fedrpc.Request{
+			{Type: fedrpc.Put, ID: vid, Data: fedrpc.MatrixPayload(v)},
+		}
+		inputs := []int64{p.DataID, vid}
+		clean := []int64{vid}
+		if w != nil {
+			wid := m.c.NewID()
+			ws := w.SliceRows(p.Range.RowBeg, p.Range.RowEnd)
+			reqs = append(reqs, fedrpc.Request{Type: fedrpc.Put, ID: wid, Data: fedrpc.MatrixPayload(ws)})
+			inputs = append(inputs, wid)
+			clean = append(clean, wid)
+		}
+		clean = append(clean, oid)
+		reqs = append(reqs,
+			fedrpc.Request{Type: fedrpc.ExecInst, Inst: &fedrpc.Instruction{
+				Opcode: "mmchain", Inputs: inputs, Output: oid}},
+			fedrpc.Request{Type: fedrpc.Get, ID: oid},
+			fedrpc.Request{Type: fedrpc.ExecInst, Inst: &fedrpc.Instruction{Opcode: "rmvar", Inputs: clean}},
+		)
+		return reqs
+	})
+	if err != nil {
+		return nil, err
+	}
+	sum := matrix.NewDense(m.Cols(), 1)
+	for _, rs := range resps {
+		sum.AddInPlace(rs[len(rs)-2].Data.Matrix())
+	}
+	return sum, nil
+}
+
+// AlignedTMM computes t(P) %*% X for two co-partitioned federated matrices
+// (e.g. the K-Means centroid update of Example 3): each worker multiplies
+// its aligned partitions locally, and the coordinator sums the aggregates.
+func (p *Matrix) AlignedTMM(x *Matrix) (*matrix.Dense, error) {
+	if !AlignedRows(p.fm, x.fm) {
+		return nil, fmt.Errorf("federated: matrices are not co-partitioned")
+	}
+	ps, xs := p.fm.sorted(), x.fm.sorted()
+	parts := make([]Partition, len(ps))
+	copy(parts, ps)
+	resps, err := p.c.parallelCall(parts, func(i int, pp Partition) []fedrpc.Request {
+		oid := p.c.NewID()
+		return []fedrpc.Request{
+			{Type: fedrpc.ExecInst, Inst: &fedrpc.Instruction{
+				Opcode: "tmm", Inputs: []int64{pp.DataID, xs[i].DataID}, Output: oid}},
+			{Type: fedrpc.Get, ID: oid},
+			{Type: fedrpc.ExecInst, Inst: &fedrpc.Instruction{Opcode: "rmvar", Inputs: []int64{oid}}},
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	sum := matrix.NewDense(p.Cols(), x.Cols())
+	for _, rs := range resps {
+		sum.AddInPlace(rs[1].Data.Matrix())
+	}
+	return sum, nil
+}
+
+// Transpose transposes each partition in place at its worker and flips the
+// federation map, turning row partitioning into column partitioning and
+// vice versa.
+func (m *Matrix) Transpose() (*Matrix, error) {
+	outIDs := m.newIDs()
+	_, err := m.c.parallelCall(m.fm.Partitions, func(i int, p Partition) []fedrpc.Request {
+		return []fedrpc.Request{
+			{Type: fedrpc.ExecInst, Inst: &fedrpc.Instruction{
+				Opcode: "t", Inputs: []int64{p.DataID}, Output: outIDs[i]}},
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := m.derive(m.Cols(), m.Rows(), outIDs, func(r Range) Range {
+		return Range{RowBeg: r.ColBeg, RowEnd: r.ColEnd, ColBeg: r.RowBeg, ColEnd: r.RowEnd}
+	})
+	return out, nil
+}

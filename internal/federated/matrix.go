@@ -1,0 +1,269 @@
+package federated
+
+import (
+	"fmt"
+
+	"exdra/internal/fedrpc"
+	"exdra/internal/matrix"
+	"exdra/internal/privacy"
+)
+
+// Matrix is a federated matrix: the coordinator holds only the federation
+// map; the raw partitions live in the symbol tables of the federated
+// workers (Figure 2 of the paper).
+type Matrix struct {
+	c  *Coordinator
+	fm FedMap
+}
+
+// Rows returns the federated matrix's total row count.
+func (m *Matrix) Rows() int { return m.fm.Rows }
+
+// Cols returns the federated matrix's total column count.
+func (m *Matrix) Cols() int { return m.fm.Cols }
+
+// Map returns a copy of the federation map.
+func (m *Matrix) Map() FedMap {
+	fm := m.fm
+	fm.Partitions = append([]Partition(nil), m.fm.Partitions...)
+	return fm
+}
+
+// Scheme returns the partitioning scheme.
+func (m *Matrix) Scheme() Scheme { return m.fm.Scheme() }
+
+// Coordinator returns the owning coordinator.
+func (m *Matrix) Coordinator() *Coordinator { return m.c }
+
+// String summarizes the federated matrix.
+func (m *Matrix) String() string {
+	return fmt.Sprintf("Federated(%dx%d, %d partitions, %s)",
+		m.fm.Rows, m.fm.Cols, len(m.fm.Partitions), m.fm.Scheme())
+}
+
+// FromMap wraps an existing federation map (e.g. built by a worker-side
+// pipeline step) as a federated matrix.
+func FromMap(c *Coordinator, fm FedMap) (*Matrix, error) {
+	if err := fm.Validate(); err != nil {
+		return nil, err
+	}
+	return &Matrix{c: c, fm: fm}, nil
+}
+
+// Distribute partitions a local matrix evenly across worker addresses
+// (row- or column-wise) and transfers the partitions via PUT under the
+// given privacy level. It is the test/benchmark constructor; production
+// deployments use Read, which never moves raw data.
+func Distribute(c *Coordinator, x *matrix.Dense, addrs []string, scheme Scheme, level privacy.Level) (*Matrix, error) {
+	return DistributeWithColumns(c, x, addrs, scheme, level, nil)
+}
+
+// DistributeWithColumns is Distribute with fine-grained per-column
+// constraints (§4.1): colLevels assigns one privacy level per column
+// (columns beyond the slice default to the coarse level). Slicing out only
+// unrestricted columns of the federated matrix yields transferable data;
+// any operation touching a restricted column stays restricted.
+func DistributeWithColumns(c *Coordinator, x *matrix.Dense, addrs []string, scheme Scheme,
+	level privacy.Level, colLevels []privacy.Level) (*Matrix, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("federated: no worker addresses")
+	}
+	n := len(addrs)
+	fm := FedMap{Rows: x.Rows(), Cols: x.Cols()}
+	total := x.Rows()
+	if scheme == ColPartitioned {
+		total = x.Cols()
+	}
+	if total < n {
+		return nil, fmt.Errorf("federated: cannot split %d %s across %d workers",
+			total, scheme, n)
+	}
+	beg := 0
+	for i, addr := range addrs {
+		size := total / n
+		if i < total%n {
+			size++
+		}
+		end := beg + size
+		var r Range
+		var part *matrix.Dense
+		if scheme == ColPartitioned {
+			r = Range{RowBeg: 0, RowEnd: x.Rows(), ColBeg: beg, ColEnd: end}
+			part = x.SliceCols(beg, end)
+		} else {
+			r = Range{RowBeg: beg, RowEnd: end, ColBeg: 0, ColEnd: x.Cols()}
+			part = x.SliceRows(beg, end)
+		}
+		id := c.NewID()
+		cl, err := c.Client(addr)
+		if err != nil {
+			return nil, err
+		}
+		var colPriv []int
+		if len(colLevels) > 0 {
+			for j := r.ColBeg; j < r.ColEnd; j++ {
+				if j < len(colLevels) {
+					colPriv = append(colPriv, int(colLevels[j]))
+				} else {
+					colPriv = append(colPriv, int(level))
+				}
+			}
+		}
+		if _, err := cl.CallOne(fedrpc.Request{
+			Type: fedrpc.Put, ID: id, Privacy: int(level), ColPrivacy: colPriv,
+			Data: fedrpc.MatrixPayload(part),
+		}); err != nil {
+			return nil, err
+		}
+		fm.Partitions = append(fm.Partitions, Partition{Range: r, Addr: addr, DataID: id})
+		beg = end
+	}
+	return FromMap(c, fm)
+}
+
+// ReadSpec names one raw file at one federated site.
+type ReadSpec struct {
+	Addr     string
+	Filename string
+	Privacy  privacy.Level
+}
+
+// ReadRowPartitioned builds a row-partitioned federated matrix from raw
+// files at the federated sites (read-on-demand, §4.1): each worker READs
+// its file locally; only the dimensions travel to the coordinator.
+func ReadRowPartitioned(c *Coordinator, specs []ReadSpec) (*Matrix, error) {
+	type meta struct {
+		id         int64
+		rows, cols int
+	}
+	metas := make([]meta, len(specs))
+	for i, spec := range specs {
+		cl, err := c.Client(spec.Addr)
+		if err != nil {
+			return nil, err
+		}
+		id := c.NewID()
+		resps, err := cl.Call(
+			fedrpc.Request{Type: fedrpc.Read, ID: id, Filename: spec.Filename, Privacy: int(spec.Privacy)},
+			fedrpc.Request{Type: fedrpc.ExecUDF, UDF: &fedrpc.UDFCall{Name: "obj_dims", Inputs: []int64{id}}},
+		)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range resps {
+			if !r.OK {
+				return nil, fmt.Errorf("federated: read %s at %s: %s", spec.Filename, spec.Addr, r.Err)
+			}
+		}
+		dims := resps[1].Data.Matrix()
+		metas[i] = meta{id: id, rows: int(dims.At(0, 0)), cols: int(dims.At(0, 1))}
+	}
+	fm := FedMap{}
+	row := 0
+	for i, spec := range specs {
+		if i == 0 {
+			fm.Cols = metas[i].cols
+		} else if metas[i].cols != fm.Cols {
+			return nil, fmt.Errorf("federated: %s has %d columns, want %d",
+				spec.Filename, metas[i].cols, fm.Cols)
+		}
+		fm.Partitions = append(fm.Partitions, Partition{
+			Range:  Range{RowBeg: row, RowEnd: row + metas[i].rows, ColBeg: 0, ColEnd: metas[i].cols},
+			Addr:   spec.Addr,
+			DataID: metas[i].id,
+		})
+		row += metas[i].rows
+	}
+	fm.Rows = row
+	return FromMap(c, fm)
+}
+
+// Consolidate transfers all partitions to the coordinator and assembles the
+// local matrix — the transparent pin-into-memory path of §4.1. Workers
+// refuse the transfer if it violates privacy constraints.
+func (m *Matrix) Consolidate() (*matrix.Dense, error) {
+	out := matrix.NewDense(m.fm.Rows, m.fm.Cols)
+	resps, err := m.c.parallelCall(m.fm.Partitions, func(i int, p Partition) []fedrpc.Request {
+		return []fedrpc.Request{{Type: fedrpc.Get, ID: p.DataID}}
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, p := range m.fm.Partitions {
+		part := resps[i][0].Data.Matrix()
+		if part == nil {
+			return nil, fmt.Errorf("federated: partition %d returned no matrix", i)
+		}
+		if part.Rows() != p.Range.NumRows() || part.Cols() != p.Range.NumCols() {
+			return nil, fmt.Errorf("federated: partition %d is %dx%d, map says %dx%d",
+				i, part.Rows(), part.Cols(), p.Range.NumRows(), p.Range.NumCols())
+		}
+		out.SetSlice(p.Range.RowBeg, p.Range.ColBeg, part)
+	}
+	return out, nil
+}
+
+// Free releases the worker-side partitions of this federated matrix
+// (rmvar), keeping the workers' memory bounded across long sessions.
+func (m *Matrix) Free() error {
+	_, err := m.c.parallelCall(m.fm.Partitions, func(i int, p Partition) []fedrpc.Request {
+		return []fedrpc.Request{{Type: fedrpc.ExecInst, Inst: &fedrpc.Instruction{
+			Opcode: "rmvar", Inputs: []int64{p.DataID},
+		}}}
+	})
+	return err
+}
+
+// derive builds a result federated matrix over new per-partition data IDs
+// with ranges transformed by fn.
+func (m *Matrix) derive(rows, cols int, ids []int64, fn func(Range) Range) *Matrix {
+	fm := FedMap{Rows: rows, Cols: cols}
+	for i, p := range m.fm.Partitions {
+		fm.Partitions = append(fm.Partitions, Partition{
+			Range: fn(p.Range), Addr: p.Addr, DataID: ids[i],
+		})
+	}
+	return &Matrix{c: m.c, fm: fm}
+}
+
+// newIDs allocates one fresh data ID per partition.
+func (m *Matrix) newIDs() []int64 {
+	ids := make([]int64, len(m.fm.Partitions))
+	for i := range ids {
+		ids[i] = m.c.NewID()
+	}
+	return ids
+}
+
+// RBindFed logically concatenates two federated matrices row-wise. This is
+// a metadata-only operation: no worker data moves (the "logical rbind" of
+// Example 2 in the paper).
+func RBindFed(a, b *Matrix) (*Matrix, error) {
+	if a.Cols() != b.Cols() {
+		return nil, fmt.Errorf("federated: rbind column mismatch %d vs %d", a.Cols(), b.Cols())
+	}
+	fm := FedMap{Rows: a.Rows() + b.Rows(), Cols: a.Cols()}
+	fm.Partitions = append(fm.Partitions, a.fm.Partitions...)
+	for _, p := range b.fm.Partitions {
+		p.Range.RowBeg += a.Rows()
+		p.Range.RowEnd += a.Rows()
+		fm.Partitions = append(fm.Partitions, p)
+	}
+	return FromMap(a.c, fm)
+}
+
+// CBindFed logically concatenates two federated matrices column-wise
+// (metadata only).
+func CBindFed(a, b *Matrix) (*Matrix, error) {
+	if a.Rows() != b.Rows() {
+		return nil, fmt.Errorf("federated: cbind row mismatch %d vs %d", a.Rows(), b.Rows())
+	}
+	fm := FedMap{Rows: a.Rows(), Cols: a.Cols() + b.Cols()}
+	fm.Partitions = append(fm.Partitions, a.fm.Partitions...)
+	for _, p := range b.fm.Partitions {
+		p.Range.ColBeg += a.Cols()
+		p.Range.ColEnd += a.Cols()
+		fm.Partitions = append(fm.Partitions, p)
+	}
+	return FromMap(a.c, fm)
+}

@@ -1,0 +1,69 @@
+package federated_test
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"exdra/internal/federated"
+	"exdra/internal/matrix"
+	"exdra/internal/privacy"
+)
+
+func TestFederatedQuantiles(t *testing.T) {
+	cl := startCluster(t, 3)
+	x := randMat(301, 90, 4) // 360 cells
+	fx, err := federated.Distribute(cl.Coord, x, cl.Addrs, federated.RowPartitioned, privacy.PrivateAggregation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := append([]float64(nil), x.Data()...)
+	sort.Float64s(vals)
+	for _, q := range []float64{0.1, 0.5, 0.9} {
+		got, err := fx.Quantile(q, 1e-9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The search converges to a value with ~q*n cells at or below it;
+		// compare against the empirical order statistic.
+		idx := int(q*float64(len(vals))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		lo, hi := vals[idx], vals[minI(idx+1, len(vals)-1)]
+		if got < lo-1e-6 || got > hi+1e-6 {
+			t.Fatalf("q=%g: got %g, want within [%g, %g]", q, got, lo, hi)
+		}
+	}
+	med, err := fx.Median()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(med-vals[len(vals)/2-1]) > math.Abs(vals[len(vals)/2]-vals[len(vals)/2-1])+1e-6 {
+		t.Fatalf("median %g vs empirical %g", med, vals[len(vals)/2-1])
+	}
+	// Works under PrivateAggregation (only counts travel) — the raw data
+	// itself remains untransferable.
+	if _, err := fx.Consolidate(); err == nil {
+		t.Fatal("quantile computation should not require consolidation rights")
+	}
+	// Constant matrix short-circuits.
+	fc, err := federated.Distribute(cl.Coord, matrix.Fill(10, 2, 3), cl.Addrs[:2],
+		federated.RowPartitioned, privacy.PrivateAggregation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, err := fc.Quantile(0.7, 0); err != nil || v != 3 {
+		t.Fatalf("constant quantile %g, %v", v, err)
+	}
+	if _, err := fx.Quantile(1.5, 0); err == nil {
+		t.Fatal("out-of-range q accepted")
+	}
+}
+
+func minI(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

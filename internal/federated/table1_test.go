@@ -1,0 +1,308 @@
+package federated_test
+
+import (
+	"math"
+	"testing"
+
+	"exdra/internal/federated"
+	"exdra/internal/frame"
+	"exdra/internal/matrix"
+	"exdra/internal/privacy"
+	"exdra/internal/transform"
+)
+
+// TestTable1Coverage verifies every operation class of ExDRa Table 1
+// (matmult, aggregates, unary, binary, ternary, quaternary,
+// transform/reorg) element-wise against local execution, on row-partitioned
+// federated data — the T1 experiment of DESIGN.md.
+func TestTable1Coverage(t *testing.T) {
+	cl := startCluster(t, 3)
+	x := randMat(100, 24, 6)
+	// Shift into positive territory so log/sqrt are well-defined.
+	xp := x.Apply(func(v float64) float64 { return math.Abs(v) + 0.5 })
+	fx, err := federated.Distribute(cl.Coord, xp, cl.Addrs, federated.RowPartitioned, privacy.Public)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("matmult", func(t *testing.T) {
+		v := randMat(101, 6, 2)
+		fed, _, err := fx.MatVec(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := fed.Consolidate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.EqualApprox(xp.MatMul(v), 1e-9) {
+			t.Error("mm")
+		}
+		ts, err := fx.TSMM()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ts.EqualApprox(xp.TSMM(), 1e-8) {
+			t.Error("tsmm")
+		}
+		vv := randMat(102, 6, 1)
+		mc, err := fx.MMChain(vv, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !mc.EqualApprox(xp.MMChain(vv, nil), 1e-8) {
+			t.Error("mmchain")
+		}
+	})
+
+	t.Run("aggregates", func(t *testing.T) {
+		for _, op := range []matrix.AggOp{matrix.AggSum, matrix.AggMin, matrix.AggMax,
+			matrix.AggMean, matrix.AggVar, matrix.AggSD} {
+			got, err := fx.AggFull(op)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got-xp.Agg(op)) > 1e-9 {
+				t.Errorf("full %v: %g want %g", op, got, xp.Agg(op))
+			}
+			fedRow, _, err := fx.RowAgg(op)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rows, err := fedRow.Consolidate()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rows.EqualApprox(xp.RowAgg(op), 1e-9) {
+				t.Errorf("row %v", op)
+			}
+			_, cols, err := fx.ColAgg(op)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !cols.EqualApprox(xp.ColAgg(op), 1e-9) {
+				t.Errorf("col %v", op)
+			}
+		}
+	})
+
+	t.Run("unary", func(t *testing.T) {
+		for _, op := range []matrix.UnaryOp{matrix.UAbs, matrix.UCos, matrix.UExp,
+			matrix.UFloor, matrix.UIsNA, matrix.ULog, matrix.UNot, matrix.URound,
+			matrix.USin, matrix.USign, matrix.USqrt, matrix.UTan, matrix.USigmoid} {
+			fed, err := fx.Unary(op)
+			if err != nil {
+				t.Fatalf("%v: %v", op, err)
+			}
+			got, err := fed.Consolidate()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !got.EqualApprox(xp.Unary(op), 1e-12) {
+				t.Errorf("unary %v", op)
+			}
+		}
+		sm, err := fx.Softmax()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := sm.Consolidate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.EqualApprox(xp.Softmax(), 1e-12) {
+			t.Error("softmax")
+		}
+	})
+
+	t.Run("binary", func(t *testing.T) {
+		other := randMat(103, 24, 6).Apply(math.Abs).AddScalar(0.5)
+		fo, err := federated.Distribute(cl.Coord, other, cl.Addrs, federated.RowPartitioned, privacy.Public)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, op := range []matrix.BinaryOp{matrix.OpAdd, matrix.OpSub, matrix.OpMul,
+			matrix.OpDiv, matrix.OpPow, matrix.OpMin, matrix.OpMax, matrix.OpMod,
+			matrix.OpIntDiv, matrix.OpEq, matrix.OpNe, matrix.OpGt, matrix.OpGe,
+			matrix.OpLt, matrix.OpLe, matrix.OpAnd, matrix.OpOr, matrix.OpXor} {
+			fed, err := fx.Binary(op, fo)
+			if err != nil {
+				t.Fatalf("%v: %v", op, err)
+			}
+			got, err := fed.Consolidate()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !got.EqualApprox(xp.Binary(op, other), 1e-12) {
+				t.Errorf("binary fed-fed %v", op)
+			}
+		}
+		// Matrix-scalar.
+		fs, err := fx.BinaryScalar(matrix.OpPow, 2, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := fs.Consolidate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.EqualApprox(xp.BinaryScalar(matrix.OpPow, 2, false), 1e-12) {
+			t.Error("matrix-scalar")
+		}
+	})
+
+	t.Run("ternary", func(t *testing.T) {
+		cond, err := fx.BinaryScalar(matrix.OpGt, 1, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fed, err := cond.IfElse(matrix.Fill(1, 1, 1), matrix.Fill(1, 1, -1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := fed.Consolidate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := xp.BinaryScalar(matrix.OpGt, 1, false).IfElse(matrix.Fill(1, 1, 1), matrix.Fill(1, 1, -1))
+		if !got.EqualApprox(want, 1e-12) {
+			t.Error("ifelse")
+		}
+	})
+
+	t.Run("quaternary", func(t *testing.T) {
+		// wsloss-style federated pattern: sum(W * (X - U V^T)^2) decomposes
+		// into aligned elementwise + aggregate ops; verify via ops chain.
+		u := randMat(104, 24, 2)
+		v := randMat(105, 6, 2)
+		uv := u.MatMul(v.Transpose())
+		fuv, err := fx.BinaryLocal(matrix.OpSub, uv, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sq, err := fuv.Binary(matrix.OpMul, fuv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := sq.Sum()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := matrix.WSLoss(xp, u, v, nil)
+		if math.Abs(got-want) > 1e-7 {
+			t.Errorf("wsloss chain: %g want %g", got, want)
+		}
+	})
+
+	t.Run("transform_reorg", func(t *testing.T) {
+		// rbind/cbind/t/indexing/replace covered in TestFederatedReorgOps;
+		// here transformencode via the federated frame path.
+		fr := frame.MustNew(
+			frame.StringColumn("A", []string{"a", "b", "a", "c", "b", "a"}),
+			frame.FloatColumn("B", []float64{1, 2, 3, 4, 5, 6}),
+		)
+		ff, err := federated.DistributeFrame(cl.Coord, fr, cl.Addrs[:2], privacy.Public)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec := transform.Spec{Columns: []transform.ColumnSpec{
+			{Name: "A", Method: transform.Recode, OneHot: true},
+		}}
+		fxEnc, meta, err := ff.TransformEncode(spec, fr.Names())
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := fxEnc.Consolidate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _, err := transform.Encode(fr, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.EqualApprox(want, 0) {
+			t.Error("federated transformencode != local encode")
+		}
+		if meta.NumOutputCols() != 4 {
+			t.Errorf("meta cols %d", meta.NumOutputCols())
+		}
+	})
+
+	t.Run("rowIndexMax", func(t *testing.T) {
+		fed, err := fx.RowIndexMax()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := fed.Consolidate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.EqualApprox(xp.RowIndexMax(), 0) {
+			t.Error("rowIndexMax")
+		}
+	})
+}
+
+// TestFigure3Example reproduces the full federated transformencode of
+// Figure 3: two sites, columns A (recode+one-hot), B (3 equi-width bins +
+// one-hot), C (recode+one-hot) with NULLs, checked against local encoding
+// of the union.
+func TestFigure3Example(t *testing.T) {
+	cl := startCluster(t, 2)
+	site1 := frame.MustNew(
+		frame.StringColumn("A", []string{"R101", "R101", "C7", "R101", "C3", "R102"}),
+		frame.FloatColumn("B", []float64{2100, 4350, 5500, 2500, 4900, 5200}),
+		frame.StringColumn("C", []string{"X", "", "Z", "X", "Z", "Y"}),
+	)
+	site2 := frame.MustNew(
+		frame.StringColumn("A", []string{"C5", "C91", "C5", "R101", "C5", "R101"}),
+		frame.FloatColumn("B", []float64{3500, 2600, 4400, 5400, 1900, 5200}),
+		frame.StringColumn("C", []string{"Z", "Z", "Z", "X", "", "X"}),
+	)
+	spec := transform.Spec{Columns: []transform.ColumnSpec{
+		{Name: "A", Method: transform.Recode, OneHot: true},
+		{Name: "B", Method: transform.Bin, NumBins: 3, OneHot: true},
+		{Name: "C", Method: transform.Recode, OneHot: true},
+	}}
+	// Distribute the two site frames exactly as in the figure.
+	union, err := frame.RBind(site1, site2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ff, err := federated.DistributeFrame(cl.Coord, union, cl.Addrs, privacy.Public)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fx, meta, err := ff.TransformEncode(spec, union.Names())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fx.Cols() != 12 { // 6 categories of A + 3 bins of B + 3 categories of C
+		t.Fatalf("encoded width %d, want 12", fx.Cols())
+	}
+	got, err := fx.Consolidate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := transform.Encode(union, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.EqualApprox(want, 0) {
+		t.Fatal("federated Figure 3 encoding differs from local")
+	}
+	// The metadata frame is local at the coordinator.
+	mf := meta.MetaFrame()
+	if mf.NumRows() != 12 {
+		t.Fatalf("metadata frame rows %d", mf.NumRows())
+	}
+	// The federated matrix stays row-partitioned and usable by federated
+	// linear algebra (paper: "Federated linear algebra then further allows
+	// applying various techniques ...").
+	if fx.Scheme() != federated.RowPartitioned {
+		t.Fatal("encoded matrix scheme")
+	}
+	if _, _, err := fx.ColAgg(matrix.AggSum); err != nil {
+		t.Fatal(err)
+	}
+}

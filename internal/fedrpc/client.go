@@ -1,0 +1,160 @@
+package fedrpc
+
+import (
+	"bufio"
+	"crypto/tls"
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"exdra/internal/netem"
+)
+
+// Options configure a client or server endpoint.
+type Options struct {
+	// TLS enables encrypted communication when non-nil (the paper's SSL
+	// setting).
+	TLS *tls.Config
+	// Netem shapes the underlying connection (LAN/WAN emulation).
+	Netem netem.Config
+	// DialTimeout bounds connection establishment (default 10s).
+	DialTimeout time.Duration
+}
+
+// rpcEnvelope is the on-wire unit: one envelope per Call.
+type rpcEnvelope struct {
+	Requests []Request
+}
+
+type rpcReply struct {
+	Responses []Response
+}
+
+// Client is a coordinator-side connection to one federated worker. A client
+// is safe for concurrent use; calls are serialized per connection (the
+// coordinator parallelizes across workers, as in the paper).
+type Client struct {
+	addr string
+
+	mu   sync.Mutex
+	conn net.Conn
+	bw   *bufio.Writer
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+
+	bytesOut atomic.Int64
+	bytesIn  atomic.Int64
+}
+
+// Dial connects to a federated worker at addr.
+func Dial(addr string, opts Options) (*Client, error) {
+	timeout := opts.DialTimeout
+	if timeout == 0 {
+		timeout = 10 * time.Second
+	}
+	raw, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("fedrpc: dial %s: %w", addr, err)
+	}
+	conn := netem.Wrap(raw, opts.Netem)
+	if opts.TLS != nil {
+		tconn := tls.Client(conn, opts.TLS)
+		if err := tconn.Handshake(); err != nil {
+			raw.Close()
+			return nil, fmt.Errorf("fedrpc: tls handshake with %s: %w", addr, err)
+		}
+		conn = tconn
+	}
+	c := &Client{addr: addr, conn: conn}
+	out := &countingWriter{w: conn, n: &c.bytesOut}
+	in := &countingReader{r: conn, n: &c.bytesIn}
+	c.bw = bufio.NewWriterSize(out, 1<<16)
+	c.enc = gob.NewEncoder(c.bw)
+	c.dec = gob.NewDecoder(bufio.NewReaderSize(in, 1<<16))
+	return c, nil
+}
+
+// Addr returns the worker address this client is connected to.
+func (c *Client) Addr() string { return c.addr }
+
+// Call sends a batch of requests as a single RPC and returns one response
+// per request. A transport failure returns an error; per-request failures
+// are reported in the responses.
+func (c *Client) Call(reqs ...Request) ([]Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil, fmt.Errorf("fedrpc: client to %s is closed", c.addr)
+	}
+	if err := c.enc.Encode(rpcEnvelope{Requests: reqs}); err != nil {
+		return nil, fmt.Errorf("fedrpc: send to %s: %w", c.addr, err)
+	}
+	if err := c.bw.Flush(); err != nil {
+		return nil, fmt.Errorf("fedrpc: flush to %s: %w", c.addr, err)
+	}
+	var reply rpcReply
+	if err := c.dec.Decode(&reply); err != nil {
+		return nil, fmt.Errorf("fedrpc: receive from %s: %w", c.addr, err)
+	}
+	if len(reply.Responses) != len(reqs) {
+		return nil, fmt.Errorf("fedrpc: %s returned %d responses for %d requests",
+			c.addr, len(reply.Responses), len(reqs))
+	}
+	return reply.Responses, nil
+}
+
+// CallOne sends a single request and returns its response, converting a
+// per-request failure into an error.
+func (c *Client) CallOne(req Request) (Response, error) {
+	resps, err := c.Call(req)
+	if err != nil {
+		return Response{}, err
+	}
+	if !resps[0].OK {
+		return resps[0], fmt.Errorf("fedrpc: %s %s: %s", c.addr, req.Type, resps[0].Err)
+	}
+	return resps[0], nil
+}
+
+// BytesSent returns the total bytes written to this worker.
+func (c *Client) BytesSent() int64 { return c.bytesOut.Load() }
+
+// BytesReceived returns the total bytes read from this worker.
+func (c *Client) BytesReceived() int64 { return c.bytesIn.Load() }
+
+// Close terminates the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	return err
+}
+
+type countingWriter struct {
+	w interface{ Write([]byte) (int, error) }
+	n *atomic.Int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n.Add(int64(n))
+	return n, err
+}
+
+type countingReader struct {
+	r interface{ Read([]byte) (int, error) }
+	n *atomic.Int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n.Add(int64(n))
+	return n, err
+}

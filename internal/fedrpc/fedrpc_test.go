@@ -1,0 +1,301 @@
+package fedrpc
+
+import (
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"exdra/internal/frame"
+	"exdra/internal/matrix"
+	"exdra/internal/netem"
+)
+
+// echoHandler stores PUT payloads and returns them on GET.
+type echoHandler struct {
+	mu    sync.Mutex
+	store map[int64]Payload
+}
+
+func newEchoHandler() *echoHandler { return &echoHandler{store: map[int64]Payload{}} }
+
+func (h *echoHandler) Handle(reqs []Request) []Response {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]Response, len(reqs))
+	for i, r := range reqs {
+		switch r.Type {
+		case Put:
+			h.store[r.ID] = r.Data
+			out[i] = Response{OK: true}
+		case Get:
+			p, ok := h.store[r.ID]
+			if !ok {
+				out[i] = Errorf("no object %d", r.ID)
+				continue
+			}
+			out[i] = Response{OK: true, Data: p}
+		case Clear:
+			h.store = map[int64]Payload{}
+			out[i] = Response{OK: true}
+		default:
+			out[i] = Errorf("unsupported %s", r.Type)
+		}
+	}
+	return out
+}
+
+func startServer(t *testing.T, opts Options) (*Server, *echoHandler) {
+	t.Helper()
+	h := newEchoHandler()
+	s, err := Serve("127.0.0.1:0", h, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s, h
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s, _ := startServer(t, Options{})
+	c, err := Dial(s.Addr(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	m := matrix.FromRows([][]float64{{1, 2}, {3, 4}})
+	if _, err := c.CallOne(Request{Type: Put, ID: 7, Data: MatrixPayload(m)}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.CallOne(Request{Type: Get, ID: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Data.Matrix().EqualApprox(m, 0) {
+		t.Fatal("matrix round trip")
+	}
+}
+
+func TestFramePayloadRoundTrip(t *testing.T) {
+	s, _ := startServer(t, Options{})
+	c, err := Dial(s.Addr(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	f := frame.MustNew(
+		frame.StringColumn("A", []string{"x", "", "z"}),
+		frame.FloatColumn("B", []float64{1, 2, 3}),
+	)
+	if _, err := c.CallOne(Request{Type: Put, ID: 1, Data: FramePayload(f)}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.CallOne(Request{Type: Get, ID: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := resp.Data.ToFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != 3 || got.Column(0).AsString(2) != "z" || !got.Column(0).IsNA(1) {
+		t.Fatal("frame round trip")
+	}
+}
+
+func TestBatchedRequestsOneRPC(t *testing.T) {
+	s, _ := startServer(t, Options{})
+	c, err := Dial(s.Addr(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	resps, err := c.Call(
+		Request{Type: Put, ID: 1, Data: ScalarPayload(5)},
+		Request{Type: Get, ID: 1},
+		Request{Type: Get, ID: 99}, // fails, but batch continues
+		Request{Type: Get, ID: 1},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resps[0].OK || !resps[1].OK || resps[2].OK || !resps[3].OK {
+		t.Fatalf("batch semantics: %+v", resps)
+	}
+	if resps[1].Data.Scalar != 5 {
+		t.Fatal("scalar payload")
+	}
+}
+
+func TestPerRequestErrorViaCallOne(t *testing.T) {
+	s, _ := startServer(t, Options{})
+	c, err := Dial(s.Addr(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_, err = c.CallOne(Request{Type: Get, ID: 404})
+	if err == nil || !strings.Contains(err.Error(), "no object") {
+		t.Fatalf("want per-request error, got %v", err)
+	}
+}
+
+func TestTLSEncryptedChannel(t *testing.T) {
+	srvTLS, cliTLS, err := NewSelfSignedTLS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := startServer(t, Options{TLS: srvTLS})
+	c, err := Dial(s.Addr(), Options{TLS: cliTLS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	m := matrix.Fill(4, 4, 2)
+	if _, err := c.CallOne(Request{Type: Put, ID: 1, Data: MatrixPayload(m)}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.CallOne(Request{Type: Get, ID: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Data.Matrix().EqualApprox(m, 0) {
+		t.Fatal("TLS round trip")
+	}
+	// A plaintext client must not be able to talk to a TLS server.
+	plain, err := Dial(s.Addr(), Options{})
+	if err == nil {
+		if _, err := plain.Call(Request{Type: Get, ID: 1}); err == nil {
+			t.Fatal("plaintext client succeeded against TLS server")
+		}
+		plain.Close()
+	}
+}
+
+func TestWANEmulationAddsLatency(t *testing.T) {
+	wan := netem.Config{RTT: 30 * time.Millisecond}
+	s, _ := startServer(t, Options{})
+	c, err := Dial(s.Addr(), Options{Netem: wan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	start := time.Now()
+	if _, err := c.CallOne(Request{Type: Put, ID: 1, Data: ScalarPayload(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 10*time.Millisecond {
+		t.Fatalf("WAN RTT not applied: call took %v", d)
+	}
+	// LAN for comparison.
+	lan, err := Dial(s.Addr(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lan.Close()
+	start = time.Now()
+	if _, err := lan.CallOne(Request{Type: Put, ID: 2, Data: ScalarPayload(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d > 10*time.Millisecond {
+		t.Logf("LAN call unexpectedly slow: %v", d)
+	}
+}
+
+func TestByteCounters(t *testing.T) {
+	s, _ := startServer(t, Options{})
+	c, err := Dial(s.Addr(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	rng := rand.New(rand.NewSource(1))
+	if _, err := c.CallOne(Request{Type: Put, ID: 1, Data: MatrixPayload(matrix.Randn(rng, 100, 100, 0, 1))}); err != nil {
+		t.Fatal(err)
+	}
+	// gob encodes float64 values compactly, but random values need close to
+	// the full 8 bytes each.
+	if c.BytesSent() < 8*100*100*3/4 {
+		t.Fatalf("bytes sent %d, want at least ~the matrix payload", c.BytesSent())
+	}
+	if c.BytesReceived() == 0 {
+		t.Fatal("no bytes received")
+	}
+}
+
+func TestClosedClientErrors(t *testing.T) {
+	s, _ := startServer(t, Options{})
+	c, err := Dial(s.Addr(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	if _, err := c.Call(Request{Type: Get, ID: 1}); err == nil {
+		t.Fatal("call on closed client succeeded")
+	}
+}
+
+func TestServerSurvivesHandlerPanic(t *testing.T) {
+	h := HandlerFunc(func(reqs []Request) []Response { panic("boom") })
+	s, err := Serve("127.0.0.1:0", h, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	c, err := Dial(s.Addr(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	resps, err := c.Call(Request{Type: Get, ID: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resps[0].OK || !strings.Contains(resps[0].Err, "panic") {
+		t.Fatalf("panic not converted to error: %+v", resps[0])
+	}
+	// The connection must still work afterwards.
+	if _, err := c.Call(Request{Type: Get, ID: 2}); err != nil {
+		t.Fatal("connection dead after panic")
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	s, _ := startServer(t, Options{})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c, err := Dial(s.Addr(), Options{})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			for i := 0; i < 20; i++ {
+				id := int64(g*100 + i)
+				if _, err := c.CallOne(Request{Type: Put, ID: id, Data: ScalarPayload(float64(id))}); err != nil {
+					t.Error(err)
+					return
+				}
+				resp, err := c.CallOne(Request{Type: Get, ID: id})
+				if err != nil || resp.Data.Scalar != float64(id) {
+					t.Errorf("get %d: %v", id, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestRequestTypeString(t *testing.T) {
+	if Read.String() != "READ" || ExecUDF.String() != "EXEC_UDF" || Clear.String() != "CLEAR" {
+		t.Fatal("request type names")
+	}
+}

@@ -1,0 +1,158 @@
+// Package fedrpc implements the federation protocol of ExDRa §4.1: exactly
+// six generic request types (READ, PUT, GET, EXEC_INST, EXEC_UDF, CLEAR)
+// exchanged between a coordinator and standing federated workers. A single
+// RPC carries a sequence of requests and returns one response per request;
+// the coordinator issues RPCs to all workers in parallel. Transport is TCP
+// with gob encoding, optionally TLS-encrypted (the paper's SSL setting) and
+// optionally shaped by package netem for WAN experiments.
+package fedrpc
+
+import (
+	"fmt"
+
+	"exdra/internal/frame"
+	"exdra/internal/matrix"
+)
+
+// RequestType enumerates the six federation request types of the paper.
+type RequestType int
+
+// The six federated request types (ExDRa §4.1).
+const (
+	// Read creates a data object from a filename at the worker, reads it,
+	// and adds it by ID to the symbol table.
+	Read RequestType = iota
+	// Put receives a transferred data object and adds it by ID to the
+	// worker's symbol table.
+	Put
+	// Get obtains a data object from the worker's symbol table and returns
+	// it to the coordinator (subject to privacy constraints).
+	Get
+	// ExecInst executes an instruction that accesses inputs and outputs by
+	// ID in the symbol table.
+	ExecInst
+	// ExecUDF executes a named user-defined function over requested inputs
+	// by ID, may add outputs to the symbol table, and returns a custom
+	// payload to the coordinator.
+	ExecUDF
+	// Clear cleans up execution contexts and variables.
+	Clear
+)
+
+// String returns the protocol name of the request type.
+func (t RequestType) String() string {
+	names := [...]string{"READ", "PUT", "GET", "EXEC_INST", "EXEC_UDF", "CLEAR"}
+	if int(t) < len(names) {
+		return names[t]
+	}
+	return fmt.Sprintf("RequestType(%d)", int(t))
+}
+
+// Instruction is a runtime instruction shipped via EXEC_INST. Opcode names
+// follow DML conventions (e.g. "mm", "tsmm", "uar_sum", "+", "t").
+type Instruction struct {
+	Opcode  string
+	Inputs  []int64
+	Output  int64
+	Scalars []float64
+	Attrs   map[string]string
+}
+
+// UDFCall invokes a registered user-defined function via EXEC_UDF. Because
+// Go cannot serialize closures, functions are registered by name in a shared
+// registry linked into both coordinator and worker (see DESIGN.md,
+// substitutions); Args carries the gob-encoded argument payload.
+type UDFCall struct {
+	Name   string
+	Inputs []int64
+	Output int64
+	Args   []byte
+}
+
+// Request is one federated request. Exactly the fields relevant to Type are
+// populated.
+type Request struct {
+	Type     RequestType
+	ID       int64  // target symbol-table ID (READ, PUT, GET)
+	Filename string // READ
+	Privacy  int    // READ, PUT: coarse privacy.Level for the created object
+	// ColPrivacy optionally assigns fine-grained per-column constraints
+	// (privacy.Level values, one per column) on READ/PUT; columns beyond
+	// the slice default to the coarse level.
+	ColPrivacy []int
+	Data       Payload // PUT
+	Inst       *Instruction
+	UDF        *UDFCall
+}
+
+// Response answers one request. Err is empty on success.
+type Response struct {
+	OK   bool
+	Err  string
+	Data Payload // GET and EXEC_UDF results
+}
+
+// Errorf builds a failed response.
+func Errorf(format string, args ...any) Response {
+	return Response{Err: fmt.Sprintf(format, args...)}
+}
+
+// PayloadKind discriminates payload contents.
+type PayloadKind int
+
+// Payload kinds.
+const (
+	PayloadNone PayloadKind = iota
+	PayloadMatrix
+	PayloadFrame
+	PayloadScalar
+	PayloadBytes
+)
+
+// Payload is a transferable data object. Matrices travel as shape plus the
+// raw row-major values; frames as their typed columns.
+type Payload struct {
+	Kind   PayloadKind
+	Rows   int
+	Cols   int
+	Values []float64
+	Frame  []*frame.Column
+	Scalar float64
+	Bytes  []byte
+}
+
+// MatrixPayload wraps a dense matrix for transfer.
+func MatrixPayload(m *matrix.Dense) Payload {
+	return Payload{Kind: PayloadMatrix, Rows: m.Rows(), Cols: m.Cols(), Values: m.Data()}
+}
+
+// Matrix reconstructs the transferred matrix, or nil for non-matrix payloads.
+func (p Payload) Matrix() *matrix.Dense {
+	if p.Kind != PayloadMatrix {
+		return nil
+	}
+	return matrix.NewDenseData(p.Rows, p.Cols, p.Values)
+}
+
+// FramePayload wraps a frame for transfer.
+func FramePayload(f *frame.Frame) Payload {
+	cols := make([]*frame.Column, f.NumCols())
+	for j := range cols {
+		cols[j] = f.Column(j)
+	}
+	return Payload{Kind: PayloadFrame, Rows: f.NumRows(), Cols: f.NumCols(), Frame: cols}
+}
+
+// ToFrame reconstructs the transferred frame.
+func (p Payload) ToFrame() (*frame.Frame, error) {
+	if p.Kind != PayloadFrame {
+		return nil, fmt.Errorf("fedrpc: payload is not a frame")
+	}
+	return frame.New(p.Frame...)
+}
+
+// ScalarPayload wraps a scalar for transfer.
+func ScalarPayload(v float64) Payload { return Payload{Kind: PayloadScalar, Scalar: v} }
+
+// BytesPayload wraps opaque bytes (e.g. gob-encoded UDF results).
+func BytesPayload(b []byte) Payload { return Payload{Kind: PayloadBytes, Bytes: b} }

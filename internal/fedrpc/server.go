@@ -1,0 +1,144 @@
+package fedrpc
+
+import (
+	"bufio"
+	"crypto/tls"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+
+	"exdra/internal/netem"
+)
+
+// Handler processes a batch of federated requests from one RPC. A federated
+// worker implements this (package worker).
+type Handler interface {
+	Handle(reqs []Request) []Response
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(reqs []Request) []Response
+
+// Handle calls f.
+func (f HandlerFunc) Handle(reqs []Request) []Response { return f(reqs) }
+
+// Server accepts coordinator connections and dispatches request batches to
+// a handler. Multiple coordinator connections are served concurrently; the
+// handler must be safe for concurrent use.
+type Server struct {
+	ln      net.Listener
+	handler Handler
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+}
+
+// Serve listens on addr (e.g. "127.0.0.1:0") and serves in a background
+// goroutine until Close.
+func Serve(addr string, h Handler, opts Options) (*Server, error) {
+	raw, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("fedrpc: listen %s: %w", addr, err)
+	}
+	ln := netem.WrapListener(raw, opts.Netem)
+	if opts.TLS != nil {
+		ln = tls.NewListener(ln, opts.TLS)
+	}
+	s := &Server{ln: ln, handler: h, conns: map[net.Conn]struct{}{}}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound listener address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Port returns the bound TCP port.
+func (s *Server) Port() int { return s.ln.Addr().(*net.TCPAddr).Port }
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	bw := bufio.NewWriterSize(conn, 1<<16)
+	enc := gob.NewEncoder(bw)
+	dec := gob.NewDecoder(bufio.NewReaderSize(conn, 1<<16))
+	for {
+		var env rpcEnvelope
+		if err := dec.Decode(&env); err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				log.Printf("fedrpc: decode from %s: %v", conn.RemoteAddr(), err)
+			}
+			return
+		}
+		resps := s.safeHandle(env.Requests)
+		if err := enc.Encode(rpcReply{Responses: resps}); err != nil {
+			log.Printf("fedrpc: encode to %s: %v", conn.RemoteAddr(), err)
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// safeHandle converts handler panics into error responses so a malformed
+// instruction cannot take down a standing worker.
+func (s *Server) safeHandle(reqs []Request) (resps []Response) {
+	defer func() {
+		if r := recover(); r != nil {
+			resps = make([]Response, len(reqs))
+			for i := range resps {
+				resps[i] = Errorf("worker panic: %v", r)
+			}
+		}
+	}()
+	return s.handler.Handle(reqs)
+}
+
+// Close stops accepting connections and terminates active ones.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}

@@ -1,0 +1,85 @@
+// Package fedtest spins up in-process federations — N standing workers on
+// loopback TCP plus a coordinator — standing in for the paper's 8-node
+// cluster in tests, examples, and benchmarks. Workers are real fedrpc
+// servers; only their placement (goroutines instead of machines) differs
+// from a production deployment, so the full protocol path is exercised.
+package fedtest
+
+import (
+	"fmt"
+
+	"exdra/internal/federated"
+	"exdra/internal/fedrpc"
+	"exdra/internal/netem"
+	"exdra/internal/worker"
+)
+
+// Config describes the federation to start.
+type Config struct {
+	// Workers is the number of federated sites (default 3).
+	Workers int
+	// TLS enables SSL-encrypted channels with an ephemeral self-signed
+	// certificate (the paper's SSL setting).
+	TLS bool
+	// Netem shapes every connection (LAN by default, netem.WAN() for the
+	// wide-area experiments).
+	Netem netem.Config
+	// BaseDirs are the per-worker raw-data directories for READ requests;
+	// empty entries (or a short slice) leave workers without file access.
+	BaseDirs []string
+}
+
+// Cluster is a running in-process federation.
+type Cluster struct {
+	Workers []*worker.Worker
+	Servers []*fedrpc.Server
+	Addrs   []string
+	Coord   *federated.Coordinator
+}
+
+// Start launches the federation.
+func Start(cfg Config) (*Cluster, error) {
+	n := cfg.Workers
+	if n <= 0 {
+		n = 3
+	}
+	var serverOpts, clientOpts fedrpc.Options
+	serverOpts.Netem = cfg.Netem
+	clientOpts.Netem = cfg.Netem
+	if cfg.TLS {
+		srvTLS, cliTLS, err := fedrpc.NewSelfSignedTLS()
+		if err != nil {
+			return nil, err
+		}
+		serverOpts.TLS = srvTLS
+		clientOpts.TLS = cliTLS
+	}
+	cl := &Cluster{}
+	for i := 0; i < n; i++ {
+		dir := ""
+		if i < len(cfg.BaseDirs) {
+			dir = cfg.BaseDirs[i]
+		}
+		w := worker.New(dir)
+		srv, err := fedrpc.Serve("127.0.0.1:0", w, serverOpts)
+		if err != nil {
+			cl.Close()
+			return nil, fmt.Errorf("fedtest: start worker %d: %w", i, err)
+		}
+		cl.Workers = append(cl.Workers, w)
+		cl.Servers = append(cl.Servers, srv)
+		cl.Addrs = append(cl.Addrs, srv.Addr())
+	}
+	cl.Coord = federated.NewCoordinator(clientOpts)
+	return cl, nil
+}
+
+// Close shuts down the coordinator and all workers.
+func (c *Cluster) Close() {
+	if c.Coord != nil {
+		c.Coord.Close()
+	}
+	for _, s := range c.Servers {
+		s.Close()
+	}
+}

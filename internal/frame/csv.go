@@ -1,0 +1,148 @@
+package frame
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+)
+
+// ReadCSV parses a CSV with a header row into a frame, detecting each
+// column's type from its values (Int64 if all cells parse as integers,
+// Float64 if all parse as numbers, Boolean for true/false, else String).
+// Empty cells become NA.
+func ReadCSV(r io.Reader) (*Frame, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = false
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("frame: csv parse: %w", err)
+	}
+	if len(records) == 0 {
+		return &Frame{}, nil
+	}
+	header := records[0]
+	rows := records[1:]
+	cols := make([]*Column, len(header))
+	for j, name := range header {
+		raw := make([]string, len(rows))
+		for i, rec := range rows {
+			if j < len(rec) {
+				raw[i] = rec[j]
+			}
+		}
+		cols[j] = inferColumn(name, raw)
+	}
+	return New(cols...)
+}
+
+// ReadCSVFile parses a CSV file into a frame.
+func ReadCSVFile(path string) (*Frame, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCSV(f)
+}
+
+func inferColumn(name string, raw []string) *Column {
+	isInt, isFloat, isBool := true, true, true
+	for _, v := range raw {
+		if v == "" {
+			continue
+		}
+		if _, err := strconv.ParseInt(v, 10, 64); err != nil {
+			isInt = false
+		}
+		if _, err := strconv.ParseFloat(v, 64); err != nil {
+			isFloat = false
+		}
+		if v != "true" && v != "false" {
+			isBool = false
+		}
+	}
+	na := make([]bool, len(raw))
+	anyNA := false
+	for i, v := range raw {
+		if v == "" {
+			na[i] = true
+			anyNA = true
+		}
+	}
+	switch {
+	case isBool:
+		vals := make([]bool, len(raw))
+		for i, v := range raw {
+			vals[i] = v == "true"
+		}
+		c := &Column{Name: name, Type: Boolean, Bools: vals}
+		if anyNA {
+			c.NA = na
+		}
+		return c
+	case isInt:
+		vals := make([]int64, len(raw))
+		for i, v := range raw {
+			if v != "" {
+				vals[i], _ = strconv.ParseInt(v, 10, 64)
+			}
+		}
+		c := &Column{Name: name, Type: Int64, Ints: vals}
+		if anyNA {
+			c.NA = na
+		}
+		return c
+	case isFloat:
+		vals := make([]float64, len(raw))
+		for i, v := range raw {
+			if v != "" {
+				vals[i], _ = strconv.ParseFloat(v, 64)
+			}
+		}
+		c := &Column{Name: name, Type: Float64, Floats: vals}
+		if anyNA {
+			c.NA = na
+		}
+		return c
+	default:
+		c := &Column{Name: name, Type: String, Strings: raw}
+		if anyNA {
+			c.NA = na
+		}
+		return c
+	}
+}
+
+// WriteCSV writes the frame with a header row; NA cells are written empty.
+func (f *Frame) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(f.Names()); err != nil {
+		return err
+	}
+	rec := make([]string, f.NumCols())
+	for i := 0; i < f.NumRows(); i++ {
+		for j, c := range f.cols {
+			rec[j] = c.AsString(i)
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSVFile writes the frame to a CSV file.
+func (f *Frame) WriteCSVFile(path string) error {
+	w, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := f.WriteCSV(w); err != nil {
+		w.Close()
+		return err
+	}
+	return w.Close()
+}

@@ -1,0 +1,147 @@
+package hierarchy_test
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"exdra/internal/algo"
+	"exdra/internal/federated"
+	"exdra/internal/fedtest"
+	"exdra/internal/hierarchy"
+	"exdra/internal/matrix"
+	"exdra/internal/privacy"
+)
+
+// twoLevel builds a two-level federation: two gateway workers, each
+// coordinating two leaf workers holding raw files.
+func twoLevel(t *testing.T) (top *fedtest.Cluster, leaves *fedtest.Cluster, data []*matrix.Dense) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(17))
+	dirs := make([]string, 4)
+	data = make([]*matrix.Dense, 4)
+	for i := range dirs {
+		dirs[i] = t.TempDir()
+		data[i] = matrix.Randn(rng, 20+5*i, 6, 0, 1)
+		if err := data[i].WriteBinaryFile(dirs[i] + "/leaf.bin"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	leaves, err := fedtest.Start(fedtest.Config{Workers: 4, BaseDirs: dirs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(leaves.Close)
+	top, err = fedtest.Start(fedtest.Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(top.Close)
+	return top, leaves, data
+}
+
+func TestHierarchicalAggregationWithoutConsolidation(t *testing.T) {
+	top, leaves, data := twoLevel(t)
+	g1, err := hierarchy.Mount(top.Coord, top.Addrs[0], []hierarchy.SubSpec{
+		{Addr: leaves.Addrs[0], Filename: "leaf.bin", Privacy: int(privacy.PrivateAggregation)},
+		{Addr: leaves.Addrs[1], Filename: "leaf.bin", Privacy: int(privacy.PrivateAggregation)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := hierarchy.Mount(top.Coord, top.Addrs[1], []hierarchy.SubSpec{
+		{Addr: leaves.Addrs[2], Filename: "leaf.bin", Privacy: int(privacy.PrivateAggregation)},
+		{Addr: leaves.Addrs[3], Filename: "leaf.bin", Privacy: int(privacy.PrivateAggregation)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.Rows() != data[0].Rows()+data[1].Rows() || g1.Cols() != 6 {
+		t.Fatalf("gateway 1 dims %dx%d", g1.Rows(), g1.Cols())
+	}
+	// Global sum via the hierarchy: gateway aggregates over its leaves,
+	// the top coordinator combines gateway scalars. No raw row ever moved.
+	s1, err := g1.Agg("sum")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := g2.Agg("sum")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := data[0].Sum() + data[1].Sum() + data[2].Sum() + data[3].Sum()
+	if math.Abs(s1+s2-want) > 1e-9 {
+		t.Fatalf("hierarchical sum %g want %g", s1+s2, want)
+	}
+	// Consolidation is blocked by the leaves' PrivateAggregation level.
+	if _, err := g1.Consolidate(privacy.Public); err == nil ||
+		!strings.Contains(err.Error(), "privacy") {
+		t.Fatalf("gateway consolidated private leaves: %v", err)
+	}
+	if _, err := g1.Agg("nosuch"); err == nil {
+		t.Fatal("unknown aggregate accepted")
+	}
+}
+
+func TestTwoLevelFederatedTraining(t *testing.T) {
+	top, leaves, data := twoLevel(t)
+	// Leaves are Public toward their gateway (same trust zone); the
+	// consolidated gateway regions are PrivateAggregation toward the top
+	// coordinator (cross-enterprise boundary).
+	g1, err := hierarchy.Mount(top.Coord, top.Addrs[0], []hierarchy.SubSpec{
+		{Addr: leaves.Addrs[0], Filename: "leaf.bin", Privacy: int(privacy.Public)},
+		{Addr: leaves.Addrs[1], Filename: "leaf.bin", Privacy: int(privacy.Public)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := hierarchy.Mount(top.Coord, top.Addrs[1], []hierarchy.SubSpec{
+		{Addr: leaves.Addrs[2], Filename: "leaf.bin", Privacy: int(privacy.Public)},
+		{Addr: leaves.Addrs[3], Filename: "leaf.bin", Privacy: int(privacy.Public)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id1, err := g1.Consolidate(privacy.PrivateAggregation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, err := g2.Consolidate(privacy.PrivateAggregation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Upper-level federation map over the two gateway regions.
+	rows1, rows2 := g1.Rows(), g2.Rows()
+	fm := federated.FedMap{Rows: rows1 + rows2, Cols: 6, Partitions: []federated.Partition{
+		{Range: federated.Range{RowBeg: 0, RowEnd: rows1, ColBeg: 0, ColEnd: 6},
+			Addr: top.Addrs[0], DataID: id1},
+		{Range: federated.Range{RowBeg: rows1, RowEnd: rows1 + rows2, ColBeg: 0, ColEnd: 6},
+			Addr: top.Addrs[1], DataID: id2},
+	}}
+	fx, err := federated.FromMap(top.Coord, fm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Train LM over the two-level federation and compare against local
+	// training on the stacked leaf data.
+	all := matrix.RBind(data...)
+	rng := rand.New(rand.NewSource(3))
+	wStar := matrix.Randn(rng, 6, 1, 0, 1)
+	y := all.MatMul(wStar)
+	fed, err := algo.LM(fx, y, algo.LMConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := algo.LM(all, y, algo.LMConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fed.Weights.EqualApprox(local.Weights, 1e-6) {
+		t.Fatal("two-level federated LM differs from local")
+	}
+	// The gateway regions themselves stay untransferable upward.
+	if _, err := fx.Consolidate(); err == nil {
+		t.Fatal("gateway regions consolidated at the top coordinator")
+	}
+}

@@ -1,0 +1,34 @@
+package lazy_test
+
+import (
+	"fmt"
+
+	"exdra/internal/lazy"
+	"exdra/internal/matrix"
+)
+
+// ExampleNode_Compute shows the lazy DAG API of §3.2: operations collect
+// into a DAG and execute on Compute.
+func ExampleNode_Compute() {
+	x := matrix.FromRows([][]float64{{1, 2}, {3, 4}})
+	v := matrix.ColVector([]float64{1, 1})
+	total, err := lazy.Wrap(x).MatMul(lazy.Wrap(v)).Scale(10).Sum().ComputeScalar()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(total)
+	// Output: 100
+}
+
+// ExampleNode_Script shows the generated DML-like script of a DAG — the
+// depth-first, data-dependency-ordered traversal the Python API performs.
+func ExampleNode_Script() {
+	x := matrix.FromRows([][]float64{{1, 2}})
+	node := lazy.Wrap(x).Scale(2).Sum()
+	fmt.Print(node.Script())
+	// Output:
+	// t1 = read(input_1);  # 1x2
+	// t2 = t1 * 2;
+	// t3 = sum(t2);
+	// write(t3);
+}

@@ -1,0 +1,255 @@
+// Package lazy implements the lazy-evaluation API of ExDRa §3.2 — the Go
+// analogue of SystemDS' new Python API: operations over (federated or
+// local) matrices are collected into a DAG; Compute triggers a depth-first
+// traversal that orders operations by data dependencies, generates a
+// DML-like script, executes it through the engine dispatch layer, and
+// returns the result.
+package lazy
+
+import (
+	"fmt"
+	"strings"
+
+	"exdra/internal/engine"
+	"exdra/internal/matrix"
+)
+
+// kind discriminates node evaluation.
+type kind int
+
+const (
+	kLeaf kind = iota
+	kConst
+	kMatMul
+	kTMatMul
+	kTranspose
+	kBinary
+	kScalarOp
+	kUnary
+	kAgg
+	kRowAgg
+	kColAgg
+)
+
+// Node is one vertex of the operation DAG.
+type Node struct {
+	kind   kind
+	op     string
+	inputs []*Node
+
+	leaf   engine.Mat // source data for leaf nodes
+	scalar float64    // constant for scalar-operand ops
+
+	aggOp matrix.AggOp
+	binOp matrix.BinaryOp
+	unOp  matrix.UnaryOp
+	swap  bool
+
+	// Evaluation caches (filled by Compute; a DAG node evaluates once even
+	// when referenced by several consumers).
+	done      bool
+	matVal    engine.Mat
+	scalarVal float64
+	isScalar  bool
+}
+
+// Wrap lifts a local or federated matrix into the DAG.
+func Wrap(m engine.Mat) *Node { return &Node{kind: kLeaf, op: "leaf", leaf: m} }
+
+// Const lifts a scalar constant into the DAG.
+func Const(v float64) *Node { return &Node{kind: kConst, op: "const", scalar: v, isScalar: true} }
+
+// MatMul appends n %*% o.
+func (n *Node) MatMul(o *Node) *Node {
+	return &Node{kind: kMatMul, op: "%*%", inputs: []*Node{n, o}}
+}
+
+// TMatMul appends t(n) %*% o.
+func (n *Node) TMatMul(o *Node) *Node {
+	return &Node{kind: kTMatMul, op: "t%*%", inputs: []*Node{n, o}}
+}
+
+// Transpose appends t(n).
+func (n *Node) Transpose() *Node { return &Node{kind: kTranspose, op: "t", inputs: []*Node{n}} }
+
+// Binary appends an element-wise binary operation.
+func (n *Node) Binary(op matrix.BinaryOp, o *Node) *Node {
+	return &Node{kind: kBinary, op: op.String(), binOp: op, inputs: []*Node{n, o}}
+}
+
+// Add appends n + o.
+func (n *Node) Add(o *Node) *Node { return n.Binary(matrix.OpAdd, o) }
+
+// Sub appends n - o.
+func (n *Node) Sub(o *Node) *Node { return n.Binary(matrix.OpSub, o) }
+
+// Mul appends n * o (element-wise).
+func (n *Node) Mul(o *Node) *Node { return n.Binary(matrix.OpMul, o) }
+
+// Div appends n / o (element-wise).
+func (n *Node) Div(o *Node) *Node { return n.Binary(matrix.OpDiv, o) }
+
+// ScalarOp appends an element-wise operation against a constant; swap makes
+// the constant the left operand.
+func (n *Node) ScalarOp(op matrix.BinaryOp, v float64, swap bool) *Node {
+	return &Node{kind: kScalarOp, op: op.String(), binOp: op, scalar: v, swap: swap, inputs: []*Node{n}}
+}
+
+// Scale appends n * v.
+func (n *Node) Scale(v float64) *Node { return n.ScalarOp(matrix.OpMul, v, false) }
+
+// Unary appends an element-wise unary operation.
+func (n *Node) Unary(op matrix.UnaryOp) *Node {
+	return &Node{kind: kUnary, op: op.String(), unOp: op, inputs: []*Node{n}}
+}
+
+// Sigmoid appends sigmoid(n).
+func (n *Node) Sigmoid() *Node { return n.Unary(matrix.USigmoid) }
+
+// Exp appends exp(n).
+func (n *Node) Exp() *Node { return n.Unary(matrix.UExp) }
+
+// Agg appends a full aggregation, producing a scalar node.
+func (n *Node) Agg(op matrix.AggOp) *Node {
+	return &Node{kind: kAgg, op: op.String(), aggOp: op, inputs: []*Node{n}, isScalar: true}
+}
+
+// Sum appends sum(n).
+func (n *Node) Sum() *Node { return n.Agg(matrix.AggSum) }
+
+// Mean appends mean(n).
+func (n *Node) Mean() *Node { return n.Agg(matrix.AggMean) }
+
+// RowAgg appends a per-row aggregation (rowSums, rowMins, ...).
+func (n *Node) RowAgg(op matrix.AggOp) *Node {
+	return &Node{kind: kRowAgg, op: "row" + op.String(), aggOp: op, inputs: []*Node{n}}
+}
+
+// RowSums appends rowSums(n).
+func (n *Node) RowSums() *Node { return n.RowAgg(matrix.AggSum) }
+
+// ColAgg appends a per-column aggregation.
+func (n *Node) ColAgg(op matrix.AggOp) *Node {
+	return &Node{kind: kColAgg, op: "col" + op.String(), aggOp: op, inputs: []*Node{n}}
+}
+
+// ColSums appends colSums(n).
+func (n *Node) ColSums() *Node { return n.ColAgg(matrix.AggSum) }
+
+// eval computes the node depth-first with memoization.
+func (n *Node) eval() {
+	if n.done {
+		return
+	}
+	for _, in := range n.inputs {
+		in.eval()
+	}
+	switch n.kind {
+	case kLeaf:
+		n.matVal = n.leaf
+	case kConst:
+		n.scalarVal = n.scalar
+	case kMatMul:
+		n.matVal = engine.MatMul(n.inputs[0].matVal, n.inputs[1].matVal)
+	case kTMatMul:
+		n.matVal = engine.TMatMul(n.inputs[0].matVal, n.inputs[1].matVal)
+	case kTranspose:
+		n.matVal = engine.Transpose(n.inputs[0].matVal)
+	case kBinary:
+		a, b := n.inputs[0], n.inputs[1]
+		switch {
+		case a.isScalar && b.isScalar:
+			panic(&engine.Error{Err: fmt.Errorf("lazy: scalar-scalar %s unsupported", n.op)})
+		case a.isScalar:
+			n.matVal = engine.BinaryScalar(n.binOp, b.matVal, a.scalarVal, true)
+		case b.isScalar:
+			n.matVal = engine.BinaryScalar(n.binOp, a.matVal, b.scalarVal, false)
+		default:
+			n.matVal = engine.Binary(n.binOp, a.matVal, b.matVal)
+		}
+	case kScalarOp:
+		n.matVal = engine.BinaryScalar(n.binOp, n.inputs[0].matVal, n.scalar, n.swap)
+	case kRowAgg:
+		n.matVal = engine.RowAgg(n.aggOp, n.inputs[0].matVal)
+	case kColAgg:
+		n.matVal = engine.ColAgg(n.aggOp, n.inputs[0].matVal)
+	case kAgg:
+		n.scalarVal = engine.Agg(n.aggOp, n.inputs[0].matVal)
+	case kUnary:
+		n.matVal = engine.Unary(n.unOp, n.inputs[0].matVal)
+	}
+	n.done = true
+}
+
+// Compute evaluates the DAG up to this node and returns the local matrix
+// result (consolidating federated outputs, as the Python API returns NumPy
+// arrays).
+func (n *Node) Compute() (out *matrix.Dense, err error) {
+	defer engine.Guard(&err)
+	n.eval()
+	if n.isScalar {
+		return matrix.Fill(1, 1, n.scalarVal), nil
+	}
+	return engine.Local(n.matVal), nil
+}
+
+// ComputeScalar evaluates a scalar node.
+func (n *Node) ComputeScalar() (v float64, err error) {
+	defer engine.Guard(&err)
+	if !n.isScalar {
+		return 0, fmt.Errorf("lazy: node %q is not scalar", n.op)
+	}
+	n.eval()
+	return n.scalarVal, nil
+}
+
+// Script renders the DAG as a DML-like script via depth-first traversal,
+// assigning temporaries in data-dependency order (what the Python API
+// generates before execution).
+func (n *Node) Script() string {
+	var b strings.Builder
+	names := map[*Node]string{}
+	next := 0
+	var visit func(*Node) string
+	visit = func(v *Node) string {
+		if name, ok := names[v]; ok {
+			return name
+		}
+		args := make([]string, len(v.inputs))
+		for i, in := range v.inputs {
+			args[i] = visit(in)
+		}
+		next++
+		name := fmt.Sprintf("t%d", next)
+		names[v] = name
+		switch v.op {
+		case "leaf":
+			fmt.Fprintf(&b, "%s = read(input_%d);  # %dx%d\n", name, next, v.leaf.Rows(), v.leaf.Cols())
+		case "const":
+			fmt.Fprintf(&b, "%s = %g;\n", name, v.scalar)
+		case "%*%":
+			fmt.Fprintf(&b, "%s = %s %%*%% %s;\n", name, args[0], args[1])
+		case "t%*%":
+			fmt.Fprintf(&b, "%s = t(%s) %%*%% %s;\n", name, args[0], args[1])
+		case "t":
+			fmt.Fprintf(&b, "%s = t(%s);\n", name, args[0])
+		default:
+			switch v.kind {
+			case kBinary:
+				fmt.Fprintf(&b, "%s = %s %s %s;\n", name, args[0], v.op, args[1])
+			case kScalarOp:
+				if v.swap {
+					fmt.Fprintf(&b, "%s = %g %s %s;\n", name, v.scalar, v.binOp, args[0])
+				} else {
+					fmt.Fprintf(&b, "%s = %s %s %g;\n", name, args[0], v.binOp, v.scalar)
+				}
+			default:
+				fmt.Fprintf(&b, "%s = %s(%s);\n", name, v.op, strings.Join(args, ", "))
+			}
+		}
+		return name
+	}
+	root := visit(n)
+	fmt.Fprintf(&b, "write(%s);\n", root)
+	return b.String()
+}

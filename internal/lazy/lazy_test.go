@@ -1,0 +1,112 @@
+package lazy_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"exdra/internal/federated"
+	"exdra/internal/fedtest"
+	"exdra/internal/lazy"
+	"exdra/internal/matrix"
+	"exdra/internal/privacy"
+)
+
+func TestComputeLocalDAG(t *testing.T) {
+	x := matrix.FromRows([][]float64{{1, 2}, {3, 4}})
+	v := matrix.ColVector([]float64{1, 1})
+	// (X %*% v) * 2 + rowSums(X)
+	node := lazy.Wrap(x).MatMul(lazy.Wrap(v)).Scale(2).Add(lazy.Wrap(x).RowSums())
+	got, err := node.Compute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := x.MatMul(v).Scale(2).Add(x.RowSums())
+	if !got.EqualApprox(want, 1e-12) {
+		t.Fatalf("lazy compute: %v", got)
+	}
+}
+
+func TestComputeScalarAndSharedSubDAG(t *testing.T) {
+	x := matrix.FromRows([][]float64{{1, 2}, {3, 4}})
+	shared := lazy.Wrap(x).Scale(3)
+	total := shared.Sum()
+	v, err := total.ComputeScalar()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 30 {
+		t.Fatalf("sum = %g", v)
+	}
+	// Reusing the shared node must not re-evaluate incorrectly.
+	again := shared.Mean()
+	m, err := again.ComputeScalar()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != 7.5 {
+		t.Fatalf("mean = %g", m)
+	}
+	if _, err := shared.ComputeScalar(); err == nil {
+		t.Fatal("matrix node computed as scalar")
+	}
+}
+
+func TestLazyOverFederatedData(t *testing.T) {
+	cl, err := fedtest.Start(fedtest.Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	x := matrix.FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}, {7, 8}})
+	fx, err := federated.Distribute(cl.Coord, x, cl.Addrs, federated.RowPartitioned, privacy.PrivateAggregation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := matrix.ColVector([]float64{1, -1})
+	// The l2svm-flavoured snippet of §3.2: an aggregate over federated data.
+	node := lazy.Wrap(fx).MatMul(lazy.Wrap(v)).Sigmoid().Sum()
+	got, err := node.ComputeScalar()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := x.MatMul(v).Sigmoid().Sum()
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("federated lazy sum %g want %g", got, want)
+	}
+}
+
+func TestScriptGeneration(t *testing.T) {
+	x := matrix.FromRows([][]float64{{1, 2}})
+	v := matrix.ColVector([]float64{1, 1})
+	node := lazy.Wrap(x).MatMul(lazy.Wrap(v)).Scale(2).Sum()
+	script := node.Script()
+	for _, want := range []string{"read(input_", "%*%", "* 2", "sum(", "write("} {
+		if !strings.Contains(script, want) {
+			t.Fatalf("script missing %q:\n%s", want, script)
+		}
+	}
+	// Data-dependency order: the matmul line must precede the sum line.
+	if strings.Index(script, "%*%") > strings.Index(script, "sum(") {
+		t.Fatalf("script out of order:\n%s", script)
+	}
+	// Shared sub-DAGs are emitted once.
+	shared := lazy.Wrap(x).Scale(3)
+	two := shared.Add(shared)
+	if strings.Count(two.Script(), "* 3") != 1 {
+		t.Fatalf("shared subexpression duplicated:\n%s", two.Script())
+	}
+}
+
+func TestScalarConstOperand(t *testing.T) {
+	x := matrix.FromRows([][]float64{{2, 4}})
+	// 8 / X via a Const left operand.
+	node := lazy.Const(8).Div(lazy.Wrap(x))
+	got, err := node.Compute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.EqualApprox(matrix.RowVector([]float64{4, 2}), 0) {
+		t.Fatalf("const/matrix: %v", got)
+	}
+}

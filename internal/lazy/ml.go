@@ -1,0 +1,65 @@
+package lazy
+
+import (
+	"fmt"
+
+	"exdra/internal/algo"
+	"exdra/internal/engine"
+	"exdra/internal/matrix"
+)
+
+// Higher-level built-in functions on lazy nodes, mirroring the paper's §3.2
+// Python API snippet:
+//
+//	features = Federated(sds, [node1,node2], ([...],[...]))
+//	model = features.l2svm(labels).compute()
+//
+// The algorithm runs when Compute is called, against whatever backend the
+// node's data lives on.
+
+// ModelNode defers an ML training invocation until Compute.
+type ModelNode struct {
+	features *Node
+	train    func(x engine.Mat) (any, error)
+}
+
+// Compute evaluates the feature DAG and trains the model.
+func (m *ModelNode) Compute() (model any, err error) {
+	defer engine.Guard(&err)
+	m.features.eval()
+	if m.features.isScalar {
+		return nil, fmt.Errorf("lazy: cannot train on a scalar node")
+	}
+	return m.train(m.features.matVal)
+}
+
+// L2SVM defers L2-regularized SVM training on this node's features with
+// labels held at the coordinator.
+func (n *Node) L2SVM(labels *matrix.Dense, cfg algo.L2SVMConfig) *ModelNode {
+	return &ModelNode{features: n, train: func(x engine.Mat) (any, error) {
+		return algo.L2SVM(x, labels, cfg)
+	}}
+}
+
+// LM defers conjugate-gradient linear regression.
+func (n *Node) LM(labels *matrix.Dense, cfg algo.LMConfig) *ModelNode {
+	return &ModelNode{features: n, train: func(x engine.Mat) (any, error) {
+		return algo.LM(x, labels, cfg)
+	}}
+}
+
+// KMeans defers K-Means clustering.
+func (n *Node) KMeans(cfg algo.KMeansConfig) *ModelNode {
+	return &ModelNode{features: n, train: func(x engine.Mat) (any, error) {
+		return algo.KMeans(x, cfg)
+	}}
+}
+
+// PCA defers principal component analysis; the returned model is the
+// *algo.PCAResult (the projection is recomputable via Transform).
+func (n *Node) PCA(cfg algo.PCAConfig) *ModelNode {
+	return &ModelNode{features: n, train: func(x engine.Mat) (any, error) {
+		res, _, err := algo.PCA(x, cfg)
+		return res, err
+	}}
+}

@@ -1,0 +1,68 @@
+package lazy_test
+
+import (
+	"testing"
+
+	"exdra/internal/algo"
+	"exdra/internal/data"
+	"exdra/internal/federated"
+	"exdra/internal/fedtest"
+	"exdra/internal/lazy"
+	"exdra/internal/privacy"
+)
+
+func TestL2SVMViaLazyAPI(t *testing.T) {
+	cl, err := fedtest.Start(fedtest.Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	x, y := data.Classification(31, 200, 8, 0.01)
+	fx, err := federated.Distribute(cl.Coord, x, cl.Addrs, federated.RowPartitioned, privacy.PrivateAggregation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's snippet shape: features.l2svm(labels).compute().
+	model, err := lazy.Wrap(fx).L2SVM(y, algo.L2SVMConfig{MaxIterations: 15}).Compute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	svm := model.(*algo.L2SVMResult)
+	scores, err := svm.Predict(fx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := algo.Accuracy(scores, y); acc < 0.9 {
+		t.Fatalf("lazy L2SVM accuracy %g", acc)
+	}
+
+	// Training on a derived node (normalized features) also works: the
+	// DAG evaluates first, then the algorithm runs federated.
+	norm := lazy.Wrap(fx).ScalarOp(0, 1, false) // X + 1 (cheap derived node)
+	if _, err := norm.LM(y, algo.LMConfig{MaxIterations: 5}).Compute(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Scalar nodes are rejected.
+	if _, err := lazy.Wrap(fx).Sum().KMeans(algo.KMeansConfig{K: 2}).Compute(); err == nil {
+		t.Fatal("training on scalar node accepted")
+	}
+}
+
+func TestKMeansAndPCAViaLazyAPI(t *testing.T) {
+	x, _ := data.Blobs(32, 150, 5, 3, 0.5)
+	model, err := lazy.Wrap(x).KMeans(algo.KMeansConfig{K: 3, MaxIterations: 10, Seed: 2}).Compute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model.(*algo.KMeansResult).Centroids.Rows() != 3 {
+		t.Fatal("kmeans centroids")
+	}
+	pm, err := lazy.Wrap(x).PCA(algo.PCAConfig{K: 2}).Compute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pm.(*algo.PCAResult).Components.Cols() != 2 {
+		t.Fatal("pca components")
+	}
+}

@@ -1,0 +1,135 @@
+// Package lineage implements fine-grained lineage tracing and reuse of
+// intermediates in the spirit of the LIMA framework integrated into ExDRa
+// (§4.4, "Lineage-based Reuse"). Operations are described by lineage items
+// (op, inputs); a bounded cache memoizes results keyed by the canonical
+// trace string, enabling reuse across repeated pipeline runs — e.g. the
+// deserialized recode maps of federated transformencode.
+package lineage
+
+import (
+	"container/list"
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// Item describes one operation for lineage tracing.
+type Item struct {
+	Op     string
+	Inputs []string
+}
+
+// Trace returns the canonical trace string of the item, usable as a cache
+// key. Input traces are embedded, so equal traces imply equal computations.
+func (it Item) Trace() string {
+	var b strings.Builder
+	b.WriteString(it.Op)
+	b.WriteByte('(')
+	for i, in := range it.Inputs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(in)
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// LiteralTrace returns the trace of a leaf value (e.g. a file or a
+// broadcast), distinguished by kind and identity.
+func LiteralTrace(kind string, id any) string {
+	return fmt.Sprintf("%s#%v", kind, id)
+}
+
+// Cache is a thread-safe LRU cache of lineage-traced intermediates.
+type Cache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]*list.Element
+	order   *list.List // front = most recently used
+
+	hits, misses int64
+}
+
+type cacheEntry struct {
+	key   string
+	value any
+}
+
+// NewCache returns a cache retaining up to capacity entries (LRU eviction).
+// capacity <= 0 disables caching (every Get misses).
+func NewCache(capacity int) *Cache {
+	return &Cache{cap: capacity, entries: map[string]*list.Element{}, order: list.New()}
+}
+
+// Get looks up a trace, marking it most recently used.
+func (c *Cache) Get(trace string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[trace]; ok {
+		c.order.MoveToFront(el)
+		c.hits++
+		return el.Value.(*cacheEntry).value, true
+	}
+	c.misses++
+	return nil, false
+}
+
+// Put stores a value under a trace, evicting the least recently used entry
+// when over capacity.
+func (c *Cache) Put(trace string, value any) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[trace]; ok {
+		el.Value.(*cacheEntry).value = value
+		c.order.MoveToFront(el)
+		return
+	}
+	el := c.order.PushFront(&cacheEntry{key: trace, value: value})
+	c.entries[trace] = el
+	if c.order.Len() > c.cap {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.entries, last.Value.(*cacheEntry).key)
+	}
+}
+
+// GetOrCompute returns the cached value for trace or computes, stores, and
+// returns it.
+func (c *Cache) GetOrCompute(trace string, compute func() (any, error)) (any, error) {
+	if v, ok := c.Get(trace); ok {
+		return v, nil
+	}
+	v, err := compute()
+	if err != nil {
+		return nil, err
+	}
+	c.Put(trace, v)
+	return v, nil
+}
+
+// Stats returns hit and miss counters.
+func (c *Cache) Stats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// Reset clears all entries and counters.
+func (c *Cache) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = map[string]*list.Element{}
+	c.order.Init()
+	c.hits, c.misses = 0, 0
+}

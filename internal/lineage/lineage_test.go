@@ -1,0 +1,105 @@
+package lineage
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestTraceCanonicalForm(t *testing.T) {
+	a := LiteralTrace("file", "/data/x.bin")
+	b := Item{Op: "tsmm", Inputs: []string{a}}.Trace()
+	if b != "tsmm(file#/data/x.bin)" {
+		t.Fatalf("trace %q", b)
+	}
+	c := Item{Op: "+", Inputs: []string{b, b}}.Trace()
+	if c != "+(tsmm(file#/data/x.bin),tsmm(file#/data/x.bin))" {
+		t.Fatalf("nested trace %q", c)
+	}
+	// Equal computations yield equal traces; different ones differ.
+	plus := Item{Op: "+", Inputs: []string{a}}.Trace()
+	minus := Item{Op: "-", Inputs: []string{a}}.Trace()
+	if plus == minus {
+		t.Fatal("distinct ops collide")
+	}
+}
+
+func TestCacheHitMissAndLRU(t *testing.T) {
+	c := NewCache(2)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	if v, ok := c.Get("a"); !ok || v.(int) != 1 {
+		t.Fatal("get a")
+	}
+	c.Put("c", 3) // evicts b (a was just used)
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b not evicted")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a evicted despite recent use")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len %d", c.Len())
+	}
+	hits, misses := c.Stats()
+	if hits != 2 || misses != 1 {
+		t.Fatalf("stats %d/%d", hits, misses)
+	}
+}
+
+func TestGetOrCompute(t *testing.T) {
+	c := NewCache(4)
+	calls := 0
+	compute := func() (any, error) {
+		calls++
+		return 42, nil
+	}
+	for i := 0; i < 3; i++ {
+		v, err := c.GetOrCompute("k", compute)
+		if err != nil || v.(int) != 42 {
+			t.Fatal("GetOrCompute")
+		}
+	}
+	if calls != 1 {
+		t.Fatalf("computed %d times", calls)
+	}
+	// Errors are not cached.
+	boom := errors.New("boom")
+	for i := 0; i < 2; i++ {
+		if _, err := c.GetOrCompute("bad", func() (any, error) { return nil, boom }); err != boom {
+			t.Fatal("error not propagated")
+		}
+	}
+}
+
+func TestUpdateExistingKey(t *testing.T) {
+	c := NewCache(2)
+	c.Put("a", 1)
+	c.Put("a", 2)
+	if v, _ := c.Get("a"); v.(int) != 2 {
+		t.Fatal("update")
+	}
+	if c.Len() != 1 {
+		t.Fatal("duplicate entries")
+	}
+}
+
+func TestZeroCapacityDisables(t *testing.T) {
+	c := NewCache(0)
+	c.Put("a", 1)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("zero-capacity cache stored")
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := NewCache(4)
+	c.Put("a", 1)
+	c.Get("a")
+	c.Reset()
+	if c.Len() != 0 {
+		t.Fatal("reset")
+	}
+	if h, m := c.Stats(); h != 0 || m != 0 {
+		t.Fatal("stats not reset")
+	}
+}

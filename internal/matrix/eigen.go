@@ -1,0 +1,180 @@
+package matrix
+
+import (
+	"math"
+	"sort"
+)
+
+// EigenSym computes the eigen decomposition of a symmetric matrix using the
+// cyclic Jacobi method. It returns the eigenvalues in descending order and
+// the matching eigenvectors as the columns of the returned matrix. PCA uses
+// this on the covariance matrix t(X) %*% X / (n-1).
+func EigenSym(a *Dense) (values *Dense, vectors *Dense) {
+	if a.rows != a.cols {
+		panic("matrix: eigen of non-square matrix")
+	}
+	n := a.rows
+	m := a.Clone()
+	v := Identity(n)
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := 0.0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += m.data[i*n+j] * m.data[i*n+j]
+			}
+		}
+		if off < 1e-22*float64(n*n) {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := m.data[p*n+q]
+				if math.Abs(apq) < 1e-300 {
+					continue
+				}
+				app, aqq := m.data[p*n+p], m.data[q*n+q]
+				theta := (aqq - app) / (2 * apq)
+				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				rotate(m, p, q, c, s)
+				rotateCols(v, p, q, c, s)
+			}
+		}
+	}
+	vals := make([]float64, n)
+	for i := 0; i < n; i++ {
+		vals[i] = m.data[i*n+i]
+	}
+	// Sort eigenpairs descending by eigenvalue.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(x, y int) bool { return vals[order[x]] > vals[order[y]] })
+	values = NewDense(n, 1)
+	vectors = NewDense(n, n)
+	for oi, i := range order {
+		values.data[oi] = vals[i]
+		for r := 0; r < n; r++ {
+			vectors.data[r*n+oi] = v.data[r*n+i]
+		}
+	}
+	return values, vectors
+}
+
+// rotate applies a two-sided Jacobi rotation to symmetric m in place.
+func rotate(m *Dense, p, q int, c, s float64) {
+	n := m.cols
+	for k := 0; k < n; k++ {
+		mkp, mkq := m.data[k*n+p], m.data[k*n+q]
+		m.data[k*n+p] = c*mkp - s*mkq
+		m.data[k*n+q] = s*mkp + c*mkq
+	}
+	for k := 0; k < n; k++ {
+		mpk, mqk := m.data[p*n+k], m.data[q*n+k]
+		m.data[p*n+k] = c*mpk - s*mqk
+		m.data[q*n+k] = s*mpk + c*mqk
+	}
+}
+
+// rotateCols applies a one-sided rotation to the eigenvector accumulator.
+func rotateCols(v *Dense, p, q int, c, s float64) {
+	n := v.cols
+	for k := 0; k < v.rows; k++ {
+		vkp, vkq := v.data[k*n+p], v.data[k*n+q]
+		v.data[k*n+p] = c*vkp - s*vkq
+		v.data[k*n+q] = s*vkp + c*vkq
+	}
+}
+
+// SolveCG solves the symmetric positive-definite system A x = b using the
+// conjugate-gradient method with relative tolerance tol and at most maxIter
+// iterations. It returns the solution and the iteration count.
+func SolveCG(a *Dense, b *Dense, tol float64, maxIter int) (*Dense, int) {
+	if a.rows != a.cols || b.rows != a.rows || b.cols != 1 {
+		panic("matrix: SolveCG shape mismatch")
+	}
+	x := NewDense(a.rows, 1)
+	r := b.Clone()
+	p := r.Clone()
+	rsOld := Dot(r, r)
+	norm0 := math.Sqrt(rsOld)
+	if norm0 == 0 {
+		return x, 0
+	}
+	it := 0
+	for ; it < maxIter; it++ {
+		ap := a.MatMul(p)
+		alpha := rsOld / Dot(p, ap)
+		x.AxpyInPlace(alpha, p)
+		r.AxpyInPlace(-alpha, ap)
+		rsNew := Dot(r, r)
+		if math.Sqrt(rsNew) <= tol*norm0 {
+			it++
+			break
+		}
+		beta := rsNew / rsOld
+		for i := range p.data {
+			p.data[i] = r.data[i] + beta*p.data[i]
+		}
+		rsOld = rsNew
+	}
+	return x, it
+}
+
+// Cholesky returns the lower-triangular Cholesky factor L of a symmetric
+// positive-definite matrix (A = L Lᵀ), or ok=false if A is not SPD.
+func Cholesky(a *Dense) (l *Dense, ok bool) {
+	if a.rows != a.cols {
+		panic("matrix: cholesky of non-square matrix")
+	}
+	n := a.rows
+	l = NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			sum := a.data[i*n+j]
+			for k := 0; k < j; k++ {
+				sum -= l.data[i*n+k] * l.data[j*n+k]
+			}
+			if i == j {
+				if sum <= 0 {
+					return nil, false
+				}
+				l.data[i*n+i] = math.Sqrt(sum)
+			} else {
+				l.data[i*n+j] = sum / l.data[j*n+j]
+			}
+		}
+	}
+	return l, true
+}
+
+// SolveCholesky solves A x = b via Cholesky factorization for SPD A.
+func SolveCholesky(a, b *Dense) (*Dense, bool) {
+	l, ok := Cholesky(a)
+	if !ok {
+		return nil, false
+	}
+	n := a.rows
+	// Forward substitution L y = b.
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b.data[i]
+		for k := 0; k < i; k++ {
+			s -= l.data[i*n+k] * y[k]
+		}
+		y[i] = s / l.data[i*n+i]
+	}
+	// Back substitution Lᵀ x = y.
+	x := NewDense(n, 1)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= l.data[k*n+i] * x.data[k]
+		}
+		x.data[i] = s / l.data[i*n+i]
+	}
+	return x, true
+}

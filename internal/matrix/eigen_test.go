@@ -1,0 +1,91 @@
+package matrix
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randSPD(rng *rand.Rand, n int) *Dense {
+	b := Randn(rng, n, n, 0, 1)
+	spd := b.TSMM()
+	for i := 0; i < n; i++ {
+		spd.Set(i, i, spd.At(i, i)+float64(n))
+	}
+	return spd
+}
+
+func TestEigenSymReconstructs(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	a := randSPD(rng, 8)
+	vals, vecs := EigenSym(a)
+	// A v_i = lambda_i v_i for each eigenpair.
+	for i := 0; i < 8; i++ {
+		vi := vecs.SliceCols(i, i+1)
+		av := a.MatMul(vi)
+		lv := vi.Scale(vals.At(i, 0))
+		if !av.EqualApprox(lv, 1e-8) {
+			t.Fatalf("eigenpair %d fails A v = lambda v", i)
+		}
+	}
+	// Eigenvalues sorted descending.
+	for i := 1; i < 8; i++ {
+		if vals.At(i, 0) > vals.At(i-1, 0)+1e-12 {
+			t.Fatal("eigenvalues not descending")
+		}
+	}
+	// Eigenvectors orthonormal: VᵀV = I.
+	if !vecs.TSMM().EqualApprox(Identity(8), 1e-8) {
+		t.Fatal("eigenvectors not orthonormal")
+	}
+}
+
+func TestEigenSymDiagonal(t *testing.T) {
+	a := ColVector([]float64{3, 1, 2}).Diag()
+	vals, _ := EigenSym(a)
+	if !vals.EqualApprox(ColVector([]float64{3, 2, 1}), 1e-12) {
+		t.Fatalf("diagonal eigenvalues: %v", vals)
+	}
+}
+
+func TestSolveCG(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	a := randSPD(rng, 12)
+	want := Randn(rng, 12, 1, 0, 1)
+	b := a.MatMul(want)
+	x, it := SolveCG(a, b, 1e-12, 200)
+	if it == 0 {
+		t.Fatal("no iterations performed")
+	}
+	if !x.EqualApprox(want, 1e-6) {
+		t.Fatal("CG solution wrong")
+	}
+	// Zero RHS short-circuits.
+	if _, it := SolveCG(a, NewDense(12, 1), 1e-12, 100); it != 0 {
+		t.Fatal("zero rhs should not iterate")
+	}
+}
+
+func TestCholeskySolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	a := randSPD(rng, 9)
+	want := Randn(rng, 9, 1, 0, 1)
+	b := a.MatMul(want)
+	x, ok := SolveCholesky(a, b)
+	if !ok {
+		t.Fatal("SPD matrix rejected")
+	}
+	if !x.EqualApprox(want, 1e-8) {
+		t.Fatal("cholesky solution wrong")
+	}
+	l, ok := Cholesky(a)
+	if !ok {
+		t.Fatal("cholesky failed")
+	}
+	if !l.MatMul(l.Transpose()).EqualApprox(a, 1e-8) {
+		t.Fatal("L Lᵀ != A")
+	}
+	// Non-SPD must be rejected.
+	if _, ok := Cholesky(FromRows([][]float64{{0, 1}, {1, 0}})); ok {
+		t.Fatal("non-SPD accepted")
+	}
+}

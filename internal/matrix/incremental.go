@@ -1,0 +1,123 @@
+package matrix
+
+import "math"
+
+// IncrementalStats maintains per-column aggregate statistics under row
+// appends and deletions — the incremental maintenance of cached
+// intermediates that ExDRa §4.4 proposes for new or deleted data (e.g.
+// retention-bound stream sinks). Sums, sums of squares, and counts update
+// in O(cols) per row in both directions; min/max are exact under appends
+// and lazily recomputed only when a deletion removes a current extremum.
+type IncrementalStats struct {
+	cols   int
+	count  int
+	sums   []float64
+	sumSqs []float64
+	mins   []float64
+	maxs   []float64
+	// dirtyMinMax marks columns whose min/max must be recomputed from the
+	// owner's retained data before being read.
+	dirtyMinMax bool
+}
+
+// NewIncrementalStats tracks cols columns.
+func NewIncrementalStats(cols int) *IncrementalStats {
+	s := &IncrementalStats{
+		cols:   cols,
+		sums:   make([]float64, cols),
+		sumSqs: make([]float64, cols),
+		mins:   make([]float64, cols),
+		maxs:   make([]float64, cols),
+	}
+	for j := 0; j < cols; j++ {
+		s.mins[j] = math.Inf(1)
+		s.maxs[j] = math.Inf(-1)
+	}
+	return s
+}
+
+// Cols returns the tracked column count.
+func (s *IncrementalStats) Cols() int { return s.cols }
+
+// Count returns the number of live rows.
+func (s *IncrementalStats) Count() int { return s.count }
+
+// Append folds one row in.
+func (s *IncrementalStats) Append(row []float64) {
+	for j, v := range row {
+		s.sums[j] += v
+		s.sumSqs[j] += v * v
+		if v < s.mins[j] {
+			s.mins[j] = v
+		}
+		if v > s.maxs[j] {
+			s.maxs[j] = v
+		}
+	}
+	s.count++
+}
+
+// Remove folds one row out (e.g. a tuple aging past the retention period).
+// Sums and counts stay exact; if the row carried a column's extremum, that
+// column's min/max becomes stale until Rebuild.
+func (s *IncrementalStats) Remove(row []float64) {
+	for j, v := range row {
+		s.sums[j] -= v
+		s.sumSqs[j] -= v * v
+		if v <= s.mins[j] || v >= s.maxs[j] {
+			s.dirtyMinMax = true
+		}
+	}
+	s.count--
+}
+
+// NeedsRebuild reports whether min/max are stale after deletions.
+func (s *IncrementalStats) NeedsRebuild() bool { return s.dirtyMinMax }
+
+// Rebuild recomputes min/max from the retained rows (sums stay incremental).
+func (s *IncrementalStats) Rebuild(rows [][]float64) {
+	for j := 0; j < s.cols; j++ {
+		s.mins[j] = math.Inf(1)
+		s.maxs[j] = math.Inf(-1)
+	}
+	for _, row := range rows {
+		for j, v := range row {
+			if v < s.mins[j] {
+				s.mins[j] = v
+			}
+			if v > s.maxs[j] {
+				s.maxs[j] = v
+			}
+		}
+	}
+	s.dirtyMinMax = false
+}
+
+// ColMeans returns the per-column means as a 1 x cols vector.
+func (s *IncrementalStats) ColMeans() *Dense {
+	out := NewDense(1, s.cols)
+	for j := 0; j < s.cols; j++ {
+		out.data[j] = s.sums[j] / float64(s.count)
+	}
+	return out
+}
+
+// ColSDs returns the per-column sample standard deviations.
+func (s *IncrementalStats) ColSDs() *Dense {
+	out := NewDense(1, s.cols)
+	n := float64(s.count)
+	for j := 0; j < s.cols; j++ {
+		out.data[j] = math.Sqrt((s.sumSqs[j] - s.sums[j]*s.sums[j]/n) / (n - 1))
+	}
+	return out
+}
+
+// ColMins returns the per-column minima (exact unless NeedsRebuild).
+func (s *IncrementalStats) ColMins() *Dense {
+	return RowVector(append([]float64(nil), s.mins...))
+}
+
+// ColMaxs returns the per-column maxima (exact unless NeedsRebuild).
+func (s *IncrementalStats) ColMaxs() *Dense {
+	return RowVector(append([]float64(nil), s.maxs...))
+}

@@ -1,0 +1,110 @@
+package matrix
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestIncrementalMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := Randn(rng, 60, 4, 2, 3)
+	s := NewIncrementalStats(4)
+	for i := 0; i < m.Rows(); i++ {
+		s.Append(m.Row(i))
+	}
+	if s.Count() != 60 {
+		t.Fatal("count")
+	}
+	if !s.ColMeans().EqualApprox(m.ColMeans(), 1e-10) {
+		t.Fatal("means")
+	}
+	if !s.ColSDs().EqualApprox(m.ColSDs(), 1e-10) {
+		t.Fatal("sds")
+	}
+	if !s.ColMins().EqualApprox(m.ColMins(), 0) || !s.ColMaxs().EqualApprox(m.ColMaxs(), 0) {
+		t.Fatal("min/max")
+	}
+}
+
+func TestIncrementalRemove(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := Randn(rng, 30, 3, 0, 1)
+	s := NewIncrementalStats(3)
+	for i := 0; i < 30; i++ {
+		s.Append(m.Row(i))
+	}
+	// Remove the first 10 rows (retention-style eviction).
+	for i := 0; i < 10; i++ {
+		s.Remove(m.Row(i))
+	}
+	rest := m.SliceRows(10, 30)
+	if s.Count() != 20 {
+		t.Fatal("count after remove")
+	}
+	if !s.ColMeans().EqualApprox(rest.ColMeans(), 1e-10) {
+		t.Fatal("means after remove")
+	}
+	if !s.ColSDs().EqualApprox(rest.ColSDs(), 1e-9) {
+		t.Fatal("sds after remove")
+	}
+	// Min/max may be stale; rebuild restores exactness.
+	if s.NeedsRebuild() {
+		rows := make([][]float64, 20)
+		for i := range rows {
+			rows[i] = rest.Row(i)
+		}
+		s.Rebuild(rows)
+	}
+	if !s.ColMins().EqualApprox(rest.ColMins(), 0) || !s.ColMaxs().EqualApprox(rest.ColMaxs(), 0) {
+		t.Fatal("min/max after rebuild")
+	}
+	if s.NeedsRebuild() {
+		t.Fatal("rebuild did not clear the dirty flag")
+	}
+}
+
+func TestIncrementalRemoveNonExtremumKeepsMinMax(t *testing.T) {
+	s := NewIncrementalStats(1)
+	s.Append([]float64{1})
+	s.Append([]float64{5})
+	s.Append([]float64{3})
+	s.Remove([]float64{3}) // interior value: min/max remain exact
+	if s.NeedsRebuild() {
+		t.Fatal("interior removal flagged rebuild")
+	}
+	if s.ColMins().At(0, 0) != 1 || s.ColMaxs().At(0, 0) != 5 {
+		t.Fatal("min/max changed")
+	}
+	s.Remove([]float64{5}) // extremum: flagged
+	if !s.NeedsRebuild() {
+		t.Fatal("extremum removal not flagged")
+	}
+}
+
+func TestPropIncrementalAppend(t *testing.T) {
+	f := func(seed int64, r, c uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := genMatrix(rng, dims(r)+1, dims(c))
+		s := NewIncrementalStats(m.Cols())
+		for i := 0; i < m.Rows(); i++ {
+			s.Append(m.Row(i))
+		}
+		if !s.ColMeans().EqualApprox(m.ColMeans(), 1e-9) {
+			return false
+		}
+		if m.Rows() > 1 {
+			got, want := s.ColSDs(), m.ColSDs()
+			for j := 0; j < m.Cols(); j++ {
+				if math.Abs(got.At(0, j)-want.At(0, j)) > 1e-8 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

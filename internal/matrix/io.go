@@ -1,0 +1,158 @@
+package matrix
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Binary matrix format: magic "EXDM", uint32 version, int64 rows, int64
+// cols, then rows*cols little-endian float64 values. This is the format
+// federated workers READ from their local raw-data directories.
+
+var binMagic = [4]byte{'E', 'X', 'D', 'M'}
+
+// WriteBinary writes the matrix in the ExDRa binary format.
+func (m *Dense) WriteBinary(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(binMagic[:]); err != nil {
+		return err
+	}
+	hdr := []any{uint32(1), int64(m.rows), int64(m.cols)}
+	for _, h := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, h); err != nil {
+			return err
+		}
+	}
+	buf := make([]byte, 8)
+	for _, v := range m.data {
+		binary.LittleEndian.PutUint64(buf, math.Float64bits(v))
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary reads a matrix in the ExDRa binary format.
+func ReadBinary(r io.Reader) (*Dense, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("matrix: reading magic: %w", err)
+	}
+	if magic != binMagic {
+		return nil, fmt.Errorf("matrix: bad magic %q", magic)
+	}
+	var version uint32
+	var rows, cols int64
+	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
+		return nil, err
+	}
+	if version != 1 {
+		return nil, fmt.Errorf("matrix: unsupported version %d", version)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &rows); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(br, binary.LittleEndian, &cols); err != nil {
+		return nil, err
+	}
+	if rows < 0 || cols < 0 || rows*cols > 1<<34 {
+		return nil, fmt.Errorf("matrix: implausible dimensions %dx%d", rows, cols)
+	}
+	m := NewDense(int(rows), int(cols))
+	buf := make([]byte, 8)
+	for i := range m.data {
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("matrix: truncated payload at cell %d: %w", i, err)
+		}
+		m.data[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf))
+	}
+	return m, nil
+}
+
+// WriteBinaryFile writes the matrix to path in the ExDRa binary format.
+func (m *Dense) WriteBinaryFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := m.WriteBinary(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadBinaryFile reads a matrix from path in the ExDRa binary format.
+func ReadBinaryFile(path string) (*Dense, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadBinary(f)
+}
+
+// WriteCSV writes the matrix as comma-separated values without a header.
+func (m *Dense) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for i := 0; i < m.rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			if j > 0 {
+				if err := bw.WriteByte(','); err != nil {
+					return err
+				}
+			}
+			if _, err := bw.WriteString(strconv.FormatFloat(v, 'g', -1, 64)); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCSV reads a headerless numeric CSV into a matrix.
+func ReadCSV(r io.Reader) (*Dense, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var data []float64
+	rows, cols := 0, -1
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		fields := strings.Split(line, ",")
+		if cols == -1 {
+			cols = len(fields)
+		} else if len(fields) != cols {
+			return nil, fmt.Errorf("matrix: row %d has %d fields, want %d", rows, len(fields), cols)
+		}
+		for _, f := range fields {
+			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil {
+				return nil, fmt.Errorf("matrix: row %d: %w", rows, err)
+			}
+			data = append(data, v)
+		}
+		rows++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if cols == -1 {
+		cols = 0
+	}
+	return NewDenseData(rows, cols, data), nil
+}

@@ -1,0 +1,54 @@
+package matrix
+
+import (
+	"runtime"
+	"sync"
+)
+
+// parallelThreshold is the minimum work size (cells touched) below which
+// kernels run single-threaded to avoid goroutine overhead.
+const parallelThreshold = 1 << 14
+
+// maxThreads bounds kernel parallelism; it defaults to GOMAXPROCS.
+var maxThreads = runtime.GOMAXPROCS(0)
+
+// SetParallelism overrides the number of goroutines used by heavy kernels.
+// n < 1 resets to GOMAXPROCS. It returns the previous value.
+func SetParallelism(n int) int {
+	prev := maxThreads
+	if n < 1 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	maxThreads = n
+	return prev
+}
+
+// parallelFor splits [0, n) into contiguous chunks and runs fn(lo, hi) on
+// each, concurrently when the estimated work is large enough.
+func parallelFor(n, workPerItem int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	threads := maxThreads
+	if threads > n {
+		threads = n
+	}
+	if threads <= 1 || n*workPerItem < parallelThreshold {
+		fn(0, n)
+		return
+	}
+	chunk := (n + threads - 1) / threads
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

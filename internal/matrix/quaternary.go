@@ -1,0 +1,103 @@
+package matrix
+
+import "math"
+
+// The quaternary operators mirror SystemDS' fused weighted operations
+// (wsloss, wsigmoid, wdivmm, wcemm) listed in ExDRa Table 1. They all take a
+// (possibly sparse in spirit) weight/target matrix W or X plus the factor
+// matrices U (rows x k) and V (cols x k) of a low-rank product U %*% t(V).
+
+func checkFactors(x, u, v *Dense) {
+	if u.rows != x.rows || v.rows != x.cols || u.cols != v.cols {
+		panic("matrix: quaternary factor shape mismatch")
+	}
+}
+
+func uvDot(u, v *Dense, i, j int) float64 {
+	k := u.cols
+	urow := u.data[i*k : (i+1)*k]
+	vrow := v.data[j*k : (j+1)*k]
+	s := 0.0
+	for t, a := range urow {
+		s += a * vrow[t]
+	}
+	return s
+}
+
+// WSLoss computes the weighted squared loss sum(W * (X - U %*% t(V))^2).
+// A nil W means all weights are one.
+func WSLoss(x, u, v, w *Dense) float64 {
+	checkFactors(x, u, v)
+	total := 0.0
+	for i := 0; i < x.rows; i++ {
+		for j := 0; j < x.cols; j++ {
+			wij := 1.0
+			if w != nil {
+				wij = w.data[i*w.cols+j]
+				if wij == 0 {
+					continue
+				}
+			}
+			d := x.data[i*x.cols+j] - uvDot(u, v, i, j)
+			total += wij * d * d
+		}
+	}
+	return total
+}
+
+// WSigmoid computes W * sigmoid(U %*% t(V)), evaluating the sigmoid only
+// where W is non-zero.
+func WSigmoid(w, u, v *Dense) *Dense {
+	checkFactors(w, u, v)
+	out := NewDense(w.rows, w.cols)
+	for i := 0; i < w.rows; i++ {
+		for j := 0; j < w.cols; j++ {
+			wij := w.data[i*w.cols+j]
+			if wij == 0 {
+				continue
+			}
+			out.data[i*w.cols+j] = wij / (1 + math.Exp(-uvDot(u, v, i, j)))
+		}
+	}
+	return out
+}
+
+// WDivMM computes t(t(U) %*% (W / (U %*% t(V)))) — the right factor update
+// of weighted matrix factorization; cells where W is zero are skipped.
+func WDivMM(w, u, v *Dense) *Dense {
+	checkFactors(w, u, v)
+	k := u.cols
+	out := NewDense(v.rows, k)
+	for i := 0; i < w.rows; i++ {
+		for j := 0; j < w.cols; j++ {
+			wij := w.data[i*w.cols+j]
+			if wij == 0 {
+				continue
+			}
+			q := wij / uvDot(u, v, i, j)
+			urow := u.data[i*k : (i+1)*k]
+			orow := out.data[j*k : (j+1)*k]
+			for t, a := range urow {
+				orow[t] += q * a
+			}
+		}
+	}
+	return out
+}
+
+// WCEMM computes the weighted cross-entropy sum(X * log(U %*% t(V))) over
+// non-zero cells of X.
+func WCEMM(x, u, v *Dense) float64 {
+	checkFactors(x, u, v)
+	total := 0.0
+	for i := 0; i < x.rows; i++ {
+		for j := 0; j < x.cols; j++ {
+			xij := x.data[i*x.cols+j]
+			if xij == 0 {
+				continue
+			}
+			total += xij * math.Log(uvDot(u, v, i, j))
+		}
+	}
+	return total
+}

@@ -1,0 +1,110 @@
+package matrix
+
+// CSR is a compressed sparse row matrix. It backs the sparse operations the
+// paper mentions for the CNN workload (inputs just below the sparsity
+// threshold) and for one-hot encoded features.
+type CSR struct {
+	rows, cols int
+	rowPtr     []int
+	colIdx     []int
+	values     []float64
+}
+
+// SparsityThreshold is the non-zero fraction below which ToSparse conversion
+// is considered worthwhile (mirrors SystemDS' internal threshold the paper's
+// CNN discussion refers to).
+const SparsityThreshold = 0.4
+
+// FromDense converts a dense matrix to CSR.
+func FromDense(m *Dense) *CSR {
+	s := &CSR{rows: m.rows, cols: m.cols, rowPtr: make([]int, m.rows+1)}
+	for i := 0; i < m.rows; i++ {
+		for j, v := range m.Row(i) {
+			if v != 0 {
+				s.colIdx = append(s.colIdx, j)
+				s.values = append(s.values, v)
+			}
+		}
+		s.rowPtr[i+1] = len(s.values)
+	}
+	return s
+}
+
+// Rows returns the number of rows.
+func (s *CSR) Rows() int { return s.rows }
+
+// Cols returns the number of columns.
+func (s *CSR) Cols() int { return s.cols }
+
+// NNZ returns the number of stored non-zeros.
+func (s *CSR) NNZ() int { return len(s.values) }
+
+// Sparsity returns the fraction of non-zero cells.
+func (s *CSR) Sparsity() float64 {
+	if s.rows*s.cols == 0 {
+		return 0
+	}
+	return float64(s.NNZ()) / float64(s.rows*s.cols)
+}
+
+// ToDense converts back to a dense matrix.
+func (s *CSR) ToDense() *Dense {
+	m := NewDense(s.rows, s.cols)
+	for i := 0; i < s.rows; i++ {
+		for p := s.rowPtr[i]; p < s.rowPtr[i+1]; p++ {
+			m.data[i*s.cols+s.colIdx[p]] = s.values[p]
+		}
+	}
+	return m
+}
+
+// MatMul returns s %*% b for dense b, iterating only non-zeros.
+func (s *CSR) MatMul(b *Dense) *Dense {
+	if s.cols != b.rows {
+		panic("matrix: sparse matmul shape mismatch")
+	}
+	out := NewDense(s.rows, b.cols)
+	p := b.cols
+	parallelFor(s.rows, p, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			orow := out.data[i*p : (i+1)*p]
+			for q := s.rowPtr[i]; q < s.rowPtr[i+1]; q++ {
+				a := s.values[q]
+				brow := b.data[s.colIdx[q]*p : (s.colIdx[q]+1)*p]
+				for j, bv := range brow {
+					orow[j] += a * bv
+				}
+			}
+		}
+	})
+	return out
+}
+
+// TransposeMatMul returns t(s) %*% b for dense b.
+func (s *CSR) TransposeMatMul(b *Dense) *Dense {
+	if s.rows != b.rows {
+		panic("matrix: sparse t-matmul shape mismatch")
+	}
+	out := NewDense(s.cols, b.cols)
+	p := b.cols
+	for i := 0; i < s.rows; i++ {
+		brow := b.data[i*p : (i+1)*p]
+		for q := s.rowPtr[i]; q < s.rowPtr[i+1]; q++ {
+			a := s.values[q]
+			orow := out.data[s.colIdx[q]*p : (s.colIdx[q]+1)*p]
+			for j, bv := range brow {
+				orow[j] += a * bv
+			}
+		}
+	}
+	return out
+}
+
+// Sum returns the sum of all cells.
+func (s *CSR) Sum() float64 {
+	t := 0.0
+	for _, v := range s.values {
+		t += v
+	}
+	return t
+}

@@ -1,0 +1,125 @@
+package matrix
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCSRRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	m := Rand(rng, 20, 17, 0, 1)
+	// Zero out ~80% of cells to make it genuinely sparse.
+	for i := range m.Data() {
+		if rng.Float64() < 0.8 {
+			m.Data()[i] = 0
+		}
+	}
+	s := FromDense(m)
+	if !s.ToDense().EqualApprox(m, 0) {
+		t.Fatal("CSR round trip")
+	}
+	if s.Sparsity() != m.Sparsity() {
+		t.Fatal("sparsity mismatch")
+	}
+	if math.Abs(s.Sum()-m.Sum()) > 1e-12 {
+		t.Fatal("sum mismatch")
+	}
+}
+
+func TestCSRMatMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	m := Rand(rng, 15, 11, 0, 1)
+	for i := range m.Data() {
+		if rng.Float64() < 0.7 {
+			m.Data()[i] = 0
+		}
+	}
+	b := Randn(rng, 11, 6, 0, 1)
+	s := FromDense(m)
+	if !s.MatMul(b).EqualApprox(m.MatMul(b), 1e-10) {
+		t.Fatal("sparse matmul")
+	}
+	b2 := Randn(rng, 15, 4, 0, 1)
+	if !s.TransposeMatMul(b2).EqualApprox(m.Transpose().MatMul(b2), 1e-10) {
+		t.Fatal("sparse t-matmul")
+	}
+}
+
+func TestBinaryIORoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	m := Randn(rng, 13, 7, 2, 5)
+	m.Set(0, 0, math.NaN())
+	var buf bytes.Buffer
+	if err := m.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.EqualApprox(m, 0) {
+		t.Fatal("binary round trip")
+	}
+}
+
+func TestBinaryIOErrors(t *testing.T) {
+	if _, err := ReadBinary(strings.NewReader("BAD!")); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	var buf bytes.Buffer
+	m := NewDense(4, 4)
+	if err := m.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-5]
+	if _, err := ReadBinary(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("truncated payload accepted")
+	}
+}
+
+func TestBinaryFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.bin")
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	if err := m.WriteBinaryFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinaryFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.EqualApprox(m, 0) {
+		t.Fatal("file round trip")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	m := FromRows([][]float64{{1.5, -2}, {0, 4e10}})
+	var buf bytes.Buffer
+	if err := m.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.EqualApprox(m, 0) {
+		t.Fatal("csv round trip")
+	}
+}
+
+func TestCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("1,2\n3\n")); err == nil {
+		t.Fatal("ragged csv accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader("1,x\n")); err == nil {
+		t.Fatal("non-numeric csv accepted")
+	}
+	empty, err := ReadCSV(strings.NewReader(""))
+	if err != nil || empty.Rows() != 0 {
+		t.Fatal("empty csv")
+	}
+}

@@ -1,0 +1,77 @@
+package matrix
+
+import "math"
+
+// IfElse returns a matrix selecting cells from a where the condition cell is
+// non-zero and from b otherwise (DML ifelse). a and b may be 1x1 scalars.
+func (m *Dense) IfElse(a, b *Dense) *Dense {
+	av := func(i int) float64 {
+		if a.rows == 1 && a.cols == 1 {
+			return a.data[0]
+		}
+		return a.data[i]
+	}
+	bv := func(i int) float64 {
+		if b.rows == 1 && b.cols == 1 {
+			return b.data[0]
+		}
+		return b.data[i]
+	}
+	out := NewDense(m.rows, m.cols)
+	for i, c := range m.data {
+		if c != 0 {
+			out.data[i] = av(i)
+		} else {
+			out.data[i] = bv(i)
+		}
+	}
+	return out
+}
+
+// PlusMult returns m + s*b, the DML fused ternary +* operator.
+func (m *Dense) PlusMult(s float64, b *Dense) *Dense {
+	out := m.Clone()
+	out.AxpyInPlace(s, b)
+	return out
+}
+
+// MinusMult returns m - s*b, the DML fused ternary -* operator.
+func (m *Dense) MinusMult(s float64, b *Dense) *Dense {
+	out := m.Clone()
+	out.AxpyInPlace(-s, b)
+	return out
+}
+
+// CTable computes the contingency table of two equal-length column vectors
+// (DML table(A, B)): cell (i,j) counts rows where a==i+1 and b==j+1. Values
+// are rounded to the nearest integer; non-positive cells are ignored.
+// dims caps the output shape when positive; otherwise the maxima determine it.
+func CTable(a, b *Dense, rowsCap, colsCap int) *Dense {
+	if len(a.data) != len(b.data) {
+		panic("matrix: ctable length mismatch")
+	}
+	maxA, maxB := 0, 0
+	for i := range a.data {
+		ai, bi := int(math.Round(a.data[i])), int(math.Round(b.data[i]))
+		if ai > maxA {
+			maxA = ai
+		}
+		if bi > maxB {
+			maxB = bi
+		}
+	}
+	if rowsCap > 0 {
+		maxA = rowsCap
+	}
+	if colsCap > 0 {
+		maxB = colsCap
+	}
+	out := NewDense(maxA, maxB)
+	for i := range a.data {
+		ai, bi := int(math.Round(a.data[i])), int(math.Round(b.data[i]))
+		if ai >= 1 && ai <= maxA && bi >= 1 && bi <= maxB {
+			out.data[(ai-1)*maxB+bi-1]++
+		}
+	}
+	return out
+}

@@ -1,0 +1,37 @@
+package nes
+
+import (
+	"testing"
+)
+
+func TestSinkIncrementalStats(t *testing.T) {
+	s, err := NewFileSink("", 3, 0) // retain last 3 tuples
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{10, 20, 30, 40, 50} {
+		s.Append(Tuple{Values: []float64{v}})
+	}
+	// Retained: 30, 40, 50.
+	st := s.Stats()
+	if st.Count() != 3 {
+		t.Fatalf("count %d", st.Count())
+	}
+	if got := st.ColMeans().At(0, 0); got != 40 {
+		t.Fatalf("incremental mean %g", got)
+	}
+	// Min/max were invalidated by evictions and rebuilt lazily by Stats.
+	if st.ColMins().At(0, 0) != 30 || st.ColMaxs().At(0, 0) != 50 {
+		t.Fatalf("min/max %g/%g", st.ColMins().At(0, 0), st.ColMaxs().At(0, 0))
+	}
+	// Stats agree with a full snapshot scan.
+	snap := s.Snapshot()
+	if snap.ColMeans().At(0, 0) != st.ColMeans().At(0, 0) {
+		t.Fatal("incremental mean diverges from snapshot")
+	}
+	// Empty sink stats are usable.
+	empty, _ := NewFileSink("", 0, 0)
+	if empty.Stats().Count() != 0 {
+		t.Fatal("empty stats")
+	}
+}

@@ -1,0 +1,113 @@
+// Package netem emulates network conditions on top of net.Conn, standing in
+// for the paper's physical LAN (two racks, 10 Gb Ethernet) and WAN
+// (Copenhagen–Graz, ~35–60 ms RTT, ~1.4–2 MB/s) environments. Delays are
+// injected at the connection layer, so the federated protocol code paths
+// (serialization, batching, parallel RPCs) are exercised unchanged.
+package netem
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+// Config describes an emulated link. The zero value emulates a perfect link
+// (no added latency, unlimited bandwidth).
+type Config struct {
+	// RTT is the round-trip latency; each direction is charged RTT/2 per
+	// message burst.
+	RTT time.Duration
+	// BandwidthBps limits throughput in bytes per second; zero means
+	// unlimited.
+	BandwidthBps float64
+}
+
+// LAN returns the paper's local-area configuration (no artificial delay).
+func LAN() Config { return Config{} }
+
+// WAN returns a configuration matching the paper's wide-area measurements:
+// ~45 ms RTT and ~1.7 MB/s transfer bandwidth (midpoints of the reported
+// 35–60 ms and 1.4–2 MB/s ranges).
+func WAN() Config {
+	return Config{RTT: 45 * time.Millisecond, BandwidthBps: 1.7e6}
+}
+
+// Enabled reports whether the config injects any delay.
+func (c Config) Enabled() bool { return c.RTT > 0 || c.BandwidthBps > 0 }
+
+// conn wraps a net.Conn, delaying writes to model one-way latency plus
+// serialization time at the configured bandwidth.
+type conn struct {
+	net.Conn
+	cfg Config
+
+	mu sync.Mutex
+	// nextFree is the emulated time at which the link becomes free again;
+	// a write completing at time t makes the link busy until t + len/bw.
+	nextFree time.Time
+	// lastWrite tracks burst boundaries: a write more than burstGap after
+	// the previous one is a new message burst and pays one-way latency.
+	lastWrite time.Time
+}
+
+// burstGap separates message bursts for latency accounting. Writes closer
+// together than this are treated as one burst (e.g. a single RPC flushed in
+// several chunks) and pay latency only once.
+const burstGap = 2 * time.Millisecond
+
+// Wrap returns c with the emulated link characteristics applied to writes.
+// A zero config returns c unchanged.
+func Wrap(c net.Conn, cfg Config) net.Conn {
+	if !cfg.Enabled() {
+		return c
+	}
+	return &conn{Conn: c, cfg: cfg}
+}
+
+func (c *conn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	now := time.Now()
+	var wait time.Duration
+	if c.cfg.RTT > 0 && now.Sub(c.lastWrite) > burstGap {
+		wait += c.cfg.RTT / 2
+	}
+	if c.cfg.BandwidthBps > 0 {
+		if c.nextFree.Before(now) {
+			c.nextFree = now
+		}
+		busy := time.Duration(float64(len(p)) / c.cfg.BandwidthBps * float64(time.Second))
+		c.nextFree = c.nextFree.Add(busy)
+		if d := c.nextFree.Sub(now); d > wait {
+			wait = d
+		}
+	}
+	c.lastWrite = now.Add(wait)
+	c.mu.Unlock()
+	if wait > 0 {
+		time.Sleep(wait)
+	}
+	return c.Conn.Write(p)
+}
+
+// Listener wraps accepted connections with the emulated link.
+type Listener struct {
+	net.Listener
+	cfg Config
+}
+
+// WrapListener returns l with every accepted connection wrapped in cfg.
+func WrapListener(l net.Listener, cfg Config) net.Listener {
+	if !cfg.Enabled() {
+		return l
+	}
+	return &Listener{Listener: l, cfg: cfg}
+}
+
+// Accept waits for the next connection and wraps it.
+func (l *Listener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return Wrap(c, l.cfg), nil
+}

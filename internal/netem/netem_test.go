@@ -1,0 +1,138 @@
+package netem
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+// pipeConns returns a connected TCP pair on loopback.
+func pipeConns(t *testing.T) (client, server net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	done := make(chan net.Conn, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err == nil {
+			done <- c
+		}
+	}()
+	c, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := <-done
+	t.Cleanup(func() { c.Close(); s.Close() })
+	return c, s
+}
+
+func TestZeroConfigPassThrough(t *testing.T) {
+	c, _ := pipeConns(t)
+	if Wrap(c, Config{}) != c {
+		t.Fatal("zero config should not wrap")
+	}
+	if LAN().Enabled() {
+		t.Fatal("LAN should be a perfect link")
+	}
+	if !WAN().Enabled() {
+		t.Fatal("WAN must inject delay")
+	}
+}
+
+func TestLatencyInjection(t *testing.T) {
+	c, s := pipeConns(t)
+	wc := Wrap(c, Config{RTT: 40 * time.Millisecond})
+	buf := make([]byte, 4)
+	go func() {
+		wc.Write([]byte("ping"))
+	}()
+	start := time.Now()
+	if _, err := s.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 15*time.Millisecond {
+		t.Fatalf("one-way latency not applied: %v", d)
+	}
+}
+
+func TestBurstLatencyChargedOnce(t *testing.T) {
+	c, s := pipeConns(t)
+	wc := Wrap(c, Config{RTT: 40 * time.Millisecond})
+	go func() {
+		// Three writes within the burst gap: one latency charge total.
+		wc.Write([]byte("a"))
+		wc.Write([]byte("b"))
+		wc.Write([]byte("c"))
+	}()
+	buf := make([]byte, 3)
+	start := time.Now()
+	total := 0
+	for total < 3 {
+		n, err := s.Read(buf[total:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += n
+	}
+	if d := time.Since(start); d > 70*time.Millisecond {
+		t.Fatalf("latency charged per write, not per burst: %v", d)
+	}
+}
+
+func TestBandwidthThrottling(t *testing.T) {
+	c, s := pipeConns(t)
+	// 1 MB/s: 100 KB should take ~100 ms.
+	wc := Wrap(c, Config{BandwidthBps: 1e6})
+	payload := make([]byte, 100*1024)
+	go func() {
+		wc.Write(payload)
+	}()
+	buf := make([]byte, len(payload))
+	start := time.Now()
+	total := 0
+	for total < len(payload) {
+		n, err := s.Read(buf[total:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += n
+	}
+	d := time.Since(start)
+	if d < 60*time.Millisecond {
+		t.Fatalf("bandwidth not throttled: %v", d)
+	}
+	if d > 500*time.Millisecond {
+		t.Fatalf("throttling too aggressive: %v", d)
+	}
+}
+
+func TestWrapListener(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrapped := WrapListener(ln, Config{RTT: 10 * time.Millisecond})
+	if wrapped == ln {
+		t.Fatal("listener not wrapped")
+	}
+	if same := WrapListener(ln, Config{}); same != ln {
+		t.Fatal("zero config should not wrap listener")
+	}
+	go func() {
+		c, err := net.Dial("tcp", ln.Addr().String())
+		if err == nil {
+			c.Write([]byte("x"))
+			c.Close()
+		}
+	}()
+	conn, err := wrapped.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	ln.Close()
+}

@@ -1,0 +1,77 @@
+package nn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+
+	"exdra/internal/matrix"
+)
+
+// Model persistence: trained networks serialize as their Spec plus the
+// parameter matrices, so deployment sites (or the ExperimentDB model store)
+// can reload and serve them without retraining.
+
+type networkFile struct {
+	Spec   Spec
+	Params []wireParam
+}
+
+type wireParam struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// Save writes the network architecture and parameters.
+func (n *Network) Save(w io.Writer) error {
+	file := networkFile{Spec: n.Spec}
+	for _, p := range n.Params() {
+		file.Params = append(file.Params, wireParam{Rows: p.Rows(), Cols: p.Cols(), Data: p.Data()})
+	}
+	return gob.NewEncoder(w).Encode(file)
+}
+
+// SaveFile writes the network to path.
+func (n *Network) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := n.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads a network saved with Save.
+func Load(r io.Reader) (*Network, error) {
+	var file networkFile
+	if err := gob.NewDecoder(r).Decode(&file); err != nil {
+		return nil, fmt.Errorf("nn: decode model: %w", err)
+	}
+	net, err := NewNetwork(file.Spec, rand.New(rand.NewSource(0)))
+	if err != nil {
+		return nil, err
+	}
+	params := make([]*matrix.Dense, len(file.Params))
+	for i, p := range file.Params {
+		params[i] = matrix.NewDenseData(p.Rows, p.Cols, p.Data)
+	}
+	if err := net.SetParams(params); err != nil {
+		return nil, err
+	}
+	return net, nil
+}
+
+// LoadFile reads a network from path.
+func LoadFile(path string) (*Network, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}

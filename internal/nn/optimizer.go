@@ -1,0 +1,67 @@
+package nn
+
+import (
+	"fmt"
+
+	"exdra/internal/matrix"
+)
+
+// OptimizerConfig is a serializable optimizer description, shipped to
+// parameter-server workers at setup.
+type OptimizerConfig struct {
+	// Kind is "sgd" or "nesterov".
+	Kind string
+	// LR is the learning rate.
+	LR float64
+	// Mu is the Nesterov momentum (nesterov only).
+	Mu float64
+}
+
+// Optimizer updates parameters in place from gradients.
+type Optimizer interface {
+	Step(params, grads []*matrix.Dense)
+}
+
+// NewOptimizer instantiates the configured optimizer.
+func NewOptimizer(cfg OptimizerConfig) (Optimizer, error) {
+	switch cfg.Kind {
+	case "", "sgd":
+		return &sgd{lr: cfg.LR}, nil
+	case "nesterov":
+		return &nesterov{lr: cfg.LR, mu: cfg.Mu}, nil
+	default:
+		return nil, fmt.Errorf("nn: unknown optimizer %q", cfg.Kind)
+	}
+}
+
+// sgd is plain stochastic gradient descent (the paper's CNN setting).
+type sgd struct{ lr float64 }
+
+func (o *sgd) Step(params, grads []*matrix.Dense) {
+	for i, p := range params {
+		p.AxpyInPlace(-o.lr, grads[i])
+	}
+}
+
+// nesterov is SGD with Nesterov momentum (the paper's FFN setting).
+type nesterov struct {
+	lr, mu   float64
+	velocity []*matrix.Dense
+}
+
+func (o *nesterov) Step(params, grads []*matrix.Dense) {
+	if o.velocity == nil {
+		o.velocity = make([]*matrix.Dense, len(params))
+		for i, p := range params {
+			o.velocity[i] = matrix.NewDense(p.Rows(), p.Cols())
+		}
+	}
+	for i, p := range params {
+		vPrev := o.velocity[i].Clone()
+		// v = mu*v - lr*g;  p += -mu*v_prev + (1+mu)*v
+		o.velocity[i].ScaleInPlace(o.mu)
+		o.velocity[i].AxpyInPlace(-o.lr, grads[i])
+		p.AxpyInPlace(-o.mu, vPrev)
+		p.AxpyInPlace(1+o.mu, o.velocity[i])
+	}
+}

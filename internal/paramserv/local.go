@@ -1,0 +1,181 @@
+package paramserv
+
+import (
+	"math/rand"
+	"sync"
+
+	"exdra/internal/matrix"
+	"exdra/internal/nn"
+)
+
+// localWorker is one multi-threaded PS worker over a disjoint row range.
+type localWorker struct {
+	net    *nn.Network
+	opt    nn.Optimizer
+	x, y   *matrix.Dense
+	rng    *rand.Rand
+	factor int
+	weight float64
+
+	idx  []int
+	pos  int
+	base []*matrix.Dense // global params at the last pull
+
+	lossSum float64
+	batches int
+}
+
+// runSegment advances up to q batches (the whole remaining epoch when q<=0)
+// with local per-batch updates.
+func (w *localWorker) runSegment(batchSize, q int) {
+	to := len(w.idx)
+	if q > 0 && w.pos+q*batchSize < to {
+		to = w.pos + q*batchSize
+	}
+	loss, batches := runBatches(w.net, w.opt, w.x, w.y, w.idx, w.pos, to, batchSize)
+	w.pos = to
+	w.lossSum, w.batches = loss, batches
+}
+
+// pull installs a fresh global snapshot as the worker's starting point.
+func (w *localWorker) pull(snap []*matrix.Dense) {
+	_ = w.net.SetParams(snap)
+	w.base = snap
+}
+
+// TrainLocal runs the multi-threaded local parameter server: nWorkers
+// goroutines iterate disjoint row partitions of (x, y) against a central
+// in-memory model — SystemDS' "local, multi-threaded" paramserv mode and
+// the Local baseline of the paper's FFN/CNN experiments. Labels y are
+// 1-based class indices (softmax loss) or real targets (MSE).
+func TrainLocal(cfg Config, x, y *matrix.Dense, nWorkers int) (*Result, error) {
+	if err := validate(&cfg, x.Rows()); err != nil {
+		return nil, err
+	}
+	if nWorkers <= 0 {
+		nWorkers = 1
+	}
+	if nWorkers > x.Rows() {
+		nWorkers = x.Rows()
+	}
+	srv, net, err := newServer(cfg.Spec, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	// Standard PS partitioning: shuffle-free even row split (the federated
+	// mode instead respects locality; see TrainFederated).
+	sizes := make([]int, nWorkers)
+	workers := make([]*localWorker, nWorkers)
+	beg := 0
+	for i := 0; i < nWorkers; i++ {
+		size := x.Rows() / nWorkers
+		if i < x.Rows()%nWorkers {
+			size++
+		}
+		sizes[i] = size
+		workers[i] = &localWorker{
+			x:   x.SliceRows(beg, beg+size),
+			y:   y.SliceRows(beg, beg+size),
+			rng: rand.New(rand.NewSource(cfg.Seed + int64(i) + 1)),
+		}
+		beg += size
+	}
+	factors, weights := replication(sizes, cfg.Balance)
+	for i, w := range workers {
+		w.factor, w.weight = factors[i], weights[i]
+		w.net, err = nn.NewNetwork(cfg.Spec, rand.New(rand.NewSource(cfg.Seed)))
+		if err != nil {
+			return nil, err
+		}
+		w.opt, err = nn.NewOptimizer(cfg.Optimizer)
+		if err != nil {
+			return nil, err
+		}
+		w.pull(srv.snapshot())
+	}
+
+	res := &Result{}
+	if cfg.UpdateType == ASP {
+		trainLocalASP(cfg, srv, workers, res)
+	} else {
+		trainLocalBSP(cfg, srv, workers, res)
+	}
+	res.Network = net
+	return res, nil
+}
+
+func trainLocalBSP(cfg Config, srv *server, workers []*localWorker, res *Result) {
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		for _, w := range workers {
+			w.idx = localShuffle(w.rng, w.x.Rows(), w.factor)
+			w.pos = 0
+		}
+		for {
+			active := 0
+			var wg sync.WaitGroup
+			for _, w := range workers {
+				if w.pos >= len(w.idx) {
+					continue
+				}
+				active++
+				wg.Add(1)
+				go func(w *localWorker) {
+					defer wg.Done()
+					w.runSegment(cfg.BatchSize, cfg.SyncEvery)
+				}(w)
+			}
+			if active == 0 {
+				break
+			}
+			wg.Wait() // the BSP barrier: the server waits for all workers
+			lossSum, batchSum := 0.0, 0
+			for _, w := range workers {
+				if w.batches == 0 {
+					continue
+				}
+				srv.apply(deltas(w.net.Params(), w.base), w.weight)
+				lossSum += w.lossSum
+				batchSum += w.batches
+				w.lossSum, w.batches = 0, 0
+			}
+			snap := srv.snapshot()
+			for _, w := range workers {
+				w.pull(snap)
+			}
+			if batchSum > 0 {
+				res.Losses = append(res.Losses, lossSum/float64(batchSum))
+			}
+			res.Syncs++
+		}
+	}
+}
+
+func trainLocalASP(cfg Config, srv *server, workers []*localWorker, res *Result) {
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, w := range workers {
+		wg.Add(1)
+		go func(w *localWorker) {
+			defer wg.Done()
+			for epoch := 0; epoch < cfg.Epochs; epoch++ {
+				w.idx = localShuffle(w.rng, w.x.Rows(), w.factor)
+				w.pos = 0
+				for w.pos < len(w.idx) {
+					w.runSegment(cfg.BatchSize, cfg.SyncEvery)
+					mu.Lock()
+					srv.apply(deltas(w.net.Params(), w.base), w.weight)
+					snap := srv.snapshot()
+					if w.batches > 0 {
+						res.Losses = append(res.Losses, w.lossSum/float64(w.batches))
+					}
+					res.Syncs++
+					mu.Unlock()
+					w.lossSum, w.batches = 0, 0
+					w.pull(snap)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

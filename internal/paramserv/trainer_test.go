@@ -1,0 +1,112 @@
+package paramserv_test
+
+import (
+	"strings"
+	"testing"
+
+	"exdra/internal/data"
+	"exdra/internal/federated"
+	"exdra/internal/fedtest"
+	"exdra/internal/nn"
+	"exdra/internal/paramserv"
+	"exdra/internal/privacy"
+)
+
+// TestStreamingRefreshBetweenEpochs reproduces the §5.1 stream-ingestion
+// extension: train, slide the per-site data windows (different sizes, as a
+// retention period would produce), re-coordinate imbalance, keep training.
+func TestStreamingRefreshBetweenEpochs(t *testing.T) {
+	cl, err := fedtest.Start(fedtest.Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	x, y := data.MultiClass(61, 600, 8, 3)
+
+	// Initial snapshot: first 400 rows, evenly split.
+	fx1, err := federated.Distribute(cl.Coord, x.SliceRows(0, 400), cl.Addrs,
+		federated.RowPartitioned, privacy.Private)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := paramserv.Config{
+		Spec:      nn.FFNSpec(8, 24, 3, nn.LossSoftmaxCE),
+		Optimizer: nn.OptimizerConfig{Kind: "nesterov", LR: 0.05, Mu: 0.9},
+		Epochs:    4, BatchSize: 32, Seed: 3, Balance: true,
+	}
+	tr, err := paramserv.NewFederatedTrainer(cfg, fx1, y.SliceRows(0, 400))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.TrainEpochs(4); err != nil {
+		t.Fatal(err)
+	}
+	accBefore := tr.Result().Network.Accuracy(x, y)
+
+	// The window slides: new snapshot with imbalanced sizes (the retention
+	// period dropped more rows at site 2).
+	big, err := federated.Distribute(cl.Coord, x.SliceRows(100, 500), cl.Addrs[:1],
+		federated.RowPartitioned, privacy.Private)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := federated.Distribute(cl.Coord, x.SliceRows(500, 600), cl.Addrs[1:],
+		federated.RowPartitioned, privacy.Private)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fx2, err := federated.RBindFed(big, small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y2 := y.SliceRows(100, 600)
+	if err := tr.Refresh(fx2, y2); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.TrainEpochs(4); err != nil {
+		t.Fatal(err)
+	}
+	accAfter := tr.Result().Network.Accuracy(x, y)
+	if accAfter < 0.9 {
+		t.Fatalf("accuracy after refresh %g (before %g)", accAfter, accBefore)
+	}
+	if tr.Result().Syncs < 8 {
+		t.Fatalf("expected syncs across both phases, got %d", tr.Result().Syncs)
+	}
+}
+
+func TestRefreshValidation(t *testing.T) {
+	cl, err := fedtest.Start(fedtest.Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	x, y := data.MultiClass(62, 200, 6, 2)
+	fx, err := federated.Distribute(cl.Coord, x, cl.Addrs, federated.RowPartitioned, privacy.Private)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := paramserv.Config{
+		Spec:      nn.FFNSpec(6, 8, 2, nn.LossSoftmaxCE),
+		Optimizer: nn.OptimizerConfig{LR: 0.05},
+		Epochs:    1, BatchSize: 32, Seed: 1,
+	}
+	tr, err := paramserv.NewFederatedTrainer(cfg, fx, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Refresh with swapped sites must be rejected (sessions are bound to
+	// their sites; data locality is the point).
+	rev, err := federated.Distribute(cl.Coord, x, []string{cl.Addrs[1], cl.Addrs[0]},
+		federated.RowPartitioned, privacy.Private)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Refresh(rev, y); err == nil || !strings.Contains(err.Error(), "moved") {
+		t.Fatalf("moved partition accepted: %v", err)
+	}
+	// Label count mismatch rejected.
+	if err := tr.Refresh(fx, y.SliceRows(0, 10)); err == nil {
+		t.Fatal("label mismatch accepted")
+	}
+}

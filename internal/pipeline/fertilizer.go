@@ -1,0 +1,77 @@
+package pipeline
+
+import (
+	"fmt"
+	"sort"
+
+	"exdra/internal/algo"
+	"exdra/internal/matrix"
+	"exdra/internal/nes"
+)
+
+// FertilizerConfig configures the grinding-mill anomaly pipeline of §2.1:
+// per-site NES acquisition into file sinks, task-parallel GMM training over
+// the sink snapshots, and density-threshold anomaly scoring.
+type FertilizerConfig struct {
+	// Components is the number of GMM mixture components (default 3).
+	Components int
+	// Quantile sets the anomaly threshold at this quantile of training
+	// log-densities (default 0.02: the lowest 2% are flagged).
+	Quantile float64
+	Seed     int64
+}
+
+// FertilizerModel is a per-site ensemble of anomaly detectors.
+type FertilizerModel struct {
+	Models     []*algo.GMMResult
+	Thresholds []float64
+}
+
+// TrainFertilizer trains one GMM per site snapshot (task-parallel, as in
+// §6.3) and calibrates per-site anomaly thresholds.
+func TrainFertilizer(sinks []*nes.FileSink, cfg FertilizerConfig) (*FertilizerModel, error) {
+	if cfg.Components == 0 {
+		cfg.Components = 3
+	}
+	if cfg.Quantile == 0 {
+		cfg.Quantile = 0.02
+	}
+	snaps := make([]*matrix.Dense, len(sinks))
+	for i, s := range sinks {
+		snaps[i] = s.Snapshot()
+		if snaps[i].Rows() == 0 {
+			return nil, fmt.Errorf("pipeline: sink %d is empty", i)
+		}
+	}
+	models, err := algo.TrainGMMEnsemble(snaps, algo.GMMConfig{K: cfg.Components, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	out := &FertilizerModel{Models: models, Thresholds: make([]float64, len(models))}
+	for i, m := range models {
+		dens := m.LogDensity(snaps[i]).Data()
+		sorted := append([]float64(nil), dens...)
+		sort.Float64s(sorted)
+		idx := int(cfg.Quantile * float64(len(sorted)))
+		if idx >= len(sorted) {
+			idx = len(sorted) - 1
+		}
+		out.Thresholds[i] = sorted[idx]
+	}
+	return out, nil
+}
+
+// Score flags anomalous rows of new site data (site indexes the per-site
+// model): true where the mixture log-density falls below the calibrated
+// threshold.
+func (m *FertilizerModel) Score(site int, x *matrix.Dense) ([]bool, error) {
+	if site < 0 || site >= len(m.Models) {
+		return nil, fmt.Errorf("pipeline: no model for site %d", site)
+	}
+	dens := m.Models[site].LogDensity(x)
+	flags := make([]bool, x.Rows())
+	for i, d := range dens.Data() {
+		flags[i] = d < m.Thresholds[site]
+	}
+	return flags, nil
+}

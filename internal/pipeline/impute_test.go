@@ -1,0 +1,168 @@
+package pipeline_test
+
+import (
+	"math"
+	"testing"
+
+	"exdra/internal/federated"
+	"exdra/internal/fedtest"
+	"exdra/internal/frame"
+	"exdra/internal/matrix"
+	"exdra/internal/pipeline"
+	"exdra/internal/privacy"
+	"exdra/internal/transform"
+)
+
+func TestFederatedImputeModeAndFD(t *testing.T) {
+	cl, err := fedtest.Start(fedtest.Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	// A -> C holds across sites; site 2 holds the evidence for C3 -> Y.
+	fr := frame.MustNew(
+		frame.StringColumn("A", []string{"R101", "R101", "C3", "R101", "C3", "C3"}),
+		frame.StringColumn("C", []string{"X", "", "Y", "X", "", "Y"}),
+	)
+	ff, err := federated.DistributeFrame(cl.Coord, fr, cl.Addrs, privacy.PrivateAggregation)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Mode imputation: the global mode across both sites is X (2x) vs Y (2x)
+	// -> lexicographic tie-break X.
+	imputed, mode, err := ff.ImputeMode("C")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mode != "X" {
+		t.Fatalf("global mode %q", mode)
+	}
+	// The imputed frame stays federated; verify through a federated encode
+	// (raw rows stay untransferable; only aggregates may leave the sites).
+	spec := transform.Spec{Columns: []transform.ColumnSpec{
+		{Name: "A", Method: transform.Recode, OneHot: true},
+		{Name: "C", Method: transform.Recode, OneHot: true},
+	}}
+	fx, meta, err := imputed.TransformEncode(spec, fr.Names())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// After imputation no all-zero one-hot rows remain for C.
+	_, colSums, err := fx.ColAgg(matrix.AggSum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0.0
+	off := len(meta.RecodeKeys["A"])
+	for j := off; j < off+len(meta.RecodeKeys["C"]); j++ {
+		total += colSums.At(0, j)
+	}
+	if total != 6 {
+		t.Fatalf("C one-hot mass %g, want 6 (all rows filled)", total)
+	}
+
+	// FD imputation: A -> C maps the two NULLs to different values.
+	fdImputed, mapping, err := ff.ImputeFD("A", "C", 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mapping["R101"] != "X" || mapping["C3"] != "Y" {
+		t.Fatalf("fd mapping %v", mapping)
+	}
+	fx2, meta2, err := fdImputed.TransformEncode(spec, fr.Names())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, cs2, err := fx2.ColAgg(matrix.AggSum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// X appears 3x (rows 0,1,3) and Y 3x (rows 2,4,5) after FD imputation.
+	keys := meta2.RecodeKeys["C"]
+	offC := len(meta2.RecodeKeys["A"])
+	got := map[string]float64{}
+	for j, key := range keys {
+		got[key] = cs2.At(0, offC+j)
+	}
+	if got["X"] != 3 || got["Y"] != 3 {
+		t.Fatalf("fd-imputed distribution %v", got)
+	}
+}
+
+func TestMICEImputesCategoricalAndNumeric(t *testing.T) {
+	// Categorical class depends on the numeric features; numeric column v2
+	// depends linearly on v1.
+	n := 200
+	v1 := make([]float64, n)
+	v2 := make([]float64, n)
+	cls := make([]string, n)
+	for i := 0; i < n; i++ {
+		v1[i] = float64(i%17) - 8
+		v2[i] = 3*v1[i] + 1
+		if v1[i] > 0 {
+			cls[i] = "hi"
+		} else {
+			cls[i] = "lo"
+		}
+	}
+	// Poke holes.
+	missCls := []int{5, 40, 77}
+	missNum := []int{9, 100}
+	for _, i := range missCls {
+		cls[i] = ""
+	}
+	for _, i := range missNum {
+		v2[i] = math.NaN()
+	}
+	fr := frame.MustNew(
+		frame.FloatColumn("v1", v1),
+		frame.FloatColumn("v2", v2),
+		frame.StringColumn("class", cls),
+	)
+	out, err := pipeline.ImputeMICE(fr, pipeline.MICEConfig{
+		Columns: []string{"class", "v2"},
+		Rounds:  1,
+		Spec: transform.Spec{Columns: []transform.ColumnSpec{
+			{Name: "class", Method: transform.Recode, OneHot: true},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := out.ColumnByName("class")
+	for _, i := range missCls {
+		want := "lo"
+		if v1[i] > 0 {
+			want = "hi"
+		}
+		if c.AsString(i) != want {
+			t.Fatalf("row %d class imputed %q want %q", i, c.AsString(i), want)
+		}
+	}
+	nv := out.ColumnByName("v2")
+	for _, i := range missNum {
+		want := 3*v1[i] + 1
+		if math.Abs(nv.AsFloat(i)-want) > 0.5 {
+			t.Fatalf("row %d v2 imputed %g want %g", i, nv.AsFloat(i), want)
+		}
+	}
+	// No-missing column is a no-op.
+	same, err := pipeline.ImputeMICE(out, pipeline.MICEConfig{Columns: []string{"class"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same.ColumnByName("class").AsString(5) != c.AsString(5) {
+		t.Fatal("no-op changed data")
+	}
+}
+
+func TestMICEErrors(t *testing.T) {
+	fr := frame.MustNew(frame.StringColumn("c", []string{"", "", "x"}))
+	if _, err := pipeline.ImputeMICE(fr, pipeline.MICEConfig{Columns: []string{"c"}}); err == nil {
+		t.Fatal("too few complete rows accepted")
+	}
+	if _, err := pipeline.ImputeMICE(fr, pipeline.MICEConfig{Columns: []string{"nope"}}); err == nil {
+		t.Fatal("missing column accepted")
+	}
+}

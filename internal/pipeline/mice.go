@@ -1,0 +1,214 @@
+package pipeline
+
+import (
+	"fmt"
+	"math"
+
+	"exdra/internal/algo"
+	"exdra/internal/frame"
+	"exdra/internal/matrix"
+	"exdra/internal/transform"
+)
+
+// MICE-style imputation (multivariate imputation by chained equations,
+// §4.4 Example 4): each incomplete column is imputed by a model trained on
+// the remaining features — classification (MLogReg) for categorical
+// columns, regression (LM) for numeric ones — cycling over the columns for
+// a configured number of rounds. This model-based imputer runs on local
+// frames (e.g. per-site, or on consolidation-permitted data); the
+// aggregate-only federated imputers are ImputeMode/ImputeFD.
+
+// MICEConfig configures chained-equation imputation.
+type MICEConfig struct {
+	// Columns to impute, in chaining order.
+	Columns []string
+	// Rounds of chained passes (default 1).
+	Rounds int
+	// Spec describes how the *other* columns encode into model features.
+	Spec transform.Spec
+}
+
+// ImputeMICE returns a copy of the frame with NULLs (categorical) and NaNs
+// (numeric) of the configured columns replaced by model predictions.
+func ImputeMICE(fr *frame.Frame, cfg MICEConfig) (*frame.Frame, error) {
+	if cfg.Rounds <= 0 {
+		cfg.Rounds = 1
+	}
+	cur := fr
+	for round := 0; round < cfg.Rounds; round++ {
+		for _, col := range cfg.Columns {
+			next, err := imputeOne(cur, col, cfg.Spec)
+			if err != nil {
+				return nil, err
+			}
+			cur = next
+		}
+	}
+	return cur, nil
+}
+
+func imputeOne(fr *frame.Frame, col string, spec transform.Spec) (*frame.Frame, error) {
+	target := fr.ColumnByName(col)
+	if target == nil {
+		return nil, fmt.Errorf("pipeline: no column %q", col)
+	}
+	missing, complete := missingRows(target)
+	if len(missing) == 0 {
+		return fr, nil
+	}
+	if len(complete) < 2 {
+		return nil, fmt.Errorf("pipeline: column %q has too few complete rows", col)
+	}
+
+	// Features: every other column, encoded under a spec that excludes the
+	// target. NULLs elsewhere encode to all-zero blocks and are usable.
+	featFrame, err := dropColumn(fr, col)
+	if err != nil {
+		return nil, err
+	}
+	featSpec := transform.Spec{}
+	for _, cs := range spec.Columns {
+		if cs.Name != col {
+			featSpec.Columns = append(featSpec.Columns, cs)
+		}
+	}
+	x, _, err := transform.Encode(featFrame, featSpec)
+	if err != nil {
+		return nil, err
+	}
+	// Other still-incomplete columns contribute NaN cells; neutralize them
+	// so they cannot poison the imputation model (chained rounds refine
+	// them once those columns are imputed).
+	x = x.Replace(math.NaN(), 0)
+	xTrain := x.SelectRows(complete)
+	xMiss := x.SelectRows(missing)
+
+	switch target.Type {
+	case frame.String:
+		// Classification: codes of the complete rows.
+		codes, keys := recodeColumn(target, complete)
+		model, err := algo.MLogReg(xTrain, codes, algo.MLogRegConfig{
+			Classes: len(keys), MaxOuterIter: 5, MaxInnerIter: 5})
+		if err != nil {
+			return nil, err
+		}
+		pred, err := model.Predict(xMiss)
+		if err != nil {
+			return nil, err
+		}
+		fills := make([]string, len(missing))
+		for i := range missing {
+			c := int(pred.At(i, 0))
+			if c >= 1 && c <= len(keys) {
+				fills[i] = keys[c-1]
+			}
+		}
+		return fillCategorical(fr, col, missing, fills)
+	case frame.Float64:
+		y := matrix.NewDense(len(complete), 1)
+		for i, r := range complete {
+			y.Set(i, 0, target.AsFloat(r))
+		}
+		model, err := algo.LM(xTrain, y, algo.LMConfig{})
+		if err != nil {
+			return nil, err
+		}
+		pred, err := model.Predict(xMiss)
+		if err != nil {
+			return nil, err
+		}
+		return fillNumeric(fr, col, missing, pred)
+	default:
+		return nil, fmt.Errorf("pipeline: MICE does not support column type %v", target.Type)
+	}
+}
+
+// missingRows partitions row indices into missing and complete for a
+// column (NA flags for strings, NA or NaN for numerics).
+func missingRows(c *frame.Column) (missing, complete []int) {
+	for i := 0; i < c.Len(); i++ {
+		isMissing := c.IsNA(i)
+		if !isMissing && c.Type == frame.Float64 && math.IsNaN(c.Floats[i]) {
+			isMissing = true
+		}
+		if isMissing {
+			missing = append(missing, i)
+		} else {
+			complete = append(complete, i)
+		}
+	}
+	return missing, complete
+}
+
+func dropColumn(fr *frame.Frame, col string) (*frame.Frame, error) {
+	cols := make([]*frame.Column, 0, fr.NumCols()-1)
+	for j := 0; j < fr.NumCols(); j++ {
+		if fr.Column(j).Name != col {
+			cols = append(cols, fr.Column(j))
+		}
+	}
+	return frame.New(cols...)
+}
+
+// recodeColumn assigns contiguous codes to the complete rows' categories.
+func recodeColumn(c *frame.Column, complete []int) (*matrix.Dense, []string) {
+	tmp := frame.MustNew(&frame.Column{Name: c.Name, Type: frame.String,
+		Strings: selectStrings(c, complete)})
+	pm := transform.BuildPartial(tmp, transform.Spec{Columns: []transform.ColumnSpec{
+		{Name: c.Name, Method: transform.Recode}}})
+	meta := transform.Merge(transform.Spec{Columns: []transform.ColumnSpec{
+		{Name: c.Name, Method: transform.Recode}}}, []string{c.Name}, pm)
+	keys := meta.RecodeKeys[c.Name]
+	codes := matrix.NewDense(len(complete), 1)
+	for i, r := range complete {
+		codes.Set(i, 0, float64(meta.RecodeMaps[c.Name][c.AsString(r)]))
+	}
+	return codes, keys
+}
+
+func selectStrings(c *frame.Column, idx []int) []string {
+	out := make([]string, len(idx))
+	for i, r := range idx {
+		out[i] = c.AsString(r)
+	}
+	return out
+}
+
+func fillCategorical(fr *frame.Frame, col string, rows []int, fills []string) (*frame.Frame, error) {
+	cols := make([]*frame.Column, fr.NumCols())
+	for j := 0; j < fr.NumCols(); j++ {
+		c := fr.Column(j)
+		if c.Name != col {
+			cols[j] = c
+			continue
+		}
+		vals := make([]string, c.Len())
+		for i := 0; i < c.Len(); i++ {
+			if !c.IsNA(i) {
+				vals[i] = c.AsString(i)
+			}
+		}
+		for i, r := range rows {
+			vals[r] = fills[i]
+		}
+		cols[j] = frame.StringColumn(col, vals)
+	}
+	return frame.New(cols...)
+}
+
+func fillNumeric(fr *frame.Frame, col string, rows []int, pred *matrix.Dense) (*frame.Frame, error) {
+	cols := make([]*frame.Column, fr.NumCols())
+	for j := 0; j < fr.NumCols(); j++ {
+		c := fr.Column(j)
+		if c.Name != col {
+			cols[j] = c
+			continue
+		}
+		vals := append([]float64(nil), c.Floats...)
+		for i, r := range rows {
+			vals[r] = pred.At(i, 0)
+		}
+		cols[j] = frame.FloatColumn(col, vals)
+	}
+	return frame.New(cols...)
+}

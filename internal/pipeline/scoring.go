@@ -1,0 +1,49 @@
+package pipeline
+
+import (
+	"exdra/internal/matrix"
+	"exdra/internal/nes"
+	"exdra/internal/nn"
+)
+
+// Deployed scoring (ExDRa §2.3 deployment types and §5.1 stream-ingestion
+// extensions): a trained model is pushed down to the federated site and
+// wired into the NES continuous query as a map operator, so predictions are
+// produced at the site as the stream flows — federated scoring with
+// federated usage of scores.
+
+// ScoringOp builds a NES map operator that appends the model's prediction
+// to every tuple: the network scores the tuple's channel vector and the
+// predicted value (argmax class for softmax networks, raw output for
+// regression) is emitted as an extra trailing channel.
+func ScoringOp(net *nn.Network) nes.Op {
+	return nes.Op{
+		Kind: nes.OpMap,
+		Cost: 2, // heavier than plain maps for placement purposes
+		Fn: func(t nes.Tuple) nes.Tuple {
+			x := matrix.RowVector(t.Values)
+			var pred float64
+			if net.Spec.Loss == nn.LossSoftmaxCE {
+				pred = net.Predict(x).At(0, 0)
+			} else {
+				pred = net.Forward(x).At(0, 0)
+			}
+			out := make([]float64, len(t.Values)+1)
+			copy(out, t.Values)
+			out[len(t.Values)] = pred
+			return nes.Tuple{TS: t.TS, Values: out}
+		},
+	}
+}
+
+// AlertOp builds a NES filter that keeps only tuples whose trailing
+// prediction channel crosses the threshold — the monitoring-and-alerting
+// deployment of the production use cases (§2.3).
+func AlertOp(threshold float64) nes.Op {
+	return nes.Op{
+		Kind: nes.OpFilter,
+		Pred: func(t nes.Tuple) bool {
+			return t.Values[len(t.Values)-1] >= threshold
+		},
+	}
+}

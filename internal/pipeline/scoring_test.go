@@ -1,0 +1,121 @@
+package pipeline_test
+
+import (
+	"bytes"
+	"testing"
+
+	"exdra/internal/data"
+	"exdra/internal/nes"
+	"exdra/internal/nn"
+	"exdra/internal/paramserv"
+	"exdra/internal/pipeline"
+)
+
+func TestNetworkSaveLoadRoundTrip(t *testing.T) {
+	x, y := data.MultiClass(41, 300, 8, 3)
+	res, err := paramserv.TrainLocal(paramserv.Config{
+		Spec:      nn.FFNSpec(8, 16, 3, nn.LossSoftmaxCE),
+		Optimizer: nn.OptimizerConfig{Kind: "nesterov", LR: 0.05, Mu: 0.9},
+		Epochs:    6, BatchSize: 32, Seed: 1,
+	}, x, y, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.Network.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := nn.Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !loaded.Forward(x).EqualApprox(res.Network.Forward(x), 1e-12) {
+		t.Fatal("loaded network predicts differently")
+	}
+	// File round trip.
+	path := t.TempDir() + "/model.bin"
+	if err := res.Network.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	fromFile, err := nn.LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromFile.Accuracy(x, y) != res.Network.Accuracy(x, y) {
+		t.Fatal("file round trip")
+	}
+	if _, err := nn.Load(bytes.NewReader([]byte("junk"))); err == nil {
+		t.Fatal("junk model accepted")
+	}
+}
+
+func TestDeployedScoringPipeline(t *testing.T) {
+	// Train a classifier, deploy it into a NES continuous query, and
+	// verify the stream carries per-tuple predictions plus alerts.
+	x, y := data.MultiClass(42, 400, 6, 2)
+	res, err := paramserv.TrainLocal(paramserv.Config{
+		Spec:      nn.FFNSpec(6, 16, 2, nn.LossSoftmaxCE),
+		Optimizer: nn.OptimizerConfig{Kind: "nesterov", LR: 0.05, Mu: 0.9},
+		Epochs:    8, BatchSize: 32, Seed: 2,
+	}, x, y, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := res.Network.Accuracy(x, y); acc < 0.9 {
+		t.Fatalf("model too weak for the scoring test: %g", acc)
+	}
+
+	in := nes.NewInstance([]*nes.Node{{ID: "edge", Capacity: 8}})
+	scored, err := nes.NewFileSink("", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alerts, err := nes.NewFileSink("", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.RegisterSink("scored", scored)
+	in.RegisterSink("alerts", alerts)
+	in.RegisterSource("live", func() nes.Source { return nes.NewMatrixSource(x) })
+
+	if _, err := in.Deploy(&nes.Query{
+		Name: "score", Source: "live",
+		Ops:      []nes.Op{pipeline.ScoringOp(res.Network)},
+		SinkName: "scored",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	snap := scored.Snapshot()
+	if snap.Cols() != 7 {
+		t.Fatalf("scored tuples have %d channels, want 7", snap.Cols())
+	}
+	// Stream predictions match batch predictions.
+	batch := res.Network.Predict(x)
+	agree := 0
+	for i := 0; i < snap.Rows(); i++ {
+		if snap.At(i, 6) == batch.At(i, 0) {
+			agree++
+		}
+	}
+	if agree != snap.Rows() {
+		t.Fatalf("stream/batch prediction mismatch: %d/%d", agree, snap.Rows())
+	}
+
+	// Alerting keeps only class-2 predictions.
+	if _, err := in.Deploy(&nes.Query{
+		Name: "alert", Source: "live",
+		Ops:      []nes.Op{pipeline.ScoringOp(res.Network), pipeline.AlertOp(2)},
+		SinkName: "alerts",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	asnap := alerts.Snapshot()
+	if asnap.Rows() == 0 || asnap.Rows() >= snap.Rows() {
+		t.Fatalf("alert count %d of %d", asnap.Rows(), snap.Rows())
+	}
+	for i := 0; i < asnap.Rows(); i++ {
+		if asnap.At(i, 6) < 2 {
+			t.Fatal("alert below threshold passed the filter")
+		}
+	}
+}

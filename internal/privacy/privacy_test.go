@@ -1,0 +1,109 @@
+package privacy
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestLevelOrderingAndMax(t *testing.T) {
+	if Max(Public, Private) != Private || Max(PrivateAggregation, Public) != PrivateAggregation {
+		t.Fatal("Max")
+	}
+	if Public.String() != "Public" || Private.String() != "Private" {
+		t.Fatal("String")
+	}
+}
+
+func TestPropagation(t *testing.T) {
+	cases := []struct {
+		kind OpKind
+		in   Level
+		want Level
+	}{
+		{Transparent, Public, Public},
+		{Transparent, PrivateAggregation, PrivateAggregation},
+		{Transparent, Private, Private},
+		{Aggregating, Public, Public},
+		{Aggregating, PrivateAggregation, Public}, // declassified
+		{Aggregating, Private, Private},           // never declassified
+	}
+	for _, c := range cases {
+		if got := Propagate(c.kind, c.in); got != c.want {
+			t.Errorf("Propagate(%v, %v) = %v want %v", c.kind, c.in, got, c.want)
+		}
+	}
+}
+
+func TestCheckTransfer(t *testing.T) {
+	if err := CheckTransfer(Public, "x"); err != nil {
+		t.Fatal("public blocked")
+	}
+	err := CheckTransfer(Private, "matrix 3x3")
+	if err == nil {
+		t.Fatal("private allowed")
+	}
+	var v *ErrViolation
+	if !asViolation(err, &v) || v.Level != Private {
+		t.Fatalf("error type: %v", err)
+	}
+}
+
+func asViolation(err error, out **ErrViolation) bool {
+	v, ok := err.(*ErrViolation)
+	if ok {
+		*out = v
+	}
+	return ok
+}
+
+func TestLaplaceMechanismStatistics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const n = 20000
+	eps, sens := 1.0, 2.0
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := LaplaceMechanism(rng, 10, sens, eps)
+		d := v - 10
+		sum += d
+		sumSq += d * d
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	wantVar := 2 * (sens / eps) * (sens / eps) // Var(Laplace(b)) = 2b^2
+	if math.Abs(mean) > 0.1 {
+		t.Fatalf("biased noise: mean %g", mean)
+	}
+	if math.Abs(variance-wantVar)/wantVar > 0.15 {
+		t.Fatalf("variance %g want %g", variance, wantVar)
+	}
+}
+
+func TestGaussianMechanismStatistics(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const n = 20000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += GaussianMechanism(rng, 0, 1, 1, 1e-5)
+	}
+	if math.Abs(sum/n) > 0.2 {
+		t.Fatalf("biased gaussian noise: %g", sum/n)
+	}
+}
+
+func TestMechanismPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	mustPanic(t, func() { LaplaceMechanism(rng, 0, 1, 0) })
+	mustPanic(t, func() { GaussianMechanism(rng, 0, 1, 0, 0.1) })
+	mustPanic(t, func() { GaussianMechanism(rng, 0, 1, 1, 1.5) })
+}
+
+func mustPanic(t *testing.T, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	fn()
+}

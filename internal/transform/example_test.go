@@ -1,0 +1,36 @@
+package transform_test
+
+import (
+	"fmt"
+
+	"exdra/internal/frame"
+	"exdra/internal/transform"
+)
+
+// Example_federatedTwoPass shows the two-pass transformencode of Figure 3:
+// per-site partial metadata, a coordinator-side merge assigning consistent
+// codes, and per-site application.
+func Example_federatedTwoPass() {
+	site1 := frame.MustNew(frame.StringColumn("A", []string{"R101", "C7"}))
+	site2 := frame.MustNew(frame.StringColumn("A", []string{"C5", "R101"}))
+	spec := transform.Spec{Columns: []transform.ColumnSpec{
+		{Name: "A", Method: transform.Recode, OneHot: true},
+	}}
+
+	// Pass 1 at each site, merge at the coordinator.
+	p1 := transform.BuildPartial(site1, spec)
+	p2 := transform.BuildPartial(site2, spec)
+	meta := transform.Merge(spec, []string{"A"}, p1, p2)
+	fmt.Println("global categories:", meta.RecodeKeys["A"])
+
+	// Pass 2: both sites encode under the merged metadata — consistent
+	// feature positions even for categories a site never saw.
+	x1, _ := transform.Apply(site1, meta)
+	x2, _ := transform.Apply(site2, meta)
+	fmt.Println("site1 row0:", x1.Row(0))
+	fmt.Println("site2 row1:", x2.Row(1))
+	// Output:
+	// global categories: [C5 C7 R101]
+	// site1 row0: [0 0 1]
+	// site2 row1: [0 0 1]
+}

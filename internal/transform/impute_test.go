@@ -1,0 +1,118 @@
+package transform
+
+import (
+	"testing"
+
+	"exdra/internal/frame"
+)
+
+func imputeFrame() *frame.Frame {
+	// Mirrors Example 4: A -> C dependency with NULLs in C.
+	return frame.MustNew(
+		frame.StringColumn("A", []string{"R101", "R101", "C7", "R101", "C3", "C3"}),
+		frame.StringColumn("C", []string{"X", "", "Z", "X", "", "Y"}),
+	)
+}
+
+func TestCategoryCountsAndMode(t *testing.T) {
+	f := imputeFrame()
+	counts, err := CategoryCounts(f, "C")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts["X"] != 2 || counts["Z"] != 1 || counts["Y"] != 1 {
+		t.Fatalf("counts %v", counts)
+	}
+	mode, ok := Mode(counts)
+	if !ok || mode != "X" {
+		t.Fatalf("mode %q", mode)
+	}
+	if _, err := CategoryCounts(f, "missing"); err == nil {
+		t.Fatal("missing column accepted")
+	}
+	if _, ok := Mode(map[string]int{}); ok {
+		t.Fatal("empty mode")
+	}
+	// Deterministic tie-break: lexicographically smallest wins.
+	m, _ := Mode(map[string]int{"b": 2, "a": 2})
+	if m != "a" {
+		t.Fatalf("tie break %q", m)
+	}
+}
+
+func TestMergeCounts(t *testing.T) {
+	merged := MergeCounts(map[string]int{"x": 1}, map[string]int{"x": 2, "y": 3})
+	if merged["x"] != 3 || merged["y"] != 3 {
+		t.Fatalf("merge %v", merged)
+	}
+}
+
+func TestImputeMode(t *testing.T) {
+	f := imputeFrame()
+	counts, _ := CategoryCounts(f, "C")
+	mode, _ := Mode(counts)
+	out, err := ImputeMode(f, "C", mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := out.ColumnByName("C")
+	if c.AsString(1) != "X" || c.AsString(4) != "X" {
+		t.Fatal("NULLs not filled with mode")
+	}
+	if c.AsString(0) != "X" || c.AsString(2) != "Z" {
+		t.Fatal("present values changed")
+	}
+	// Original frame untouched.
+	if !f.ColumnByName("C").IsNA(1) {
+		t.Fatal("input mutated")
+	}
+	// Numeric target rejected.
+	nf := frame.MustNew(frame.FloatColumn("v", []float64{1}))
+	if _, err := ImputeMode(nf, "v", "x"); err == nil {
+		t.Fatal("numeric target accepted")
+	}
+}
+
+func TestPairCountsAndFDMapping(t *testing.T) {
+	f := imputeFrame()
+	pairs, err := PairCounts(f, "A", "C")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pairs["R101"]["X"] != 2 || pairs["C3"]["Y"] != 1 {
+		t.Fatalf("pairs %v", pairs)
+	}
+	mapping := FDMapping(MergePairCounts(pairs), 0.5)
+	if mapping["R101"] != "X" || mapping["C7"] != "Z" || mapping["C3"] != "Y" {
+		t.Fatalf("mapping %v", mapping)
+	}
+	// Low support drops noisy left values.
+	noisy := map[string]map[string]int{"a": {"x": 1, "y": 1, "z": 1}}
+	if m := FDMapping(noisy, 0.9); len(m) != 0 {
+		t.Fatalf("noisy mapping kept: %v", m)
+	}
+}
+
+func TestImputeFD(t *testing.T) {
+	f := imputeFrame()
+	pairs, _ := PairCounts(f, "A", "C")
+	mapping := FDMapping(pairs, 0.5)
+	out, err := ImputeFD(f, "A", "C", mapping)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := out.ColumnByName("C")
+	// Row 1 has A=R101 -> X; row 4 has A=C3 -> Y (per Example 4: the two
+	// NULLs impute to different values under the dependency).
+	if c.AsString(1) != "X" || c.AsString(4) != "Y" {
+		t.Fatalf("FD imputation: %q %q", c.AsString(1), c.AsString(4))
+	}
+	// Unmapped left values leave the cell NULL.
+	sparse, err := ImputeFD(f, "A", "C", map[string]string{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sparse.ColumnByName("C").IsNA(1) {
+		t.Fatal("unmapped value filled")
+	}
+}

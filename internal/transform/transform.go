@@ -1,0 +1,413 @@
+// Package transform implements the feature transformations of ExDRa §4.4:
+// recoding (categories to integers), equi-width binning (numeric values to
+// integers), one-hot encoding (integers to sparse boolean vectors), feature
+// hashing (categories to upper-bounded integers, potentially with
+// collisions), and pass-through numeric columns.
+//
+// The API is deliberately split into the two passes the federated
+// transformencode uses (Figure 3 of the paper): BuildPartial computes
+// per-site metadata (distinct items, min/max), Merge consolidates and sorts
+// it at the coordinator and assigns contiguous codes, and Apply encodes a
+// frame under the global metadata. Encode composes all three for local use.
+package transform
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+
+	"exdra/internal/frame"
+	"exdra/internal/matrix"
+)
+
+// Method enumerates how a column is transformed.
+type Method int
+
+// Supported per-column transformation methods.
+const (
+	// PassThrough keeps a numeric column unmodified.
+	PassThrough Method = iota
+	// Recode maps categories to contiguous integer codes.
+	Recode
+	// Bin maps numeric values to equi-width bin indices.
+	Bin
+	// Hash maps categories to hash buckets 1..K (collisions possible).
+	Hash
+)
+
+// ColumnSpec describes the transformation of one input column. OneHot
+// additionally expands the integer codes into indicator columns; it is valid
+// for Recode, Bin, and Hash columns.
+type ColumnSpec struct {
+	Name    string
+	Method  Method
+	OneHot  bool
+	NumBins int // Bin only
+	K       int // Hash only: number of buckets
+}
+
+// Spec describes a full transformencode over a frame. Columns of the input
+// frame not mentioned in Columns are passed through as numeric features.
+type Spec struct {
+	Columns []ColumnSpec
+}
+
+// forCol returns the spec for a column name, defaulting to pass-through.
+func (s Spec) forCol(name string) ColumnSpec {
+	for _, c := range s.Columns {
+		if c.Name == name {
+			return c
+		}
+	}
+	return ColumnSpec{Name: name, Method: PassThrough}
+}
+
+// PartialMeta is the per-site metadata of pass one: distinct categories for
+// recoded columns and min/max for binned columns. It is gob-friendly so the
+// federated runtime can ship it between workers and coordinator.
+type PartialMeta struct {
+	Distinct map[string][]string
+	Mins     map[string]float64
+	Maxs     map[string]float64
+	Rows     int
+}
+
+// BuildPartial scans a frame and computes the partial metadata for spec.
+func BuildPartial(f *frame.Frame, spec Spec) PartialMeta {
+	pm := PartialMeta{
+		Distinct: map[string][]string{},
+		Mins:     map[string]float64{},
+		Maxs:     map[string]float64{},
+		Rows:     f.NumRows(),
+	}
+	for j := 0; j < f.NumCols(); j++ {
+		col := f.Column(j)
+		cs := spec.forCol(col.Name)
+		switch cs.Method {
+		case Recode:
+			set := map[string]bool{}
+			for i := 0; i < col.Len(); i++ {
+				if col.IsNA(i) {
+					continue
+				}
+				set[col.AsString(i)] = true
+			}
+			items := make([]string, 0, len(set))
+			for v := range set {
+				items = append(items, v)
+			}
+			sort.Strings(items)
+			pm.Distinct[col.Name] = items
+		case Bin:
+			mn, mx := math.Inf(1), math.Inf(-1)
+			for i := 0; i < col.Len(); i++ {
+				if col.IsNA(i) {
+					continue
+				}
+				v := col.AsFloat(i)
+				if v < mn {
+					mn = v
+				}
+				if v > mx {
+					mx = v
+				}
+			}
+			pm.Mins[col.Name] = mn
+			pm.Maxs[col.Name] = mx
+		}
+	}
+	return pm
+}
+
+// Meta is the consolidated, global encoder metadata: recode maps with
+// contiguous codes, bin boundaries, and the derived output layout.
+type Meta struct {
+	Spec       Spec
+	RecodeMaps map[string]map[string]int // column -> category -> 1-based code
+	RecodeKeys map[string][]string       // column -> categories in code order
+	BinMins    map[string]float64
+	BinWidths  map[string]float64
+	ColOrder   []string // input column order
+}
+
+// widthOf returns the number of output columns an input column expands to.
+func (m *Meta) widthOf(name string) int {
+	cs := m.Spec.forCol(name)
+	if !cs.OneHot {
+		return 1
+	}
+	switch cs.Method {
+	case Recode:
+		return len(m.RecodeKeys[name])
+	case Bin:
+		return m.numBinsOf(cs)
+	case Hash:
+		return cs.K
+	default:
+		return 1
+	}
+}
+
+// Merge consolidates partial metadata from all sites: distinct items are
+// merged and sorted before assigning contiguous codes (ensuring consistent
+// feature positions at every site), and global bin boundaries are computed
+// from the global min/max.
+func Merge(spec Spec, colOrder []string, parts ...PartialMeta) *Meta {
+	m := &Meta{
+		Spec:       spec,
+		RecodeMaps: map[string]map[string]int{},
+		RecodeKeys: map[string][]string{},
+		BinMins:    map[string]float64{},
+		BinWidths:  map[string]float64{},
+		ColOrder:   colOrder,
+	}
+	for _, name := range colOrder {
+		cs := spec.forCol(name)
+		switch cs.Method {
+		case Recode:
+			set := map[string]bool{}
+			for _, p := range parts {
+				for _, v := range p.Distinct[name] {
+					set[v] = true
+				}
+			}
+			keys := make([]string, 0, len(set))
+			for v := range set {
+				keys = append(keys, v)
+			}
+			sort.Strings(keys)
+			codes := make(map[string]int, len(keys))
+			for i, v := range keys {
+				codes[v] = i + 1
+			}
+			m.RecodeMaps[name] = codes
+			m.RecodeKeys[name] = keys
+		case Bin:
+			mn, mx := math.Inf(1), math.Inf(-1)
+			for _, p := range parts {
+				if v, ok := p.Mins[name]; ok && v < mn {
+					mn = v
+				}
+				if v, ok := p.Maxs[name]; ok && v > mx {
+					mx = v
+				}
+			}
+			nb := cs.NumBins
+			if nb < 1 {
+				nb = 1
+			}
+			width := (mx - mn) / float64(nb)
+			if width <= 0 {
+				width = 1
+			}
+			m.BinMins[name] = mn
+			m.BinWidths[name] = width
+		}
+	}
+	return m
+}
+
+// NumOutputCols returns the width of the encoded matrix.
+func (m *Meta) NumOutputCols() int {
+	total := 0
+	for _, name := range m.ColOrder {
+		total += m.widthOf(name)
+	}
+	return total
+}
+
+// outputOffsets returns the starting output column per input column.
+func (m *Meta) outputOffsets() map[string]int {
+	off := map[string]int{}
+	cur := 0
+	for _, name := range m.ColOrder {
+		off[name] = cur
+		cur += m.widthOf(name)
+	}
+	return off
+}
+
+// hashBucket returns the 1-based hash bucket of value for K buckets, using
+// an agreed (FNV-1a) hash function so all sites encode identically without
+// metadata exchange.
+func hashBucket(value string, k int) int {
+	h := fnv.New32a()
+	h.Write([]byte(value))
+	return int(h.Sum32()%uint32(k)) + 1
+}
+
+// code returns the 1-based integer code of cell i in col under the metadata,
+// or 0 for NULLs and unseen categories (which one-hot to all-zero rows as in
+// Figure 3 of the paper).
+func (m *Meta) code(col *frame.Column, cs ColumnSpec, i int) int {
+	if col.IsNA(i) {
+		return 0
+	}
+	switch cs.Method {
+	case Recode:
+		return m.RecodeMaps[col.Name][col.AsString(i)]
+	case Bin:
+		v := col.AsFloat(i)
+		nb := m.numBinsOf(cs)
+		b := int((v-m.BinMins[col.Name])/m.BinWidths[col.Name]) + 1
+		if b < 1 {
+			b = 1
+		}
+		if b > nb {
+			b = nb
+		}
+		return b
+	case Hash:
+		return hashBucket(col.AsString(i), cs.K)
+	}
+	return 0
+}
+
+func (m *Meta) numBinsOf(cs ColumnSpec) int {
+	if cs.NumBins < 1 {
+		return 1
+	}
+	return cs.NumBins
+}
+
+// Apply encodes a frame under global metadata, returning the numeric
+// feature matrix (transformapply semantics).
+func Apply(f *frame.Frame, m *Meta) (*matrix.Dense, error) {
+	if f.NumCols() != len(m.ColOrder) {
+		return nil, fmt.Errorf("transform: frame has %d columns, metadata %d", f.NumCols(), len(m.ColOrder))
+	}
+	offs := m.outputOffsets()
+	out := matrix.NewDense(f.NumRows(), m.NumOutputCols())
+	for j := 0; j < f.NumCols(); j++ {
+		col := f.Column(j)
+		if col.Name != m.ColOrder[j] {
+			return nil, fmt.Errorf("transform: column %d is %q, metadata expects %q", j, col.Name, m.ColOrder[j])
+		}
+		cs := m.Spec.forCol(col.Name)
+		off := offs[col.Name]
+		switch {
+		case cs.Method == PassThrough:
+			for i := 0; i < col.Len(); i++ {
+				out.Set(i, off, col.AsFloat(i))
+			}
+		case cs.OneHot:
+			for i := 0; i < col.Len(); i++ {
+				if c := m.code(col, cs, i); c > 0 {
+					out.Set(i, off+c-1, 1)
+				}
+			}
+		default:
+			for i := 0; i < col.Len(); i++ {
+				out.Set(i, off, float64(m.code(col, cs, i)))
+			}
+		}
+	}
+	return out, nil
+}
+
+// Encode runs the full local transformencode: build, merge, apply. It
+// returns the encoded matrix and the global metadata.
+func Encode(f *frame.Frame, spec Spec) (*matrix.Dense, *Meta, error) {
+	pm := BuildPartial(f, spec)
+	m := Merge(spec, f.Names(), pm)
+	x, err := Apply(f, m)
+	return x, m, err
+}
+
+// Decode inverts the encoding for recoded (and one-hot recoded) columns,
+// reconstructing a frame of category strings and numeric values
+// (transformdecode semantics). Hash and bin columns decode to their integer
+// codes since the original values are not recoverable.
+func Decode(x *matrix.Dense, m *Meta) (*frame.Frame, error) {
+	if x.Cols() != m.NumOutputCols() {
+		return nil, fmt.Errorf("transform: matrix has %d cols, metadata %d", x.Cols(), m.NumOutputCols())
+	}
+	offs := m.outputOffsets()
+	cols := make([]*frame.Column, 0, len(m.ColOrder))
+	for _, name := range m.ColOrder {
+		cs := m.Spec.forCol(name)
+		off := offs[name]
+		n := x.Rows()
+		switch cs.Method {
+		case PassThrough:
+			vals := make([]float64, n)
+			for i := 0; i < n; i++ {
+				vals[i] = x.At(i, off)
+			}
+			cols = append(cols, frame.FloatColumn(name, vals))
+		case Recode:
+			keys := m.RecodeKeys[name]
+			vals := make([]string, n)
+			for i := 0; i < n; i++ {
+				code := m.readCode(x, i, off, cs)
+				if code >= 1 && code <= len(keys) {
+					vals[i] = keys[code-1]
+				}
+			}
+			cols = append(cols, frame.StringColumn(name, vals))
+		default: // Bin, Hash: decode to code integers
+			vals := make([]int64, n)
+			for i := 0; i < n; i++ {
+				vals[i] = int64(m.readCode(x, i, off, cs))
+			}
+			cols = append(cols, frame.IntColumn(name, vals))
+		}
+	}
+	return frame.New(cols...)
+}
+
+// readCode extracts the integer code from either the single code column or
+// the one-hot block starting at off.
+func (m *Meta) readCode(x *matrix.Dense, i, off int, cs ColumnSpec) int {
+	if !cs.OneHot {
+		return int(math.Round(x.At(i, off)))
+	}
+	width := m.widthOf(cs.Name)
+	for k := 0; k < width; k++ {
+		if x.At(i, off+k) != 0 {
+			return k + 1
+		}
+	}
+	return 0
+}
+
+// MetaFrame renders the metadata as a frame (column, kind, token, code) —
+// the "local metadata frame" output of federated transformencode.
+func (m *Meta) MetaFrame() *frame.Frame {
+	var colNames, kinds, tokens []string
+	var codes []int64
+	for _, name := range m.ColOrder {
+		cs := m.Spec.forCol(name)
+		switch cs.Method {
+		case Recode:
+			for i, key := range m.RecodeKeys[name] {
+				colNames = append(colNames, name)
+				kinds = append(kinds, "recode")
+				tokens = append(tokens, key)
+				codes = append(codes, int64(i+1))
+			}
+		case Bin:
+			nb := m.numBinsOf(cs)
+			for b := 1; b <= nb; b++ {
+				lo := m.BinMins[name] + float64(b-1)*m.BinWidths[name]
+				hi := lo + m.BinWidths[name]
+				colNames = append(colNames, name)
+				kinds = append(kinds, "bin")
+				tokens = append(tokens, fmt.Sprintf("[%g,%g)", lo, hi))
+				codes = append(codes, int64(b))
+			}
+		case Hash:
+			colNames = append(colNames, name)
+			kinds = append(kinds, "hash")
+			tokens = append(tokens, fmt.Sprintf("K=%d", cs.K))
+			codes = append(codes, int64(cs.K))
+		}
+	}
+	return frame.MustNew(
+		frame.StringColumn("column", colNames),
+		frame.StringColumn("kind", kinds),
+		frame.StringColumn("token", tokens),
+		frame.IntColumn("code", codes),
+	)
+}

@@ -1,0 +1,310 @@
+package transform
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"exdra/internal/frame"
+)
+
+func specABC() Spec {
+	return Spec{Columns: []ColumnSpec{
+		{Name: "A", Method: Recode, OneHot: true},
+		{Name: "B", Method: Bin, NumBins: 3, OneHot: true},
+		{Name: "C", Method: Recode, OneHot: true},
+	}}
+}
+
+// site1 and site2 reproduce the federated input frames of Figure 3.
+func site1() *frame.Frame {
+	return frame.MustNew(
+		frame.StringColumn("A", []string{"R101", "R101", "C7", "R101", "C3", "R102"}),
+		frame.FloatColumn("B", []float64{2100, 4350, 5500, 2500, 4900, 5200}),
+		frame.StringColumn("C", []string{"X", "", "Z", "X", "Z", "Y"}),
+	)
+}
+
+func site2() *frame.Frame {
+	return frame.MustNew(
+		frame.StringColumn("A", []string{"C5", "C91", "C5", "R101", "C5", "R101"}),
+		frame.FloatColumn("B", []float64{3500, 2600, 4400, 5400, 1900, 5200}),
+		frame.StringColumn("C", []string{"Z", "Z", "Z", "X", "", "X"}),
+	)
+}
+
+func TestFigure3FederatedEncode(t *testing.T) {
+	spec := specABC()
+	p1 := BuildPartial(site1(), spec)
+	p2 := BuildPartial(site2(), spec)
+	m := Merge(spec, site1().Names(), p1, p2)
+
+	// Global distinct categories of A across both sites, sorted.
+	wantA := []string{"C3", "C5", "C7", "C91", "R101", "R102"}
+	gotA := m.RecodeKeys["A"]
+	if len(gotA) != len(wantA) {
+		t.Fatalf("A categories: %v", gotA)
+	}
+	for i := range wantA {
+		if gotA[i] != wantA[i] {
+			t.Fatalf("A categories: %v", gotA)
+		}
+	}
+	// Global bin range is [1900, 5500] -> width 1200.
+	if m.BinMins["B"] != 1900 || math.Abs(m.BinWidths["B"]-1200) > 1e-9 {
+		t.Fatalf("bin min=%g width=%g", m.BinMins["B"], m.BinWidths["B"])
+	}
+	// Output layout: 6 (A) + 3 (B) + 3 (C) columns.
+	if m.NumOutputCols() != 12 {
+		t.Fatalf("output cols %d", m.NumOutputCols())
+	}
+
+	x1, err := Apply(site1(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x2, err := Apply(site2(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x1.Cols() != 12 || x2.Cols() != 12 {
+		t.Fatal("encoded widths differ")
+	}
+	// Row 0 of site1: A=R101 (code 5), B=2100 (bin 1), C=X (code 1).
+	if x1.At(0, 4) != 1 || x1.At(0, 6) != 1 || x1.At(0, 9) != 1 {
+		t.Fatalf("site1 row0: %v", x1.SliceRows(0, 1))
+	}
+	// NULL in C of site1 row 1 must one-hot to all zeros in the C block.
+	for k := 9; k < 12; k++ {
+		if x1.At(1, k) != 0 {
+			t.Fatal("NULL category must encode to all-zero one-hot")
+		}
+	}
+	// Categories absent at a site (e.g. C91 only at site2) still occupy a
+	// column at site1 (all zero) for consistent feature positions.
+	colC91 := 3 // A block is cols 0..5 in sorted order; C91 is index 3
+	for i := 0; i < x1.Rows(); i++ {
+		if x1.At(i, colC91) != 0 {
+			t.Fatal("C91 column should be all-zero at site1")
+		}
+	}
+	found := false
+	for i := 0; i < x2.Rows(); i++ {
+		if x2.At(i, colC91) == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("C91 not encoded at site2")
+	}
+}
+
+func TestFederatedEqualsLocalEncoding(t *testing.T) {
+	// Encoding the union locally must equal rbind of per-site encodings
+	// under merged metadata (the paper's "equivalent to local encoding").
+	spec := specABC()
+	union, err := frame.RBind(site1(), site2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	xLocal, _, err := Encode(union, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1 := BuildPartial(site1(), spec)
+	p2 := BuildPartial(site2(), spec)
+	m := Merge(spec, site1().Names(), p1, p2)
+	x1, _ := Apply(site1(), m)
+	x2, _ := Apply(site2(), m)
+	if x1.Rows()+x2.Rows() != xLocal.Rows() {
+		t.Fatal("row counts differ")
+	}
+	for i := 0; i < x1.Rows(); i++ {
+		for j := 0; j < x1.Cols(); j++ {
+			if x1.At(i, j) != xLocal.At(i, j) {
+				t.Fatalf("cell (%d,%d) differs", i, j)
+			}
+		}
+	}
+	for i := 0; i < x2.Rows(); i++ {
+		for j := 0; j < x2.Cols(); j++ {
+			if x2.At(i, j) != xLocal.At(x1.Rows()+i, j) {
+				t.Fatalf("site2 cell (%d,%d) differs", i, j)
+			}
+		}
+	}
+}
+
+func TestRecodeWithoutOneHot(t *testing.T) {
+	f := frame.MustNew(frame.StringColumn("A", []string{"b", "a", "b"}))
+	x, m, err := Encode(f, Spec{Columns: []ColumnSpec{{Name: "A", Method: Recode}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.Cols() != 1 || x.At(0, 0) != 2 || x.At(1, 0) != 1 {
+		t.Fatalf("recode codes: %v", x)
+	}
+	if m.RecodeMaps["A"]["a"] != 1 {
+		t.Fatal("code assignment")
+	}
+}
+
+func TestBinningClampsOutOfRange(t *testing.T) {
+	f := frame.MustNew(frame.FloatColumn("B", []float64{0, 5, 10}))
+	_, m, err := Encode(f, Spec{Columns: []ColumnSpec{{Name: "B", Method: Bin, NumBins: 2}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Apply to unseen data beyond the training range: codes clamp to [1, nb].
+	f2 := frame.MustNew(frame.FloatColumn("B", []float64{-100, 100}))
+	x2, err := Apply(f2, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x2.At(0, 0) != 1 || x2.At(1, 0) != 2 {
+		t.Fatalf("clamping: %v", x2)
+	}
+}
+
+func TestConstantColumnBinning(t *testing.T) {
+	f := frame.MustNew(frame.FloatColumn("B", []float64{5, 5, 5}))
+	x, _, err := Encode(f, Spec{Columns: []ColumnSpec{{Name: "B", Method: Bin, NumBins: 3}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if x.At(i, 0) != 1 {
+			t.Fatal("constant column should land in bin 1")
+		}
+	}
+}
+
+func TestFeatureHashingNeedsNoMetadataExchange(t *testing.T) {
+	spec := Spec{Columns: []ColumnSpec{{Name: "A", Method: Hash, K: 4, OneHot: true}}}
+	f1 := frame.MustNew(frame.StringColumn("A", []string{"x", "y"}))
+	f2 := frame.MustNew(frame.StringColumn("A", []string{"y", "z"}))
+	// Two sites merging no partials at all still encode consistently.
+	m1 := Merge(spec, f1.Names())
+	m2 := Merge(spec, f2.Names())
+	x1, _ := Apply(f1, m1)
+	x2, _ := Apply(f2, m2)
+	// "y" hashes to the same bucket at both sites.
+	var b1, b2 int
+	for j := 0; j < 4; j++ {
+		if x1.At(1, j) == 1 {
+			b1 = j
+		}
+		if x2.At(0, j) == 1 {
+			b2 = j
+		}
+	}
+	if b1 != b2 {
+		t.Fatal("hash encoding differs across sites")
+	}
+	if x1.Cols() != 4 {
+		t.Fatal("hash one-hot width")
+	}
+}
+
+func TestPassThroughAndMixedLayout(t *testing.T) {
+	f := frame.MustNew(
+		frame.FloatColumn("num", []float64{1.5, 2.5}),
+		frame.StringColumn("cat", []string{"a", "b"}),
+	)
+	x, m, err := Encode(f, Spec{Columns: []ColumnSpec{{Name: "cat", Method: Recode, OneHot: true}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.Cols() != 3 {
+		t.Fatalf("cols %d", x.Cols())
+	}
+	if x.At(0, 0) != 1.5 || x.At(1, 0) != 2.5 {
+		t.Fatal("pass-through column")
+	}
+	if m.NumOutputCols() != 3 {
+		t.Fatal("NumOutputCols")
+	}
+}
+
+func TestDecodeRoundTrip(t *testing.T) {
+	f := frame.MustNew(
+		frame.StringColumn("A", []string{"r", "s", "r", "t"}),
+		frame.FloatColumn("num", []float64{1, 2, 3, 4}),
+	)
+	for _, oneHot := range []bool{false, true} {
+		spec := Spec{Columns: []ColumnSpec{{Name: "A", Method: Recode, OneHot: oneHot}}}
+		x, m, err := Encode(f, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Decode(x, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 4; i++ {
+			if got.Column(0).AsString(i) != f.Column(0).AsString(i) {
+				t.Fatalf("oneHot=%v decode row %d: %q", oneHot, i, got.Column(0).AsString(i))
+			}
+			if got.Column(1).AsFloat(i) != f.Column(1).AsFloat(i) {
+				t.Fatal("numeric decode")
+			}
+		}
+	}
+}
+
+func TestMetaFrame(t *testing.T) {
+	spec := specABC()
+	p := BuildPartial(site1(), spec)
+	m := Merge(spec, site1().Names(), p)
+	mf := m.MetaFrame()
+	if mf.NumRows() == 0 || mf.NumCols() != 4 {
+		t.Fatalf("meta frame %dx%d", mf.NumRows(), mf.NumCols())
+	}
+	// First rows describe column A's recode map.
+	if mf.Column(0).AsString(0) != "A" || mf.Column(1).AsString(0) != "recode" {
+		t.Fatal("meta frame content")
+	}
+}
+
+func TestApplyErrors(t *testing.T) {
+	f := frame.MustNew(frame.StringColumn("A", []string{"a"}))
+	other := frame.MustNew(frame.StringColumn("Z", []string{"a"}))
+	_, m, err := Encode(f, Spec{Columns: []ColumnSpec{{Name: "A", Method: Recode}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Apply(other, m); err == nil {
+		t.Fatal("column name mismatch accepted")
+	}
+	two := frame.MustNew(frame.StringColumn("A", []string{"a"}), frame.FloatColumn("B", []float64{1}))
+	if _, err := Apply(two, m); err == nil {
+		t.Fatal("column count mismatch accepted")
+	}
+}
+
+func TestPropMergeOrderInvariant(t *testing.T) {
+	// Merging partials in any order yields identical code assignment.
+	f := func(vals1, vals2 []string) bool {
+		c1 := frame.StringColumn("A", append([]string{"base"}, vals1...))
+		c2 := frame.StringColumn("A", append([]string{"base"}, vals2...))
+		f1 := frame.MustNew(c1)
+		f2 := frame.MustNew(c2)
+		spec := Spec{Columns: []ColumnSpec{{Name: "A", Method: Recode}}}
+		p1 := BuildPartial(f1, spec)
+		p2 := BuildPartial(f2, spec)
+		a := Merge(spec, []string{"A"}, p1, p2)
+		b := Merge(spec, []string{"A"}, p2, p1)
+		if len(a.RecodeKeys["A"]) != len(b.RecodeKeys["A"]) {
+			return false
+		}
+		for k, v := range a.RecodeMaps["A"] {
+			if b.RecodeMaps["A"][k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

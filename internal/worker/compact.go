@@ -1,0 +1,72 @@
+package worker
+
+import (
+	"exdra/internal/fedrpc"
+	"exdra/internal/matrix"
+)
+
+// Asynchronous lossless compression of worker intermediates (§4.4: "free
+// cycles of federated workers can be used for asynchronous, lossless
+// compression such as compression planning and compaction of
+// intermediates"). Compact scans the symbol table, compresses matrices
+// whose compression ratio clears a threshold, and swaps the dense buffers
+// out; access through Matrix transparently decompresses, so instructions
+// and UDFs are unaffected.
+
+func init() {
+	RegisterUDF("compact", udfCompact)
+}
+
+// Compact compresses every symbol-table matrix whose dictionary-compressed
+// form is at least minRatio times smaller. It returns the number of objects
+// compacted and the bytes saved.
+func (w *Worker) Compact(minRatio float64) (compacted int, savedBytes int) {
+	if minRatio <= 1 {
+		minRatio = 1.5
+	}
+	w.mu.Lock()
+	entries := make([]*Entry, 0, len(w.symtab))
+	for _, e := range w.symtab {
+		entries = append(entries, e)
+	}
+	w.mu.Unlock()
+	for _, e := range entries {
+		w.mu.Lock()
+		m := e.Mat
+		w.mu.Unlock()
+		if m == nil {
+			continue
+		}
+		c := matrix.Compress(m)
+		if c.CompressionRatio() < minRatio {
+			continue
+		}
+		w.mu.Lock()
+		if e.Mat == m { // not replaced concurrently
+			e.Comp = c
+			e.Mat = nil
+			compacted++
+			savedBytes += 8*m.Rows()*m.Cols() - c.SizeBytes()
+		}
+		w.mu.Unlock()
+	}
+	return compacted, savedBytes
+}
+
+// CompactArgs configure the compaction UDF.
+type CompactArgs struct {
+	MinRatio float64
+}
+
+// udfCompact lets a coordinator (or a worker-local idle loop) trigger
+// compaction remotely; it returns the bytes saved.
+func udfCompact(w *Worker, call *fedrpc.UDFCall) (fedrpc.Payload, error) {
+	var args CompactArgs
+	if len(call.Args) > 0 {
+		if err := DecodeArgs(call.Args, &args); err != nil {
+			return fedrpc.Payload{}, err
+		}
+	}
+	_, saved := w.Compact(args.MinRatio)
+	return fedrpc.ScalarPayload(float64(saved)), nil
+}

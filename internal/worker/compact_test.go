@@ -1,0 +1,89 @@
+package worker
+
+import (
+	"math/rand"
+	"testing"
+
+	"exdra/internal/fedrpc"
+	"exdra/internal/matrix"
+	"exdra/internal/privacy"
+)
+
+func onehot(rng *rand.Rand, rows, cols int) *matrix.Dense {
+	m := matrix.NewDense(rows, cols)
+	for i := 0; i < rows; i++ {
+		m.Set(i, rng.Intn(cols), 1)
+	}
+	return m
+}
+
+func TestCompactAndTransparentAccess(t *testing.T) {
+	w := New("")
+	rng := rand.New(rand.NewSource(1))
+	oneHot := onehot(rng, 300, 10)
+	dense := matrix.Randn(rng, 50, 10, 0, 1)
+	put(t, w, 1, oneHot, privacy.PrivateAggregation)
+	put(t, w, 2, dense, privacy.Public)
+
+	n, saved := w.Compact(1.5)
+	if n != 1 || saved <= 0 {
+		t.Fatalf("compacted %d objects, saved %d", n, saved)
+	}
+	e, _ := w.Get(1)
+	if e.Comp == nil || e.Mat != nil {
+		t.Fatal("one-hot entry not swapped to compressed form")
+	}
+	if e.Level != privacy.PrivateAggregation {
+		t.Fatal("compaction changed the privacy constraint")
+	}
+	e2, _ := w.Get(2)
+	if e2.Comp != nil {
+		t.Fatal("incompressible entry compacted")
+	}
+
+	// Instructions work transparently on compacted objects.
+	r := exec(t, w, fedrpc.Instruction{Opcode: "uar_sum", Inputs: []int64{1}, Output: 3})
+	if !r.OK {
+		t.Fatal(r.Err)
+	}
+	got, err := w.Matrix(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.EqualApprox(oneHot.RowSums(), 0) {
+		t.Fatal("result over compacted data wrong")
+	}
+	// Access decompressed and re-cached the dense form.
+	if e.Mat == nil || e.Comp != nil {
+		t.Fatal("transparent decompression did not re-cache")
+	}
+}
+
+func TestCompactGetDecompresses(t *testing.T) {
+	w := New("")
+	rng := rand.New(rand.NewSource(2))
+	m := onehot(rng, 100, 6)
+	put(t, w, 1, m, privacy.Public)
+	if n, _ := w.Compact(1.2); n != 1 {
+		t.Fatal("not compacted")
+	}
+	resp := w.Handle([]fedrpc.Request{{Type: fedrpc.Get, ID: 1}})[0]
+	if !resp.OK || !resp.Data.Matrix().EqualApprox(m, 0) {
+		t.Fatal("GET of compacted object")
+	}
+}
+
+func TestCompactUDF(t *testing.T) {
+	w := New("")
+	rng := rand.New(rand.NewSource(3))
+	put(t, w, 1, onehot(rng, 200, 8), privacy.Public)
+	args, err := EncodeArgs(CompactArgs{MinRatio: 1.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := w.Handle([]fedrpc.Request{{Type: fedrpc.ExecUDF, UDF: &fedrpc.UDFCall{
+		Name: "compact", Args: args}}})[0]
+	if !resp.OK || resp.Data.Scalar <= 0 {
+		t.Fatalf("compact UDF: %+v", resp)
+	}
+}

@@ -1,0 +1,179 @@
+package worker
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"exdra/internal/fedrpc"
+	"exdra/internal/matrix"
+	"exdra/internal/privacy"
+)
+
+// TestInstructionOpcodes exercises every interpreter opcode directly via
+// EXEC_INST, complementing the end-to-end Table 1 coverage test in
+// internal/federated.
+func TestInstructionOpcodes(t *testing.T) {
+	w := New("")
+	rng := rand.New(rand.NewSource(9))
+	x := matrix.Rand(rng, 8, 5, 0.5, 2)
+	u := matrix.Rand(rng, 8, 3, 0.5, 1)
+	v := matrix.Rand(rng, 5, 3, 0.5, 1)
+	wt := matrix.Rand(rng, 8, 5, 0, 1)
+	put(t, w, 1, x, privacy.Public)
+	put(t, w, 2, u, privacy.Public)
+	put(t, w, 3, v, privacy.Public)
+	put(t, w, 4, wt, privacy.Public)
+
+	get := func(id int64) *matrix.Dense {
+		m, err := w.Matrix(id)
+		if err != nil {
+			t.Fatalf("get %d: %v", id, err)
+		}
+		return m
+	}
+	run := func(inst fedrpc.Instruction) {
+		t.Helper()
+		if r := exec(t, w, inst); !r.OK {
+			t.Fatalf("%s: %s", inst.Opcode, r.Err)
+		}
+	}
+
+	run(fedrpc.Instruction{Opcode: "wsloss", Inputs: []int64{1, 2, 3, 4}, Output: 10})
+	if got := get(10).At(0, 0); math.Abs(got-matrix.WSLoss(x, u, v, wt)) > 1e-9 {
+		t.Fatal("wsloss opcode")
+	}
+	run(fedrpc.Instruction{Opcode: "wcemm", Inputs: []int64{1, 2, 3}, Output: 11})
+	if got := get(11).At(0, 0); math.Abs(got-matrix.WCEMM(x, u, v)) > 1e-9 {
+		t.Fatal("wcemm opcode")
+	}
+	run(fedrpc.Instruction{Opcode: "wsigmoid", Inputs: []int64{1, 2, 3}, Output: 12})
+	if !get(12).EqualApprox(matrix.WSigmoid(x, u, v), 1e-10) {
+		t.Fatal("wsigmoid opcode")
+	}
+	run(fedrpc.Instruction{Opcode: "wdivmm", Inputs: []int64{1, 2, 3}, Output: 13})
+	if !get(13).EqualApprox(matrix.WDivMM(x, u, v), 1e-9) {
+		t.Fatal("wdivmm opcode")
+	}
+	run(fedrpc.Instruction{Opcode: "+*", Inputs: []int64{1, 4}, Output: 14, Scalars: []float64{2}})
+	if !get(14).EqualApprox(x.PlusMult(2, wt), 1e-12) {
+		t.Fatal("+* opcode")
+	}
+	run(fedrpc.Instruction{Opcode: "-*", Inputs: []int64{1, 4}, Output: 15, Scalars: []float64{2}})
+	if !get(15).EqualApprox(x.MinusMult(2, wt), 1e-12) {
+		t.Fatal("-* opcode")
+	}
+	a := matrix.ColVector([]float64{1, 2, 2})
+	b := matrix.ColVector([]float64{1, 1, 2})
+	put(t, w, 5, a, privacy.Public)
+	put(t, w, 6, b, privacy.Public)
+	run(fedrpc.Instruction{Opcode: "ctable", Inputs: []int64{5, 6}, Output: 16})
+	if !get(16).EqualApprox(matrix.CTable(a, b, 0, 0), 0) {
+		t.Fatal("ctable opcode")
+	}
+	run(fedrpc.Instruction{Opcode: "rbind", Inputs: []int64{5, 6}, Output: 17})
+	if get(17).Rows() != 6 {
+		t.Fatal("rbind opcode")
+	}
+	run(fedrpc.Instruction{Opcode: "cbind", Inputs: []int64{5, 6}, Output: 18})
+	if get(18).Cols() != 2 {
+		t.Fatal("cbind opcode")
+	}
+	run(fedrpc.Instruction{Opcode: "reshape", Inputs: []int64{5}, Output: 19, Scalars: []float64{1, 3}})
+	if get(19).Rows() != 1 || get(19).Cols() != 3 {
+		t.Fatal("reshape opcode")
+	}
+	run(fedrpc.Instruction{Opcode: "fill", Output: 20, Scalars: []float64{2, 2, 7}})
+	if get(20).Sum() != 28 {
+		t.Fatal("fill opcode")
+	}
+	run(fedrpc.Instruction{Opcode: "diag", Inputs: []int64{5}, Output: 21})
+	if get(21).Trace() != 5 {
+		t.Fatal("diag opcode")
+	}
+	run(fedrpc.Instruction{Opcode: "removeEmpty", Inputs: []int64{20}, Output: 22,
+		Attrs: map[string]string{"margin": "cols"}})
+	if get(22).Cols() != 2 {
+		t.Fatal("removeEmpty cols opcode")
+	}
+	run(fedrpc.Instruction{Opcode: "uar_indexmax", Inputs: []int64{1}, Output: 23})
+	if !get(23).EqualApprox(x.RowIndexMax(), 0) {
+		t.Fatal("uar_indexmax opcode")
+	}
+	// Column-aggregate partial tuple layout: 5 x cols.
+	run(fedrpc.Instruction{Opcode: "uac_partial", Inputs: []int64{1}, Output: 24})
+	if p := get(24); p.Rows() != 5 || p.Cols() != x.Cols() {
+		t.Fatal("uac_partial layout")
+	}
+	// Unknown row aggregate rejected.
+	if r := exec(t, w, fedrpc.Instruction{Opcode: "uar_nope", Inputs: []int64{1}, Output: 25}); r.OK {
+		t.Fatal("unknown row aggregate accepted")
+	}
+	// log_b binary.
+	put(t, w, 7, matrix.Fill(1, 1, 8), privacy.Public)
+	put(t, w, 8, matrix.Fill(1, 1, 2), privacy.Public)
+	run(fedrpc.Instruction{Opcode: "log_b", Inputs: []int64{7, 8}, Output: 26})
+	if math.Abs(get(26).At(0, 0)-3) > 1e-12 {
+		t.Fatal("log_b opcode")
+	}
+}
+
+// TestAllMappedOpcodes sweeps every binary, unary, and aggregate opcode the
+// interpreter maps, comparing against the matrix kernels directly.
+func TestAllMappedOpcodes(t *testing.T) {
+	w := New("")
+	rng := rand.New(rand.NewSource(10))
+	x := matrix.Rand(rng, 6, 4, 0.5, 2)
+	y := matrix.Rand(rng, 6, 4, 0.5, 2)
+	put(t, w, 1, x, privacy.Public)
+	put(t, w, 2, y, privacy.Public)
+	next := int64(100)
+	for name, op := range binaryOps {
+		next++
+		r := exec(t, w, fedrpc.Instruction{Opcode: name, Inputs: []int64{1, 2}, Output: next})
+		if !r.OK {
+			t.Fatalf("binary %s: %s", name, r.Err)
+		}
+		got, _ := w.Matrix(next)
+		if !got.EqualApprox(x.Binary(op, y), 1e-12) {
+			t.Fatalf("binary %s result", name)
+		}
+		// Scalar form with and without swap.
+		next++
+		r = exec(t, w, fedrpc.Instruction{Opcode: name, Inputs: []int64{1}, Output: next,
+			Scalars: []float64{1.5}, Attrs: map[string]string{"swap": "1"}})
+		if !r.OK {
+			t.Fatalf("scalar %s: %s", name, r.Err)
+		}
+		got, _ = w.Matrix(next)
+		if !got.EqualApprox(x.BinaryScalar(op, 1.5, true), 1e-12) {
+			t.Fatalf("scalar %s result", name)
+		}
+		// Missing scalar operand is an error, not a panic.
+		if r := exec(t, w, fedrpc.Instruction{Opcode: name, Inputs: []int64{1}, Output: next + 1}); r.OK {
+			t.Fatalf("binary %s without operand accepted", name)
+		}
+	}
+	for name, op := range unaryOps {
+		next++
+		r := exec(t, w, fedrpc.Instruction{Opcode: name, Inputs: []int64{1}, Output: next})
+		if !r.OK {
+			t.Fatalf("unary %s: %s", name, r.Err)
+		}
+		got, _ := w.Matrix(next)
+		if !got.EqualApprox(x.Unary(op), 1e-12) {
+			t.Fatalf("unary %s result", name)
+		}
+	}
+	for name, op := range aggOps {
+		next++
+		r := exec(t, w, fedrpc.Instruction{Opcode: "uar_" + name, Inputs: []int64{1}, Output: next})
+		if !r.OK {
+			t.Fatalf("uar_%s: %s", name, r.Err)
+		}
+		got, _ := w.Matrix(next)
+		if !got.EqualApprox(x.RowAgg(op), 1e-12) {
+			t.Fatalf("uar_%s result", name)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package worker
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sort"
+	"sync"
+
+	"exdra/internal/fedrpc"
+)
+
+// UDF is a user-defined function executed at a federated worker via
+// EXEC_UDF. It may read and bind symbol-table objects through the worker
+// and returns a payload for the coordinator.
+//
+// Because Go cannot serialize closures, UDFs are registered by name in this
+// process-wide registry, which both the coordinator and the worker binaries
+// link (see DESIGN.md substitutions). The wire protocol still carries
+// "function + gob-encoded arguments" per call, as in the paper.
+type UDF func(w *Worker, call *fedrpc.UDFCall) (fedrpc.Payload, error)
+
+var (
+	udfMu  sync.RWMutex
+	udfReg = map[string]UDF{}
+)
+
+// RegisterUDF registers fn under name. Registering a duplicate name panics:
+// it indicates two subsystems claiming the same UDF identity.
+func RegisterUDF(name string, fn UDF) {
+	udfMu.Lock()
+	defer udfMu.Unlock()
+	if _, dup := udfReg[name]; dup {
+		panic(fmt.Sprintf("worker: duplicate UDF %q", name))
+	}
+	udfReg[name] = fn
+}
+
+// RegisteredUDFs returns the sorted names of all registered UDFs.
+func RegisteredUDFs() []string {
+	udfMu.RLock()
+	defer udfMu.RUnlock()
+	names := make([]string, 0, len(udfReg))
+	for n := range udfReg {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func (w *Worker) handleUDF(req fedrpc.Request) fedrpc.Response {
+	call := req.UDF
+	if call == nil {
+		return fedrpc.Errorf("EXEC_UDF: missing call")
+	}
+	udfMu.RLock()
+	fn, ok := udfReg[call.Name]
+	udfMu.RUnlock()
+	if !ok {
+		return fedrpc.Errorf("EXEC_UDF: unknown UDF %q", call.Name)
+	}
+	payload, err := fn(w, call)
+	if err != nil {
+		return fedrpc.Errorf("EXEC_UDF %s: %v", call.Name, err)
+	}
+	return fedrpc.Response{OK: true, Data: payload}
+}
+
+// EncodeArgs gob-encodes a UDF argument value for transport.
+func EncodeArgs(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, fmt.Errorf("worker: encode UDF args: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeArgs gob-decodes UDF arguments into out (a pointer).
+func DecodeArgs(data []byte, out any) error {
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(out); err != nil {
+		return fmt.Errorf("worker: decode UDF args: %w", err)
+	}
+	return nil
+}

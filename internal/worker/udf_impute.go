@@ -1,0 +1,125 @@
+package worker
+
+import (
+	"fmt"
+
+	"exdra/internal/fedrpc"
+	"exdra/internal/transform"
+)
+
+// Imputation UDFs: the worker-side passes of federated missing-value
+// imputation (§4.4, Example 4). Pass one exchanges only aggregate counts;
+// pass two applies the coordinator-derived rule locally.
+
+func init() {
+	RegisterUDF("impute_counts", udfImputeCounts)
+	RegisterUDF("impute_pairs", udfImputePairs)
+	RegisterUDF("impute_apply_mode", udfImputeApplyMode)
+	RegisterUDF("impute_apply_fd", udfImputeApplyFD)
+}
+
+// ImputeCountsArgs name the categorical column to count.
+type ImputeCountsArgs struct {
+	Col string
+}
+
+func udfImputeCounts(w *Worker, call *fedrpc.UDFCall) (fedrpc.Payload, error) {
+	var args ImputeCountsArgs
+	if err := DecodeArgs(call.Args, &args); err != nil {
+		return fedrpc.Payload{}, err
+	}
+	f, err := w.Frame(call.Inputs[0])
+	if err != nil {
+		return fedrpc.Payload{}, err
+	}
+	counts, err := transform.CategoryCounts(f, args.Col)
+	if err != nil {
+		return fedrpc.Payload{}, err
+	}
+	enc, err := EncodeArgs(counts)
+	if err != nil {
+		return fedrpc.Payload{}, err
+	}
+	return fedrpc.BytesPayload(enc), nil
+}
+
+// ImputePairsArgs name the dependency columns From -> To.
+type ImputePairsArgs struct {
+	From, To string
+}
+
+func udfImputePairs(w *Worker, call *fedrpc.UDFCall) (fedrpc.Payload, error) {
+	var args ImputePairsArgs
+	if err := DecodeArgs(call.Args, &args); err != nil {
+		return fedrpc.Payload{}, err
+	}
+	f, err := w.Frame(call.Inputs[0])
+	if err != nil {
+		return fedrpc.Payload{}, err
+	}
+	pairs, err := transform.PairCounts(f, args.From, args.To)
+	if err != nil {
+		return fedrpc.Payload{}, err
+	}
+	enc, err := EncodeArgs(pairs)
+	if err != nil {
+		return fedrpc.Payload{}, err
+	}
+	return fedrpc.BytesPayload(enc), nil
+}
+
+// ImputeApplyModeArgs carry the broadcast global mode.
+type ImputeApplyModeArgs struct {
+	Col   string
+	Value string
+}
+
+func udfImputeApplyMode(w *Worker, call *fedrpc.UDFCall) (fedrpc.Payload, error) {
+	var args ImputeApplyModeArgs
+	if err := DecodeArgs(call.Args, &args); err != nil {
+		return fedrpc.Payload{}, err
+	}
+	e, err := w.Get(call.Inputs[0])
+	if err != nil {
+		return fedrpc.Payload{}, err
+	}
+	if e.Fr == nil {
+		return fedrpc.Payload{}, errNotFrame(call.Inputs[0])
+	}
+	out, err := transform.ImputeMode(e.Fr, args.Col, args.Value)
+	if err != nil {
+		return fedrpc.Payload{}, err
+	}
+	w.Put(call.Output, &Entry{Fr: out, Level: e.Level})
+	return fedrpc.ScalarPayload(float64(out.NumRows())), nil
+}
+
+// ImputeApplyFDArgs carry the broadcast functional-dependency mapping.
+type ImputeApplyFDArgs struct {
+	From, To string
+	Mapping  map[string]string
+}
+
+func udfImputeApplyFD(w *Worker, call *fedrpc.UDFCall) (fedrpc.Payload, error) {
+	var args ImputeApplyFDArgs
+	if err := DecodeArgs(call.Args, &args); err != nil {
+		return fedrpc.Payload{}, err
+	}
+	e, err := w.Get(call.Inputs[0])
+	if err != nil {
+		return fedrpc.Payload{}, err
+	}
+	if e.Fr == nil {
+		return fedrpc.Payload{}, errNotFrame(call.Inputs[0])
+	}
+	out, err := transform.ImputeFD(e.Fr, args.From, args.To, args.Mapping)
+	if err != nil {
+		return fedrpc.Payload{}, err
+	}
+	w.Put(call.Output, &Entry{Fr: out, Level: e.Level})
+	return fedrpc.ScalarPayload(float64(out.NumRows())), nil
+}
+
+func errNotFrame(id int64) error {
+	return fmt.Errorf("worker: object %d is not a frame", id)
+}

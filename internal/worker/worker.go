@@ -1,0 +1,306 @@
+// Package worker implements the ExDRa federated worker (§4.1): a standing
+// control program at a federated site that listens for federated requests,
+// maintains a symbol table of live data objects, executes instructions and
+// UDFs over permissioned raw data, checks privacy constraints on data
+// exchange, and caches reusable intermediates across pipeline runs.
+package worker
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"exdra/internal/fedrpc"
+	"exdra/internal/frame"
+	"exdra/internal/lineage"
+	"exdra/internal/matrix"
+	"exdra/internal/privacy"
+)
+
+// Entry is one symbol-table binding. Exactly one of Mat, Fr, Scalar, or Obj
+// is meaningful; Level is the data-exchange constraint of the object. Obj
+// holds opaque execution-context state (e.g. a parameter-server worker
+// session) that UDFs manage and that is never transferable via GET.
+type Entry struct {
+	Mat    *matrix.Dense
+	Fr     *frame.Frame
+	Scalar float64
+	IsScal bool
+	Obj    any
+	Level  privacy.Level
+	// ColLevels optionally carries fine-grained per-column constraints
+	// (§4.1); columns beyond the slice default to Level. Column-subset
+	// operations (rightIndex) propagate the relevant slice.
+	ColLevels []privacy.Level
+	// Comp holds the matrix in compressed form after Compact; Matrix
+	// transparently decompresses on access.
+	Comp *matrix.Compressed
+}
+
+// effectiveLevel returns the most restrictive constraint over the whole
+// object (coarse level joined with every column constraint).
+func (e *Entry) effectiveLevel() privacy.Level {
+	level := e.Level
+	for _, l := range e.ColLevels {
+		level = privacy.Max(level, l)
+	}
+	return level
+}
+
+func (e *Entry) describe() string {
+	switch {
+	case e.Mat != nil:
+		return fmt.Sprintf("matrix %dx%d", e.Mat.Rows(), e.Mat.Cols())
+	case e.Comp != nil:
+		return fmt.Sprintf("compressed matrix %dx%d", e.Comp.Rows(), e.Comp.Cols())
+	case e.Fr != nil:
+		return fmt.Sprintf("frame %dx%d", e.Fr.NumRows(), e.Fr.NumCols())
+	default:
+		return "scalar"
+	}
+}
+
+// Worker is a standing federated worker. It is safe for concurrent use by
+// multiple coordinator connections.
+type Worker struct {
+	baseDir string
+
+	mu     sync.RWMutex
+	symtab map[int64]*Entry
+
+	// Lineage caches reusable intermediates (e.g. parsed raw files and
+	// recode maps) across pipeline runs, per ExDRa §4.4.
+	Lineage *lineage.Cache
+
+	// DefaultLevel is assigned to objects created without an explicit
+	// constraint (READ/PUT with Privacy 0 means Public by convention; set
+	// DefaultLevel to harden a deployment).
+	DefaultLevel privacy.Level
+}
+
+// New creates a worker that resolves READ filenames relative to baseDir.
+func New(baseDir string) *Worker {
+	return &Worker{
+		baseDir: baseDir,
+		symtab:  map[int64]*Entry{},
+		Lineage: lineage.NewCache(256),
+	}
+}
+
+// Get returns the entry bound to id.
+func (w *Worker) Get(id int64) (*Entry, error) {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	e, ok := w.symtab[id]
+	if !ok {
+		return nil, fmt.Errorf("worker: no object with ID %d", id)
+	}
+	return e, nil
+}
+
+// Matrix returns the matrix bound to id, transparently decompressing
+// compacted entries (the decompressed form replaces the compressed one, so
+// hot objects pay the cost once).
+func (w *Worker) Matrix(id int64) (*matrix.Dense, error) {
+	e, err := w.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	if e.Mat == nil && e.Comp != nil {
+		w.mu.Lock()
+		if e.Mat == nil && e.Comp != nil {
+			e.Mat = e.Comp.Decompress()
+			e.Comp = nil
+		}
+		w.mu.Unlock()
+	}
+	if e.Mat == nil {
+		return nil, fmt.Errorf("worker: object %d is not a matrix (%s)", id, e.describe())
+	}
+	return e.Mat, nil
+}
+
+// Frame returns the frame bound to id.
+func (w *Worker) Frame(id int64) (*frame.Frame, error) {
+	e, err := w.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	if e.Fr == nil {
+		return nil, fmt.Errorf("worker: object %d is not a frame (%s)", id, e.describe())
+	}
+	return e.Fr, nil
+}
+
+// Put binds an entry to id, replacing any previous binding.
+func (w *Worker) Put(id int64, e *Entry) {
+	w.mu.Lock()
+	w.symtab[id] = e
+	w.mu.Unlock()
+}
+
+// PutMatrix binds a matrix under a privacy level.
+func (w *Worker) PutMatrix(id int64, m *matrix.Dense, level privacy.Level) {
+	w.Put(id, &Entry{Mat: m, Level: level})
+}
+
+// PutFrame binds a frame under a privacy level.
+func (w *Worker) PutFrame(id int64, f *frame.Frame, level privacy.Level) {
+	w.Put(id, &Entry{Fr: f, Level: level})
+}
+
+// Remove deletes bindings.
+func (w *Worker) Remove(ids ...int64) {
+	w.mu.Lock()
+	for _, id := range ids {
+		delete(w.symtab, id)
+	}
+	w.mu.Unlock()
+}
+
+// NumObjects returns the number of live symbol-table bindings.
+func (w *Worker) NumObjects() int {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return len(w.symtab)
+}
+
+// Handle implements fedrpc.Handler: it executes a batch of federated
+// requests and returns one response per request. Execution stops semantics:
+// requests in a batch execute in order; a failing request yields an error
+// response but later requests still run (matching the paper's independent
+// request semantics within an RPC).
+func (w *Worker) Handle(reqs []fedrpc.Request) []fedrpc.Response {
+	resps := make([]fedrpc.Response, len(reqs))
+	for i, req := range reqs {
+		resps[i] = w.handleOne(req)
+	}
+	return resps
+}
+
+func (w *Worker) handleOne(req fedrpc.Request) fedrpc.Response {
+	switch req.Type {
+	case fedrpc.Read:
+		return w.handleRead(req)
+	case fedrpc.Put:
+		return w.handlePut(req)
+	case fedrpc.Get:
+		return w.handleGet(req)
+	case fedrpc.ExecInst:
+		return w.handleInst(req)
+	case fedrpc.ExecUDF:
+		return w.handleUDF(req)
+	case fedrpc.Clear:
+		w.mu.Lock()
+		w.symtab = map[int64]*Entry{}
+		w.mu.Unlock()
+		return fedrpc.Response{OK: true}
+	default:
+		return fedrpc.Errorf("unknown request type %d", req.Type)
+	}
+}
+
+// handleRead loads a raw data file from the worker's permissioned data
+// directory. Formats: .bin (ExDRa binary matrix), .csv (frame with header),
+// .mcsv (headerless numeric matrix CSV). Parsed files are lineage-cached so
+// repeated exploratory runs skip re-parsing (query-processing-on-raw-data
+// style reuse).
+func (w *Worker) handleRead(req fedrpc.Request) fedrpc.Response {
+	name := filepath.Clean(req.Filename)
+	if strings.Contains(name, "..") || filepath.IsAbs(name) {
+		return fedrpc.Errorf("READ: illegal path %q", req.Filename)
+	}
+	path := filepath.Join(w.baseDir, name)
+	trace := lineage.LiteralTrace("file", path)
+	v, err := w.Lineage.GetOrCompute(trace, func() (any, error) {
+		switch {
+		case strings.HasSuffix(name, ".bin"):
+			return matrix.ReadBinaryFile(path)
+		case strings.HasSuffix(name, ".mcsv"):
+			f, err := readMatrixCSV(path)
+			return f, err
+		case strings.HasSuffix(name, ".csv"):
+			return frame.ReadCSVFile(path)
+		default:
+			return nil, fmt.Errorf("READ: unsupported format %q", name)
+		}
+	})
+	if err != nil {
+		return fedrpc.Errorf("READ %s: %v", req.Filename, err)
+	}
+	e := &Entry{Level: privacy.Level(req.Privacy), ColLevels: colLevels(req.ColPrivacy)}
+	switch obj := v.(type) {
+	case *matrix.Dense:
+		e.Mat = obj
+	case *frame.Frame:
+		e.Fr = obj
+	}
+	w.Put(req.ID, e)
+	return fedrpc.Response{OK: true}
+}
+
+// colLevels converts wire integers into constraint levels (nil when the
+// request carries no fine-grained constraints).
+func colLevels(vals []int) []privacy.Level {
+	if len(vals) == 0 {
+		return nil
+	}
+	out := make([]privacy.Level, len(vals))
+	for i, v := range vals {
+		out[i] = privacy.Level(v)
+	}
+	return out
+}
+
+func readMatrixCSV(path string) (*matrix.Dense, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return matrix.ReadCSV(f)
+}
+
+func (w *Worker) handlePut(req fedrpc.Request) fedrpc.Response {
+	e := &Entry{Level: privacy.Level(req.Privacy), ColLevels: colLevels(req.ColPrivacy)}
+	switch req.Data.Kind {
+	case fedrpc.PayloadMatrix:
+		e.Mat = req.Data.Matrix()
+	case fedrpc.PayloadFrame:
+		f, err := req.Data.ToFrame()
+		if err != nil {
+			return fedrpc.Errorf("PUT: %v", err)
+		}
+		e.Fr = f
+	case fedrpc.PayloadScalar:
+		e.Scalar, e.IsScal = req.Data.Scalar, true
+	default:
+		return fedrpc.Errorf("PUT: unsupported payload kind %d", req.Data.Kind)
+	}
+	w.Put(req.ID, e)
+	return fedrpc.Response{OK: true}
+}
+
+func (w *Worker) handleGet(req fedrpc.Request) fedrpc.Response {
+	e, err := w.Get(req.ID)
+	if err != nil {
+		return fedrpc.Errorf("GET: %v", err)
+	}
+	if err := privacy.CheckTransfer(e.effectiveLevel(), e.describe()); err != nil {
+		return fedrpc.Errorf("GET %d: %v", req.ID, err)
+	}
+	switch {
+	case e.Mat != nil:
+		return fedrpc.Response{OK: true, Data: fedrpc.MatrixPayload(e.Mat)}
+	case e.Comp != nil:
+		return fedrpc.Response{OK: true, Data: fedrpc.MatrixPayload(e.Comp.Decompress())}
+	case e.Fr != nil:
+		return fedrpc.Response{OK: true, Data: fedrpc.FramePayload(e.Fr)}
+	case e.Obj != nil:
+		return fedrpc.Errorf("GET %d: execution-context objects are not transferable", req.ID)
+	default:
+		return fedrpc.Response{OK: true, Data: fedrpc.ScalarPayload(e.Scalar)}
+	}
+}

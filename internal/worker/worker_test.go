@@ -1,0 +1,198 @@
+package worker
+
+import (
+	"strings"
+	"testing"
+
+	"exdra/internal/fedrpc"
+	"exdra/internal/frame"
+	"exdra/internal/matrix"
+	"exdra/internal/privacy"
+)
+
+func put(t *testing.T, w *Worker, id int64, m *matrix.Dense, lvl privacy.Level) {
+	t.Helper()
+	resp := w.Handle([]fedrpc.Request{{
+		Type: fedrpc.Put, ID: id, Privacy: int(lvl), Data: fedrpc.MatrixPayload(m),
+	}})
+	if !resp[0].OK {
+		t.Fatalf("put: %s", resp[0].Err)
+	}
+}
+
+func exec(t *testing.T, w *Worker, inst fedrpc.Instruction) fedrpc.Response {
+	t.Helper()
+	return w.Handle([]fedrpc.Request{{Type: fedrpc.ExecInst, Inst: &inst}})[0]
+}
+
+func TestPutGetClear(t *testing.T) {
+	w := New("")
+	m := matrix.FromRows([][]float64{{1, 2}})
+	put(t, w, 1, m, privacy.Public)
+	resp := w.Handle([]fedrpc.Request{{Type: fedrpc.Get, ID: 1}})[0]
+	if !resp.OK || !resp.Data.Matrix().EqualApprox(m, 0) {
+		t.Fatal("get")
+	}
+	if w.NumObjects() != 1 {
+		t.Fatal("object count")
+	}
+	w.Handle([]fedrpc.Request{{Type: fedrpc.Clear}})
+	if w.NumObjects() != 0 {
+		t.Fatal("clear")
+	}
+}
+
+func TestGetPrivacyEnforcement(t *testing.T) {
+	w := New("")
+	m := matrix.Fill(2, 2, 1)
+	put(t, w, 1, m, privacy.Private)
+	put(t, w, 2, m, privacy.PrivateAggregation)
+	for _, id := range []int64{1, 2} {
+		resp := w.Handle([]fedrpc.Request{{Type: fedrpc.Get, ID: id}})[0]
+		if resp.OK || !strings.Contains(resp.Err, "privacy") {
+			t.Fatalf("GET %d allowed: %+v", id, resp)
+		}
+	}
+	// Aggregates of PrivateAggregation data become Public.
+	r := exec(t, w, fedrpc.Instruction{Opcode: "ua_partial", Inputs: []int64{2}, Output: 3})
+	if !r.OK {
+		t.Fatal(r.Err)
+	}
+	resp := w.Handle([]fedrpc.Request{{Type: fedrpc.Get, ID: 3}})[0]
+	if !resp.OK {
+		t.Fatalf("aggregate GET denied: %s", resp.Err)
+	}
+	// Aggregates of Private data stay Private.
+	r = exec(t, w, fedrpc.Instruction{Opcode: "ua_partial", Inputs: []int64{1}, Output: 4})
+	if !r.OK {
+		t.Fatal(r.Err)
+	}
+	resp = w.Handle([]fedrpc.Request{{Type: fedrpc.Get, ID: 4}})[0]
+	if resp.OK {
+		t.Fatal("aggregate of Private data leaked")
+	}
+}
+
+func TestPrivacyPropagationThroughTransparentOps(t *testing.T) {
+	w := New("")
+	put(t, w, 1, matrix.Fill(2, 2, 3), privacy.PrivateAggregation)
+	r := exec(t, w, fedrpc.Instruction{Opcode: "sqrt", Inputs: []int64{1}, Output: 2})
+	if !r.OK {
+		t.Fatal(r.Err)
+	}
+	resp := w.Handle([]fedrpc.Request{{Type: fedrpc.Get, ID: 2}})[0]
+	if resp.OK {
+		t.Fatal("transparent op declassified data")
+	}
+}
+
+func TestInstructionErrors(t *testing.T) {
+	w := New("")
+	put(t, w, 1, matrix.Fill(2, 2, 1), privacy.Public)
+	if r := exec(t, w, fedrpc.Instruction{Opcode: "nosuch", Inputs: []int64{1}, Output: 2}); r.OK {
+		t.Fatal("unknown opcode accepted")
+	}
+	if r := exec(t, w, fedrpc.Instruction{Opcode: "sqrt", Inputs: []int64{99}, Output: 2}); r.OK {
+		t.Fatal("missing input accepted")
+	}
+	if r := exec(t, w, fedrpc.Instruction{Opcode: "replace", Inputs: []int64{1}, Output: 2}); r.OK {
+		t.Fatal("missing scalars accepted")
+	}
+	if r := w.Handle([]fedrpc.Request{{Type: fedrpc.ExecInst}})[0]; r.OK {
+		t.Fatal("nil instruction accepted")
+	}
+}
+
+func TestRmvar(t *testing.T) {
+	w := New("")
+	put(t, w, 1, matrix.Fill(1, 1, 1), privacy.Public)
+	if r := exec(t, w, fedrpc.Instruction{Opcode: "rmvar", Inputs: []int64{1}}); !r.OK {
+		t.Fatal(r.Err)
+	}
+	if w.NumObjects() != 0 {
+		t.Fatal("rmvar left objects")
+	}
+}
+
+func TestReadPathSecurity(t *testing.T) {
+	w := New(t.TempDir())
+	for _, bad := range []string{"../etc/passwd", "/etc/passwd", "a/../../x.bin"} {
+		r := w.Handle([]fedrpc.Request{{Type: fedrpc.Read, ID: 1, Filename: bad}})[0]
+		if r.OK {
+			t.Fatalf("path %q accepted", bad)
+		}
+	}
+	r := w.Handle([]fedrpc.Request{{Type: fedrpc.Read, ID: 1, Filename: "missing.bin"}})[0]
+	if r.OK {
+		t.Fatal("missing file accepted")
+	}
+	r = w.Handle([]fedrpc.Request{{Type: fedrpc.Read, ID: 1, Filename: "weird.xyz"}})[0]
+	if r.OK || !strings.Contains(r.Err, "unsupported format") {
+		t.Fatal("unknown format accepted")
+	}
+}
+
+func TestReadUsesLineageCache(t *testing.T) {
+	dir := t.TempDir()
+	m := matrix.Fill(4, 4, 2)
+	if err := m.WriteBinaryFile(dir + "/x.bin"); err != nil {
+		t.Fatal(err)
+	}
+	w := New(dir)
+	for i := 0; i < 3; i++ {
+		r := w.Handle([]fedrpc.Request{{Type: fedrpc.Read, ID: int64(i + 1), Filename: "x.bin"}})[0]
+		if !r.OK {
+			t.Fatal(r.Err)
+		}
+	}
+	hits, misses := w.Lineage.Stats()
+	if misses != 1 || hits != 2 {
+		t.Fatalf("lineage reuse: hits=%d misses=%d", hits, misses)
+	}
+}
+
+func TestFramePayloadAndUDFs(t *testing.T) {
+	w := New("")
+	fr := frame.MustNew(frame.StringColumn("A", []string{"x", "y"}))
+	resp := w.Handle([]fedrpc.Request{{Type: fedrpc.Put, ID: 5, Data: fedrpc.FramePayload(fr)}})[0]
+	if !resp.OK {
+		t.Fatal(resp.Err)
+	}
+	r := w.Handle([]fedrpc.Request{{Type: fedrpc.ExecUDF, UDF: &fedrpc.UDFCall{
+		Name: "obj_dims", Inputs: []int64{5}}}})[0]
+	if !r.OK {
+		t.Fatal(r.Err)
+	}
+	dims := r.Data.Matrix()
+	if dims.At(0, 0) != 2 || dims.At(0, 1) != 1 {
+		t.Fatalf("obj_dims: %v", dims)
+	}
+	// Unknown UDF.
+	r = w.Handle([]fedrpc.Request{{Type: fedrpc.ExecUDF, UDF: &fedrpc.UDFCall{Name: "nope"}}})[0]
+	if r.OK {
+		t.Fatal("unknown UDF accepted")
+	}
+}
+
+func TestDuplicateUDFPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration accepted")
+		}
+	}()
+	RegisterUDF("obj_dims", nil)
+}
+
+func TestBatchSemantics(t *testing.T) {
+	// A failing request must not abort the rest of the batch.
+	w := New("")
+	m := matrix.Fill(1, 1, 1)
+	resps := w.Handle([]fedrpc.Request{
+		{Type: fedrpc.Put, ID: 1, Data: fedrpc.MatrixPayload(m)},
+		{Type: fedrpc.Get, ID: 404},
+		{Type: fedrpc.Get, ID: 1},
+	})
+	if !resps[0].OK || resps[1].OK || !resps[2].OK {
+		t.Fatalf("batch: %+v", resps)
+	}
+}
