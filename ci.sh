@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# ci.sh — the tier-2 gate. Everything here must pass before a change lands:
+#
+#   1. go build      — the tree compiles;
+#   2. go vet        — stock static analysis;
+#   3. exdralint     — project-specific federation-runtime invariants
+#                      (see DESIGN.md, "Static analysis");
+#   4. go test -race — full test suite under the race detector.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+go build ./...
+go vet ./...
+go run ./cmd/exdralint ./...
+go test -race ./...

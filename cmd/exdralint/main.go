@@ -1,0 +1,91 @@
+// Command exdralint runs the ExDRa project-specific static-analysis pass
+// over the repository. It enforces the federation-runtime invariants that
+// go vet cannot know about (see DESIGN.md, "Static analysis"):
+//
+//	netdeadline  conn I/O in fedrpc/worker/netem must arm deadlines
+//	nopanic      library code returns errors instead of panicking
+//	goberr       Encode/Decode/Flush errors must be checked
+//	goroleak     go func literals in libraries must be joined
+//
+// Usage:
+//
+//	exdralint [packages]
+//
+// Packages are go-style patterns relative to the module root ("./..." by
+// default). Findings print as "file:line: rule: message"; the exit status
+// is 1 when there are findings, 2 on load errors, 0 on a clean tree.
+// Suppress an individual finding with a justification:
+//
+//	//lint:ignore <rule> <reason>
+//
+// on the flagged line or the line directly above it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"exdra/internal/lint"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: exdralint [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+
+	modDir, err := findModuleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "exdralint:", err)
+		os.Exit(2)
+	}
+	loader, err := lint.NewLoader(modDir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "exdralint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := loader.LoadPatterns(args)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "exdralint:", err)
+		os.Exit(2)
+	}
+	for _, p := range pkgs {
+		for _, terr := range p.TypeErrors {
+			fmt.Fprintf(os.Stderr, "exdralint: %s: type warning: %v\n", p.Path, terr)
+		}
+	}
+	findings := lint.Run(pkgs, lint.DefaultAnalyzers())
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "exdralint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// findModuleRoot walks upward from the working directory to the nearest
+// go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -31,9 +31,13 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:7001", "listen address")
 	dataDir := flag.String("data", ".", "directory of permissioned raw data files for READ requests")
 	useTLS := flag.Bool("tls", false, "serve with an ephemeral self-signed TLS certificate")
+	ioTimeout := flag.Duration("io-timeout", fedrpc.DefaultIOTimeout,
+		"per-response write deadline (negative disables)")
+	idleTimeout := flag.Duration("idle-timeout", fedrpc.DefaultIdleTimeout,
+		"per-connection read/idle deadline (negative disables)")
 	flag.Parse()
 
-	var opts fedrpc.Options
+	opts := fedrpc.Options{IOTimeout: *ioTimeout, IdleTimeout: *idleTimeout}
 	if *useTLS {
 		srvTLS, _, err := fedrpc.NewSelfSignedTLS()
 		if err != nil {

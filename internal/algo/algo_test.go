@@ -33,6 +33,7 @@ func federate(t *testing.T, cl *fedtest.Cluster, x *matrix.Dense) *federated.Mat
 }
 
 func TestLMLocalRecoversModel(t *testing.T) {
+	t.Parallel()
 	x, y := data.Regression(1, 300, 20, 0.01)
 	res, err := algo.LM(x, y, algo.LMConfig{})
 	if err != nil {
@@ -51,6 +52,7 @@ func TestLMLocalRecoversModel(t *testing.T) {
 }
 
 func TestLMFederatedMatchesLocal(t *testing.T) {
+	t.Parallel()
 	cl := startCluster(t, 3)
 	x, y := data.Regression(2, 120, 10, 0.05)
 	local, err := algo.LM(x, y, algo.LMConfig{})
@@ -67,6 +69,7 @@ func TestLMFederatedMatchesLocal(t *testing.T) {
 }
 
 func TestL2SVMLocalAndFederated(t *testing.T) {
+	t.Parallel()
 	cl := startCluster(t, 3)
 	x, y := data.Classification(3, 200, 12, 0.01)
 	local, err := algo.L2SVM(x, y, algo.L2SVMConfig{MaxIterations: 30})
@@ -95,6 +98,7 @@ func TestL2SVMLocalAndFederated(t *testing.T) {
 }
 
 func TestMLogRegLocalAndFederated(t *testing.T) {
+	t.Parallel()
 	cl := startCluster(t, 3)
 	x, y := data.MultiClass(4, 240, 8, 4)
 	cfg := algo.MLogRegConfig{MaxOuterIter: 6, MaxInnerIter: 8}
@@ -126,6 +130,7 @@ func TestMLogRegLocalAndFederated(t *testing.T) {
 }
 
 func TestKMeansLocalAndFederated(t *testing.T) {
+	t.Parallel()
 	cl := startCluster(t, 3)
 	x, truth := data.Blobs(5, 300, 6, 4, 0.5)
 	cfg := algo.KMeansConfig{K: 4, MaxIterations: 25, Runs: 5, Seed: 7}
@@ -193,6 +198,7 @@ func clusterPurity(assign *matrix.Dense, truth []int, k int) float64 {
 }
 
 func TestPCALocalAndFederated(t *testing.T) {
+	t.Parallel()
 	cl := startCluster(t, 3)
 	x, _ := data.Blobs(6, 200, 12, 3, 1)
 	cfg := algo.PCAConfig{K: 4}
@@ -231,6 +237,7 @@ func TestPCALocalAndFederated(t *testing.T) {
 }
 
 func TestGMMFitsBlobsAndFlagsAnomalies(t *testing.T) {
+	t.Parallel()
 	x, _ := data.Blobs(7, 400, 5, 3, 0.5)
 	res, err := algo.GMM(x, algo.GMMConfig{K: 3, Seed: 3})
 	if err != nil {
@@ -255,6 +262,7 @@ func TestGMMFitsBlobsAndFlagsAnomalies(t *testing.T) {
 }
 
 func TestGMMEnsembleTaskParallel(t *testing.T) {
+	t.Parallel()
 	x1, _ := data.Blobs(8, 120, 4, 2, 0.5)
 	x2, _ := data.Blobs(9, 150, 4, 2, 0.5)
 	models, err := algo.TrainGMMEnsemble([]*matrix.Dense{x1, x2}, algo.GMMConfig{K: 2})
@@ -271,6 +279,7 @@ func TestGMMEnsembleTaskParallel(t *testing.T) {
 }
 
 func TestAlgorithmsPreservePrivacy(t *testing.T) {
+	t.Parallel()
 	// Every federated training above runs under PrivateAggregation:
 	// verify the raw partitions themselves remain untransferable.
 	cl := startCluster(t, 2)

@@ -10,6 +10,7 @@ import (
 )
 
 func TestCorrelationMatrixLocalAndFederated(t *testing.T) {
+	t.Parallel()
 	cl := startCluster(t, 3)
 	// Build columns with known correlations: c1, c2 = 2*c1 (corr 1),
 	// c3 = -c1 (corr -1), c4 independent.
@@ -57,6 +58,7 @@ func TestCorrelationMatrixLocalAndFederated(t *testing.T) {
 }
 
 func TestDBSCANFindsBlobsAndNoise(t *testing.T) {
+	t.Parallel()
 	x, truth := data.Blobs(51, 240, 3, 3, 0.3)
 	// Add a few far-away noise points.
 	noisy := matrix.RBind(x, matrix.Fill(3, 3, 500))

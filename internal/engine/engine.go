@@ -46,7 +46,21 @@ func Guard(err *error) {
 }
 
 func fail(err error) {
+	//lint:ignore nopanic engine throw: Guard converts it back to an error at every algorithm entry point
 	panic(&Error{Err: err})
+}
+
+// Fail aborts the current engine operation with err. It is the one
+// sanctioned way to raise a failure from engine-style code (lazy graphs,
+// pipeline plumbing) that executes under a deferred Guard; it never
+// returns.
+func Fail(err error) {
+	fail(err)
+}
+
+// Failf is Fail with fmt.Errorf formatting.
+func Failf(format string, args ...any) {
+	fail(fmt.Errorf(format, args...))
 }
 
 func must[T any](v T, err error) T {

@@ -121,7 +121,7 @@ func TestTransformDecodeFederated(t *testing.T) {
 		if got.Column(0).AsString(i) != fr.Column(0).AsString(i) {
 			t.Fatalf("decoded category row %d: %q", i, got.Column(0).AsString(i))
 		}
-		if got.Column(1).AsFloat(i) != fr.Column(1).AsFloat(i) {
+		if got.Column(1).MustFloat(i) != fr.Column(1).MustFloat(i) {
 			t.Fatalf("decoded numeric row %d", i)
 		}
 	}

@@ -18,7 +18,7 @@ import (
 // site granularity).
 
 func init() {
-	worker.RegisterUDF("dp_partial_sum", udfDPPartialSum)
+	worker.MustRegisterUDF("dp_partial_sum", udfDPPartialSum)
 }
 
 // DPArgs configure the local noise addition.
@@ -45,7 +45,10 @@ func udfDPPartialSum(w *worker.Worker, call *fedrpc.UDFCall) (fedrpc.Payload, er
 		return fedrpc.Payload{}, err
 	}
 	rng := rand.New(rand.NewSource(args.Seed))
-	noised := privacy.LaplaceMechanism(rng, x.Sum(), args.Sensitivity, args.Epsilon)
+	noised, err := privacy.LaplaceMechanism(rng, x.Sum(), args.Sensitivity, args.Epsilon)
+	if err != nil {
+		return fedrpc.Payload{}, fmt.Errorf("dp_partial_sum: %w", err)
+	}
 	// The noised aggregate is safe to release regardless of the raw
 	// object's constraint: that is the point of the mechanism.
 	return fedrpc.ScalarPayload(noised), nil

@@ -13,6 +13,15 @@ import (
 	"exdra/internal/netem"
 )
 
+// Default liveness bounds. They are backstops against dead peers, not
+// pacing mechanisms, so they are generous: the WAN setting of the paper
+// (~1.7 MB/s) still moves ~200 MB within the default I/O window.
+const (
+	DefaultDialTimeout = 10 * time.Second
+	DefaultIOTimeout   = 2 * time.Minute
+	DefaultIdleTimeout = 10 * time.Minute
+)
+
 // Options configure a client or server endpoint.
 type Options struct {
 	// TLS enables encrypted communication when non-nil (the paper's SSL
@@ -22,6 +31,26 @@ type Options struct {
 	Netem netem.Config
 	// DialTimeout bounds connection establishment (default 10s).
 	DialTimeout time.Duration
+	// IOTimeout bounds one full RPC exchange on the client and one reply
+	// write on the server. Zero means DefaultIOTimeout; negative disables
+	// deadlines (trusted in-process test links).
+	IOTimeout time.Duration
+	// IdleTimeout bounds how long a server connection may sit between
+	// requests (including mid-request stalls) before it is reclaimed.
+	// Zero means DefaultIdleTimeout; negative disables it.
+	IdleTimeout time.Duration
+}
+
+// timeout resolves a configured duration against its default: zero picks
+// the default, negative disables (returns 0).
+func timeout(configured, def time.Duration) time.Duration {
+	if configured == 0 {
+		return def
+	}
+	if configured < 0 {
+		return 0
+	}
+	return configured
 }
 
 // rpcEnvelope is the on-wire unit: one envelope per Call.
@@ -37,7 +66,8 @@ type rpcReply struct {
 // is safe for concurrent use; calls are serialized per connection (the
 // coordinator parallelizes across workers, as in the paper).
 type Client struct {
-	addr string
+	addr      string
+	ioTimeout time.Duration
 
 	mu   sync.Mutex
 	conn net.Conn
@@ -51,11 +81,7 @@ type Client struct {
 
 // Dial connects to a federated worker at addr.
 func Dial(addr string, opts Options) (*Client, error) {
-	timeout := opts.DialTimeout
-	if timeout == 0 {
-		timeout = 10 * time.Second
-	}
-	raw, err := net.DialTimeout("tcp", addr, timeout)
+	raw, err := net.DialTimeout("tcp", addr, timeout(opts.DialTimeout, DefaultDialTimeout))
 	if err != nil {
 		return nil, fmt.Errorf("fedrpc: dial %s: %w", addr, err)
 	}
@@ -68,7 +94,7 @@ func Dial(addr string, opts Options) (*Client, error) {
 		}
 		conn = tconn
 	}
-	c := &Client{addr: addr, conn: conn}
+	c := &Client{addr: addr, conn: conn, ioTimeout: timeout(opts.IOTimeout, DefaultIOTimeout)}
 	out := &countingWriter{w: conn, n: &c.bytesOut}
 	in := &countingReader{r: conn, n: &c.bytesIn}
 	c.bw = bufio.NewWriterSize(out, 1<<16)
@@ -89,6 +115,7 @@ func (c *Client) Call(reqs ...Request) ([]Response, error) {
 	if c.conn == nil {
 		return nil, fmt.Errorf("fedrpc: client to %s is closed", c.addr)
 	}
+	c.armDeadline()
 	if err := c.enc.Encode(rpcEnvelope{Requests: reqs}); err != nil {
 		return nil, fmt.Errorf("fedrpc: send to %s: %w", c.addr, err)
 	}
@@ -99,6 +126,7 @@ func (c *Client) Call(reqs ...Request) ([]Response, error) {
 	if err := c.dec.Decode(&reply); err != nil {
 		return nil, fmt.Errorf("fedrpc: receive from %s: %w", c.addr, err)
 	}
+	c.disarmDeadline()
 	if len(reply.Responses) != len(reqs) {
 		return nil, fmt.Errorf("fedrpc: %s returned %d responses for %d requests",
 			c.addr, len(reply.Responses), len(reqs))
@@ -117,6 +145,23 @@ func (c *Client) CallOne(req Request) (Response, error) {
 		return resps[0], fmt.Errorf("fedrpc: %s %s: %s", c.addr, req.Type, resps[0].Err)
 	}
 	return resps[0], nil
+}
+
+// armDeadline bounds the upcoming RPC exchange so a dead or wedged peer
+// surfaces as a timeout error instead of hanging the coordinator forever.
+// Callers hold c.mu.
+func (c *Client) armDeadline() {
+	if c.ioTimeout > 0 {
+		_ = c.conn.SetDeadline(time.Now().Add(c.ioTimeout))
+	}
+}
+
+// disarmDeadline clears the exchange deadline so an idle connection is not
+// killed between calls. Callers hold c.mu.
+func (c *Client) disarmDeadline() {
+	if c.ioTimeout > 0 {
+		_ = c.conn.SetDeadline(time.Time{})
+	}
 }
 
 // BytesSent returns the total bytes written to this worker.

@@ -2,6 +2,7 @@ package fedrpc
 
 import (
 	"math/rand"
+	"net"
 	"strings"
 	"sync"
 	"testing"
@@ -297,5 +298,72 @@ func TestConcurrentClients(t *testing.T) {
 func TestRequestTypeString(t *testing.T) {
 	if Read.String() != "READ" || ExecUDF.String() != "EXEC_UDF" || Clear.String() != "CLEAR" {
 		t.Fatal("request type names")
+	}
+}
+
+// TestIOTimeoutUnblocksSilentPeer proves the liveness invariant behind the
+// netdeadline lint rule: a peer that accepts the connection but never
+// replies must not hang the caller forever — the armed deadline errors the
+// RPC out.
+func TestIOTimeoutUnblocksSilentPeer(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		// Drain the request but never answer.
+		buf := make([]byte, 1<<16)
+		_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+		for {
+			if _, err := conn.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+
+	c, err := Dial(ln.Addr().String(), Options{IOTimeout: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	start := time.Now()
+	_, err = c.Call(Request{Type: Clear})
+	if err == nil {
+		t.Fatal("Call against a silent peer succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("deadline did not bound the call: blocked %v", elapsed)
+	}
+	ln.Close()
+	<-done
+}
+
+// TestServerIdleTimeoutReclaimsConnection proves the server side: a client
+// that connects and goes quiet is reclaimed after IdleTimeout, so stuck
+// coordinators cannot pin worker goroutines.
+func TestServerIdleTimeoutReclaimsConnection(t *testing.T) {
+	s, _ := startServer(t, Options{IdleTimeout: 100 * time.Millisecond})
+	conn, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Send nothing; the server's read deadline should close the conn.
+	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 1)
+	start := time.Now()
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("expected the server to close the idle connection")
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("idle connection survived %v", elapsed)
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"log"
 	"net"
 	"sync"
+	"time"
 
 	"exdra/internal/netem"
 )
@@ -30,8 +31,10 @@ func (f HandlerFunc) Handle(reqs []Request) []Response { return f(reqs) }
 // a handler. Multiple coordinator connections are served concurrently; the
 // handler must be safe for concurrent use.
 type Server struct {
-	ln      net.Listener
-	handler Handler
+	ln          net.Listener
+	handler     Handler
+	ioTimeout   time.Duration
+	idleTimeout time.Duration
 
 	mu     sync.Mutex
 	closed bool
@@ -50,7 +53,13 @@ func Serve(addr string, h Handler, opts Options) (*Server, error) {
 	if opts.TLS != nil {
 		ln = tls.NewListener(ln, opts.TLS)
 	}
-	s := &Server{ln: ln, handler: h, conns: map[net.Conn]struct{}{}}
+	s := &Server{
+		ln:          ln,
+		handler:     h,
+		ioTimeout:   timeout(opts.IOTimeout, DefaultIOTimeout),
+		idleTimeout: timeout(opts.IdleTimeout, DefaultIdleTimeout),
+		conns:       map[net.Conn]struct{}{},
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -94,6 +103,13 @@ func (s *Server) serveConn(conn net.Conn) {
 	enc := gob.NewEncoder(bw)
 	dec := gob.NewDecoder(bufio.NewReaderSize(conn, 1<<16))
 	for {
+		// The read deadline doubles as the idle bound: a coordinator that
+		// vanished mid-request or stopped talking entirely releases this
+		// goroutine and its symbol-table references instead of pinning them
+		// forever.
+		if s.idleTimeout > 0 {
+			_ = conn.SetReadDeadline(time.Now().Add(s.idleTimeout))
+		}
 		var env rpcEnvelope
 		if err := dec.Decode(&env); err != nil {
 			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
@@ -102,6 +118,9 @@ func (s *Server) serveConn(conn net.Conn) {
 			return
 		}
 		resps := s.safeHandle(env.Requests)
+		if s.ioTimeout > 0 {
+			_ = conn.SetWriteDeadline(time.Now().Add(s.ioTimeout))
+		}
 		if err := enc.Encode(rpcReply{Responses: resps}); err != nil {
 			log.Printf("fedrpc: encode to %s: %v", conn.RemoteAddr(), err)
 			return

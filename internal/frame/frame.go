@@ -66,25 +66,37 @@ func (c *Column) Len() int {
 // IsNA reports whether cell i is NULL.
 func (c *Column) IsNA(i int) bool { return i < len(c.NA) && c.NA[i] }
 
-// AsFloat returns cell i coerced to float64 (NaN for NA; bools as 0/1;
-// strings are invalid and panic).
-func (c *Column) AsFloat(i int) float64 {
+// AsFloat returns cell i coerced to float64 (NaN for NA; bools as 0/1).
+// String columns cannot be coerced and return an error: schema drift in a
+// site's raw files must surface as an error response at the federated
+// worker, not as a panic that kills the standing process.
+func (c *Column) AsFloat(i int) (float64, error) {
 	if c.IsNA(i) {
-		return math.NaN()
+		return math.NaN(), nil
 	}
 	switch c.Type {
 	case Float64:
-		return c.Floats[i]
+		return c.Floats[i], nil
 	case Int64:
-		return float64(c.Ints[i])
+		return float64(c.Ints[i]), nil
 	case Boolean:
 		if c.Bools[i] {
-			return 1
+			return 1, nil
 		}
-		return 0
+		return 0, nil
 	default:
-		panic(fmt.Sprintf("frame: column %q of type %v cannot be read as float", c.Name, c.Type))
+		return 0, fmt.Errorf("frame: column %q of type %v cannot be read as float", c.Name, c.Type)
 	}
+}
+
+// MustFloat is AsFloat panicking on non-coercible columns, for tests and
+// code paths over already-validated schemas.
+func (c *Column) MustFloat(i int) float64 {
+	v, err := c.AsFloat(i)
+	if err != nil {
+		panic(err)
+	}
+	return v
 }
 
 // AsString returns cell i rendered as a string ("" for NA).

@@ -30,7 +30,7 @@ func TestAccessors(t *testing.T) {
 	if f.NumRows() != 3 || f.NumCols() != 4 {
 		t.Fatalf("%dx%d", f.NumRows(), f.NumCols())
 	}
-	if f.ColumnByName("B").AsFloat(1) != 5500 {
+	if f.ColumnByName("B").MustFloat(1) != 5500 {
 		t.Fatal("AsFloat")
 	}
 	if f.ColumnByName("missing") != nil {
@@ -45,10 +45,10 @@ func TestAccessors(t *testing.T) {
 	if f.Schema()[1] != Float64 || f.Schema()[2] != Int64 {
 		t.Fatal("schema")
 	}
-	if f.Column(3).AsFloat(0) != 1 || f.Column(3).AsFloat(1) != 0 {
+	if f.Column(3).MustFloat(0) != 1 || f.Column(3).MustFloat(1) != 0 {
 		t.Fatal("bool as float")
 	}
-	if f.Column(2).AsFloat(2) != 3 {
+	if f.Column(2).MustFloat(2) != 3 {
 		t.Fatal("int as float")
 	}
 }
@@ -62,18 +62,21 @@ func TestNAHandling(t *testing.T) {
 		t.Fatal("NA as string")
 	}
 	fc := &Column{Name: "v", Type: Float64, Floats: []float64{1, 2}, NA: []bool{false, true}}
-	if !math.IsNaN(fc.AsFloat(1)) {
+	if !math.IsNaN(fc.MustFloat(1)) {
 		t.Fatal("NA as float should be NaN")
 	}
 }
 
-func TestStringColumnAsFloatPanics(t *testing.T) {
+func TestStringColumnAsFloatErrors(t *testing.T) {
+	if _, err := StringColumn("s", []string{"x"}).AsFloat(0); err == nil {
+		t.Fatal("expected error coercing a string column to float")
+	}
 	defer func() {
 		if recover() == nil {
-			t.Fatal("expected panic")
+			t.Fatal("MustFloat should panic on a string column")
 		}
 	}()
-	StringColumn("s", []string{"x"}).AsFloat(0)
+	StringColumn("s", []string{"x"}).MustFloat(0)
 }
 
 func TestSliceRows(t *testing.T) {
@@ -84,7 +87,7 @@ func TestSliceRows(t *testing.T) {
 	}
 	// Slices are copies.
 	s.Column(1).Floats[0] = -1
-	if f.Column(1).AsFloat(1) == -1 {
+	if f.Column(1).MustFloat(1) == -1 {
 		t.Fatal("slice aliases parent")
 	}
 }
@@ -135,7 +138,7 @@ func TestCSVRoundTrip(t *testing.T) {
 		got.Column(2).Type != Int64 || got.Column(3).Type != Boolean {
 		t.Fatalf("type inference: %v", got.Schema())
 	}
-	if got.Column(1).AsFloat(2) != 1.5 {
+	if got.Column(1).MustFloat(2) != 1.5 {
 		t.Fatal("float cell")
 	}
 }

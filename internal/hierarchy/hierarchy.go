@@ -19,9 +19,9 @@ import (
 )
 
 func init() {
-	worker.RegisterUDF("hier_mount", udfMount)
-	worker.RegisterUDF("hier_consolidate", udfConsolidate)
-	worker.RegisterUDF("hier_agg", udfAgg)
+	worker.MustRegisterUDF("hier_mount", udfMount)
+	worker.MustRegisterUDF("hier_consolidate", udfConsolidate)
+	worker.MustRegisterUDF("hier_agg", udfAgg)
 }
 
 // SubSpec names one leaf file in a subgroup federation.

@@ -159,7 +159,7 @@ func (n *Node) eval() {
 		a, b := n.inputs[0], n.inputs[1]
 		switch {
 		case a.isScalar && b.isScalar:
-			panic(&engine.Error{Err: fmt.Errorf("lazy: scalar-scalar %s unsupported", n.op)})
+			engine.Failf("lazy: scalar-scalar %s unsupported", n.op)
 		case a.isScalar:
 			n.matVal = engine.BinaryScalar(n.binOp, b.matVal, a.scalarVal, true)
 		case b.isScalar:

@@ -1,0 +1,70 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GobErrAnalyzer forbids discarding the error results of Encode, Decode,
+// and Flush calls. On the federated wire a dropped gob error silently
+// desynchronizes the protocol stream (the peer blocks on a reply that was
+// never fully written); a dropped Flush error loses the entire buffered
+// message. The rule fires on any method of those names whose call result
+// is exactly one error and is discarded — in statement position, assigned
+// only to blanks, or detached via go/defer.
+func GobErrAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "goberr",
+		Doc:  "Encode/Decode/Flush errors must be checked",
+		Run: func(pass *Pass) {
+			for _, file := range pass.Pkg.Files {
+				ast.Inspect(file, func(n ast.Node) bool {
+					switch s := n.(type) {
+					case *ast.ExprStmt:
+						reportDiscarded(pass, s.X)
+					case *ast.AssignStmt:
+						if len(s.Rhs) == 1 && allBlank(s.Lhs) {
+							reportDiscarded(pass, s.Rhs[0])
+						}
+					case *ast.GoStmt:
+						reportDiscarded(pass, s.Call)
+					case *ast.DeferStmt:
+						reportDiscarded(pass, s.Call)
+					}
+					return true
+				})
+			}
+		},
+	}
+}
+
+func reportDiscarded(pass *Pass, e ast.Expr) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	name := sel.Sel.Name
+	if name != "Encode" && name != "Decode" && name != "Flush" {
+		return
+	}
+	t := pass.Pkg.TypeOf(call)
+	if t == nil || !types.Identical(t, errorType) {
+		return // void (e.g. csv.Writer.Flush) or multi-result: not this rule
+	}
+	pass.Reportf(call.Pos(),
+		"result of %s is an error and must be checked (a dropped wire error desynchronizes the protocol stream)", name)
+}
+
+func allBlank(lhs []ast.Expr) bool {
+	for _, e := range lhs {
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			return false
+		}
+	}
+	return len(lhs) > 0
+}

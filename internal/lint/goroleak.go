@@ -1,0 +1,76 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoroLeakAnalyzer is a leak heuristic for library packages: a `go func`
+// literal must be joined by some mechanism reachable in the same enclosing
+// function — a WaitGroup/errgroup Wait, a channel receive, a range over a
+// channel, or a select. A goroutine launched with none of these outlives
+// the call it was born in, which in a standing federated worker is a slow
+// leak under sustained load.
+//
+// Binaries (package main) are exempt: their goroutines die with the
+// process. Deliberate fire-and-forget sites use
+// //lint:ignore goroleak <reason>.
+func GoroLeakAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "goroleak",
+		Doc:  "go func literals in library code must be joined in the launching function",
+		Run: func(pass *Pass) {
+			if pass.Pkg.Name() == "main" {
+				return
+			}
+			for _, file := range pass.Pkg.Files {
+				for _, decl := range file.Decls {
+					fd, ok := decl.(*ast.FuncDecl)
+					if !ok || fd.Body == nil {
+						continue
+					}
+					checkGoroutines(pass, fd)
+				}
+			}
+		},
+	}
+}
+
+func checkGoroutines(pass *Pass, fd *ast.FuncDecl) {
+	var launches []*ast.GoStmt
+	joined := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.GoStmt:
+			if _, ok := ast.Unparen(e.Call.Fun).(*ast.FuncLit); ok {
+				launches = append(launches, e)
+			}
+		case *ast.UnaryExpr:
+			if e.Op == token.ARROW {
+				joined = true // channel receive
+			}
+		case *ast.SelectStmt:
+			joined = true
+		case *ast.RangeStmt:
+			if t := pass.Pkg.TypeOf(e.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					joined = true
+				}
+			}
+		case *ast.CallExpr:
+			if calleeName(e) == "Wait" {
+				joined = true // sync.WaitGroup / errgroup style
+			}
+		}
+		return true
+	})
+	if joined {
+		return
+	}
+	for _, g := range launches {
+		pass.Reportf(g.Pos(),
+			"goroutine launched without a join mechanism (WaitGroup/errgroup Wait, channel receive, or select) in %s; it can leak under sustained load",
+			fd.Name.Name)
+	}
+}

@@ -1,0 +1,172 @@
+// Package lint implements exdralint, the project-specific static-analysis
+// pass for the ExDRa federated runtime. It is built only on the standard
+// library (go/ast, go/parser, go/token, go/types) and enforces invariants
+// that stock tooling (go vet) does not know about: connection deadlines in
+// the federated protocol, panic-free library code, checked gob/flush
+// errors, and joined goroutines.
+//
+// Findings can be suppressed with a directive comment on the flagged line
+// or the line directly above it:
+//
+//	//lint:ignore <rule>[,<rule>...] <reason>
+//
+// The reason is mandatory: a suppression without a justification is itself
+// a defect. See DESIGN.md ("Static analysis") for the rule catalogue.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Finding is one rule violation at a source position.
+type Finding struct {
+	Rule string
+	Pos  token.Position
+	Msg  string
+}
+
+// String renders the finding in the canonical "file:line: rule: message"
+// form consumed by editors and CI logs.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Rule, f.Msg)
+}
+
+// Analyzer is one named rule. Run inspects a single type-checked package
+// and reports violations through the pass.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(pass *Pass)
+}
+
+// Pass couples one analyzer invocation with one package.
+type Pass struct {
+	Pkg  *Package
+	rule string
+	out  *[]Finding
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.out = append(*p.out, Finding{
+		Rule: p.rule,
+		Pos:  p.Pkg.Fset.Position(pos),
+		Msg:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Run applies every analyzer to every package and returns the surviving
+// findings (suppressed ones are dropped) sorted by file, line, and rule.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	var all []Finding
+	for _, pkg := range pkgs {
+		var raw []Finding
+		for _, a := range analyzers {
+			a.Run(&Pass{Pkg: pkg, rule: a.Name, out: &raw})
+		}
+		ig := collectIgnores(pkg)
+		for _, f := range raw {
+			if !ig.suppressed(f) {
+				all = append(all, f)
+			}
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Rule < b.Rule
+	})
+	return all
+}
+
+// ignoreKey addresses one suppression directive site.
+type ignoreKey struct {
+	file string
+	line int
+}
+
+type ignoreSet map[ignoreKey][]string // -> rules covered at that line
+
+// collectIgnores scans all comments of a package for lint:ignore
+// directives. A directive covers findings on its own line (trailing
+// comment) and on the line directly below it (standalone comment).
+func collectIgnores(pkg *Package) ignoreSet {
+	ig := ignoreSet{}
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "lint:ignore") {
+					continue
+				}
+				fields := strings.Fields(strings.TrimPrefix(text, "lint:ignore"))
+				if len(fields) < 2 {
+					// A directive without rule+reason is malformed; it
+					// suppresses nothing.
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := ignoreKey{file: pos.Filename, line: pos.Line}
+				ig[key] = append(ig[key], strings.Split(fields[0], ",")...)
+			}
+		}
+	}
+	return ig
+}
+
+func (ig ignoreSet) suppressed(f Finding) bool {
+	for _, line := range [2]int{f.Pos.Line, f.Pos.Line - 1} {
+		for _, rule := range ig[ignoreKey{file: f.Pos.Filename, line: line}] {
+			if rule == f.Rule {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// DefaultAnalyzers returns the production rule set with the repository's
+// target-package configuration applied.
+func DefaultAnalyzers() []*Analyzer {
+	return []*Analyzer{
+		NetDeadlineAnalyzer([]string{
+			"exdra/internal/fedrpc",
+			"exdra/internal/worker",
+			"exdra/internal/netem",
+		}),
+		NoPanicAnalyzer([]string{
+			// Matrix shape-check kernels are the one sanctioned panic site:
+			// a shape mismatch is a programming error in the caller, the
+			// kernels sit on hot paths, and the federated server converts
+			// worker-side panics into error responses (fedrpc safeHandle).
+			"exdra/internal/matrix",
+		}),
+		GobErrAnalyzer(),
+		GoroLeakAnalyzer(),
+	}
+}
+
+// calleeName returns the bare name of a call's callee: the selector name
+// for method/package calls, the identifier for plain calls, "" otherwise.
+func calleeName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	case *ast.Ident:
+		return fun.Name
+	}
+	return ""
+}
+
+// errorType is the universe error type, for result-type checks.
+var errorType = types.Universe.Lookup("error").Type()

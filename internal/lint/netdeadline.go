@@ -1,0 +1,110 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ioMethods are the I/O entry points whose callers must bound blocking:
+// raw conn reads/writes and the gob encode/decode calls layered on top of
+// a connection.
+var ioMethods = map[string]bool{
+	"Read":   true,
+	"Write":  true,
+	"Encode": true,
+	"Decode": true,
+}
+
+// NetDeadlineAnalyzer enforces the federation-protocol liveness invariant:
+// in the target packages, any function that touches a net.Conn-like value
+// and performs network I/O (Read/Write/Encode/Decode) must also arm a
+// deadline in the same function — directly via SetDeadline /
+// SetReadDeadline / SetWriteDeadline, or through a helper whose name
+// contains "Deadline" (e.g. armDeadline). Without a deadline, a dead peer
+// blocks the caller forever (the hang-forever failure mode of the paper's
+// WAN setting).
+//
+// The check is a per-function heuristic: "conn-derived" means the function
+// references any value whose method set has SetReadDeadline,
+// SetWriteDeadline, and RemoteAddr (net.Conn, *tls.Conn, wrapped conns —
+// but not *os.File, which lacks RemoteAddr).
+func NetDeadlineAnalyzer(targetPkgs []string) *Analyzer {
+	targets := map[string]bool{}
+	for _, p := range targetPkgs {
+		targets[p] = true
+	}
+	return &Analyzer{
+		Name: "netdeadline",
+		Doc:  "conn I/O in federation-runtime packages must be guarded by a deadline",
+		Run: func(pass *Pass) {
+			if len(targets) > 0 && !targets[pass.Pkg.Path] {
+				return
+			}
+			for _, file := range pass.Pkg.Files {
+				for _, decl := range file.Decls {
+					fd, ok := decl.(*ast.FuncDecl)
+					if !ok || fd.Body == nil {
+						continue
+					}
+					checkDeadlines(pass, fd)
+				}
+			}
+		},
+	}
+}
+
+func checkDeadlines(pass *Pass, fd *ast.FuncDecl) {
+	var connUsed, deadlineArmed bool
+	firstIO := ""
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.CallExpr:
+			name := calleeName(e)
+			switch {
+			case containsDeadline(name):
+				deadlineArmed = true
+			case ioMethods[name]:
+				if firstIO == "" {
+					firstIO = name
+				}
+			}
+		case ast.Expr:
+			if t, isValue := pass.Pkg.ValueOf(e); isValue && isConnLike(t, pass.Pkg) {
+				connUsed = true
+			}
+		}
+		return true
+	})
+	if connUsed && firstIO != "" && !deadlineArmed {
+		pass.Reportf(fd.Name.Pos(),
+			"function %s performs conn I/O (%s) without setting a deadline; call SetDeadline/SetReadDeadline/SetWriteDeadline or a *Deadline helper, or a dead peer hangs it forever",
+			fd.Name.Name, firstIO)
+	}
+}
+
+func containsDeadline(name string) bool {
+	return strings.Contains(name, "Deadline")
+}
+
+// isConnLike reports whether t behaves like a network connection: its
+// method set (value or pointer) carries the deadline setters plus
+// RemoteAddr.
+func isConnLike(t types.Type, pkg *Package) bool {
+	if t == nil {
+		return false
+	}
+	return hasMethod(t, "SetReadDeadline", pkg) &&
+		hasMethod(t, "SetWriteDeadline", pkg) &&
+		hasMethod(t, "RemoteAddr", pkg)
+}
+
+func hasMethod(t types.Type, name string, pkg *Package) bool {
+	var scope *types.Package
+	if pkg.Types != nil {
+		scope = pkg.Types
+	}
+	obj, _, _ := types.LookupFieldOrMethod(t, true, scope, name)
+	_, ok := obj.(*types.Func)
+	return ok
+}

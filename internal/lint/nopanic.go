@@ -1,0 +1,117 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NoPanicAnalyzer forbids panic in library code. A federated worker is a
+// standing multi-tenant server: one exploratory pipeline must not be able
+// to take it down, so failures travel as errors, not panics.
+//
+// Exemptions, in the spirit of the standard library:
+//   - packages in allowPkgs (the matrix shape-check kernels);
+//   - functions whose name starts with "Must" (the regexp.MustCompile
+//     idiom — the caller explicitly opted into panicking);
+//   - re-panics of a recovered value (panic(r) where r came from recover()
+//     in the same function), which preserve foreign panics in recovery
+//     shims.
+func NoPanicAnalyzer(allowPkgs []string) *Analyzer {
+	allowed := map[string]bool{}
+	for _, p := range allowPkgs {
+		allowed[p] = true
+	}
+	return &Analyzer{
+		Name: "nopanic",
+		Doc:  "library code must return errors instead of panicking",
+		Run: func(pass *Pass) {
+			if allowed[pass.Pkg.Path] {
+				return
+			}
+			for _, file := range pass.Pkg.Files {
+				for _, decl := range file.Decls {
+					fd, ok := decl.(*ast.FuncDecl)
+					if !ok || fd.Body == nil {
+						continue
+					}
+					mustOK := len(fd.Name.Name) >= 4 && fd.Name.Name[:4] == "Must"
+					checkPanics(pass, fd.Body, mustOK)
+				}
+			}
+		},
+	}
+}
+
+// checkPanics inspects one function body, recursing into nested function
+// literals with a fresh recover scope (recover() only observes panics of
+// the goroutine/defer frame it runs in).
+func checkPanics(pass *Pass, body *ast.BlockStmt, mustOK bool) {
+	recovered := map[string]bool{}
+	walkShallow(body, func(n ast.Node) {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 || !isRecoverCall(pass, as.Rhs[0]) {
+			return
+		}
+		for _, lhs := range as.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok {
+				recovered[id.Name] = true
+			}
+		}
+	})
+	walkShallow(body, func(n ast.Node) {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			checkPanics(pass, lit.Body, mustOK)
+			return
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isBuiltin(pass, call.Fun, "panic") {
+			return
+		}
+		if mustOK {
+			return
+		}
+		if len(call.Args) == 1 {
+			if id, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok && recovered[id.Name] {
+				return // re-panic of a recovered value
+			}
+		}
+		pass.Reportf(call.Pos(),
+			"panic in library code; return an error instead (federated workers must survive bad pipelines)")
+	})
+}
+
+// walkShallow visits nodes of body without descending into nested
+// function literals (their bodies are separate panic/recover scopes).
+func walkShallow(body *ast.BlockStmt, fn func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			fn(n)
+			return false
+		}
+		if n != nil {
+			fn(n)
+		}
+		return true
+	})
+}
+
+func isRecoverCall(pass *Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	return ok && isBuiltin(pass, call.Fun, "recover")
+}
+
+// isBuiltin reports whether fun denotes the named predeclared function,
+// falling back to a name match when type information is incomplete.
+func isBuiltin(pass *Pass, fun ast.Expr, name string) bool {
+	id, ok := ast.Unparen(fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	if pass.Pkg.Info != nil {
+		if obj := pass.Pkg.Info.Uses[id]; obj != nil {
+			_, isBuiltin := obj.(*types.Builtin)
+			return isBuiltin
+		}
+	}
+	return true
+}

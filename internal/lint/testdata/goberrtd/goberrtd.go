@@ -1,0 +1,54 @@
+// Package goberrtd is a goberr rule fixture.
+package goberrtd
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/csv"
+	"encoding/gob"
+)
+
+func discardedEncode(buf *bytes.Buffer) {
+	enc := gob.NewEncoder(buf)
+	enc.Encode(42) // want goberr
+}
+
+func blankEncode(buf *bytes.Buffer) {
+	var v int
+	dec := gob.NewDecoder(buf)
+	_ = dec.Decode(&v) // want goberr
+}
+
+func discardedFlush(buf *bytes.Buffer) {
+	bw := bufio.NewWriter(buf)
+	bw.Flush() // want goberr
+}
+
+func deferredFlush(buf *bytes.Buffer) {
+	bw := bufio.NewWriter(buf)
+	defer bw.Flush() // want goberr
+	_, _ = bw.WriteString("x")
+}
+
+func checkedEncode(buf *bytes.Buffer) error {
+	enc := gob.NewEncoder(buf)
+	if err := enc.Encode(42); err != nil {
+		return err
+	}
+	return bufio.NewWriter(buf).Flush()
+}
+
+// voidFlush exercises the type check: csv.Writer.Flush returns nothing,
+// so discarding "its result" is not a finding (csv errors surface via
+// Error()).
+func voidFlush(buf *bytes.Buffer) error {
+	cw := csv.NewWriter(buf)
+	cw.Flush()
+	return cw.Error()
+}
+
+func suppressedEncode(buf *bytes.Buffer) {
+	enc := gob.NewEncoder(buf)
+	//lint:ignore goberr fixture: best-effort trailer, stream already failed
+	enc.Encode(42)
+}

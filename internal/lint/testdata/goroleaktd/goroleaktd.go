@@ -1,0 +1,56 @@
+// Package goroleaktd is a goroleak rule fixture.
+package goroleaktd
+
+import "sync"
+
+func fireAndForget() {
+	go func() {}() // want goroleak
+}
+
+func joinedByWaitGroup() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done() }()
+	wg.Wait()
+}
+
+func joinedByChannel() int {
+	results := make(chan int, 1)
+	go func() { results <- 1 }()
+	return <-results
+}
+
+func joinedBySelect(done chan struct{}) {
+	go func() { close(done) }()
+	select {
+	case <-done:
+	}
+}
+
+func joinedByRange() int {
+	ch := make(chan int, 2)
+	go func() {
+		ch <- 1
+		ch <- 2
+		close(ch)
+	}()
+	sum := 0
+	for v := range ch {
+		sum += v
+	}
+	return sum
+}
+
+// namedCall is outside the rule's scope: only `go func` literals are
+// checked (named launches are typically long-lived subsystem loops whose
+// lifecycle lives elsewhere).
+func namedCall() {
+	go helper()
+}
+
+func helper() {}
+
+func suppressed() {
+	//lint:ignore goroleak fixture: deliberate fire-and-forget
+	go func() {}()
+}

@@ -1,0 +1,51 @@
+// Package netdl is a netdeadline rule fixture: positive, negative, and
+// suppressed cases. Trailing want-markers are asserted by lint_test.go.
+package netdl
+
+import (
+	"encoding/gob"
+	"net"
+	"time"
+)
+
+func readNoDeadline(c net.Conn) error { // want netdeadline
+	buf := make([]byte, 4)
+	_, err := c.Read(buf)
+	return err
+}
+
+func encodeNoDeadline(c net.Conn) error { // want netdeadline
+	return gob.NewEncoder(c).Encode("x")
+}
+
+func readWithDeadline(c net.Conn) error {
+	if err := c.SetReadDeadline(time.Now().Add(time.Second)); err != nil {
+		return err
+	}
+	buf := make([]byte, 4)
+	_, err := c.Read(buf)
+	return err
+}
+
+func writeViaHelper(c net.Conn) error {
+	armDeadline(c)
+	_, err := c.Write([]byte("x"))
+	return err
+}
+
+// armDeadline itself references the conn but performs no I/O, so it is not
+// flagged; its name satisfies the *Deadline helper convention for callers.
+func armDeadline(c net.Conn) {
+	_ = c.SetDeadline(time.Now().Add(time.Second))
+}
+
+// noConnInvolved encodes to a non-conn sink; the rule must not fire.
+func noConnInvolved(enc *gob.Encoder) error {
+	return enc.Encode("x")
+}
+
+//lint:ignore netdeadline fixture: deadline ownership is documented to live with the caller
+func suppressedWrite(c net.Conn) error {
+	_, err := c.Write([]byte("x"))
+	return err
+}

@@ -1,0 +1,55 @@
+// Package nopanictd is a nopanic rule fixture.
+package nopanictd
+
+import "errors"
+
+func barePanic() { panic("boom") } // want nopanic
+
+func formattedPanic(n int) {
+	if n < 0 {
+		panic(errors.New("negative")) // want nopanic
+	}
+}
+
+// MustParse may panic: the Must prefix is the caller's explicit opt-in.
+func MustParse(s string) int {
+	if s == "" {
+		panic("empty input")
+	}
+	return len(s)
+}
+
+// rethrow re-panics a recovered foreign value — the one legitimate panic
+// in a recovery shim.
+func rethrow(fn func()) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if e, ok := r.(error); ok {
+				err = e
+				return
+			}
+			panic(r)
+		}
+	}()
+	fn()
+	return nil
+}
+
+func returnsError(n int) (int, error) {
+	if n < 0 {
+		return 0, errors.New("negative")
+	}
+	return n, nil
+}
+
+func suppressed() {
+	//lint:ignore nopanic fixture: sanctioned panic with a recorded justification
+	panic("quiet")
+}
+
+// panicInLiteral must be attributed to the literal, not the decl.
+func panicInLiteral() func() {
+	return func() {
+		panic("inner") // want nopanic
+	}
+}

@@ -17,6 +17,7 @@ func oneHotLike(rng *rand.Rand, rows, cols int) *Dense {
 }
 
 func TestCompressRoundTrip(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(1))
 	m := oneHotLike(rng, 200, 12)
 	c := Compress(m)
@@ -38,6 +39,7 @@ func TestCompressRoundTrip(t *testing.T) {
 }
 
 func TestCompressedOps(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(2))
 	m := oneHotLike(rng, 150, 9).Scale(3)
 	c := Compress(m)
@@ -54,6 +56,7 @@ func TestCompressedOps(t *testing.T) {
 }
 
 func TestPropCompressRoundTrip(t *testing.T) {
+	t.Parallel()
 	f := func(seed int64, r, cc uint8) bool {
 		rng := rand.New(rand.NewSource(seed))
 		m := NewDense(dims(r)+1, dims(cc))

@@ -7,6 +7,7 @@ import (
 )
 
 func TestNewDenseAndAccessors(t *testing.T) {
+	t.Parallel()
 	m := NewDense(2, 3)
 	if m.Rows() != 2 || m.Cols() != 3 || m.Size() != 6 {
 		t.Fatalf("got %dx%d size %d", m.Rows(), m.Cols(), m.Size())
@@ -21,6 +22,7 @@ func TestNewDenseAndAccessors(t *testing.T) {
 }
 
 func TestNewDenseDataLengthCheck(t *testing.T) {
+	t.Parallel()
 	defer func() {
 		if recover() == nil {
 			t.Fatal("expected panic for bad data length")
@@ -30,6 +32,7 @@ func TestNewDenseDataLengthCheck(t *testing.T) {
 }
 
 func TestFromRowsRaggedPanics(t *testing.T) {
+	t.Parallel()
 	defer func() {
 		if recover() == nil {
 			t.Fatal("expected panic for ragged rows")
@@ -39,6 +42,7 @@ func TestFromRowsRaggedPanics(t *testing.T) {
 }
 
 func TestCloneIsDeep(t *testing.T) {
+	t.Parallel()
 	m := FromRows([][]float64{{1, 2}, {3, 4}})
 	c := m.Clone()
 	c.Set(0, 0, 99)
@@ -48,6 +52,7 @@ func TestCloneIsDeep(t *testing.T) {
 }
 
 func TestIdentityAndFill(t *testing.T) {
+	t.Parallel()
 	id := Identity(3)
 	if id.Trace() != 3 || id.Sum() != 3 {
 		t.Fatalf("identity trace=%g sum=%g", id.Trace(), id.Sum())
@@ -59,6 +64,7 @@ func TestIdentityAndFill(t *testing.T) {
 }
 
 func TestSeq(t *testing.T) {
+	t.Parallel()
 	s := Seq(1, 2, 4)
 	want := []float64{1, 3, 5, 7}
 	for i, w := range want {
@@ -69,6 +75,7 @@ func TestSeq(t *testing.T) {
 }
 
 func TestRandDeterministic(t *testing.T) {
+	t.Parallel()
 	a := Rand(rand.New(rand.NewSource(7)), 4, 4, 0, 1)
 	b := Rand(rand.New(rand.NewSource(7)), 4, 4, 0, 1)
 	if !a.EqualApprox(b, 0) {
@@ -82,6 +89,7 @@ func TestRandDeterministic(t *testing.T) {
 }
 
 func TestEqualApprox(t *testing.T) {
+	t.Parallel()
 	a := FromRows([][]float64{{1, math.NaN()}})
 	b := FromRows([][]float64{{1.0000001, math.NaN()}})
 	if !a.EqualApprox(b, 1e-5) {
@@ -93,6 +101,7 @@ func TestEqualApprox(t *testing.T) {
 }
 
 func TestSparsity(t *testing.T) {
+	t.Parallel()
 	m := FromRows([][]float64{{0, 1}, {0, 2}})
 	if got := m.Sparsity(); got != 0.5 {
 		t.Fatalf("sparsity=%g want 0.5", got)
@@ -103,6 +112,7 @@ func TestSparsity(t *testing.T) {
 }
 
 func TestStringForms(t *testing.T) {
+	t.Parallel()
 	small := FromRows([][]float64{{1, 2}})
 	if small.String() != "Dense(1x2)[1 2]" {
 		t.Fatalf("small string %q", small.String())

@@ -15,6 +15,7 @@ func randSPD(rng *rand.Rand, n int) *Dense {
 }
 
 func TestEigenSymReconstructs(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(21))
 	a := randSPD(rng, 8)
 	vals, vecs := EigenSym(a)
@@ -40,6 +41,7 @@ func TestEigenSymReconstructs(t *testing.T) {
 }
 
 func TestEigenSymDiagonal(t *testing.T) {
+	t.Parallel()
 	a := ColVector([]float64{3, 1, 2}).Diag()
 	vals, _ := EigenSym(a)
 	if !vals.EqualApprox(ColVector([]float64{3, 2, 1}), 1e-12) {
@@ -48,6 +50,7 @@ func TestEigenSymDiagonal(t *testing.T) {
 }
 
 func TestSolveCG(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(22))
 	a := randSPD(rng, 12)
 	want := Randn(rng, 12, 1, 0, 1)
@@ -66,6 +69,7 @@ func TestSolveCG(t *testing.T) {
 }
 
 func TestCholeskySolve(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(23))
 	a := randSPD(rng, 9)
 	want := Randn(rng, 9, 1, 0, 1)

@@ -8,6 +8,7 @@ import (
 )
 
 func TestIncrementalMatchesBatch(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(1))
 	m := Randn(rng, 60, 4, 2, 3)
 	s := NewIncrementalStats(4)
@@ -29,6 +30,7 @@ func TestIncrementalMatchesBatch(t *testing.T) {
 }
 
 func TestIncrementalRemove(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(2))
 	m := Randn(rng, 30, 3, 0, 1)
 	s := NewIncrementalStats(3)
@@ -66,6 +68,7 @@ func TestIncrementalRemove(t *testing.T) {
 }
 
 func TestIncrementalRemoveNonExtremumKeepsMinMax(t *testing.T) {
+	t.Parallel()
 	s := NewIncrementalStats(1)
 	s.Append([]float64{1})
 	s.Append([]float64{5})
@@ -84,6 +87,7 @@ func TestIncrementalRemoveNonExtremumKeepsMinMax(t *testing.T) {
 }
 
 func TestPropIncrementalAppend(t *testing.T) {
+	t.Parallel()
 	f := func(seed int64, r, c uint8) bool {
 		rng := rand.New(rand.NewSource(seed))
 		m := genMatrix(rng, dims(r)+1, dims(c))

@@ -7,6 +7,7 @@ import (
 )
 
 func TestBinarySameShape(t *testing.T) {
+	t.Parallel()
 	a := FromRows([][]float64{{1, 2}, {3, 4}})
 	b := FromRows([][]float64{{10, 20}, {30, 40}})
 	got := a.Add(b)
@@ -20,6 +21,7 @@ func TestBinarySameShape(t *testing.T) {
 }
 
 func TestBinaryColBroadcast(t *testing.T) {
+	t.Parallel()
 	a := FromRows([][]float64{{1, 2}, {3, 4}})
 	v := ColVector([]float64{10, 100})
 	got := a.Add(v)
@@ -30,6 +32,7 @@ func TestBinaryColBroadcast(t *testing.T) {
 }
 
 func TestBinaryRowBroadcast(t *testing.T) {
+	t.Parallel()
 	a := FromRows([][]float64{{1, 2}, {3, 4}})
 	v := RowVector([]float64{10, 100})
 	got := a.Mul(v)
@@ -40,6 +43,7 @@ func TestBinaryRowBroadcast(t *testing.T) {
 }
 
 func TestBinaryScalarAndSwap(t *testing.T) {
+	t.Parallel()
 	a := FromRows([][]float64{{1, 2}})
 	if !a.BinaryScalar(OpSub, 1, false).EqualApprox(FromRows([][]float64{{0, 1}}), 0) {
 		t.Fatal("m-s")
@@ -54,6 +58,7 @@ func TestBinaryScalarAndSwap(t *testing.T) {
 }
 
 func TestComparisonAndLogicalOps(t *testing.T) {
+	t.Parallel()
 	a := FromRows([][]float64{{1, 0, 2}})
 	b := FromRows([][]float64{{1, 1, 1}})
 	cases := []struct {
@@ -79,6 +84,7 @@ func TestComparisonAndLogicalOps(t *testing.T) {
 }
 
 func TestModIntDivPowLog(t *testing.T) {
+	t.Parallel()
 	a := FromRows([][]float64{{7, 8}})
 	b := FromRows([][]float64{{3, 2}})
 	if !a.Binary(OpMod, b).EqualApprox(RowVector([]float64{1, 0}), 0) {
@@ -97,6 +103,7 @@ func TestModIntDivPowLog(t *testing.T) {
 }
 
 func TestIncompatibleShapesPanic(t *testing.T) {
+	t.Parallel()
 	defer func() {
 		if recover() == nil {
 			t.Fatal("expected panic")
@@ -106,6 +113,7 @@ func TestIncompatibleShapesPanic(t *testing.T) {
 }
 
 func TestUnaryOps(t *testing.T) {
+	t.Parallel()
 	a := FromRows([][]float64{{-1.5, 4, 0}})
 	if !a.Unary(UAbs).EqualApprox(RowVector([]float64{1.5, 4, 0}), 0) {
 		t.Fatal("abs")
@@ -136,6 +144,7 @@ func TestUnaryOps(t *testing.T) {
 }
 
 func TestSoftmaxRowsSumToOne(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(3))
 	m := Randn(rng, 5, 7, 0, 10)
 	sm := m.Softmax()
@@ -153,6 +162,7 @@ func TestSoftmaxRowsSumToOne(t *testing.T) {
 }
 
 func TestAggregates(t *testing.T) {
+	t.Parallel()
 	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
 	if m.Sum() != 21 || m.Min() != 1 || m.Max() != 6 || m.Mean() != 3.5 {
 		t.Fatalf("sum/min/max/mean: %g %g %g %g", m.Sum(), m.Min(), m.Max(), m.Mean())
@@ -184,6 +194,7 @@ func TestAggregates(t *testing.T) {
 }
 
 func TestRowIndexMax(t *testing.T) {
+	t.Parallel()
 	m := FromRows([][]float64{{1, 9, 2}, {7, 1, 3}})
 	if !m.RowIndexMax().EqualApprox(ColVector([]float64{2, 1}), 0) {
 		t.Fatal("rowIndexMax")
@@ -191,6 +202,7 @@ func TestRowIndexMax(t *testing.T) {
 }
 
 func TestPartialAggCombine(t *testing.T) {
+	t.Parallel()
 	m := FromRows([][]float64{{1, 2, 3, 4, 5, 6}})
 	a := m.SliceCols(0, 2)
 	b := m.SliceCols(2, 6)
@@ -208,6 +220,7 @@ func TestPartialAggCombine(t *testing.T) {
 }
 
 func TestMatMulSmall(t *testing.T) {
+	t.Parallel()
 	a := FromRows([][]float64{{1, 2}, {3, 4}})
 	b := FromRows([][]float64{{5, 6}, {7, 8}})
 	want := FromRows([][]float64{{19, 22}, {43, 50}})
@@ -217,6 +230,7 @@ func TestMatMulSmall(t *testing.T) {
 }
 
 func TestMatMulShapePanic(t *testing.T) {
+	t.Parallel()
 	defer func() {
 		if recover() == nil {
 			t.Fatal("expected panic")
@@ -226,6 +240,7 @@ func TestMatMulShapePanic(t *testing.T) {
 }
 
 func TestMatMulAgainstNaive(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(11))
 	a := Randn(rng, 33, 70, 0, 1)
 	b := Randn(rng, 70, 21, 0, 1)
@@ -251,6 +266,7 @@ func naiveMatMul(a, b *Dense) *Dense {
 }
 
 func TestTSMMEqualsExplicit(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(5))
 	x := Randn(rng, 57, 13, 0, 1)
 	got := x.TSMM()
@@ -261,6 +277,7 @@ func TestTSMMEqualsExplicit(t *testing.T) {
 }
 
 func TestMMChainEqualsExplicit(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(6))
 	x := Randn(rng, 41, 9, 0, 1)
 	v := Randn(rng, 9, 1, 0, 1)
@@ -278,6 +295,7 @@ func TestMMChainEqualsExplicit(t *testing.T) {
 }
 
 func TestTransposeRoundTrip(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(8))
 	m := Randn(rng, 130, 67, 0, 1)
 	if !m.Transpose().Transpose().EqualApprox(m, 0) {
@@ -289,6 +307,7 @@ func TestTransposeRoundTrip(t *testing.T) {
 }
 
 func TestDotAndNorm(t *testing.T) {
+	t.Parallel()
 	a := ColVector([]float64{3, 4})
 	if Dot(a, a) != 25 {
 		t.Fatal("dot")
@@ -299,6 +318,7 @@ func TestDotAndNorm(t *testing.T) {
 }
 
 func TestInPlaceOps(t *testing.T) {
+	t.Parallel()
 	a := FromRows([][]float64{{1, 2}})
 	b := FromRows([][]float64{{10, 20}})
 	a.AddInPlace(b)

@@ -21,6 +21,7 @@ func genMatrix(rng *rand.Rand, rows, cols int) *Dense {
 func dims(seed uint8) int { return int(seed%7) + 1 }
 
 func TestPropTransposeMatMul(t *testing.T) {
+	t.Parallel()
 	// (A B)ᵀ = Bᵀ Aᵀ
 	f := func(seed int64, r, k, c uint8) bool {
 		rng := rand.New(rand.NewSource(seed))
@@ -36,6 +37,7 @@ func TestPropTransposeMatMul(t *testing.T) {
 }
 
 func TestPropMatMulDistributes(t *testing.T) {
+	t.Parallel()
 	// A (B + C) = A B + A C
 	f := func(seed int64, r, k, c uint8) bool {
 		rng := rand.New(rand.NewSource(seed))
@@ -52,6 +54,7 @@ func TestPropMatMulDistributes(t *testing.T) {
 }
 
 func TestPropRBindSum(t *testing.T) {
+	t.Parallel()
 	// sum(rbind(A,B)) = sum(A) + sum(B); same for colSums.
 	f := func(seed int64, r1, r2, c uint8) bool {
 		rng := rand.New(rand.NewSource(seed))
@@ -69,6 +72,7 @@ func TestPropRBindSum(t *testing.T) {
 }
 
 func TestPropSliceRBindIdentity(t *testing.T) {
+	t.Parallel()
 	// rbind(X[0:k,], X[k:n,]) = X
 	f := func(seed int64, r, c, cut uint8) bool {
 		rng := rand.New(rand.NewSource(seed))
@@ -82,6 +86,7 @@ func TestPropSliceRBindIdentity(t *testing.T) {
 }
 
 func TestPropCSRRoundTrip(t *testing.T) {
+	t.Parallel()
 	f := func(seed int64, r, c uint8) bool {
 		rng := rand.New(rand.NewSource(seed))
 		m := genMatrix(rng, dims(r), dims(c))
@@ -98,6 +103,7 @@ func TestPropCSRRoundTrip(t *testing.T) {
 }
 
 func TestPropTSMMSymmetric(t *testing.T) {
+	t.Parallel()
 	f := func(seed int64, r, c uint8) bool {
 		rng := rand.New(rand.NewSource(seed))
 		m := genMatrix(rng, dims(r), dims(c))
@@ -110,6 +116,7 @@ func TestPropTSMMSymmetric(t *testing.T) {
 }
 
 func TestPropSoftmaxRowsNormalized(t *testing.T) {
+	t.Parallel()
 	f := func(seed int64, r, c uint8) bool {
 		rng := rand.New(rand.NewSource(seed))
 		m := genMatrix(rng, dims(r), dims(c))
@@ -127,6 +134,7 @@ func TestPropSoftmaxRowsNormalized(t *testing.T) {
 }
 
 func TestPropReplaceIdempotent(t *testing.T) {
+	t.Parallel()
 	f := func(seed int64, r, c uint8) bool {
 		rng := rand.New(rand.NewSource(seed))
 		m := genMatrix(rng, dims(r), dims(c))
@@ -140,6 +148,7 @@ func TestPropReplaceIdempotent(t *testing.T) {
 }
 
 func TestPropBinaryIORoundTrip(t *testing.T) {
+	t.Parallel()
 	f := func(seed int64, r, c uint8) bool {
 		rng := rand.New(rand.NewSource(seed))
 		m := genMatrix(rng, dims(r), dims(c))

@@ -7,6 +7,7 @@ import (
 )
 
 func TestSliceAndSetSlice(t *testing.T) {
+	t.Parallel()
 	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}})
 	s := m.Slice(1, 3, 0, 2)
 	if !s.EqualApprox(FromRows([][]float64{{4, 5}, {7, 8}}), 0) {
@@ -20,6 +21,7 @@ func TestSliceAndSetSlice(t *testing.T) {
 }
 
 func TestSliceOutOfRangePanics(t *testing.T) {
+	t.Parallel()
 	defer func() {
 		if recover() == nil {
 			t.Fatal("expected panic")
@@ -29,6 +31,7 @@ func TestSliceOutOfRangePanics(t *testing.T) {
 }
 
 func TestRBindCBind(t *testing.T) {
+	t.Parallel()
 	a := FromRows([][]float64{{1, 2}})
 	b := FromRows([][]float64{{3, 4}, {5, 6}})
 	r := RBind(a, b)
@@ -42,6 +45,7 @@ func TestRBindCBind(t *testing.T) {
 }
 
 func TestRemoveEmpty(t *testing.T) {
+	t.Parallel()
 	m := FromRows([][]float64{{0, 0}, {1, 0}, {0, 0}, {0, 2}})
 	r, idx := m.RemoveEmptyRows()
 	if r.Rows() != 2 || idx[0] != 1 || idx[1] != 3 {
@@ -55,6 +59,7 @@ func TestRemoveEmpty(t *testing.T) {
 }
 
 func TestReplace(t *testing.T) {
+	t.Parallel()
 	m := FromRows([][]float64{{1, math.NaN(), 1}})
 	if got := m.Replace(1, 9); got.At(0, 0) != 9 || got.At(0, 2) != 9 {
 		t.Fatal("replace value")
@@ -66,6 +71,7 @@ func TestReplace(t *testing.T) {
 }
 
 func TestReshape(t *testing.T) {
+	t.Parallel()
 	m := FromRows([][]float64{{1, 2, 3, 4}})
 	r := m.Reshape(2, 2)
 	if !r.EqualApprox(FromRows([][]float64{{1, 2}, {3, 4}}), 0) {
@@ -80,6 +86,7 @@ func TestReshape(t *testing.T) {
 }
 
 func TestDiag(t *testing.T) {
+	t.Parallel()
 	v := ColVector([]float64{1, 2})
 	d := v.Diag()
 	if !d.EqualApprox(FromRows([][]float64{{1, 0}, {0, 2}}), 0) {
@@ -92,6 +99,7 @@ func TestDiag(t *testing.T) {
 }
 
 func TestSelectRows(t *testing.T) {
+	t.Parallel()
 	m := FromRows([][]float64{{1}, {2}, {3}})
 	s := m.SelectRows([]int{2, 0, 2})
 	if !s.EqualApprox(FromRows([][]float64{{3}, {1}, {3}}), 0) {
@@ -100,6 +108,7 @@ func TestSelectRows(t *testing.T) {
 }
 
 func TestIfElseAndFusedTernary(t *testing.T) {
+	t.Parallel()
 	cond := FromRows([][]float64{{1, 0}})
 	a := FromRows([][]float64{{10, 20}})
 	b := FromRows([][]float64{{30, 40}})
@@ -119,6 +128,7 @@ func TestIfElseAndFusedTernary(t *testing.T) {
 }
 
 func TestCTable(t *testing.T) {
+	t.Parallel()
 	a := ColVector([]float64{1, 2, 2, 3})
 	b := ColVector([]float64{1, 1, 2, 1})
 	got := CTable(a, b, 0, 0)
@@ -133,6 +143,7 @@ func TestCTable(t *testing.T) {
 }
 
 func TestQuaternaryOps(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(4))
 	x := Rand(rng, 6, 5, 0.5, 2)
 	u := Rand(rng, 6, 3, 0.5, 1)

@@ -10,6 +10,7 @@ import (
 )
 
 func TestCSRRoundTrip(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(31))
 	m := Rand(rng, 20, 17, 0, 1)
 	// Zero out ~80% of cells to make it genuinely sparse.
@@ -31,6 +32,7 @@ func TestCSRRoundTrip(t *testing.T) {
 }
 
 func TestCSRMatMul(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(32))
 	m := Rand(rng, 15, 11, 0, 1)
 	for i := range m.Data() {
@@ -50,6 +52,7 @@ func TestCSRMatMul(t *testing.T) {
 }
 
 func TestBinaryIORoundTrip(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(33))
 	m := Randn(rng, 13, 7, 2, 5)
 	m.Set(0, 0, math.NaN())
@@ -67,6 +70,7 @@ func TestBinaryIORoundTrip(t *testing.T) {
 }
 
 func TestBinaryIOErrors(t *testing.T) {
+	t.Parallel()
 	if _, err := ReadBinary(strings.NewReader("BAD!")); err == nil {
 		t.Fatal("bad magic accepted")
 	}
@@ -82,6 +86,7 @@ func TestBinaryIOErrors(t *testing.T) {
 }
 
 func TestBinaryFileRoundTrip(t *testing.T) {
+	t.Parallel()
 	path := filepath.Join(t.TempDir(), "m.bin")
 	m := FromRows([][]float64{{1, 2}, {3, 4}})
 	if err := m.WriteBinaryFile(path); err != nil {
@@ -97,6 +102,7 @@ func TestBinaryFileRoundTrip(t *testing.T) {
 }
 
 func TestCSVRoundTrip(t *testing.T) {
+	t.Parallel()
 	m := FromRows([][]float64{{1.5, -2}, {0, 4e10}})
 	var buf bytes.Buffer
 	if err := m.WriteCSV(&buf); err != nil {
@@ -112,6 +118,7 @@ func TestCSVRoundTrip(t *testing.T) {
 }
 
 func TestCSVErrors(t *testing.T) {
+	t.Parallel()
 	if _, err := ReadCSV(strings.NewReader("1,2\n3\n")); err == nil {
 		t.Fatal("ragged csv accepted")
 	}

@@ -64,6 +64,12 @@ func Wrap(c net.Conn, cfg Config) net.Conn {
 	return &conn{Conn: c, cfg: cfg}
 }
 
+// Write delays the underlying write to model the emulated link. It is a
+// transparent shim: deadline discipline belongs to the protocol endpoints
+// (fedrpc client/server), which call SetDeadline through the embedded
+// net.Conn.
+//
+//lint:ignore netdeadline pass-through shim; deadlines are armed by the fedrpc endpoints on the embedded conn
 func (c *conn) Write(p []byte) (int, error) {
 	c.mu.Lock()
 	now := time.Now()

@@ -109,6 +109,11 @@ type Network struct {
 // NewNetwork instantiates a network with freshly initialized parameters
 // (He initialization for weight matrices/filters, zero biases).
 func NewNetwork(spec Spec, rng *rand.Rand) (*Network, error) {
+	switch spec.Loss {
+	case LossSoftmaxCE, LossMSE:
+	default:
+		return nil, fmt.Errorf("nn: unknown loss %q", spec.Loss)
+	}
 	n := &Network{Spec: spec}
 	for _, ls := range spec.Layers {
 		switch ls.Kind {
@@ -162,6 +167,7 @@ func (n *Network) Loss(x, y *matrix.Dense) float64 {
 		loss = diff.Mul(diff).Sum() / (2 * b)
 		dout = diff.Scale(1 / b)
 	default:
+		//lint:ignore nopanic unreachable: NewNetwork validates Spec.Loss at construction
 		panic(fmt.Sprintf("nn: unknown loss %q", n.Spec.Loss))
 	}
 	for i := len(n.Layers) - 1; i >= 0; i-- {

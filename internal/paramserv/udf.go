@@ -16,9 +16,9 @@ import (
 // standalone workers can serve PS training too.
 
 func init() {
-	worker.RegisterUDF("ps_setup", udfPSSetup)
-	worker.RegisterUDF("ps_run", udfPSRun)
-	worker.RegisterUDF("ps_refresh", udfPSRefresh)
+	worker.MustRegisterUDF("ps_setup", udfPSSetup)
+	worker.MustRegisterUDF("ps_run", udfPSRun)
+	worker.MustRegisterUDF("ps_refresh", udfPSRefresh)
 }
 
 // session is a PS worker's execution context, stored in the symbol table as

@@ -143,8 +143,8 @@ func TestMICEImputesCategoricalAndNumeric(t *testing.T) {
 	nv := out.ColumnByName("v2")
 	for _, i := range missNum {
 		want := 3*v1[i] + 1
-		if math.Abs(nv.AsFloat(i)-want) > 0.5 {
-			t.Fatalf("row %d v2 imputed %g want %g", i, nv.AsFloat(i), want)
+		if math.Abs(nv.MustFloat(i)-want) > 0.5 {
+			t.Fatalf("row %d v2 imputed %g want %g", i, nv.MustFloat(i), want)
 		}
 	}
 	// No-missing column is a no-op.

@@ -86,7 +86,10 @@ func imputeOne(fr *frame.Frame, col string, spec transform.Spec) (*frame.Frame, 
 	switch target.Type {
 	case frame.String:
 		// Classification: codes of the complete rows.
-		codes, keys := recodeColumn(target, complete)
+		codes, keys, err := recodeColumn(target, complete)
+		if err != nil {
+			return nil, err
+		}
 		model, err := algo.MLogReg(xTrain, codes, algo.MLogRegConfig{
 			Classes: len(keys), MaxOuterIter: 5, MaxInnerIter: 5})
 		if err != nil {
@@ -107,7 +110,11 @@ func imputeOne(fr *frame.Frame, col string, spec transform.Spec) (*frame.Frame, 
 	case frame.Float64:
 		y := matrix.NewDense(len(complete), 1)
 		for i, r := range complete {
-			y.Set(i, 0, target.AsFloat(r))
+			v, err := target.AsFloat(r)
+			if err != nil {
+				return nil, err
+			}
+			y.Set(i, 0, v)
 		}
 		model, err := algo.LM(xTrain, y, algo.LMConfig{})
 		if err != nil {
@@ -151,11 +158,14 @@ func dropColumn(fr *frame.Frame, col string) (*frame.Frame, error) {
 }
 
 // recodeColumn assigns contiguous codes to the complete rows' categories.
-func recodeColumn(c *frame.Column, complete []int) (*matrix.Dense, []string) {
+func recodeColumn(c *frame.Column, complete []int) (*matrix.Dense, []string, error) {
 	tmp := frame.MustNew(&frame.Column{Name: c.Name, Type: frame.String,
 		Strings: selectStrings(c, complete)})
-	pm := transform.BuildPartial(tmp, transform.Spec{Columns: []transform.ColumnSpec{
+	pm, err := transform.BuildPartial(tmp, transform.Spec{Columns: []transform.ColumnSpec{
 		{Name: c.Name, Method: transform.Recode}}})
+	if err != nil {
+		return nil, nil, err
+	}
 	meta := transform.Merge(transform.Spec{Columns: []transform.ColumnSpec{
 		{Name: c.Name, Method: transform.Recode}}}, []string{c.Name}, pm)
 	keys := meta.RecodeKeys[c.Name]
@@ -163,7 +173,7 @@ func recodeColumn(c *frame.Column, complete []int) (*matrix.Dense, []string) {
 	for i, r := range complete {
 		codes.Set(i, 0, float64(meta.RecodeMaps[c.Name][c.AsString(r)]))
 	}
-	return codes, keys
+	return codes, keys, nil
 }
 
 func selectStrings(c *frame.Column, idx []int) []string {

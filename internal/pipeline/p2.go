@@ -89,7 +89,11 @@ func SplitTarget(fr *frame.Frame, target string) (*frame.Frame, *matrix.Dense, e
 	}
 	y := matrix.NewDense(fr.NumRows(), 1)
 	for i := 0; i < fr.NumRows(); i++ {
-		y.Set(i, 0, tcol.AsFloat(i))
+		v, err := tcol.AsFloat(i)
+		if err != nil {
+			return nil, nil, fmt.Errorf("pipeline: target %q: %w", target, err)
+		}
+		y.Set(i, 0, v)
 	}
 	cols := make([]*frame.Column, 0, fr.NumCols()-1)
 	for j := 0; j < fr.NumCols(); j++ {
@@ -285,7 +289,7 @@ func concatParts(parts []engine.Mat) engine.Mat {
 			var err error
 			out, err = federated.RBindFed(out, p.(*federated.Matrix))
 			if err != nil {
-				panic(&engine.Error{Err: err})
+				engine.Fail(err)
 			}
 		}
 		return out

@@ -63,7 +63,10 @@ func TestLaplaceMechanismStatistics(t *testing.T) {
 	eps, sens := 1.0, 2.0
 	sum, sumSq := 0.0, 0.0
 	for i := 0; i < n; i++ {
-		v := LaplaceMechanism(rng, 10, sens, eps)
+		v, err := LaplaceMechanism(rng, 10, sens, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
 		d := v - 10
 		sum += d
 		sumSq += d * d
@@ -84,26 +87,26 @@ func TestGaussianMechanismStatistics(t *testing.T) {
 	const n = 20000
 	sum := 0.0
 	for i := 0; i < n; i++ {
-		sum += GaussianMechanism(rng, 0, 1, 1, 1e-5)
+		v, err := GaussianMechanism(rng, 0, 1, 1, 1e-5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += v
 	}
 	if math.Abs(sum/n) > 0.2 {
 		t.Fatalf("biased gaussian noise: %g", sum/n)
 	}
 }
 
-func TestMechanismPanics(t *testing.T) {
+func TestMechanismRejectsBadBudget(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
-	mustPanic(t, func() { LaplaceMechanism(rng, 0, 1, 0) })
-	mustPanic(t, func() { GaussianMechanism(rng, 0, 1, 0, 0.1) })
-	mustPanic(t, func() { GaussianMechanism(rng, 0, 1, 1, 1.5) })
-}
-
-func mustPanic(t *testing.T, fn func()) {
-	t.Helper()
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	fn()
+	if _, err := LaplaceMechanism(rng, 0, 1, 0); err == nil {
+		t.Fatal("LaplaceMechanism accepted epsilon=0")
+	}
+	if _, err := GaussianMechanism(rng, 0, 1, 0, 0.1); err == nil {
+		t.Fatal("GaussianMechanism accepted epsilon=0")
+	}
+	if _, err := GaussianMechanism(rng, 0, 1, 1, 1.5); err == nil {
+		t.Fatal("GaussianMechanism accepted delta=1.5")
+	}
 }

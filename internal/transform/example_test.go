@@ -18,8 +18,8 @@ func Example_federatedTwoPass() {
 	}}
 
 	// Pass 1 at each site, merge at the coordinator.
-	p1 := transform.BuildPartial(site1, spec)
-	p2 := transform.BuildPartial(site2, spec)
+	p1, _ := transform.BuildPartial(site1, spec)
+	p2, _ := transform.BuildPartial(site2, spec)
 	meta := transform.Merge(spec, []string{"A"}, p1, p2)
 	fmt.Println("global categories:", meta.RecodeKeys["A"])
 

@@ -15,6 +15,7 @@ func imputeFrame() *frame.Frame {
 }
 
 func TestCategoryCountsAndMode(t *testing.T) {
+	t.Parallel()
 	f := imputeFrame()
 	counts, err := CategoryCounts(f, "C")
 	if err != nil {
@@ -41,6 +42,7 @@ func TestCategoryCountsAndMode(t *testing.T) {
 }
 
 func TestMergeCounts(t *testing.T) {
+	t.Parallel()
 	merged := MergeCounts(map[string]int{"x": 1}, map[string]int{"x": 2, "y": 3})
 	if merged["x"] != 3 || merged["y"] != 3 {
 		t.Fatalf("merge %v", merged)
@@ -48,6 +50,7 @@ func TestMergeCounts(t *testing.T) {
 }
 
 func TestImputeMode(t *testing.T) {
+	t.Parallel()
 	f := imputeFrame()
 	counts, _ := CategoryCounts(f, "C")
 	mode, _ := Mode(counts)
@@ -74,6 +77,7 @@ func TestImputeMode(t *testing.T) {
 }
 
 func TestPairCountsAndFDMapping(t *testing.T) {
+	t.Parallel()
 	f := imputeFrame()
 	pairs, err := PairCounts(f, "A", "C")
 	if err != nil {
@@ -94,6 +98,7 @@ func TestPairCountsAndFDMapping(t *testing.T) {
 }
 
 func TestImputeFD(t *testing.T) {
+	t.Parallel()
 	f := imputeFrame()
 	pairs, _ := PairCounts(f, "A", "C")
 	mapping := FDMapping(pairs, 0.5)

@@ -74,7 +74,10 @@ type PartialMeta struct {
 }
 
 // BuildPartial scans a frame and computes the partial metadata for spec.
-func BuildPartial(f *frame.Frame, spec Spec) PartialMeta {
+// It fails when the spec asks for a numeric method (binning) on a
+// non-numeric column — raw-data schema drift at a site must surface as an
+// error, not crash the worker.
+func BuildPartial(f *frame.Frame, spec Spec) (PartialMeta, error) {
 	pm := PartialMeta{
 		Distinct: map[string][]string{},
 		Mins:     map[string]float64{},
@@ -105,7 +108,10 @@ func BuildPartial(f *frame.Frame, spec Spec) PartialMeta {
 				if col.IsNA(i) {
 					continue
 				}
-				v := col.AsFloat(i)
+				v, err := col.AsFloat(i)
+				if err != nil {
+					return PartialMeta{}, fmt.Errorf("transform: bin %q: %w", col.Name, err)
+				}
 				if v < mn {
 					mn = v
 				}
@@ -117,7 +123,7 @@ func BuildPartial(f *frame.Frame, spec Spec) PartialMeta {
 			pm.Maxs[col.Name] = mx
 		}
 	}
-	return pm
+	return pm, nil
 }
 
 // Meta is the consolidated, global encoder metadata: recode maps with
@@ -240,15 +246,18 @@ func hashBucket(value string, k int) int {
 // code returns the 1-based integer code of cell i in col under the metadata,
 // or 0 for NULLs and unseen categories (which one-hot to all-zero rows as in
 // Figure 3 of the paper).
-func (m *Meta) code(col *frame.Column, cs ColumnSpec, i int) int {
+func (m *Meta) code(col *frame.Column, cs ColumnSpec, i int) (int, error) {
 	if col.IsNA(i) {
-		return 0
+		return 0, nil
 	}
 	switch cs.Method {
 	case Recode:
-		return m.RecodeMaps[col.Name][col.AsString(i)]
+		return m.RecodeMaps[col.Name][col.AsString(i)], nil
 	case Bin:
-		v := col.AsFloat(i)
+		v, err := col.AsFloat(i)
+		if err != nil {
+			return 0, fmt.Errorf("transform: bin %q: %w", col.Name, err)
+		}
 		nb := m.numBinsOf(cs)
 		b := int((v-m.BinMins[col.Name])/m.BinWidths[col.Name]) + 1
 		if b < 1 {
@@ -257,11 +266,11 @@ func (m *Meta) code(col *frame.Column, cs ColumnSpec, i int) int {
 		if b > nb {
 			b = nb
 		}
-		return b
+		return b, nil
 	case Hash:
-		return hashBucket(col.AsString(i), cs.K)
+		return hashBucket(col.AsString(i), cs.K), nil
 	}
-	return 0
+	return 0, nil
 }
 
 func (m *Meta) numBinsOf(cs ColumnSpec) int {
@@ -289,17 +298,29 @@ func Apply(f *frame.Frame, m *Meta) (*matrix.Dense, error) {
 		switch {
 		case cs.Method == PassThrough:
 			for i := 0; i < col.Len(); i++ {
-				out.Set(i, off, col.AsFloat(i))
+				v, err := col.AsFloat(i)
+				if err != nil {
+					return nil, fmt.Errorf("transform: pass-through %q: %w", col.Name, err)
+				}
+				out.Set(i, off, v)
 			}
 		case cs.OneHot:
 			for i := 0; i < col.Len(); i++ {
-				if c := m.code(col, cs, i); c > 0 {
+				c, err := m.code(col, cs, i)
+				if err != nil {
+					return nil, err
+				}
+				if c > 0 {
 					out.Set(i, off+c-1, 1)
 				}
 			}
 		default:
 			for i := 0; i < col.Len(); i++ {
-				out.Set(i, off, float64(m.code(col, cs, i)))
+				c, err := m.code(col, cs, i)
+				if err != nil {
+					return nil, err
+				}
+				out.Set(i, off, float64(c))
 			}
 		}
 	}
@@ -309,7 +330,10 @@ func Apply(f *frame.Frame, m *Meta) (*matrix.Dense, error) {
 // Encode runs the full local transformencode: build, merge, apply. It
 // returns the encoded matrix and the global metadata.
 func Encode(f *frame.Frame, spec Spec) (*matrix.Dense, *Meta, error) {
-	pm := BuildPartial(f, spec)
+	pm, err := BuildPartial(f, spec)
+	if err != nil {
+		return nil, nil, err
+	}
 	m := Merge(spec, f.Names(), pm)
 	x, err := Apply(f, m)
 	return x, m, err

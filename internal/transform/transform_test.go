@@ -34,9 +34,10 @@ func site2() *frame.Frame {
 }
 
 func TestFigure3FederatedEncode(t *testing.T) {
+	t.Parallel()
 	spec := specABC()
-	p1 := BuildPartial(site1(), spec)
-	p2 := BuildPartial(site2(), spec)
+	p1 := mustPartial(t, site1(), spec)
+	p2 := mustPartial(t, site2(), spec)
 	m := Merge(spec, site1().Names(), p1, p2)
 
 	// Global distinct categories of A across both sites, sorted.
@@ -100,6 +101,7 @@ func TestFigure3FederatedEncode(t *testing.T) {
 }
 
 func TestFederatedEqualsLocalEncoding(t *testing.T) {
+	t.Parallel()
 	// Encoding the union locally must equal rbind of per-site encodings
 	// under merged metadata (the paper's "equivalent to local encoding").
 	spec := specABC()
@@ -111,8 +113,8 @@ func TestFederatedEqualsLocalEncoding(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p1 := BuildPartial(site1(), spec)
-	p2 := BuildPartial(site2(), spec)
+	p1 := mustPartial(t, site1(), spec)
+	p2 := mustPartial(t, site2(), spec)
 	m := Merge(spec, site1().Names(), p1, p2)
 	x1, _ := Apply(site1(), m)
 	x2, _ := Apply(site2(), m)
@@ -136,6 +138,7 @@ func TestFederatedEqualsLocalEncoding(t *testing.T) {
 }
 
 func TestRecodeWithoutOneHot(t *testing.T) {
+	t.Parallel()
 	f := frame.MustNew(frame.StringColumn("A", []string{"b", "a", "b"}))
 	x, m, err := Encode(f, Spec{Columns: []ColumnSpec{{Name: "A", Method: Recode}}})
 	if err != nil {
@@ -150,6 +153,7 @@ func TestRecodeWithoutOneHot(t *testing.T) {
 }
 
 func TestBinningClampsOutOfRange(t *testing.T) {
+	t.Parallel()
 	f := frame.MustNew(frame.FloatColumn("B", []float64{0, 5, 10}))
 	_, m, err := Encode(f, Spec{Columns: []ColumnSpec{{Name: "B", Method: Bin, NumBins: 2}}})
 	if err != nil {
@@ -167,6 +171,7 @@ func TestBinningClampsOutOfRange(t *testing.T) {
 }
 
 func TestConstantColumnBinning(t *testing.T) {
+	t.Parallel()
 	f := frame.MustNew(frame.FloatColumn("B", []float64{5, 5, 5}))
 	x, _, err := Encode(f, Spec{Columns: []ColumnSpec{{Name: "B", Method: Bin, NumBins: 3}}})
 	if err != nil {
@@ -180,6 +185,7 @@ func TestConstantColumnBinning(t *testing.T) {
 }
 
 func TestFeatureHashingNeedsNoMetadataExchange(t *testing.T) {
+	t.Parallel()
 	spec := Spec{Columns: []ColumnSpec{{Name: "A", Method: Hash, K: 4, OneHot: true}}}
 	f1 := frame.MustNew(frame.StringColumn("A", []string{"x", "y"}))
 	f2 := frame.MustNew(frame.StringColumn("A", []string{"y", "z"}))
@@ -207,6 +213,7 @@ func TestFeatureHashingNeedsNoMetadataExchange(t *testing.T) {
 }
 
 func TestPassThroughAndMixedLayout(t *testing.T) {
+	t.Parallel()
 	f := frame.MustNew(
 		frame.FloatColumn("num", []float64{1.5, 2.5}),
 		frame.StringColumn("cat", []string{"a", "b"}),
@@ -227,6 +234,7 @@ func TestPassThroughAndMixedLayout(t *testing.T) {
 }
 
 func TestDecodeRoundTrip(t *testing.T) {
+	t.Parallel()
 	f := frame.MustNew(
 		frame.StringColumn("A", []string{"r", "s", "r", "t"}),
 		frame.FloatColumn("num", []float64{1, 2, 3, 4}),
@@ -245,7 +253,7 @@ func TestDecodeRoundTrip(t *testing.T) {
 			if got.Column(0).AsString(i) != f.Column(0).AsString(i) {
 				t.Fatalf("oneHot=%v decode row %d: %q", oneHot, i, got.Column(0).AsString(i))
 			}
-			if got.Column(1).AsFloat(i) != f.Column(1).AsFloat(i) {
+			if got.Column(1).MustFloat(i) != f.Column(1).MustFloat(i) {
 				t.Fatal("numeric decode")
 			}
 		}
@@ -253,8 +261,9 @@ func TestDecodeRoundTrip(t *testing.T) {
 }
 
 func TestMetaFrame(t *testing.T) {
+	t.Parallel()
 	spec := specABC()
-	p := BuildPartial(site1(), spec)
+	p := mustPartial(t, site1(), spec)
 	m := Merge(spec, site1().Names(), p)
 	mf := m.MetaFrame()
 	if mf.NumRows() == 0 || mf.NumCols() != 4 {
@@ -267,6 +276,7 @@ func TestMetaFrame(t *testing.T) {
 }
 
 func TestApplyErrors(t *testing.T) {
+	t.Parallel()
 	f := frame.MustNew(frame.StringColumn("A", []string{"a"}))
 	other := frame.MustNew(frame.StringColumn("Z", []string{"a"}))
 	_, m, err := Encode(f, Spec{Columns: []ColumnSpec{{Name: "A", Method: Recode}}})
@@ -283,6 +293,7 @@ func TestApplyErrors(t *testing.T) {
 }
 
 func TestPropMergeOrderInvariant(t *testing.T) {
+	t.Parallel()
 	// Merging partials in any order yields identical code assignment.
 	f := func(vals1, vals2 []string) bool {
 		c1 := frame.StringColumn("A", append([]string{"base"}, vals1...))
@@ -290,8 +301,8 @@ func TestPropMergeOrderInvariant(t *testing.T) {
 		f1 := frame.MustNew(c1)
 		f2 := frame.MustNew(c2)
 		spec := Spec{Columns: []ColumnSpec{{Name: "A", Method: Recode}}}
-		p1 := BuildPartial(f1, spec)
-		p2 := BuildPartial(f2, spec)
+		p1 := mustPartial(t, f1, spec)
+		p2 := mustPartial(t, f2, spec)
 		a := Merge(spec, []string{"A"}, p1, p2)
 		b := Merge(spec, []string{"A"}, p2, p1)
 		if len(a.RecodeKeys["A"]) != len(b.RecodeKeys["A"]) {
@@ -307,4 +318,14 @@ func TestPropMergeOrderInvariant(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// mustPartial is BuildPartial failing the test on error.
+func mustPartial(t *testing.T, f *frame.Frame, spec Spec) PartialMeta {
+	t.Helper()
+	pm, err := BuildPartial(f, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pm
 }

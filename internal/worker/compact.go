@@ -14,7 +14,7 @@ import (
 // and UDFs are unaffected.
 
 func init() {
-	RegisterUDF("compact", udfCompact)
+	MustRegisterUDF("compact", udfCompact)
 }
 
 // Compact compresses every symbol-table matrix whose dictionary-compressed

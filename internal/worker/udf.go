@@ -25,9 +25,11 @@ var (
 	udfReg = map[string]UDF{}
 )
 
-// RegisterUDF registers fn under name. Registering a duplicate name panics:
-// it indicates two subsystems claiming the same UDF identity.
-func RegisterUDF(name string, fn UDF) {
+// MustRegisterUDF registers fn under name. Registering a duplicate name
+// panics — it indicates two subsystems claiming the same UDF identity,
+// which is a programming error caught at init time (the http.Handle /
+// sql.Register idiom).
+func MustRegisterUDF(name string, fn UDF) {
 	udfMu.Lock()
 	defer udfMu.Unlock()
 	if _, dup := udfReg[name]; dup {

@@ -16,12 +16,12 @@ import (
 // the parameter server (§4.3).
 
 func init() {
-	RegisterUDF("tf_build_partial", udfTFBuildPartial)
-	RegisterUDF("tf_apply", udfTFApply)
-	RegisterUDF("shuffle_replicate", udfShuffleReplicate)
-	RegisterUDF("frame_nrows", udfFrameNumRows)
-	RegisterUDF("obj_dims", udfObjDims)
-	RegisterUDF("tf_decode", udfTFDecode)
+	MustRegisterUDF("tf_build_partial", udfTFBuildPartial)
+	MustRegisterUDF("tf_apply", udfTFApply)
+	MustRegisterUDF("shuffle_replicate", udfShuffleReplicate)
+	MustRegisterUDF("frame_nrows", udfFrameNumRows)
+	MustRegisterUDF("obj_dims", udfObjDims)
+	MustRegisterUDF("tf_decode", udfTFDecode)
 }
 
 // udfTFDecode decodes an encoded matrix partition back into a raw frame
@@ -90,8 +90,7 @@ func udfTFBuildPartial(w *Worker, call *fedrpc.UDFCall) (fedrpc.Payload, error) 
 		lineage.LiteralTrace("spec", fmt.Sprintf("%+v", args.Spec)),
 	}}.Trace()
 	v, err := w.Lineage.GetOrCompute(trace, func() (any, error) {
-		pm := transform.BuildPartial(f, args.Spec)
-		return pm, nil
+		return transform.BuildPartial(f, args.Spec)
 	})
 	if err != nil {
 		return fedrpc.Payload{}, err

@@ -12,10 +12,10 @@ import (
 // pass two applies the coordinator-derived rule locally.
 
 func init() {
-	RegisterUDF("impute_counts", udfImputeCounts)
-	RegisterUDF("impute_pairs", udfImputePairs)
-	RegisterUDF("impute_apply_mode", udfImputeApplyMode)
-	RegisterUDF("impute_apply_fd", udfImputeApplyFD)
+	MustRegisterUDF("impute_counts", udfImputeCounts)
+	MustRegisterUDF("impute_pairs", udfImputePairs)
+	MustRegisterUDF("impute_apply_mode", udfImputeApplyMode)
+	MustRegisterUDF("impute_apply_fd", udfImputeApplyFD)
 }
 
 // ImputeCountsArgs name the categorical column to count.

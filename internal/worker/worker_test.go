@@ -180,7 +180,7 @@ func TestDuplicateUDFPanics(t *testing.T) {
 			t.Fatal("duplicate registration accepted")
 		}
 	}()
-	RegisterUDF("obj_dims", nil)
+	MustRegisterUDF("obj_dims", nil)
 }
 
 func TestBatchSemantics(t *testing.T) {
