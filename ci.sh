@@ -5,7 +5,11 @@
 #   2. go vet        — stock static analysis;
 #   3. exdralint     — project-specific federation-runtime invariants
 #                      (see DESIGN.md, "Static analysis");
-#   4. go test -race — full test suite under the race detector.
+#   4. go test -race — full test suite under the race detector;
+#   5. fault tests   — the fault-injection/recovery suites re-run under
+#                      -race with -count=1: connection teardown, redial,
+#                      and retry interleavings are exactly where data races
+#                      hide, so these never run from cache.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -13,3 +17,5 @@ go build ./...
 go vet ./...
 go run ./cmd/exdralint ./...
 go test -race ./...
+go test -race -count=1 -run 'Reset|Retry|Redial|Fault|Fail|Stall|Drop|Broken|Timeout' \
+  ./internal/netem/ ./internal/fedrpc/ ./internal/federated/ ./internal/fedtest/

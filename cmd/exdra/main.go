@@ -7,6 +7,7 @@
 // Usage:
 //
 //	exdra p2      -algo lm|ffn [-workers addr1,addr2 | -spawn 3] [-rows N] [-track dir]
+//	              [-retries N -retry-backoff 50ms] [-fault-resets N -fault-reset-after 16384]
 //	exdra runs    -track dir [-metric r2]
 //	exdra table1
 package main
@@ -17,6 +18,7 @@ import (
 	"log"
 	"os"
 	"strings"
+	"time"
 
 	"exdra/internal/bench"
 	"exdra/internal/data"
@@ -24,6 +26,7 @@ import (
 	"exdra/internal/federated"
 	"exdra/internal/fedrpc"
 	"exdra/internal/fedtest"
+	"exdra/internal/netem"
 	"exdra/internal/pipeline"
 	"exdra/internal/privacy"
 
@@ -151,7 +154,30 @@ func runP2(args []string) {
 	spawn := fs.Int("spawn", 0, "spawn N in-process workers instead of connecting to -workers")
 	rows := fs.Int("rows", 3000, "synthetic paper-production rows")
 	trackDir := fs.String("track", "", "ExperimentDB directory for run tracking")
+	retries := fs.Int("retries", 0,
+		"retry attempts per idempotent request batch after a transport failure (0 = fail fast)")
+	retryBackoff := fs.Duration("retry-backoff", 50*time.Millisecond,
+		"base backoff before a retry, doubling per attempt (capped at 2s, jittered)")
+	faultResets := fs.Int("fault-resets", 0,
+		"with -spawn: inject N connection resets (at most one per worker) to exercise recovery")
+	faultResetAfter := fs.Int64("fault-reset-after", 16<<10,
+		"with -fault-resets: written-byte threshold that triggers an injected reset")
+	faultSeed := fs.Int64("fault-seed", 1, "seed of the deterministic fault schedule")
 	fs.Parse(args)
+
+	retry := federated.RetryPolicy{}
+	if *retries > 0 {
+		retry = federated.RetryPolicy{
+			Attempts: *retries + 1, Backoff: *retryBackoff, MaxBackoff: 2 * time.Second, Seed: *faultSeed,
+		}
+	}
+	var faults *netem.Faults
+	if *faultResets > 0 {
+		faults = netem.NewFaults(netem.FaultConfig{
+			Seed: *faultSeed, ConnResets: *faultResets,
+			ResetAfterBytes: *faultResetAfter, ResetPerAddr: true,
+		})
+	}
 
 	var store *expdb.Store
 	var err error
@@ -175,7 +201,7 @@ func runP2(args []string) {
 	var res *pipeline.P2Result
 	switch {
 	case *spawn > 0:
-		cl, err := fedtest.Start(fedtest.Config{Workers: *spawn})
+		cl, err := fedtest.Start(fedtest.Config{Workers: *spawn, Faults: faults, Retry: retry})
 		if err != nil {
 			log.Fatalf("exdra: spawn workers: %v", err)
 		}
@@ -189,10 +215,18 @@ func runP2(args []string) {
 		if err != nil {
 			log.Fatalf("exdra: pipeline: %v", err)
 		}
+		if faults != nil {
+			s := faults.Stats()
+			fmt.Printf("exdra: injected faults survived: %d resets, %d drops, %d stalls\n",
+				s.Resets, s.Drops, s.Stalls)
+		}
 	case *workersFlag != "":
 		addrs := strings.Split(*workersFlag, ",")
 		coord := federated.NewCoordinator(fedrpc.Options{})
 		defer coord.Close()
+		if retry.Attempts > 0 {
+			coord.SetRetryPolicy(retry)
+		}
 		ff, err := federated.DistributeFrame(coord, fr, addrs, privacy.PrivateAggregation)
 		if err != nil {
 			log.Fatalf("exdra: distribute to %v: %v", addrs, err)

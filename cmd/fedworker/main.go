@@ -4,11 +4,15 @@
 //
 // Usage:
 //
-//	fedworker -addr 127.0.0.1:7001 -data /srv/site1 [-tls]
+//	fedworker -addr 127.0.0.1:7001 -data /srv/site1 [-tls] [-rtt 45ms -bw 1.7e6]
 //
 // With -tls the worker generates an ephemeral self-signed certificate and
 // prints its PEM so coordinators can pin it (production deployments would
 // provision real certificates).
+//
+// -rtt/-bw shape every accepted connection like the paper's WAN setting;
+// -fault-resets injects deterministic connection resets so coordinator-side
+// recovery (redial + retry) can be exercised against a real worker process.
 package main
 
 import (
@@ -20,6 +24,7 @@ import (
 	"syscall"
 
 	"exdra/internal/fedrpc"
+	"exdra/internal/netem"
 	"exdra/internal/worker"
 
 	// Register the parameter-server UDFs so this worker can serve
@@ -35,9 +40,25 @@ func main() {
 		"per-response write deadline (negative disables)")
 	idleTimeout := flag.Duration("idle-timeout", fedrpc.DefaultIdleTimeout,
 		"per-connection read/idle deadline (negative disables)")
+	rtt := flag.Duration("rtt", 0, "emulated round-trip latency on accepted connections (e.g. 45ms for the paper's WAN)")
+	bw := flag.Float64("bw", 0, "emulated bandwidth in bytes/s on accepted connections (0 = unlimited)")
+	faultResets := flag.Int("fault-resets", 0,
+		"inject N deterministic connection resets for recovery testing (coordinators need more retry attempts than N)")
+	faultResetAfter := flag.Int64("fault-reset-after", 16<<10,
+		"written-byte threshold that triggers an injected reset")
+	faultSeed := flag.Int64("fault-seed", 1, "seed of the deterministic fault schedule")
 	flag.Parse()
 
 	opts := fedrpc.Options{IOTimeout: *ioTimeout, IdleTimeout: *idleTimeout}
+	opts.Netem = netem.Config{RTT: *rtt, BandwidthBps: *bw}
+	if *faultResets > 0 {
+		// No ResetPerAddr here: the server sees a fresh ephemeral peer
+		// address per redial, so the budget alone bounds the fault count.
+		opts.Netem.Faults = netem.NewFaults(netem.FaultConfig{
+			Seed: *faultSeed, ConnResets: *faultResets,
+			ResetAfterBytes: *faultResetAfter,
+		})
+	}
 	if *useTLS {
 		srvTLS, _, err := fedrpc.NewSelfSignedTLS()
 		if err != nil {

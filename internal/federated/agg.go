@@ -159,12 +159,8 @@ func (m *Matrix) ColAgg(op matrix.AggOp) (*Matrix, *matrix.Dense, error) {
 // fresh ID, keeping the provided map.
 func transposeInPlace(c *Coordinator, fm FedMap, ids []int64) (FedMap, error) {
 	for i := range fm.Partitions {
-		cl, err := c.Client(fm.Partitions[i].Addr)
-		if err != nil {
-			return fm, err
-		}
 		nid := c.NewID()
-		if _, err := cl.CallOne(fedrpc.Request{Type: fedrpc.ExecInst, Inst: &fedrpc.Instruction{
+		if _, err := c.callOne(fm.Partitions[i].Addr, fedrpc.Request{Type: fedrpc.ExecInst, Inst: &fedrpc.Instruction{
 			Opcode: "t", Inputs: []int64{ids[i]}, Output: nid}}); err != nil {
 			return fm, err
 		}

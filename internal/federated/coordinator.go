@@ -2,48 +2,234 @@ package federated
 
 import (
 	"fmt"
+	"math/rand"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"exdra/internal/fedrpc"
 )
 
+// RetryPolicy controls how the coordinator handles transport failures of
+// idempotent request batches: it redials the worker and re-issues the batch
+// with exponential backoff and seeded jitter. The zero value disables
+// retries (fail fast), preserving strict at-most-once semantics.
+type RetryPolicy struct {
+	// Attempts is the total number of tries per batch (<=1 means no
+	// retry).
+	Attempts int
+	// Backoff is the delay before the second attempt; it doubles per
+	// further attempt. Zero defaults to 50ms when Attempts > 1.
+	Backoff time.Duration
+	// MaxBackoff caps the exponential growth; zero means uncapped.
+	MaxBackoff time.Duration
+	// Seed feeds the jitter RNG, keeping retry schedules deterministic in
+	// tests (the dp.go convention for seeded randomness).
+	Seed int64
+}
+
+// DefaultRetryPolicy is a sensible WAN-facing policy: three attempts, 50ms
+// base backoff doubling to a 2s cap.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{Attempts: 3, Backoff: 50 * time.Millisecond, MaxBackoff: 2 * time.Second}
+}
+
+// RetryableBatch reports whether every request in the batch is safe to
+// re-issue after a transport failure, i.e. when the coordinator cannot know
+// whether the worker executed the batch before the connection died:
+//
+//   - READ re-parses the same file into the same ID (lineage-cached);
+//   - PUT re-binds the same payload under the same ID (replace semantics);
+//   - GET is a pure read;
+//   - EXEC_INST re-executes deterministically over IDs, overwriting the
+//     same output binding (rmvar of an already-removed ID is a no-op);
+//   - CLEAR empties the symbol table either way.
+//
+// EXEC_UDF is excluded: UDFs may carry non-idempotent side effects (e.g.
+// parameter-server gradient application), so their batches fail fast.
+func RetryableBatch(reqs []fedrpc.Request) bool {
+	for _, r := range reqs {
+		switch r.Type {
+		case fedrpc.Read, fedrpc.Put, fedrpc.Get, fedrpc.ExecInst, fedrpc.Clear:
+		default:
+			return false
+		}
+	}
+	return true
+}
+
 // Coordinator is the main control program's view of the federation: it
 // manages one persistent connection per federated worker, allocates
 // federation-wide data IDs, and issues RPCs to all workers in parallel
-// (ExDRa §4.1).
+// (ExDRa §4.1). With a RetryPolicy set it survives transient transport
+// failures on idempotent batches by redialing and re-issuing.
 type Coordinator struct {
-	opts fedrpc.Options
+	opts  fedrpc.Options
+	retry RetryPolicy
 
 	mu      sync.Mutex
 	clients map[string]*fedrpc.Client
+	dialing map[string]*dialCall
+	closed  bool
+	done    chan struct{} // closed by Close; cancels retry backoffs
 	nextID  atomic.Int64
+
+	rngMu sync.Mutex
+	rng   *rand.Rand // jitter source, guarded by rngMu
 }
 
 // NewCoordinator creates a coordinator; opts configure TLS and network
-// emulation for all worker connections.
+// emulation for all worker connections. Retries are off by default — see
+// SetRetryPolicy.
 func NewCoordinator(opts fedrpc.Options) *Coordinator {
-	c := &Coordinator{opts: opts, clients: map[string]*fedrpc.Client{}}
+	c := &Coordinator{
+		opts:    opts,
+		clients: map[string]*fedrpc.Client{},
+		dialing: map[string]*dialCall{},
+		done:    make(chan struct{}),
+		rng:     rand.New(rand.NewSource(0)),
+	}
 	c.nextID.Store(1)
 	return c
+}
+
+// SetRetryPolicy configures transport-failure handling for idempotent
+// request batches. Call it before issuing federated operations.
+func (c *Coordinator) SetRetryPolicy(p RetryPolicy) {
+	c.retry = p
+	c.rngMu.Lock()
+	c.rng = rand.New(rand.NewSource(p.Seed))
+	c.rngMu.Unlock()
 }
 
 // NewID allocates a federation-unique data ID.
 func (c *Coordinator) NewID() int64 { return c.nextID.Add(1) }
 
-// Client returns the (lazily dialed) connection to a worker address.
+// dialCall tracks one in-flight dial so concurrent callers for the same
+// address share its outcome instead of dialing redundantly.
+type dialCall struct {
+	done chan struct{}
+	cl   *fedrpc.Client
+	err  error
+}
+
+// Client returns the (lazily dialed) connection to a worker address. The
+// dial itself runs outside the coordinator lock — one unreachable worker
+// (up to the dial timeout) must not serialize dials to healthy workers or
+// block the byte-counter accessors — with a per-address in-flight guard so
+// concurrent callers coalesce onto a single dial.
 func (c *Coordinator) Client(addr string) (*fedrpc.Client, error) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("federated: coordinator is closed")
+	}
 	if cl, ok := c.clients[addr]; ok {
+		c.mu.Unlock()
 		return cl, nil
 	}
-	cl, err := fedrpc.Dial(addr, c.opts)
-	if err != nil {
-		return nil, err
+	if d, ok := c.dialing[addr]; ok {
+		c.mu.Unlock()
+		<-d.done
+		return d.cl, d.err
 	}
-	c.clients[addr] = cl
-	return cl, nil
+	d := &dialCall{done: make(chan struct{})}
+	c.dialing[addr] = d
+	c.mu.Unlock()
+
+	cl, err := fedrpc.Dial(addr, c.opts)
+
+	c.mu.Lock()
+	delete(c.dialing, addr)
+	if err == nil && c.closed {
+		cl.Close()
+		cl, err = nil, fmt.Errorf("federated: coordinator is closed")
+	}
+	if err == nil {
+		c.clients[addr] = cl
+	}
+	c.mu.Unlock()
+	d.cl, d.err = cl, err
+	close(d.done)
+	return cl, err
+}
+
+// call issues one request batch to addr through the retry policy: transport
+// failures of idempotent batches are retried with exponential backoff and
+// jitter after the broken client transparently redials. Worker-reported
+// per-request errors are never retried — they are deterministic application
+// errors, not transport faults.
+func (c *Coordinator) call(addr string, reqs []fedrpc.Request) ([]fedrpc.Response, error) {
+	attempts := c.retry.Attempts
+	if attempts < 1 || !RetryableBatch(reqs) {
+		attempts = 1
+	}
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			if err := c.backoff(attempt); err != nil {
+				return nil, err
+			}
+		}
+		cl, err := c.Client(addr)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		resps, err := cl.Call(reqs...)
+		if err == nil {
+			return resps, nil
+		}
+		// Call tore the broken transport down; the next attempt redials
+		// through the cached client.
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
+// callOne issues a single request through the retry policy, converting a
+// per-request failure into an error.
+func (c *Coordinator) callOne(addr string, req fedrpc.Request) (fedrpc.Response, error) {
+	resps, err := c.call(addr, []fedrpc.Request{req})
+	if err != nil {
+		return fedrpc.Response{}, err
+	}
+	if !resps[0].OK {
+		return resps[0], fmt.Errorf("federated: %s %s: %s", addr, req.Type, resps[0].Err)
+	}
+	return resps[0], nil
+}
+
+// backoff waits before retry attempt a (1-based): Backoff doubled per extra
+// attempt, capped at MaxBackoff, jittered to [0.5x, 1.5x) from the seeded
+// RNG. It returns early when the coordinator is closed, so shutdown is
+// never stuck behind a retry schedule.
+func (c *Coordinator) backoff(attempt int) error {
+	d := c.retry.Backoff
+	if d <= 0 {
+		d = 50 * time.Millisecond
+	}
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if max := c.retry.MaxBackoff; max > 0 && d >= max {
+			d = max
+			break
+		}
+	}
+	if max := c.retry.MaxBackoff; max > 0 && d > max {
+		d = max
+	}
+	c.rngMu.Lock()
+	jitter := 0.5 + c.rng.Float64()
+	c.rngMu.Unlock()
+	t := time.NewTimer(time.Duration(float64(d) * jitter))
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-c.done:
+		return fmt.Errorf("federated: coordinator closed during retry backoff")
+	}
 }
 
 // BytesSent returns the total bytes sent to all workers.
@@ -72,75 +258,160 @@ func (c *Coordinator) BytesReceived() int64 {
 // symbol-table objects of the training session.
 func (c *Coordinator) ClearAll() error {
 	c.mu.Lock()
-	clients := make([]*fedrpc.Client, 0, len(c.clients))
-	for _, cl := range c.clients {
-		clients = append(clients, cl)
+	addrs := make([]string, 0, len(c.clients))
+	for addr := range c.clients {
+		addrs = append(addrs, addr)
 	}
 	c.mu.Unlock()
 	var firstErr error
-	for _, cl := range clients {
-		if _, err := cl.CallOne(fedrpc.Request{Type: fedrpc.Clear}); err != nil && firstErr == nil {
+	for _, addr := range addrs {
+		if _, err := c.callOne(addr, fedrpc.Request{Type: fedrpc.Clear}); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
 	return firstErr
 }
 
-// Close terminates all worker connections.
+// Close terminates all worker connections and cancels in-flight retry
+// backoffs. It is idempotent.
 func (c *Coordinator) Close() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
+	c.closed = true
+	close(c.done)
 	for _, cl := range c.clients {
 		cl.Close()
 	}
 	c.clients = map[string]*fedrpc.Client{}
 }
 
-// partResult pairs a partition index with the responses of its RPC.
-type partResult struct {
-	idx   int
-	resps []fedrpc.Response
-	err   error
-}
-
 // parallelCall issues, for each partition, the request batch produced by
 // build, in parallel across workers, and returns the responses in partition
-// order. Any transport or per-request failure aborts with an error — the
-// caller's federated operation fails atomically from the coordinator's
-// perspective (worker-side partial state is reclaimed via rmvar/CLEAR).
+// order. Any transport or per-request failure aborts with the error of the
+// lowest-indexed failing partition (deterministic reporting regardless of
+// goroutine completion order); before returning, worker-side objects that
+// the aborted operation had already created on other partitions are
+// reclaimed best-effort, so a failed federated operation does not leak
+// PUT/READ/output bindings.
 func (c *Coordinator) parallelCall(parts []Partition, build func(i int, p Partition) []fedrpc.Request) ([][]fedrpc.Response, error) {
-	results := make(chan partResult, len(parts))
+	type job struct {
+		reqs  []fedrpc.Request
+		resps []fedrpc.Response
+		err   error
+	}
+	jobs := make([]job, len(parts))
+	results := make(chan int, len(parts))
 	for i, p := range parts {
+		jobs[i].reqs = build(i, p)
 		go func(i int, p Partition) {
-			cl, err := c.Client(p.Addr)
-			if err != nil {
-				results <- partResult{idx: i, err: err}
-				return
-			}
-			reqs := build(i, p)
-			resps, err := cl.Call(reqs...)
+			resps, err := c.call(p.Addr, jobs[i].reqs)
 			if err == nil {
 				for ri, r := range resps {
 					if !r.OK {
-						err = fmt.Errorf("federated: %s %s: %s", p.Addr, reqs[ri].Type, r.Err)
+						err = fmt.Errorf("federated: %s %s: %s", p.Addr, jobs[i].reqs[ri].Type, r.Err)
 						break
 					}
 				}
 			}
-			results <- partResult{idx: i, resps: resps, err: err}
+			jobs[i].resps, jobs[i].err = resps, err
+			results <- i
 		}(i, p)
 	}
-	out := make([][]fedrpc.Response, len(parts))
-	var firstErr error
 	for range parts {
-		r := <-results
-		if r.err != nil && firstErr == nil {
-			firstErr = r.err
-		}
-		out[r.idx] = r.resps
+		<-results
 	}
-	if firstErr != nil {
-		return nil, firstErr
+	firstErr := -1
+	for i := range jobs {
+		if jobs[i].err != nil {
+			firstErr = i
+			break
+		}
+	}
+	if firstErr >= 0 {
+		reqs := make([][]fedrpc.Request, len(parts))
+		for i := range jobs {
+			reqs[i] = jobs[i].reqs
+		}
+		c.cleanupPartial(parts, reqs)
+		return nil, jobs[firstErr].err
+	}
+	out := make([][]fedrpc.Response, len(parts))
+	for i := range jobs {
+		out[i] = jobs[i].resps
 	}
 	return out, nil
+}
+
+// cleanupPartial best-effort-releases the worker-side objects an aborted
+// parallelCall created, in parallel. rmvar of an ID that was never bound is
+// a no-op at the worker, so the sweep is safe on failed and succeeded
+// partitions alike; errors are ignored — an unreachable worker's state dies
+// with its session CLEAR instead.
+func (c *Coordinator) cleanupPartial(parts []Partition, reqs [][]fedrpc.Request) {
+	var wg sync.WaitGroup
+	for i, p := range parts {
+		ids := createdIDs(reqs[i])
+		if len(ids) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(addr string, ids []int64) {
+			defer wg.Done()
+			cl, err := c.Client(addr)
+			if err != nil {
+				return
+			}
+			_, _ = cl.Call(fedrpc.Request{Type: fedrpc.ExecInst, Inst: &fedrpc.Instruction{
+				Opcode: "rmvar", Inputs: ids,
+			}})
+		}(p.Addr, ids)
+	}
+	wg.Wait()
+}
+
+// freePartitions best-effort-removes the worker-side bindings of the given
+// partitions in parallel. It is the cleanup path of sequential constructors
+// (Distribute*, Read*) that abort midway: without it the already-placed
+// partitions would leak in the workers' symbol tables until session CLEAR.
+func (c *Coordinator) freePartitions(parts []Partition) {
+	var wg sync.WaitGroup
+	for _, p := range parts {
+		wg.Add(1)
+		go func(addr string, id int64) {
+			defer wg.Done()
+			cl, err := c.Client(addr)
+			if err != nil {
+				return
+			}
+			_, _ = cl.Call(fedrpc.Request{Type: fedrpc.ExecInst, Inst: &fedrpc.Instruction{
+				Opcode: "rmvar", Inputs: []int64{id},
+			}})
+		}(p.Addr, p.DataID)
+	}
+	wg.Wait()
+}
+
+// createdIDs lists the symbol-table bindings a request batch creates:
+// READ/PUT targets and instruction/UDF outputs. Bindings the batch itself
+// removes (rmvar) are not creations.
+func createdIDs(reqs []fedrpc.Request) []int64 {
+	var ids []int64
+	for _, r := range reqs {
+		switch r.Type {
+		case fedrpc.Read, fedrpc.Put:
+			ids = append(ids, r.ID)
+		case fedrpc.ExecInst:
+			if r.Inst != nil && r.Inst.Opcode != "rmvar" && r.Inst.Output != 0 {
+				ids = append(ids, r.Inst.Output)
+			}
+		case fedrpc.ExecUDF:
+			if r.UDF != nil && r.UDF.Output != 0 {
+				ids = append(ids, r.UDF.Output)
+			}
+		}
+	}
+	return ids
 }

@@ -1,0 +1,95 @@
+package federated
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"exdra/internal/fedrpc"
+)
+
+func TestCreatedIDs(t *testing.T) {
+	reqs := []fedrpc.Request{
+		{Type: fedrpc.Read, ID: 1},
+		{Type: fedrpc.Put, ID: 2},
+		{Type: fedrpc.Get, ID: 3}, // pure read: creates nothing
+		{Type: fedrpc.ExecInst, Inst: &fedrpc.Instruction{Opcode: "t", Inputs: []int64{1}, Output: 4}},
+		{Type: fedrpc.ExecInst, Inst: &fedrpc.Instruction{Opcode: "rmvar", Inputs: []int64{2}}},
+		{Type: fedrpc.ExecInst, Inst: &fedrpc.Instruction{Opcode: "uak+", Inputs: []int64{1}}}, // no output binding
+		{Type: fedrpc.ExecUDF, UDF: &fedrpc.UDFCall{Name: "tf_apply", Inputs: []int64{1}, Output: 5}},
+		{Type: fedrpc.ExecUDF, UDF: &fedrpc.UDFCall{Name: "obj_dims", Inputs: []int64{1}}},
+	}
+	got := createdIDs(reqs)
+	want := []int64{1, 2, 4, 5}
+	if len(got) != len(want) {
+		t.Fatalf("createdIDs = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("createdIDs = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestBackoffJitterIsSeeded(t *testing.T) {
+	delays := func(seed int64) []float64 {
+		c := NewCoordinator(fedrpc.Options{})
+		defer c.Close()
+		c.SetRetryPolicy(RetryPolicy{Attempts: 4, Backoff: time.Millisecond, Seed: seed})
+		var out []float64
+		for i := 0; i < 4; i++ {
+			c.rngMu.Lock()
+			out = append(out, c.rng.Float64())
+			c.rngMu.Unlock()
+		}
+		return out
+	}
+	a, b := delays(99), delays(99)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed, different jitter stream: %v vs %v", a, b)
+		}
+	}
+}
+
+// TestCloseCancelsRetryBackoff pins the shutdown contract: a coordinator
+// stuck in a long retry backoff returns promptly when closed instead of
+// sleeping out the schedule.
+func TestCloseCancelsRetryBackoff(t *testing.T) {
+	c := NewCoordinator(fedrpc.Options{DialTimeout: 100 * time.Millisecond})
+	c.SetRetryPolicy(RetryPolicy{Attempts: 3, Backoff: time.Hour, Seed: 1})
+	errc := make(chan error, 1)
+	go func() {
+		// 127.0.0.1:1 refuses fast, sending call into its first backoff.
+		_, err := c.call("127.0.0.1:1", []fedrpc.Request{{Type: fedrpc.Get, ID: 1}})
+		errc <- err
+	}()
+	time.Sleep(100 * time.Millisecond)
+	c.Close()
+	select {
+	case err := <-errc:
+		if err == nil {
+			t.Fatal("call against a refused port should fail")
+		}
+		if !strings.Contains(err.Error(), "closed") {
+			t.Fatalf("want a closed-coordinator error, got: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not cancel the retry backoff")
+	}
+}
+
+func TestBackoffGrowthAndCap(t *testing.T) {
+	c := NewCoordinator(fedrpc.Options{})
+	defer c.Close()
+	c.SetRetryPolicy(RetryPolicy{Attempts: 5, Backoff: 10 * time.Millisecond, MaxBackoff: 20 * time.Millisecond, Seed: 1})
+	// Attempt 3 would be 40ms unclamped; the cap plus max jitter (1.5x)
+	// bounds the wait at 30ms.
+	start := time.Now()
+	if err := c.backoff(3); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d > 200*time.Millisecond {
+		t.Fatalf("backoff ignored MaxBackoff: waited %v", d)
+	}
+}

@@ -95,10 +95,6 @@ func DistributeWithColumns(c *Coordinator, x *matrix.Dense, addrs []string, sche
 			part = x.SliceRows(beg, end)
 		}
 		id := c.NewID()
-		cl, err := c.Client(addr)
-		if err != nil {
-			return nil, err
-		}
 		var colPriv []int
 		if len(colLevels) > 0 {
 			for j := r.ColBeg; j < r.ColEnd; j++ {
@@ -109,10 +105,13 @@ func DistributeWithColumns(c *Coordinator, x *matrix.Dense, addrs []string, sche
 				}
 			}
 		}
-		if _, err := cl.CallOne(fedrpc.Request{
+		if _, err := c.callOne(addr, fedrpc.Request{
 			Type: fedrpc.Put, ID: id, Privacy: int(level), ColPrivacy: colPriv,
 			Data: fedrpc.MatrixPayload(part),
 		}); err != nil {
+			// Reclaim the partitions already placed on other workers so an
+			// aborted distribute leaves no worker-side state behind.
+			c.freePartitions(fm.Partitions)
 			return nil, err
 		}
 		fm.Partitions = append(fm.Partitions, Partition{Range: r, Addr: addr, DataID: id})
@@ -137,21 +136,29 @@ func ReadRowPartitioned(c *Coordinator, specs []ReadSpec) (*Matrix, error) {
 		rows, cols int
 	}
 	metas := make([]meta, len(specs))
-	for i, spec := range specs {
-		cl, err := c.Client(spec.Addr)
-		if err != nil {
-			return nil, err
+	// read reports the IDs bound so far (including the in-flight one) so an
+	// abort can reclaim them.
+	read := func(upto int) []Partition {
+		parts := make([]Partition, 0, upto+1)
+		for j := 0; j <= upto; j++ {
+			parts = append(parts, Partition{Addr: specs[j].Addr, DataID: metas[j].id})
 		}
+		return parts
+	}
+	for i, spec := range specs {
 		id := c.NewID()
-		resps, err := cl.Call(
-			fedrpc.Request{Type: fedrpc.Read, ID: id, Filename: spec.Filename, Privacy: int(spec.Privacy)},
-			fedrpc.Request{Type: fedrpc.ExecUDF, UDF: &fedrpc.UDFCall{Name: "obj_dims", Inputs: []int64{id}}},
-		)
+		metas[i].id = id
+		resps, err := c.call(spec.Addr, []fedrpc.Request{
+			{Type: fedrpc.Read, ID: id, Filename: spec.Filename, Privacy: int(spec.Privacy)},
+			{Type: fedrpc.ExecUDF, UDF: &fedrpc.UDFCall{Name: "obj_dims", Inputs: []int64{id}}},
+		})
 		if err != nil {
+			c.freePartitions(read(i))
 			return nil, err
 		}
 		for _, r := range resps {
 			if !r.OK {
+				c.freePartitions(read(i))
 				return nil, fmt.Errorf("federated: read %s at %s: %s", spec.Filename, spec.Addr, r.Err)
 			}
 		}

@@ -49,14 +49,13 @@ func DistributeFrame(c *Coordinator, fr *frame.Frame, addrs []string, level priv
 		}
 		end := beg + size
 		id := c.NewID()
-		cl, err := c.Client(addr)
-		if err != nil {
-			return nil, err
-		}
-		if _, err := cl.CallOne(fedrpc.Request{
+		if _, err := c.callOne(addr, fedrpc.Request{
 			Type: fedrpc.Put, ID: id, Privacy: int(level),
 			Data: fedrpc.FramePayload(fr.SliceRows(beg, end)),
 		}); err != nil {
+			// Reclaim the partitions already placed on other workers so an
+			// aborted distribute leaves no worker-side state behind.
+			c.freePartitions(fm.Partitions)
 			return nil, err
 		}
 		fm.Partitions = append(fm.Partitions, Partition{
@@ -75,20 +74,23 @@ func ReadFrames(c *Coordinator, specs []ReadSpec) (*Frame, error) {
 	fm := FedMap{}
 	row := 0
 	for i, spec := range specs {
-		cl, err := c.Client(spec.Addr)
-		if err != nil {
-			return nil, err
-		}
 		id := c.NewID()
-		resps, err := cl.Call(
-			fedrpc.Request{Type: fedrpc.Read, ID: id, Filename: spec.Filename, Privacy: int(spec.Privacy)},
-			fedrpc.Request{Type: fedrpc.ExecUDF, UDF: &fedrpc.UDFCall{Name: "obj_dims", Inputs: []int64{id}}},
-		)
+		// abort reclaims the frames already read, plus the in-flight ID.
+		abort := func() {
+			parts := append([]Partition(nil), fm.Partitions...)
+			c.freePartitions(append(parts, Partition{Addr: spec.Addr, DataID: id}))
+		}
+		resps, err := c.call(spec.Addr, []fedrpc.Request{
+			{Type: fedrpc.Read, ID: id, Filename: spec.Filename, Privacy: int(spec.Privacy)},
+			{Type: fedrpc.ExecUDF, UDF: &fedrpc.UDFCall{Name: "obj_dims", Inputs: []int64{id}}},
+		})
 		if err != nil {
+			abort()
 			return nil, err
 		}
 		for _, r := range resps {
 			if !r.OK {
+				abort()
 				return nil, fmt.Errorf("federated: read %s at %s: %s", spec.Filename, spec.Addr, r.Err)
 			}
 		}

@@ -65,15 +65,23 @@ type rpcReply struct {
 // Client is a coordinator-side connection to one federated worker. A client
 // is safe for concurrent use; calls are serialized per connection (the
 // coordinator parallelizes across workers, as in the paper).
+//
+// A transport failure (encode, flush, decode, or timeout) leaves the gob
+// stream desynchronized, so the client tears the connection down and marks
+// itself broken instead of silently reusing the dead stream; the next Call
+// (or an explicit Redial) transparently re-establishes the transport. The
+// cumulative byte counters survive reconnects.
 type Client struct {
 	addr      string
+	opts      Options
 	ioTimeout time.Duration
 
-	mu   sync.Mutex
-	conn net.Conn
-	bw   *bufio.Writer
-	enc  *gob.Encoder
-	dec  *gob.Decoder
+	mu     sync.Mutex
+	conn   net.Conn // nil while broken (pre-redial) or after Close
+	bw     *bufio.Writer
+	enc    *gob.Encoder
+	dec    *gob.Decoder
+	closed bool // Close was called; distinguishes closed from broken
 
 	bytesOut atomic.Int64
 	bytesIn  atomic.Int64
@@ -81,26 +89,38 @@ type Client struct {
 
 // Dial connects to a federated worker at addr.
 func Dial(addr string, opts Options) (*Client, error) {
-	raw, err := net.DialTimeout("tcp", addr, timeout(opts.DialTimeout, DefaultDialTimeout))
-	if err != nil {
-		return nil, fmt.Errorf("fedrpc: dial %s: %w", addr, err)
+	c := &Client{addr: addr, opts: opts, ioTimeout: timeout(opts.IOTimeout, DefaultIOTimeout)}
+	if err := c.redialLocked(); err != nil {
+		return nil, err
 	}
-	conn := netem.Wrap(raw, opts.Netem)
-	if opts.TLS != nil {
-		tconn := tls.Client(conn, opts.TLS)
+	return c, nil
+}
+
+// redialLocked (re)establishes the transport: a fresh connection, encoder,
+// and decoder — a gob stream cannot be resumed after a partial exchange, so
+// both ends must restart their codecs. The cumulative byte counters carry
+// over. Callers hold c.mu (or own the client exclusively, as in Dial).
+func (c *Client) redialLocked() error {
+	raw, err := net.DialTimeout("tcp", c.addr, timeout(c.opts.DialTimeout, DefaultDialTimeout))
+	if err != nil {
+		return fmt.Errorf("fedrpc: dial %s: %w", c.addr, err)
+	}
+	conn := netem.Wrap(raw, c.opts.Netem)
+	if c.opts.TLS != nil {
+		tconn := tls.Client(conn, c.opts.TLS)
 		if err := tconn.Handshake(); err != nil {
-			raw.Close()
-			return nil, fmt.Errorf("fedrpc: tls handshake with %s: %w", addr, err)
+			conn.Close()
+			return fmt.Errorf("fedrpc: tls handshake with %s: %w", c.addr, err)
 		}
 		conn = tconn
 	}
-	c := &Client{addr: addr, conn: conn, ioTimeout: timeout(opts.IOTimeout, DefaultIOTimeout)}
+	c.conn = conn
 	out := &countingWriter{w: conn, n: &c.bytesOut}
 	in := &countingReader{r: conn, n: &c.bytesIn}
 	c.bw = bufio.NewWriterSize(out, 1<<16)
 	c.enc = gob.NewEncoder(c.bw)
 	c.dec = gob.NewDecoder(bufio.NewReaderSize(in, 1<<16))
-	return c, nil
+	return nil
 }
 
 // Addr returns the worker address this client is connected to.
@@ -112,26 +132,73 @@ func (c *Client) Addr() string { return c.addr }
 func (c *Client) Call(reqs ...Request) ([]Response, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.conn == nil {
+	if c.closed {
 		return nil, fmt.Errorf("fedrpc: client to %s is closed", c.addr)
 	}
+	if c.conn == nil {
+		// Broken by an earlier transport failure: reconnect transparently.
+		if err := c.redialLocked(); err != nil {
+			return nil, err
+		}
+	}
+	// Every failure exit tears the transport down (teardownLocked), which
+	// both closes the conn — retiring its armed deadline with it — and
+	// prevents the next Call from silently reusing a desynced gob stream.
 	c.armDeadline()
 	if err := c.enc.Encode(rpcEnvelope{Requests: reqs}); err != nil {
+		c.teardownLocked()
 		return nil, fmt.Errorf("fedrpc: send to %s: %w", c.addr, err)
 	}
 	if err := c.bw.Flush(); err != nil {
+		c.teardownLocked()
 		return nil, fmt.Errorf("fedrpc: flush to %s: %w", c.addr, err)
 	}
 	var reply rpcReply
 	if err := c.dec.Decode(&reply); err != nil {
+		c.teardownLocked()
 		return nil, fmt.Errorf("fedrpc: receive from %s: %w", c.addr, err)
 	}
 	c.disarmDeadline()
 	if len(reply.Responses) != len(reqs) {
+		// The stream answered, but with the wrong cardinality: a protocol
+		// desync this connection cannot recover from.
+		c.teardownLocked()
 		return nil, fmt.Errorf("fedrpc: %s returned %d responses for %d requests",
 			c.addr, len(reply.Responses), len(reqs))
 	}
 	return reply.Responses, nil
+}
+
+// teardownLocked closes and discards the transport after a failed or
+// desynced exchange, marking the client broken (unless Close follows). The
+// armed deadline dies with the connection, so error paths need no separate
+// disarm. Callers hold c.mu.
+func (c *Client) teardownLocked() {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+	c.bw, c.enc, c.dec = nil, nil, nil
+}
+
+// Broken reports whether the client currently has no live transport because
+// an earlier exchange failed. The next Call (or Redial) reconnects.
+func (c *Client) Broken() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.conn == nil && !c.closed
+}
+
+// Redial forces a fresh transport, tearing down the current connection
+// first if one is live. Byte counters are preserved.
+func (c *Client) Redial() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return fmt.Errorf("fedrpc: client to %s is closed", c.addr)
+	}
+	c.teardownLocked()
+	return c.redialLocked()
 }
 
 // CallOne sends a single request and returns its response, converting a
@@ -170,15 +237,18 @@ func (c *Client) BytesSent() int64 { return c.bytesOut.Load() }
 // BytesReceived returns the total bytes read from this worker.
 func (c *Client) BytesReceived() int64 { return c.bytesIn.Load() }
 
-// Close terminates the connection.
+// Close terminates the connection. A closed client stays closed: unlike a
+// broken one, it does not reconnect on the next Call.
 func (c *Client) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.closed = true
 	if c.conn == nil {
 		return nil
 	}
 	err := c.conn.Close()
 	c.conn = nil
+	c.bw, c.enc, c.dec = nil, nil, nil
 	return err
 }
 

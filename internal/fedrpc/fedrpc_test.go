@@ -1,10 +1,12 @@
 package fedrpc
 
 import (
+	"errors"
 	"math/rand"
 	"net"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -365,5 +367,137 @@ func TestServerIdleTimeoutReclaimsConnection(t *testing.T) {
 	}
 	if elapsed := time.Since(start); elapsed > 3*time.Second {
 		t.Fatalf("idle connection survived %v", elapsed)
+	}
+}
+
+// TestTimeoutThenCleanCall is the regression test for the broken-connection
+// seed bug: after a timed-out exchange the client used to keep the dead
+// conn and desync the gob stream, so the *next* Call failed confusingly (or
+// read the stale late reply). Now the failed exchange tears the transport
+// down and the next Call reconnects and succeeds cleanly.
+func TestTimeoutThenCleanCall(t *testing.T) {
+	var slow atomic.Bool
+	slow.Store(true)
+	h := HandlerFunc(func(reqs []Request) []Response {
+		if slow.Load() {
+			time.Sleep(600 * time.Millisecond) // outlives the client deadline
+		}
+		out := make([]Response, len(reqs))
+		for i := range out {
+			out[i] = Response{OK: true, Data: ScalarPayload(42)}
+		}
+		return out
+	})
+	s, err := Serve("127.0.0.1:0", h, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	c, err := Dial(s.Addr(), Options{IOTimeout: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if _, err := c.Call(Request{Type: Get, ID: 1}); err == nil {
+		t.Fatal("slow exchange did not time out")
+	}
+	if !c.Broken() {
+		t.Fatal("timed-out client not marked broken")
+	}
+	slow.Store(false)
+	resps, err := c.Call(Request{Type: Get, ID: 1})
+	if err != nil {
+		t.Fatalf("call after timeout not clean: %v", err)
+	}
+	if !resps[0].OK || resps[0].Data.Scalar != 42 {
+		t.Fatalf("reconnected call got desynced reply: %+v", resps[0])
+	}
+	if c.Broken() {
+		t.Fatal("client still broken after successful reconnect")
+	}
+}
+
+// TestRedialPreservesByteCounters proves the cumulative transfer accounting
+// (the paper's communication measurements) survives reconnects.
+func TestRedialPreservesByteCounters(t *testing.T) {
+	s, _ := startServer(t, Options{})
+	c, err := Dial(s.Addr(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.CallOne(Request{Type: Put, ID: 1, Data: ScalarPayload(1)}); err != nil {
+		t.Fatal(err)
+	}
+	sent, recv := c.BytesSent(), c.BytesReceived()
+	if sent == 0 || recv == 0 {
+		t.Fatal("no traffic before redial")
+	}
+	if err := c.Redial(); err != nil {
+		t.Fatal(err)
+	}
+	if c.BytesSent() != sent || c.BytesReceived() != recv {
+		t.Fatalf("counters reset by redial: %d/%d -> %d/%d",
+			sent, recv, c.BytesSent(), c.BytesReceived())
+	}
+	if _, err := c.CallOne(Request{Type: Get, ID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if c.BytesSent() <= sent || c.BytesReceived() <= recv {
+		t.Fatal("counters not accumulating after redial")
+	}
+}
+
+// TestCallRecoversFromInjectedReset drives the full fault path: netem kills
+// the connection mid-exchange, the client marks itself broken, and the next
+// Call reconnects and completes.
+func TestCallRecoversFromInjectedReset(t *testing.T) {
+	s, _ := startServer(t, Options{})
+	faults := netem.NewFaults(netem.FaultConfig{Seed: 3, ConnResets: 1, ResetAfterBytes: 256})
+	c, err := Dial(s.Addr(), Options{Netem: netem.Config{Faults: faults}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	payload := MatrixPayload(matrix.Fill(16, 16, 1)) // ~2 KB: crosses the threshold
+	_, err = c.Call(Request{Type: Put, ID: 1, Data: payload})
+	if err == nil {
+		t.Fatal("injected reset did not surface")
+	}
+	if !errors.Is(err, netem.ErrInjectedReset) {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if !c.Broken() {
+		t.Fatal("client not broken after injected reset")
+	}
+	if _, err := c.CallOne(Request{Type: Put, ID: 1, Data: payload}); err != nil {
+		t.Fatalf("retry after reset failed: %v", err)
+	}
+	if got, err := c.CallOne(Request{Type: Get, ID: 1}); err != nil || got.Data.Matrix() == nil {
+		t.Fatalf("object lost across reconnect: %v", err)
+	}
+	if faults.Stats().Resets != 1 {
+		t.Fatalf("faults injected %d resets, want 1", faults.Stats().Resets)
+	}
+}
+
+// TestClosedClientDoesNotRedial: Close is final; only broken clients
+// reconnect.
+func TestClosedClientDoesNotRedial(t *testing.T) {
+	s, _ := startServer(t, Options{})
+	c, err := Dial(s.Addr(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	if c.Broken() {
+		t.Fatal("closed client reported broken")
+	}
+	if _, err := c.Call(Request{Type: Get, ID: 1}); err == nil {
+		t.Fatal("closed client reconnected")
+	}
+	if err := c.Redial(); err == nil {
+		t.Fatal("Redial on closed client succeeded")
 	}
 }

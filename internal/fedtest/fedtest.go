@@ -27,6 +27,14 @@ type Config struct {
 	// BaseDirs are the per-worker raw-data directories for READ requests;
 	// empty entries (or a short slice) leave workers without file access.
 	BaseDirs []string
+	// Faults injects deterministic transport faults into the coordinator's
+	// worker connections (client side only), exercising the redial/retry
+	// recovery paths. The same *Faults can be inspected afterwards via
+	// Stats() to assert the faults actually fired.
+	Faults *netem.Faults
+	// Retry configures the coordinator's retry policy; the zero value
+	// keeps retries off (fail fast).
+	Retry federated.RetryPolicy
 }
 
 // Cluster is a running in-process federation.
@@ -46,6 +54,7 @@ func Start(cfg Config) (*Cluster, error) {
 	var serverOpts, clientOpts fedrpc.Options
 	serverOpts.Netem = cfg.Netem
 	clientOpts.Netem = cfg.Netem
+	clientOpts.Netem.Faults = cfg.Faults
 	if cfg.TLS {
 		srvTLS, cliTLS, err := fedrpc.NewSelfSignedTLS()
 		if err != nil {
@@ -71,6 +80,9 @@ func Start(cfg Config) (*Cluster, error) {
 		cl.Addrs = append(cl.Addrs, srv.Addr())
 	}
 	cl.Coord = federated.NewCoordinator(clientOpts)
+	if cfg.Retry != (federated.RetryPolicy{}) {
+		cl.Coord.SetRetryPolicy(cfg.Retry)
+	}
 	return cl, nil
 }
 

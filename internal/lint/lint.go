@@ -153,6 +153,7 @@ func DefaultAnalyzers() []*Analyzer {
 		}),
 		GobErrAnalyzer(),
 		GoroLeakAnalyzer(),
+		SleepCancelAnalyzer(),
 	}
 }
 

@@ -126,6 +126,20 @@ func TestGoroLeakFixture(t *testing.T) {
 	checkFixture(t, "goroleaktd", GoroLeakAnalyzer())
 }
 
+func TestSleepCancelFixture(t *testing.T) {
+	checkFixture(t, "sleeptd", SleepCancelAnalyzer())
+}
+
+func TestSleepCancelExemptsPackageMain(t *testing.T) {
+	pkg, err := fixtureLoader(t).LoadDir(filepath.Join("testdata", "sleepmain"), "fixture/sleepmain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs := Run([]*Package{pkg}, []*Analyzer{SleepCancelAnalyzer()}); len(fs) != 0 {
+		t.Fatalf("sleepcancel fired in package main: %v", fs)
+	}
+}
+
 func TestFindingString(t *testing.T) {
 	f := Finding{
 		Rule: "nopanic",

@@ -1,0 +1,57 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SleepCancelAnalyzer forbids time.Sleep in library (non-main) packages.
+// A bare Sleep has no cancellation path: it ignores Close, shutdown, and
+// deadlines, so an emulated WAN delay or a retry backoff built on Sleep
+// holds locks and goroutines hostage for its full duration (the netem
+// stall bug this repository once had). Library code must wait with
+// time.NewTimer (or Ticker) inside a select that also watches a
+// cancellation signal — a done/closed channel or a deadline. Binaries
+// (package main) are exempt: top-level pacing loops have nothing to
+// cancel. Test files are never loaded by the analysis, so test sleeps are
+// unaffected.
+func SleepCancelAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "sleepcancel",
+		Doc:  "library code must not call time.Sleep; wait with a timer in a select that has a cancellation path",
+		Run: func(pass *Pass) {
+			if pass.Pkg.Name() == "main" {
+				return
+			}
+			for _, file := range pass.Pkg.Files {
+				ast.Inspect(file, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if isTimeSleep(pass, call) {
+						pass.Reportf(call.Pos(),
+							"time.Sleep has no cancellation path; use time.NewTimer in a select watching a done channel or deadline, so Close and shutdown stay prompt")
+					}
+					return true
+				})
+			}
+		},
+	}
+}
+
+// isTimeSleep reports whether the call is time.Sleep from the standard
+// time package (alias-proof: the receiver identifier is resolved to its
+// imported package, not matched by name).
+func isTimeSleep(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Sleep" {
+		return false
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok || pass.Pkg.Info == nil {
+		return false
+	}
+	pn, ok := pass.Pkg.Info.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == "time"
+}

@@ -1,0 +1,12 @@
+// Package main is the sleepcancel exemption fixture: binaries may pace
+// top-level loops with bare sleeps (nothing above them to cancel), so the
+// rule must stay silent here.
+package main
+
+import "time"
+
+func main() {
+	for i := 0; i < 3; i++ {
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,53 @@
+// Package sleeptd is a sleepcancel rule fixture: positive, negative, and
+// suppressed cases. Trailing want-markers are asserted by lint_test.go.
+package sleeptd
+
+import (
+	clock "time"
+	"time"
+)
+
+func bareSleep() {
+	time.Sleep(time.Second) // want sleepcancel
+}
+
+func aliasedSleep() {
+	clock.Sleep(clock.Millisecond) // want sleepcancel
+}
+
+func sleepInGoroutine(done chan struct{}) {
+	go func() {
+		time.Sleep(time.Minute) // want sleepcancel
+		close(done)
+	}()
+	<-done
+}
+
+// timerWithCancel is the sanctioned pattern: the wait loses the race
+// against the cancellation channel instead of outliving it.
+func timerWithCancel(done <-chan struct{}) bool {
+	t := time.NewTimer(time.Second)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-done:
+		return false
+	}
+}
+
+// notTheTimePackage exercises name resolution: a local Sleep method must
+// not trip an analyzer that merely pattern-matches ".Sleep".
+type pacer struct{}
+
+func (pacer) Sleep(time.Duration) {}
+
+func localSleepMethod() {
+	var p pacer
+	p.Sleep(time.Second)
+}
+
+func suppressedSleep() {
+	//lint:ignore sleepcancel fixture: demonstrating a justified suppression
+	time.Sleep(time.Millisecond)
+}

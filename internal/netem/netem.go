@@ -3,16 +3,25 @@
 // (Copenhagen–Graz, ~35–60 ms RTT, ~1.4–2 MB/s) environments. Delays are
 // injected at the connection layer, so the federated protocol code paths
 // (serialization, batching, parallel RPCs) are exercised unchanged.
+//
+// Beyond link shaping, the package injects deterministic transport faults —
+// connection resets after a byte threshold, one-shot connection drops, and
+// write-stall windows — so the recovery paths of the federation layer
+// (fedrpc redial, coordinator retry) are exercised by real connections in
+// tests instead of being hand-waved.
 package netem
 
 import (
+	"errors"
+	"math/rand"
 	"net"
+	"os"
 	"sync"
 	"time"
 )
 
 // Config describes an emulated link. The zero value emulates a perfect link
-// (no added latency, unlimited bandwidth).
+// (no added latency, unlimited bandwidth, no faults).
 type Config struct {
 	// RTT is the round-trip latency; each direction is charged RTT/2 per
 	// message burst.
@@ -20,6 +29,12 @@ type Config struct {
 	// BandwidthBps limits throughput in bytes per second; zero means
 	// unlimited.
 	BandwidthBps float64
+	// Faults points at shared fault-injection state (NewFaults); nil
+	// disables injection. The state is shared deliberately: every
+	// connection wrapped with the same *Faults draws from one seeded
+	// schedule, so plans like "reset every connection once" keep holding
+	// across redials.
+	Faults *Faults
 }
 
 // LAN returns the paper's local-area configuration (no artificial delay).
@@ -32,14 +47,153 @@ func WAN() Config {
 	return Config{RTT: 45 * time.Millisecond, BandwidthBps: 1.7e6}
 }
 
-// Enabled reports whether the config injects any delay.
-func (c Config) Enabled() bool { return c.RTT > 0 || c.BandwidthBps > 0 }
+// Enabled reports whether the config shapes or faults the link.
+func (c Config) Enabled() bool { return c.RTT > 0 || c.BandwidthBps > 0 || c.Faults != nil }
+
+// ErrInjectedReset marks a fault-injected connection teardown (the emulated
+// peer reset the connection after the configured byte threshold).
+var ErrInjectedReset = errors.New("netem: injected connection reset")
+
+// ErrInjectedDrop marks a fault-injected one-shot drop: the connection was
+// established and then immediately killed.
+var ErrInjectedDrop = errors.New("netem: injected connection drop")
+
+// FaultConfig describes a deterministic fault schedule. All faults are
+// driven by Seed, so a test run is reproducible.
+type FaultConfig struct {
+	// Seed drives the schedule's RNG (reset-threshold jitter).
+	Seed int64
+	// ConnResets is the total number of connection resets to inject. An
+	// affected connection is torn down once it has written
+	// ResetAfterBytes bytes (jittered by ResetJitter); the connection's
+	// I/O then fails with ErrInjectedReset. Redialed connections start a
+	// fresh byte count and draw from the remaining reset budget.
+	ConnResets int
+	// ResetAfterBytes is the per-connection written-byte threshold that
+	// triggers a reset; required (>0) for ConnResets to take effect.
+	ResetAfterBytes int64
+	// ResetJitter varies each connection's threshold by up to this
+	// fraction of ResetAfterBytes in either direction (e.g. 0.5 draws
+	// from [0.5x, 1.5x]). Zero keeps the threshold exact.
+	ResetJitter float64
+	// ResetPerAddr limits resets to one per remote address. Without it, a
+	// reconnecting peer can burn the whole reset budget on one address
+	// (every redialed connection crosses the threshold again); with it,
+	// plans like "reset the connection to every worker exactly once"
+	// hold regardless of retry interleaving.
+	ResetPerAddr bool
+	// Drops kills the next N wrapped connections immediately after
+	// establishment (one-shot connect-then-die drops); their first I/O
+	// fails with ErrInjectedDrop.
+	Drops int
+	// Stalls freezes the first write of the next N wrapped connections
+	// for StallFor before proceeding — a stall window long enough to trip
+	// the caller's I/O deadline when StallFor exceeds it.
+	Stalls int
+	// StallFor is the stall-window duration; required (>0) for Stalls to
+	// take effect.
+	StallFor time.Duration
+}
+
+// FaultStats counts the faults injected so far.
+type FaultStats struct {
+	Resets int
+	Drops  int
+	Stalls int
+}
+
+// Faults is the shared, mutable state of one fault schedule. Create it with
+// NewFaults and place the same pointer in every Config that should draw
+// from the schedule.
+type Faults struct {
+	mu         sync.Mutex
+	cfg        FaultConfig
+	rng        *rand.Rand
+	resetsLeft int
+	dropsLeft  int
+	stallsLeft int
+	resetAddrs map[string]bool // addresses already reset (ResetPerAddr)
+	stats      FaultStats
+}
+
+// NewFaults compiles a fault schedule from cfg.
+func NewFaults(cfg FaultConfig) *Faults {
+	return &Faults{
+		cfg:        cfg,
+		rng:        rand.New(rand.NewSource(cfg.Seed)),
+		resetsLeft: cfg.ConnResets,
+		dropsLeft:  cfg.Drops,
+		stallsLeft: cfg.Stalls,
+		resetAddrs: map[string]bool{},
+	}
+}
+
+// Stats returns how many faults have been injected so far. Tests assert on
+// it so a "recovery" test that never actually hit a fault fails loudly.
+func (f *Faults) Stats() FaultStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats
+}
+
+// planConn draws one connection's fault plan from the schedule: whether to
+// drop it outright, the written-byte reset threshold (0 = none planned),
+// and a one-shot first-write stall window.
+func (f *Faults) planConn() (drop bool, resetAt int64, stall time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.dropsLeft > 0 {
+		f.dropsLeft--
+		f.stats.Drops++
+		return true, 0, 0
+	}
+	if f.resetsLeft > 0 && f.cfg.ResetAfterBytes > 0 {
+		resetAt = f.cfg.ResetAfterBytes
+		if j := f.cfg.ResetJitter; j > 0 {
+			resetAt += int64(float64(f.cfg.ResetAfterBytes) * j * (f.rng.Float64()*2 - 1))
+			if resetAt < 1 {
+				resetAt = 1
+			}
+		}
+	}
+	if f.stallsLeft > 0 && f.cfg.StallFor > 0 {
+		f.stallsLeft--
+		f.stats.Stalls++
+		stall = f.cfg.StallFor
+	}
+	return
+}
+
+// takeReset consumes one reset token when a connection to addr crosses its
+// threshold. It can return false when concurrent connections raced for the
+// last token, or when ResetPerAddr is set and addr was already reset; the
+// loser carries on un-reset.
+func (f *Faults) takeReset(addr string) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.resetsLeft <= 0 {
+		return false
+	}
+	if f.cfg.ResetPerAddr {
+		if f.resetAddrs[addr] {
+			return false
+		}
+		f.resetAddrs[addr] = true
+	}
+	f.resetsLeft--
+	f.stats.Resets++
+	return true
+}
 
 // conn wraps a net.Conn, delaying writes to model one-way latency plus
-// serialization time at the configured bandwidth.
+// serialization time at the configured bandwidth, and injecting the faults
+// planned for it.
 type conn struct {
 	net.Conn
 	cfg Config
+
+	closeOnce sync.Once
+	closed    chan struct{}
 
 	mu sync.Mutex
 	// nextFree is the emulated time at which the link becomes free again;
@@ -48,6 +202,19 @@ type conn struct {
 	// lastWrite tracks burst boundaries: a write more than burstGap after
 	// the previous one is a new message burst and pays one-way latency.
 	lastWrite time.Time
+	// wdeadline mirrors the most recent SetDeadline/SetWriteDeadline so
+	// the emulated delay can be cut short when the caller's deadline
+	// expires first.
+	wdeadline time.Time
+	// written counts bytes attempted through Write, for the reset
+	// threshold.
+	written int64
+	// resetAt is this connection's planned reset threshold (0 = none).
+	resetAt int64
+	// stall is the pending one-shot first-write stall window.
+	stall time.Duration
+	// broken is the sticky error after an injected fault killed the conn.
+	broken error
 }
 
 // burstGap separates message bursts for latency accounting. Writes closer
@@ -61,17 +228,32 @@ func Wrap(c net.Conn, cfg Config) net.Conn {
 	if !cfg.Enabled() {
 		return c
 	}
-	return &conn{Conn: c, cfg: cfg}
+	w := &conn{Conn: c, cfg: cfg, closed: make(chan struct{})}
+	if f := cfg.Faults; f != nil {
+		drop, resetAt, stall := f.planConn()
+		w.resetAt, w.stall = resetAt, stall
+		if drop {
+			w.broken = ErrInjectedDrop
+			c.Close()
+		}
+	}
+	return w
 }
 
-// Write delays the underlying write to model the emulated link. It is a
-// transparent shim: deadline discipline belongs to the protocol endpoints
-// (fedrpc client/server), which call SetDeadline through the embedded
-// net.Conn.
+// Write delays the underlying write to model the emulated link and injects
+// planned faults. The delay is interruptible: Close and an expired write
+// deadline cut it short, so shutdown and timeouts stay prompt even under
+// heavy WAN emulation. Deadline discipline otherwise belongs to the
+// protocol endpoints (fedrpc client/server), which call SetDeadline through
+// this wrapper.
 //
-//lint:ignore netdeadline pass-through shim; deadlines are armed by the fedrpc endpoints on the embedded conn
+//lint:ignore netdeadline shaping shim; deadlines are armed by the fedrpc endpoints and honored by the interruptible delay
 func (c *conn) Write(p []byte) (int, error) {
 	c.mu.Lock()
+	if err := c.broken; err != nil {
+		c.mu.Unlock()
+		return 0, c.opErr("write", err)
+	}
 	now := time.Now()
 	var wait time.Duration
 	if c.cfg.RTT > 0 && now.Sub(c.lastWrite) > burstGap {
@@ -87,12 +269,112 @@ func (c *conn) Write(p []byte) (int, error) {
 			wait = d
 		}
 	}
+	// A planned stall window applies once, on top of the shaping delay.
+	wait += c.stall
+	c.stall = 0
 	c.lastWrite = now.Add(wait)
+	deadline := c.wdeadline
 	c.mu.Unlock()
 	if wait > 0 {
-		time.Sleep(wait)
+		if err := c.delay(wait, deadline); err != nil {
+			return 0, err
+		}
+	}
+	if err := c.maybeReset(len(p)); err != nil {
+		return 0, err
 	}
 	return c.Conn.Write(p)
+}
+
+// maybeReset accounts n attempted bytes and tears the connection down when
+// the planned reset threshold is crossed and the schedule still has a reset
+// token.
+func (c *conn) maybeReset(n int) error {
+	c.mu.Lock()
+	c.written += int64(n)
+	tripped := c.resetAt > 0 && c.written >= c.resetAt
+	if tripped {
+		c.resetAt = 0 // one reset attempt per connection
+	}
+	c.mu.Unlock()
+	if !tripped || !c.cfg.Faults.takeReset(remoteKey(c.Conn)) {
+		return nil
+	}
+	c.mu.Lock()
+	c.broken = ErrInjectedReset
+	c.mu.Unlock()
+	// Kill the transport so the peer observes the reset too.
+	c.Conn.Close()
+	return c.opErr("write", ErrInjectedReset)
+}
+
+// delay blocks for d, returning early when the connection is closed or the
+// caller's write deadline expires first: an emulated WAN delay must never
+// outlive the deadline discipline of the endpoints.
+func (c *conn) delay(d time.Duration, deadline time.Time) error {
+	if !deadline.IsZero() {
+		if remain := time.Until(deadline); remain < d {
+			// The deadline expires mid-delay: wait only that long, then
+			// report the timeout the caller armed.
+			if remain > 0 {
+				t := time.NewTimer(remain)
+				defer t.Stop()
+				select {
+				case <-t.C:
+				case <-c.closed:
+					return c.opErr("write", net.ErrClosed)
+				}
+			}
+			return c.opErr("write", os.ErrDeadlineExceeded)
+		}
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-c.closed:
+		return c.opErr("write", net.ErrClosed)
+	}
+}
+
+// remoteKey identifies the peer for per-address fault accounting: the
+// dialer's view of a worker ("ip:port" of the listener) is stable across
+// redials, which is exactly what ResetPerAddr needs.
+func remoteKey(c net.Conn) string {
+	if a := c.RemoteAddr(); a != nil {
+		return a.String()
+	}
+	return ""
+}
+
+func (c *conn) opErr(op string, err error) error {
+	return &net.OpError{Op: op, Net: "netem", Addr: c.Conn.RemoteAddr(), Err: err}
+}
+
+// Close interrupts any in-flight emulated delay and closes the underlying
+// connection.
+func (c *conn) Close() error {
+	c.closeOnce.Do(func() { close(c.closed) })
+	return c.Conn.Close()
+}
+
+// SetDeadline mirrors the write deadline for the emulated delay and
+// forwards to the underlying connection.
+func (c *conn) SetDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.wdeadline = t
+	c.mu.Unlock()
+	return c.Conn.SetDeadline(t)
+}
+
+// SetWriteDeadline mirrors the deadline for the emulated delay and forwards
+// to the underlying connection.
+func (c *conn) SetWriteDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.wdeadline = t
+	c.mu.Unlock()
+	return c.Conn.SetWriteDeadline(t)
 }
 
 // Listener wraps accepted connections with the emulated link.

@@ -1,7 +1,9 @@
 package netem
 
 import (
+	"errors"
 	"net"
+	"os"
 	"testing"
 	"time"
 )
@@ -135,4 +137,145 @@ func TestWrapListener(t *testing.T) {
 	}
 	conn.Close()
 	ln.Close()
+}
+
+func TestInjectedResetAfterBytes(t *testing.T) {
+	c, _ := pipeConns(t)
+	faults := NewFaults(FaultConfig{Seed: 1, ConnResets: 1, ResetAfterBytes: 8})
+	wc := Wrap(c, Config{Faults: faults})
+	if _, err := wc.Write([]byte("1234")); err != nil {
+		t.Fatalf("below threshold: %v", err)
+	}
+	if _, err := wc.Write([]byte("5678")); !errors.Is(err, ErrInjectedReset) {
+		t.Fatalf("want injected reset at threshold, got %v", err)
+	}
+	// The conn is dead for good: later writes keep failing.
+	if _, err := wc.Write([]byte("x")); !errors.Is(err, ErrInjectedReset) {
+		t.Fatalf("reset not sticky: %v", err)
+	}
+	if s := faults.Stats(); s.Resets != 1 {
+		t.Fatalf("stats = %+v, want 1 reset", s)
+	}
+	// The budget is spent: a redialed connection is not reset again.
+	c2, _ := pipeConns(t)
+	wc2 := Wrap(c2, Config{Faults: faults})
+	if _, err := wc2.Write(make([]byte, 64)); err != nil {
+		t.Fatalf("reset fired beyond its budget: %v", err)
+	}
+}
+
+func TestInjectedOneShotDrop(t *testing.T) {
+	c, _ := pipeConns(t)
+	faults := NewFaults(FaultConfig{Drops: 1})
+	wc := Wrap(c, Config{Faults: faults})
+	if _, err := wc.Write([]byte("x")); !errors.Is(err, ErrInjectedDrop) {
+		t.Fatalf("want injected drop, got %v", err)
+	}
+	c2, _ := pipeConns(t)
+	wc2 := Wrap(c2, Config{Faults: faults})
+	if _, err := wc2.Write([]byte("x")); err != nil {
+		t.Fatalf("drop budget not one-shot: %v", err)
+	}
+	if s := faults.Stats(); s.Drops != 1 {
+		t.Fatalf("stats = %+v, want 1 drop", s)
+	}
+}
+
+func TestStallWindowTripsWriteDeadline(t *testing.T) {
+	c, _ := pipeConns(t)
+	faults := NewFaults(FaultConfig{Stalls: 1, StallFor: 5 * time.Second})
+	wc := Wrap(c, Config{Faults: faults})
+	if err := wc.SetDeadline(time.Now().Add(50 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err := wc.Write([]byte("x"))
+	if !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("want deadline error from stalled write, got %v", err)
+	}
+	var nerr net.Error
+	if !errors.As(err, &nerr) || !nerr.Timeout() {
+		t.Fatalf("stall error is not a net timeout: %v", err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("stall ignored the deadline: blocked %v", d)
+	}
+	// The stall window is one-shot: with the deadline cleared, the next
+	// write proceeds.
+	if err := wc.SetDeadline(time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wc.Write([]byte("y")); err != nil {
+		t.Fatalf("stall not one-shot: %v", err)
+	}
+}
+
+func TestCloseInterruptsEmulatedDelay(t *testing.T) {
+	c, _ := pipeConns(t)
+	// 10 KB at 1 KB/s: a 10-second write delay unless Close interrupts.
+	wc := Wrap(c, Config{BandwidthBps: 1024})
+	errc := make(chan error, 1)
+	go func() {
+		_, err := wc.Write(make([]byte, 10*1024))
+		errc <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	start := time.Now()
+	wc.Close()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, net.ErrClosed) {
+			t.Fatalf("want ErrClosed from interrupted delay, got %v", err)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("Close did not interrupt the emulated delay")
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("interrupt was slow: %v", d)
+	}
+}
+
+func TestResetPerAddrSparesRedialedConns(t *testing.T) {
+	faults := NewFaults(FaultConfig{Seed: 3, ConnResets: 2, ResetAfterBytes: 8, ResetPerAddr: true})
+	c1, _ := pipeConns(t)
+	wc1 := Wrap(c1, Config{Faults: faults})
+	if _, err := wc1.Write(make([]byte, 16)); !errors.Is(err, ErrInjectedReset) {
+		t.Fatalf("first conn should reset: %v", err)
+	}
+	// A redial to the same address draws no second reset: its key is spent.
+	if faults.takeReset(c1.RemoteAddr().String()) {
+		t.Fatal("second reset for the same address should be refused")
+	}
+	// A different address still gets the remaining token, and then the
+	// budget is gone.
+	if !faults.takeReset("other-worker:1") {
+		t.Fatal("fresh address should take the remaining reset token")
+	}
+	if faults.takeReset("third-worker:1") {
+		t.Fatal("budget of 2 is spent; no token for a new address")
+	}
+	if s := faults.Stats(); s.Resets != 2 {
+		t.Fatalf("stats = %+v, want 2 resets", s)
+	}
+}
+
+func TestResetJitterIsDeterministic(t *testing.T) {
+	thresholds := func(seed int64) []int64 {
+		f := NewFaults(FaultConfig{Seed: seed, ConnResets: 3, ResetAfterBytes: 1000, ResetJitter: 0.5})
+		var out []int64
+		for i := 0; i < 3; i++ {
+			_, at, _ := f.planConn()
+			out = append(out, at)
+		}
+		return out
+	}
+	a, b := thresholds(42), thresholds(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed, different schedule: %v vs %v", a, b)
+		}
+		if a[i] < 500 || a[i] > 1500 {
+			t.Fatalf("jittered threshold %d outside [500,1500]", a[i])
+		}
+	}
 }

@@ -134,7 +134,11 @@ func (w *Worker) Frame(id int64) (*frame.Frame, error) {
 	return e.Fr, nil
 }
 
-// Put binds an entry to id, replacing any previous binding.
+// Put binds an entry to id, replacing any previous binding. Replace (not
+// reject) semantics are load-bearing for fault tolerance: when a
+// coordinator loses the connection after the worker executed a PUT but
+// before the reply arrived, the retried PUT simply overwrites the binding
+// with identical data instead of failing.
 func (w *Worker) Put(id int64, e *Entry) {
 	w.mu.Lock()
 	w.symtab[id] = e
@@ -151,7 +155,9 @@ func (w *Worker) PutFrame(id int64, f *frame.Frame, level privacy.Level) {
 	w.Put(id, &Entry{Fr: f, Level: level})
 }
 
-// Remove deletes bindings.
+// Remove deletes bindings. IDs without a binding are ignored, so rmvar is
+// idempotent: a retried cleanup, or a best-effort sweep after an aborted
+// parallel operation, never fails on work already done.
 func (w *Worker) Remove(ids ...int64) {
 	w.mu.Lock()
 	for _, id := range ids {
@@ -172,6 +178,14 @@ func (w *Worker) NumObjects() int {
 // requests in a batch execute in order; a failing request yields an error
 // response but later requests still run (matching the paper's independent
 // request semantics within an RPC).
+//
+// Handle is the worker half of the coordinator's retry contract
+// (federated.RetryableBatch): READ, PUT, GET, EXEC_INST, and CLEAR are
+// idempotent at this layer — re-executing them after a lost reply
+// reproduces the same symbol-table state (READ is lineage-cached, PUT
+// replaces, rmvar of a missing ID is a no-op, other instructions overwrite
+// their output binding deterministically). EXEC_UDF makes no such promise;
+// the coordinator never retries it.
 func (w *Worker) Handle(reqs []fedrpc.Request) []fedrpc.Response {
 	resps := make([]fedrpc.Response, len(reqs))
 	for i, req := range reqs {

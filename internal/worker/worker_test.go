@@ -196,3 +196,58 @@ func TestBatchSemantics(t *testing.T) {
 		t.Fatalf("batch: %+v", resps)
 	}
 }
+
+// TestReplaySafety pins the worker half of the coordinator's retry
+// contract: re-executing a retryable batch after a lost reply reproduces
+// the same symbol-table state instead of erroring or duplicating.
+func TestReplaySafety(t *testing.T) {
+	dir := t.TempDir()
+	m := matrix.Fill(4, 4, 2)
+	if err := m.WriteBinaryFile(dir + "/x.bin"); err != nil {
+		t.Fatal(err)
+	}
+	w := New(dir)
+	batch := []fedrpc.Request{
+		{Type: fedrpc.Read, ID: 1, Filename: "x.bin"},
+		{Type: fedrpc.Put, ID: 2, Data: fedrpc.MatrixPayload(matrix.Fill(2, 2, 7))},
+		{Type: fedrpc.ExecInst, Inst: &fedrpc.Instruction{Opcode: "t", Inputs: []int64{2}, Output: 3}},
+	}
+	// Execute twice, as a retry after a lost reply would.
+	for round := 0; round < 2; round++ {
+		for i, r := range w.Handle(batch) {
+			if !r.OK {
+				t.Fatalf("round %d request %d: %s", round, i, r.Err)
+			}
+		}
+	}
+	if n := w.NumObjects(); n != 3 {
+		t.Fatalf("replay duplicated state: %d objects, want 3", n)
+	}
+	// The re-READ was served from the lineage cache, not re-parsed.
+	if hits, misses := w.Lineage.Stats(); misses != 1 || hits != 1 {
+		t.Fatalf("re-READ not cached: hits=%d misses=%d", hits, misses)
+	}
+	got := w.Handle([]fedrpc.Request{{Type: fedrpc.Get, ID: 2}})[0]
+	if !got.OK || !got.Data.Matrix().EqualApprox(matrix.Fill(2, 2, 7), 0) {
+		t.Fatal("replayed PUT corrupted the binding")
+	}
+}
+
+// TestRmvarMissingIDIsNoOp pins the cleanup contract: removing an ID that
+// was never bound (or was already removed) succeeds silently, so
+// best-effort sweeps after aborted parallel operations are always safe.
+func TestRmvarMissingIDIsNoOp(t *testing.T) {
+	w := New("")
+	put(t, w, 1, matrix.Fill(1, 1, 1), privacy.Public)
+	r := exec(t, w, fedrpc.Instruction{Opcode: "rmvar", Inputs: []int64{1, 404, 405}})
+	if !r.OK {
+		t.Fatalf("rmvar with missing IDs failed: %s", r.Err)
+	}
+	if w.NumObjects() != 0 {
+		t.Fatal("bound ID not removed")
+	}
+	// And again: fully idempotent.
+	if r := exec(t, w, fedrpc.Instruction{Opcode: "rmvar", Inputs: []int64{1}}); !r.OK {
+		t.Fatalf("repeated rmvar failed: %s", r.Err)
+	}
+}
