@@ -8,8 +8,10 @@
 #   4. go test -race — full test suite under the race detector;
 #   5. fault tests   — the fault-injection/recovery suites re-run under
 #                      -race with -count=1: connection teardown, redial,
-#                      and retry interleavings are exactly where data races
-#                      hide, so these never run from cache.
+#                      retry, and worker-restart/replay interleavings are
+#                      exactly where data races hide, so these never run
+#                      from cache (the pattern also covers the restart and
+#                      health-probing suites: Restart|Health|Epoch|...).
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -17,5 +19,6 @@ go build ./...
 go vet ./...
 go run ./cmd/exdralint ./...
 go test -race ./...
-go test -race -count=1 -run 'Reset|Retry|Redial|Fault|Fail|Stall|Drop|Broken|Timeout' \
-  ./internal/netem/ ./internal/fedrpc/ ./internal/federated/ ./internal/fedtest/
+go test -race -count=1 \
+  -run 'Reset|Retry|Redial|Fault|Fail|Stall|Drop|Broken|Timeout|Restart|Health|Epoch|Recover|Replay|Closed|Unrecover|CreationLog' \
+  ./internal/netem/ ./internal/fedrpc/ ./internal/federated/ ./internal/fedtest/ ./internal/worker/

@@ -8,6 +8,7 @@
 //
 //	exdra p2      -algo lm|ffn [-workers addr1,addr2 | -spawn 3] [-rows N] [-track dir]
 //	              [-retries N -retry-backoff 50ms] [-fault-resets N -fault-reset-after 16384]
+//	              [-recover] [-health-interval 5s]
 //	exdra runs    -track dir [-metric r2]
 //	exdra table1
 package main
@@ -147,6 +148,17 @@ func recommend(args []string) {
 	}
 }
 
+// logRecoveryStats prints the coordinator's restart/health counters after a
+// federated run when recovery or probing was active.
+func logRecoveryStats(coord *federated.Coordinator, recovering bool, healthInterval time.Duration) {
+	if !recovering && healthInterval <= 0 {
+		return
+	}
+	s := coord.Stats()
+	fmt.Printf("exdra: recovery stats: %d restarts detected, %d objects replayed, %d replay failures, %d/%d probes failed\n",
+		s.RestartsDetected, s.ObjectsReplayed, s.ReplayFailures, s.ProbeFailures, s.Probes)
+}
+
 func runP2(args []string) {
 	fs := flag.NewFlagSet("p2", flag.ExitOnError)
 	algo := fs.String("algo", "lm", "training algorithm: lm or ffn")
@@ -163,6 +175,10 @@ func runP2(args []string) {
 	faultResetAfter := fs.Int64("fault-reset-after", 16<<10,
 		"with -fault-resets: written-byte threshold that triggers an injected reset")
 	faultSeed := fs.Int64("fault-seed", 1, "seed of the deterministic fault schedule")
+	recoverFlag := fs.Bool("recover", false,
+		"enable restart recovery: log object creations and replay them when a worker comes back with a new instance epoch")
+	healthInterval := fs.Duration("health-interval", 0,
+		"probe worker liveness every interval (0 = no probing); with -recover, restarted workers are repaired proactively")
 	fs.Parse(args)
 
 	retry := federated.RetryPolicy{}
@@ -201,7 +217,10 @@ func runP2(args []string) {
 	var res *pipeline.P2Result
 	switch {
 	case *spawn > 0:
-		cl, err := fedtest.Start(fedtest.Config{Workers: *spawn, Faults: faults, Retry: retry})
+		cl, err := fedtest.Start(fedtest.Config{
+			Workers: *spawn, Faults: faults, Retry: retry,
+			Recover: *recoverFlag, Health: federated.HealthPolicy{Interval: *healthInterval},
+		})
 		if err != nil {
 			log.Fatalf("exdra: spawn workers: %v", err)
 		}
@@ -220,6 +239,7 @@ func runP2(args []string) {
 			fmt.Printf("exdra: injected faults survived: %d resets, %d drops, %d stalls\n",
 				s.Resets, s.Drops, s.Stalls)
 		}
+		logRecoveryStats(cl.Coord, *recoverFlag, *healthInterval)
 	case *workersFlag != "":
 		addrs := strings.Split(*workersFlag, ",")
 		coord := federated.NewCoordinator(fedrpc.Options{})
@@ -227,6 +247,8 @@ func runP2(args []string) {
 		if retry.Attempts > 0 {
 			coord.SetRetryPolicy(retry)
 		}
+		coord.EnableRecovery(*recoverFlag)
+		coord.StartHealth(federated.HealthPolicy{Interval: *healthInterval})
 		ff, err := federated.DistributeFrame(coord, fr, addrs, privacy.PrivateAggregation)
 		if err != nil {
 			log.Fatalf("exdra: distribute to %v: %v", addrs, err)
@@ -235,6 +257,7 @@ func runP2(args []string) {
 		if err != nil {
 			log.Fatalf("exdra: pipeline: %v", err)
 		}
+		logRecoveryStats(coord, *recoverFlag, *healthInterval)
 	default:
 		if res, err = pipeline.RunP2Local(fr, y, cfg); err != nil {
 			log.Fatalf("exdra: pipeline: %v", err)

@@ -6,6 +6,8 @@
 //	nopanic      library code returns errors instead of panicking
 //	goberr       Encode/Decode/Flush errors must be checked
 //	goroleak     go func literals in libraries must be joined
+//	sleepcancel  library waits must be cancellable (no bare time.Sleep)
+//	ctxflow      a received context.Context must propagate, not be dropped
 //
 // Usage:
 //

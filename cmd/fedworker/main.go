@@ -72,6 +72,11 @@ func main() {
 		log.Fatalf("fedworker: %v", err)
 	}
 	fmt.Printf("fedworker: listening on %s (data dir %s, tls=%v)\n", srv.Addr(), *dataDir, *useTLS)
+	// The instance epoch identifies this process incarnation: coordinators
+	// compare it across responses to tell a restarted worker (new epoch,
+	// empty symbol table) from a flaky connection. Logged so operators can
+	// correlate coordinator-side restart detections with worker logs.
+	fmt.Printf("fedworker: instance epoch %#016x\n", w.Epoch())
 	fmt.Printf("fedworker: registered UDFs: %v\n", worker.RegisteredUDFs())
 
 	sig := make(chan os.Signal, 1)

@@ -43,14 +43,15 @@ func DefaultRetryPolicy() RetryPolicy {
 //   - GET is a pure read;
 //   - EXEC_INST re-executes deterministically over IDs, overwriting the
 //     same output binding (rmvar of an already-removed ID is a no-op);
-//   - CLEAR empties the symbol table either way.
+//   - CLEAR empties the symbol table either way;
+//   - HEALTH reads nothing and writes nothing.
 //
 // EXEC_UDF is excluded: UDFs may carry non-idempotent side effects (e.g.
 // parameter-server gradient application), so their batches fail fast.
 func RetryableBatch(reqs []fedrpc.Request) bool {
 	for _, r := range reqs {
 		switch r.Type {
-		case fedrpc.Read, fedrpc.Put, fedrpc.Get, fedrpc.ExecInst, fedrpc.Clear:
+		case fedrpc.Read, fedrpc.Put, fedrpc.Get, fedrpc.ExecInst, fedrpc.Clear, fedrpc.Health:
 		default:
 			return false
 		}
@@ -76,6 +77,18 @@ type Coordinator struct {
 
 	rngMu sync.Mutex
 	rng   *rand.Rand // jitter source, guarded by rngMu
+
+	// Restart-recovery state (recovery.go): the creation log per worker
+	// address, guarded by recMu, plus the health prober's join handle and
+	// the observability counters behind Stats().
+	recovery bool // EnableRecovery: creation log + replay on epoch change
+	recMu    sync.Mutex
+	states   map[string]*workerState
+	probing  bool // a health prober goroutine is running (StartHealth)
+	healthWg sync.WaitGroup
+
+	statRestarts, statReplayed, statReplayFail atomic.Int64
+	statProbes, statProbeFail                  atomic.Int64
 }
 
 // NewCoordinator creates a coordinator; opts configure TLS and network
@@ -86,6 +99,7 @@ func NewCoordinator(opts fedrpc.Options) *Coordinator {
 		opts:    opts,
 		clients: map[string]*fedrpc.Client{},
 		dialing: map[string]*dialCall{},
+		states:  map[string]*workerState{},
 		done:    make(chan struct{}),
 		rng:     rand.New(rand.NewSource(0)),
 	}
@@ -159,12 +173,24 @@ func (c *Coordinator) Client(addr string) (*fedrpc.Client, error) {
 // jitter after the broken client transparently redials. Worker-reported
 // per-request errors are never retried — they are deterministic application
 // errors, not transport faults.
+//
+// With recovery enabled (EnableRecovery), call is also the restart-repair
+// funnel: before each attempt it rematerializes any stale creation-log
+// entries the batch reads (ensureIDs), and after each exchange it folds the
+// reply's instance epoch into the per-worker state (observeEpoch). A
+// detected restart marks the worker's log stale and grants a free replay
+// round — bounded by maxRecoveries so a crash-looping worker surfaces as
+// ErrWorkerRestarted rather than an endless replay loop. With recovery
+// disabled, a detected restart under a batch that did not fully succeed
+// fails fast with ErrWorkerRestarted: retrying against an empty symbol
+// table could only produce misleading "unknown object" noise.
 func (c *Coordinator) call(addr string, reqs []fedrpc.Request) ([]fedrpc.Response, error) {
 	attempts := c.retry.Attempts
 	if attempts < 1 || !RetryableBatch(reqs) {
 		attempts = 1
 	}
 	var lastErr error
+	recoveries := 0
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
 			if err := c.backoff(attempt); err != nil {
@@ -176,15 +202,64 @@ func (c *Coordinator) call(addr string, reqs []fedrpc.Request) ([]fedrpc.Respons
 			lastErr = err
 			continue
 		}
-		resps, err := cl.Call(reqs...)
-		if err == nil {
-			return resps, nil
+		if c.recovery {
+			transient, err := c.ensureIDs(addr, cl, neededIDs(reqs), true)
+			if err != nil {
+				if !transient {
+					return nil, err // ErrUnrecoverable or replay rejected
+				}
+				lastErr = err
+				continue
+			}
 		}
-		// Call tore the broken transport down; the next attempt redials
-		// through the cached client.
-		lastErr = err
+		resps, err := cl.Call(reqs...)
+		if err != nil {
+			// Call tore the broken transport down; the next attempt redials
+			// through the cached client.
+			lastErr = err
+			continue
+		}
+		if c.observeEpoch(addr, epochOf(resps)) {
+			if allOK(resps) {
+				// The batch fully succeeded on the fresh process — it read
+				// nothing that was lost (e.g. a READ/PUT-only batch, or a
+				// health ping). Accept it; the stale marks observeEpoch set
+				// will heal lazily on the next dependent operation.
+				c.recordBatch(addr, reqs, resps)
+				return resps, nil
+			}
+			if !c.recovery {
+				return nil, fmt.Errorf("federated: %s: %w (recovery disabled)", addr, ErrWorkerRestarted)
+			}
+			if !RetryableBatch(reqs) {
+				// An EXEC_UDF batch interrupted by a restart: side effects
+				// cannot be replayed, so the session must fail fast.
+				return nil, fmt.Errorf("federated: %s: EXEC_UDF batch interrupted by worker restart: %w",
+					addr, ErrUnrecoverable)
+			}
+			recoveries++
+			if recoveries > maxRecoveries {
+				return nil, fmt.Errorf("federated: %s: %w %d times during one operation (crash loop?)",
+					addr, ErrWorkerRestarted, recoveries)
+			}
+			lastErr = fmt.Errorf("federated: %s: %w", addr, ErrWorkerRestarted)
+			attempt-- // the replay round is free: it is repair, not a retry
+			continue
+		}
+		c.recordBatch(addr, reqs, resps)
+		return resps, nil
 	}
 	return nil, lastErr
+}
+
+// allOK reports whether every response in a reply succeeded.
+func allOK(resps []fedrpc.Response) bool {
+	for _, r := range resps {
+		if !r.OK {
+			return false
+		}
+	}
+	return true
 }
 
 // callOne issues a single request through the retry policy, converting a
@@ -198,6 +273,39 @@ func (c *Coordinator) callOne(addr string, req fedrpc.Request) (fedrpc.Response,
 		return resps[0], fmt.Errorf("federated: %s %s: %s", addr, req.Type, resps[0].Err)
 	}
 	return resps[0], nil
+}
+
+// Fetch retrieves one worker object by ID through the retry (and, when
+// enabled, recovery) path. A GET for an object whose creation log survived
+// a restart transparently replays the object first.
+func (c *Coordinator) Fetch(addr string, id int64) (fedrpc.Payload, error) {
+	resp, err := c.callOne(addr, fedrpc.Request{Type: fedrpc.Get, ID: id})
+	if err != nil {
+		return fedrpc.Payload{}, err
+	}
+	return resp.Data, nil
+}
+
+// ExecUDF invokes a registered UDF at one worker. UDF batches are never
+// retried (RetryableBatch) and their outputs are never replayed: on a
+// transport failure the original error surfaces unchanged, and any output
+// binding the interrupted call may have created at the worker is reclaimed
+// best-effort so the failed call leaks no worker objects.
+func (c *Coordinator) ExecUDF(addr string, call *fedrpc.UDFCall) (fedrpc.Payload, error) {
+	resp, err := c.callOne(addr, fedrpc.Request{Type: fedrpc.ExecUDF, UDF: call})
+	if err != nil {
+		if call.Output != 0 {
+			// rmvar of a never-bound ID is a no-op at the worker, so the
+			// sweep is safe whether or not the UDF ran before the fault.
+			if cl, cerr := c.Client(addr); cerr == nil {
+				_, _ = cl.Call(fedrpc.Request{Type: fedrpc.ExecInst, Inst: &fedrpc.Instruction{
+					Opcode: "rmvar", Inputs: []int64{call.Output},
+				}})
+			}
+		}
+		return fedrpc.Payload{}, err
+	}
+	return resp.Data, nil
 }
 
 // backoff waits before retry attempt a (1-based): Backoff doubled per extra
@@ -272,12 +380,14 @@ func (c *Coordinator) ClearAll() error {
 	return firstErr
 }
 
-// Close terminates all worker connections and cancels in-flight retry
-// backoffs. It is idempotent.
+// Close terminates all worker connections, cancels in-flight retry
+// backoffs, and joins the health prober if one is running. It is
+// idempotent. The prober join happens outside c.mu: the prober's probes go
+// through Client/call, which take c.mu themselves.
 func (c *Coordinator) Close() {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.closed {
+		c.mu.Unlock()
 		return
 	}
 	c.closed = true
@@ -286,6 +396,8 @@ func (c *Coordinator) Close() {
 		cl.Close()
 	}
 	c.clients = map[string]*fedrpc.Client{}
+	c.mu.Unlock()
+	c.healthWg.Wait()
 }
 
 // parallelCall issues, for each partition, the request batch produced by

@@ -1,0 +1,92 @@
+package federated
+
+import (
+	"fmt"
+	"time"
+
+	"exdra/internal/fedrpc"
+)
+
+// HealthPolicy configures the coordinator's periodic liveness probing.
+// Probing serves two purposes: dead workers are marked unhealthy
+// (WorkerHealth) before the next federated operation trips over them, and
+// — with recovery enabled — a worker that comes back restarted is detected
+// and proactively repaired between operations instead of on the critical
+// path of the next one.
+type HealthPolicy struct {
+	// Interval is the pause between probe rounds. Zero or negative
+	// disables probing (StartHealth becomes a no-op).
+	Interval time.Duration
+}
+
+// StartHealth launches the background health prober. Each round pings
+// every known worker (HEALTH request); the reply's instance epoch feeds
+// restart detection, and with recovery enabled a restarted-but-reachable
+// worker is repaired immediately. The prober stops when the coordinator is
+// closed — Close joins it. Starting twice, or on a closed coordinator, is
+// a no-op.
+func (c *Coordinator) StartHealth(p HealthPolicy) {
+	if p.Interval <= 0 {
+		return
+	}
+	c.mu.Lock()
+	if c.closed || c.probing {
+		c.mu.Unlock()
+		return
+	}
+	c.probing = true
+	c.healthWg.Add(1)
+	c.mu.Unlock()
+	go func() {
+		defer c.healthWg.Done()
+		t := time.NewTimer(p.Interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-c.done:
+				return
+			case <-t.C:
+			}
+			c.probeAll()
+			t.Reset(p.Interval)
+		}
+	}()
+}
+
+// probeAll pings every currently connected worker once, sequentially (a
+// probe round races nothing: operations hold their own retry loops, and
+// the per-client mutex serializes the wire).
+func (c *Coordinator) probeAll() {
+	c.mu.Lock()
+	addrs := make([]string, 0, len(c.clients))
+	for addr := range c.clients {
+		addrs = append(addrs, addr)
+	}
+	c.mu.Unlock()
+	for _, addr := range addrs {
+		if err := c.Ping(addr); err != nil {
+			continue // unreachable: marked unhealthy, next round retries
+		}
+		if c.recovery {
+			// Reachable again — if the epoch handshake (inside Ping's call
+			// path) just revealed a restart, rebuild its live objects now,
+			// off the critical path of the next operation.
+			_ = c.Repair(addr)
+		}
+	}
+}
+
+// Ping sends one HEALTH request to addr and records the outcome for
+// WorkerHealth. The reply's instance epoch feeds restart detection like
+// any other response.
+func (c *Coordinator) Ping(addr string) error {
+	c.statProbes.Add(1)
+	_, err := c.callOne(addr, fedrpc.Request{Type: fedrpc.Health})
+	if err != nil {
+		c.statProbeFail.Add(1)
+		c.setHealthy(addr, false)
+		return fmt.Errorf("federated: health probe of %s: %w", addr, err)
+	}
+	c.setHealthy(addr, true)
+	return nil
+}

@@ -1,0 +1,199 @@
+package federated
+
+import (
+	"errors"
+	"testing"
+
+	"exdra/internal/fedrpc"
+)
+
+func recCoord() *Coordinator {
+	c := NewCoordinator(fedrpc.Options{})
+	c.EnableRecovery(true)
+	return c
+}
+
+func okResps(n int) []fedrpc.Response {
+	out := make([]fedrpc.Response, n)
+	for i := range out {
+		out[i] = fedrpc.Response{OK: true, Epoch: 1}
+	}
+	return out
+}
+
+func TestRetryableBatchIncludesHealth(t *testing.T) {
+	if !RetryableBatch([]fedrpc.Request{{Type: fedrpc.Health}}) {
+		t.Fatal("HEALTH must be retryable: it reads and writes nothing")
+	}
+}
+
+// TestCreationLogLifecycle: successful batches populate the log, rmvar
+// marks entries dead, and dead entries without live dependents are
+// garbage-collected while dead dependencies of live objects are retained.
+func TestCreationLogLifecycle(t *testing.T) {
+	c := recCoord()
+	defer c.Close()
+	const addr = "w0"
+	reqs := []fedrpc.Request{
+		{Type: fedrpc.Put, ID: 1, Data: fedrpc.ScalarPayload(3)},
+		{Type: fedrpc.Put, ID: 2, Data: fedrpc.ScalarPayload(4)},
+		{Type: fedrpc.ExecInst, Inst: &fedrpc.Instruction{Opcode: "mm", Inputs: []int64{1, 2}, Output: 3}},
+		{Type: fedrpc.ExecInst, Inst: &fedrpc.Instruction{Opcode: "rmvar", Inputs: []int64{2}}},
+	}
+	c.recordBatch(addr, reqs, okResps(len(reqs)))
+	s := c.state(addr)
+	if len(s.records) != 3 {
+		t.Fatalf("log holds %d records, want 3 (dead broadcast retained for live dependent)", len(s.records))
+	}
+	if rec := s.records[2]; rec == nil || rec.live {
+		t.Fatal("rmvar'd broadcast should be recorded dead, not dropped: object 3 depends on it")
+	}
+	// Killing the dependent releases the dead dependency too.
+	c.recordBatch(addr, []fedrpc.Request{
+		{Type: fedrpc.ExecInst, Inst: &fedrpc.Instruction{Opcode: "rmvar", Inputs: []int64{3}}},
+	}, okResps(1))
+	if len(s.records) != 1 {
+		t.Fatalf("log holds %d records after dependent died, want only the live PUT", len(s.records))
+	}
+	if s.records[1] == nil {
+		t.Fatal("live PUT record was dropped")
+	}
+	// Failed requests must not enter the log.
+	c.recordBatch(addr, []fedrpc.Request{{Type: fedrpc.Put, ID: 9}}, []fedrpc.Response{{OK: false, Err: "boom"}})
+	if s.records[9] != nil {
+		t.Fatal("failed PUT entered the creation log")
+	}
+}
+
+// TestObserveEpoch: first contact records, same epoch is quiet, a changed
+// epoch marks every record stale and counts a restart.
+func TestObserveEpoch(t *testing.T) {
+	c := recCoord()
+	defer c.Close()
+	const addr = "w0"
+	c.recordBatch(addr, []fedrpc.Request{{Type: fedrpc.Put, ID: 1}}, okResps(1))
+	if c.observeEpoch(addr, 0) {
+		t.Fatal("unstamped responses must not signal a restart")
+	}
+	if c.observeEpoch(addr, 7) {
+		t.Fatal("first contact is not a restart")
+	}
+	if c.observeEpoch(addr, 7) {
+		t.Fatal("same epoch is not a restart")
+	}
+	if !c.observeEpoch(addr, 8) {
+		t.Fatal("epoch change under a known address must signal a restart")
+	}
+	s := c.state(addr)
+	if s.records[1].fresh {
+		t.Fatal("records must be marked stale on restart")
+	}
+	if got := c.Stats().RestartsDetected; got != 1 {
+		t.Fatalf("RestartsDetected = %d, want 1", got)
+	}
+}
+
+// TestPlanReplayTopologicalOrder: replay re-issues creations dependencies
+// first, includes stale dead dependencies of the needed object, and lists
+// them for the trailing rmvar.
+func TestPlanReplayTopologicalOrder(t *testing.T) {
+	c := recCoord()
+	defer c.Close()
+	const addr = "w0"
+	c.recordBatch(addr, []fedrpc.Request{
+		{Type: fedrpc.Put, ID: 1},
+		{Type: fedrpc.Put, ID: 2},
+		{Type: fedrpc.ExecInst, Inst: &fedrpc.Instruction{Opcode: "mm", Inputs: []int64{1, 2}, Output: 3}},
+		{Type: fedrpc.ExecInst, Inst: &fedrpc.Instruction{Opcode: "rmvar", Inputs: []int64{2}}},
+	}, okResps(4))
+	c.observeEpoch(addr, 7)
+	if !c.observeEpoch(addr, 8) {
+		t.Fatal("restart not detected")
+	}
+	s := c.state(addr)
+	plan, dead, err := c.planReplay(s, []int64{3}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan) != 3 {
+		t.Fatalf("plan has %d records, want 3 (both PUTs + mm)", len(plan))
+	}
+	if out := plan[len(plan)-1].req.Inst; out == nil || out.Output != 3 {
+		t.Fatal("dependent instruction must replay after its inputs")
+	}
+	if len(dead) != 1 || dead[0] != 2 {
+		t.Fatalf("dead temps to re-remove = %v, want [2]", dead)
+	}
+	// Fresh objects need no replay.
+	plan2, _, err := c.planReplay(s, []int64{99}, true)
+	if err != nil || len(plan2) != 0 {
+		t.Fatalf("untracked ID produced a plan: %v, %v", plan2, err)
+	}
+}
+
+// TestPlanReplayUnrecoverable: a needed EXEC_UDF-created object fails
+// strict planning with the typed error and is skipped by best-effort
+// repair planning.
+func TestPlanReplayUnrecoverable(t *testing.T) {
+	c := recCoord()
+	defer c.Close()
+	const addr = "w0"
+	c.recordBatch(addr, []fedrpc.Request{
+		{Type: fedrpc.ExecUDF, UDF: &fedrpc.UDFCall{Name: "mkstate", Output: 5}},
+	}, okResps(1))
+	c.observeEpoch(addr, 7)
+	c.observeEpoch(addr, 8)
+	s := c.state(addr)
+	_, _, err := c.planReplay(s, []int64{5}, true)
+	if !errors.Is(err, ErrUnrecoverable) {
+		t.Fatalf("strict plan over UDF state = %v, want ErrUnrecoverable", err)
+	}
+	plan, _, err := c.planReplay(s, []int64{5}, false)
+	if err != nil || len(plan) != 0 {
+		t.Fatalf("best-effort plan must skip UDF state, got %v, %v", plan, err)
+	}
+}
+
+// TestInstTraceDeterminism: the lineage trace of an instruction is stable
+// across map iteration order (attrs sorted) and distinguishes different
+// computations.
+func TestInstTraceDeterminism(t *testing.T) {
+	s := &workerState{records: map[int64]*creationRec{
+		1: {trace: "file#a.csv"},
+	}}
+	inst := func(attrs map[string]string) *fedrpc.Instruction {
+		return &fedrpc.Instruction{Opcode: "slice", Inputs: []int64{1}, Output: 2, Attrs: attrs}
+	}
+	a := instTrace(s, inst(map[string]string{"rows": "0:5", "cols": "1:2"}))
+	for i := 0; i < 16; i++ {
+		if b := instTrace(s, inst(map[string]string{"cols": "1:2", "rows": "0:5"})); b != a {
+			t.Fatalf("trace unstable across attr order: %q vs %q", a, b)
+		}
+	}
+	if b := instTrace(s, inst(map[string]string{"rows": "0:6", "cols": "1:2"})); b == a {
+		t.Fatal("different attrs produced the same trace")
+	}
+}
+
+// TestNeededIDs: GETs and instruction/UDF inputs require existence; rmvar
+// inputs and READ/PUT targets do not.
+func TestNeededIDs(t *testing.T) {
+	ids := neededIDs([]fedrpc.Request{
+		{Type: fedrpc.Read, ID: 1},
+		{Type: fedrpc.Put, ID: 2},
+		{Type: fedrpc.Get, ID: 3},
+		{Type: fedrpc.ExecInst, Inst: &fedrpc.Instruction{Opcode: "mm", Inputs: []int64{4, 5}, Output: 6}},
+		{Type: fedrpc.ExecInst, Inst: &fedrpc.Instruction{Opcode: "rmvar", Inputs: []int64{7}}},
+		{Type: fedrpc.ExecUDF, UDF: &fedrpc.UDFCall{Name: "f", Inputs: []int64{8}}},
+		{Type: fedrpc.Health},
+	})
+	want := []int64{3, 4, 5, 8}
+	if len(ids) != len(want) {
+		t.Fatalf("neededIDs = %v, want %v", ids, want)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("neededIDs = %v, want %v", ids, want)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"crypto/tls"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -12,6 +13,11 @@ import (
 
 	"exdra/internal/netem"
 )
+
+// ErrClosed marks operations on a client after Close. Unlike a broken
+// client — which transparently redials on the next Call — a closed client
+// stays closed for good; callers distinguish the two with errors.Is.
+var ErrClosed = errors.New("fedrpc: client closed")
 
 // Default liveness bounds. They are backstops against dead peers, not
 // pacing mechanisms, so they are generous: the WAN setting of the paper
@@ -133,7 +139,7 @@ func (c *Client) Call(reqs ...Request) ([]Response, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
-		return nil, fmt.Errorf("fedrpc: client to %s is closed", c.addr)
+		return nil, fmt.Errorf("fedrpc: call to %s: %w", c.addr, ErrClosed)
 	}
 	if c.conn == nil {
 		// Broken by an earlier transport failure: reconnect transparently.
@@ -195,7 +201,7 @@ func (c *Client) Redial() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
-		return fmt.Errorf("fedrpc: client to %s is closed", c.addr)
+		return fmt.Errorf("fedrpc: redial %s: %w", c.addr, ErrClosed)
 	}
 	c.teardownLocked()
 	return c.redialLocked()
@@ -238,13 +244,19 @@ func (c *Client) BytesSent() int64 { return c.bytesOut.Load() }
 func (c *Client) BytesReceived() int64 { return c.bytesIn.Load() }
 
 // Close terminates the connection. A closed client stays closed: unlike a
-// broken one, it does not reconnect on the next Call.
+// broken one, it does not reconnect on the next Call (which then returns an
+// error identifiable with errors.Is(err, ErrClosed)). Close is idempotent —
+// including after a transport failure left the client Broken — and releases
+// the underlying connection exactly once; repeated calls return nil.
 func (c *Client) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
 	c.closed = true
 	if c.conn == nil {
-		return nil
+		return nil // already broken: the transport died with the failure
 	}
 	err := c.conn.Close()
 	c.conn = nil

@@ -37,12 +37,19 @@ const (
 	ExecUDF
 	// Clear cleans up execution contexts and variables.
 	Clear
+	// Health is a lightweight liveness ping. It touches no symbol-table
+	// state; its only job is to elicit a response — and with it the
+	// worker's instance epoch, so a coordinator can tell "same address,
+	// new process" apart from a flaky connection (restart detection).
+	// Health extends the paper's six request types; it is the one
+	// addition the failure model of DESIGN.md §3.5 requires.
+	Health
 )
 
 // String returns the protocol name of the request type.
 func (t RequestType) String() string {
-	names := [...]string{"READ", "PUT", "GET", "EXEC_INST", "EXEC_UDF", "CLEAR"}
-	if int(t) < len(names) {
+	names := [...]string{"READ", "PUT", "GET", "EXEC_INST", "EXEC_UDF", "CLEAR", "HEALTH"}
+	if int(t) >= 0 && int(t) < len(names) {
 		return names[t]
 	}
 	return fmt.Sprintf("RequestType(%d)", int(t))
@@ -90,6 +97,13 @@ type Response struct {
 	OK   bool
 	Err  string
 	Data Payload // GET and EXEC_UDF results
+	// Epoch is the responding worker process's instance epoch: a random
+	// nonzero value generated once at process startup and stamped on every
+	// response. A coordinator that sees the epoch change under a known
+	// address knows the worker process restarted — its symbol table is
+	// empty — as opposed to a mere transport failure. Zero means the
+	// handler does not stamp epochs.
+	Epoch uint64
 }
 
 // Errorf builds a failed response.

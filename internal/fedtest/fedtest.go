@@ -35,6 +35,12 @@ type Config struct {
 	// Retry configures the coordinator's retry policy; the zero value
 	// keeps retries off (fail fast).
 	Retry federated.RetryPolicy
+	// Recover enables the coordinator's creation log and lineage replay,
+	// so RestartWorker mid-run is survivable (pair with Retry).
+	Recover bool
+	// Health starts the coordinator's periodic liveness probing when
+	// Interval > 0.
+	Health federated.HealthPolicy
 }
 
 // Cluster is a running in-process federation.
@@ -43,6 +49,9 @@ type Cluster struct {
 	Servers []*fedrpc.Server
 	Addrs   []string
 	Coord   *federated.Coordinator
+
+	serverOpts fedrpc.Options
+	baseDirs   []string // per worker, padded to len(Workers)
 }
 
 // Start launches the federation.
@@ -63,7 +72,7 @@ func Start(cfg Config) (*Cluster, error) {
 		serverOpts.TLS = srvTLS
 		clientOpts.TLS = cliTLS
 	}
-	cl := &Cluster{}
+	cl := &Cluster{serverOpts: serverOpts}
 	for i := 0; i < n; i++ {
 		dir := ""
 		if i < len(cfg.BaseDirs) {
@@ -78,12 +87,37 @@ func Start(cfg Config) (*Cluster, error) {
 		cl.Workers = append(cl.Workers, w)
 		cl.Servers = append(cl.Servers, srv)
 		cl.Addrs = append(cl.Addrs, srv.Addr())
+		cl.baseDirs = append(cl.baseDirs, dir)
 	}
 	cl.Coord = federated.NewCoordinator(clientOpts)
 	if cfg.Retry != (federated.RetryPolicy{}) {
 		cl.Coord.SetRetryPolicy(cfg.Retry)
 	}
+	cl.Coord.EnableRecovery(cfg.Recover)
+	cl.Coord.StartHealth(cfg.Health)
 	return cl, nil
+}
+
+// RestartWorker kills worker i and brings up a brand-new worker process
+// state on the same port: the replacement has a fresh instance epoch and
+// an empty symbol table, exactly like a crashed-and-restarted site. The
+// coordinator's standing connection dies with the old server and is only
+// discovered broken on its next use — again like production. Go listeners
+// bind with SO_REUSEADDR, so rebinding the just-freed port needs no wait.
+func (c *Cluster) RestartWorker(i int) error {
+	if i < 0 || i >= len(c.Servers) {
+		return fmt.Errorf("fedtest: restart worker %d: no such worker", i)
+	}
+	addr := c.Addrs[i]
+	c.Servers[i].Close()
+	w := worker.New(c.baseDirs[i])
+	srv, err := fedrpc.Serve(addr, w, c.serverOpts)
+	if err != nil {
+		return fmt.Errorf("fedtest: restart worker %d on %s: %w", i, addr, err)
+	}
+	c.Workers[i] = w
+	c.Servers[i] = srv
+	return nil
 }
 
 // Close shuts down the coordinator and all workers.

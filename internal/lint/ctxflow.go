@@ -1,0 +1,126 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxFlowAnalyzer enforces context propagation: a function that receives a
+// context.Context parameter must let it flow onward. Two defects are
+// reported (the ROADMAP's ctxflow item):
+//
+//   - a named ctx parameter that the body never mentions — the caller's
+//     cancellation and deadline silently stop at this frame, which in the
+//     federated path means a coordinator timeout never reaches the worker
+//     UDF it is supposed to bound;
+//   - a context.Background()/context.TODO() call inside such a function —
+//     minting a fresh root instead of deriving from the parameter severs
+//     the chain just as thoroughly while looking plumbed.
+//
+// A parameter named _ is an explicit, visible discard and is exempt (the
+// signature-compatibility idiom). Deliberate roots in ctx-taking functions
+// use //lint:ignore ctxflow <reason>.
+func CtxFlowAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "ctxflow",
+		Doc:  "a context.Context parameter must propagate, not be dropped or replaced by a fresh root",
+		Run: func(pass *Pass) {
+			for _, file := range pass.Pkg.Files {
+				for _, decl := range file.Decls {
+					fd, ok := decl.(*ast.FuncDecl)
+					if !ok || fd.Body == nil || fd.Type.Params == nil {
+						continue
+					}
+					checkCtxFlow(pass, fd)
+				}
+			}
+		},
+	}
+}
+
+func checkCtxFlow(pass *Pass, fd *ast.FuncDecl) {
+	var ctxParams []*ast.Ident
+	for _, field := range fd.Type.Params.List {
+		if !isContextType(pass, field.Type) {
+			continue
+		}
+		for _, name := range field.Names {
+			if name.Name == "_" {
+				continue // explicit discard, visible in the signature
+			}
+			ctxParams = append(ctxParams, name)
+		}
+	}
+	if len(ctxParams) == 0 {
+		return
+	}
+	// One walk serves both checks: mark every object the body mentions and
+	// flag fresh context roots. Nested function literals count as uses and
+	// are checked with the enclosing function's parameters — a ctx captured
+	// by a goroutine closure has propagated.
+	used := map[types.Object]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.Ident:
+			if pass.Pkg.Info != nil {
+				if obj := pass.Pkg.Info.Uses[e]; obj != nil {
+					used[obj] = true
+				}
+			}
+		case *ast.CallExpr:
+			if name, ok := contextRootCall(pass, e); ok {
+				pass.Reportf(e.Pos(),
+					"context.%s() inside %s, which already receives a context parameter: deriving from a fresh root severs the caller's cancellation; propagate the parameter instead",
+					name, fd.Name.Name)
+			}
+		}
+		return true
+	})
+	if pass.Pkg.Info == nil {
+		return
+	}
+	for _, p := range ctxParams {
+		if def := pass.Pkg.Info.Defs[p]; def != nil && !used[def] {
+			pass.Reportf(p.Pos(),
+				"context parameter %s of %s is dropped: cancellation and deadlines stop here instead of reaching the downstream call (e.g. the worker UDF)",
+				p.Name, fd.Name.Name)
+		}
+	}
+}
+
+// isContextType reports whether the expression denotes context.Context,
+// resolved through the type checker (alias- and rename-proof) with an AST
+// fallback for partially checked fixtures.
+func isContextType(pass *Pass, expr ast.Expr) bool {
+	if t := pass.Pkg.TypeOf(expr); t != nil {
+		if named, ok := t.(*types.Named); ok {
+			obj := named.Obj()
+			return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+		}
+	}
+	sel, ok := ast.Unparen(expr).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Context" {
+		return false
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	return ok && id.Name == "context"
+}
+
+// contextRootCall reports whether the call mints a fresh context root —
+// context.Background() or context.TODO() from the standard context package
+// (package identifier resolved, not name-matched).
+func contextRootCall(pass *Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Background" && sel.Sel.Name != "TODO") {
+		return "", false
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok || pass.Pkg.Info == nil {
+		return "", false
+	}
+	pn, ok := pass.Pkg.Info.Uses[id].(*types.PkgName)
+	if !ok || pn.Imported().Path() != "context" {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}

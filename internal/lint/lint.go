@@ -154,6 +154,7 @@ func DefaultAnalyzers() []*Analyzer {
 		GobErrAnalyzer(),
 		GoroLeakAnalyzer(),
 		SleepCancelAnalyzer(),
+		CtxFlowAnalyzer(),
 	}
 }
 

@@ -130,6 +130,10 @@ func TestSleepCancelFixture(t *testing.T) {
 	checkFixture(t, "sleeptd", SleepCancelAnalyzer())
 }
 
+func TestCtxFlowFixture(t *testing.T) {
+	checkFixture(t, "ctxflowtd", CtxFlowAnalyzer())
+}
+
 func TestSleepCancelExemptsPackageMain(t *testing.T) {
 	pkg, err := fixtureLoader(t).LoadDir(filepath.Join("testdata", "sleepmain"), "fixture/sleepmain")
 	if err != nil {

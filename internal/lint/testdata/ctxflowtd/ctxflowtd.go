@@ -1,0 +1,65 @@
+// Package ctxflowtd is a ctxflow rule fixture.
+package ctxflowtd
+
+import "context"
+
+func work(ctx context.Context) error {
+	<-ctx.Done()
+	return ctx.Err()
+}
+
+// dropsContext never mentions its ctx: the caller's cancellation dies here.
+func dropsContext(ctx context.Context, n int) int { // want ctxflow
+	return n * 2
+}
+
+// propagates hands the ctx to the downstream call — the happy path.
+func propagates(ctx context.Context) error {
+	return work(ctx)
+}
+
+// derives builds a child context; deriving counts as propagation.
+func derives(ctx context.Context) error {
+	child, cancel := context.WithCancel(ctx)
+	defer cancel()
+	return work(child)
+}
+
+// capturedByClosure propagates through a goroutine closure.
+func capturedByClosure(ctx context.Context) error {
+	errc := make(chan error, 1)
+	go func() { errc <- work(ctx) }()
+	return <-errc
+}
+
+// blankDiscard declares the drop in its signature: exempt.
+func blankDiscard(_ context.Context, n int) int {
+	return n + 1
+}
+
+// mintsRoot uses its parameter but still severs the chain for the
+// downstream call with a fresh root.
+func mintsRoot(ctx context.Context) error {
+	if ctx.Err() != nil {
+		return ctx.Err()
+	}
+	return work(context.Background()) // want ctxflow
+}
+
+// mintsTODO is the same defect spelled TODO.
+func mintsTODO(ctx context.Context) error {
+	_ = ctx.Err()
+	return work(context.TODO()) // want ctxflow
+}
+
+// noParamRootIsFine: without a ctx parameter there is nothing to sever.
+func noParamRootIsFine() error {
+	return work(context.Background())
+}
+
+// suppressed documents a deliberate detach.
+func suppressed(ctx context.Context) error {
+	_ = ctx.Err()
+	//lint:ignore ctxflow cleanup must outlive the request on purpose
+	return work(context.Background())
+}

@@ -6,11 +6,14 @@
 package worker
 
 import (
+	"crypto/rand"
+	"encoding/binary"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 	"sync"
+	"time"
 
 	"exdra/internal/fedrpc"
 	"exdra/internal/frame"
@@ -67,6 +70,14 @@ func (e *Entry) describe() string {
 type Worker struct {
 	baseDir string
 
+	// epoch is this worker instance's identity: a random nonzero value
+	// generated at construction and stamped on every response. Two Worker
+	// values never share an epoch, so a coordinator seeing the epoch
+	// change under one address knows the process (and with it the symbol
+	// table) was replaced — the restart-detection handshake of the
+	// failure model.
+	epoch uint64
+
 	mu     sync.RWMutex
 	symtab map[int64]*Entry
 
@@ -84,10 +95,32 @@ type Worker struct {
 func New(baseDir string) *Worker {
 	return &Worker{
 		baseDir: baseDir,
+		epoch:   newEpoch(),
 		symtab:  map[int64]*Entry{},
 		Lineage: lineage.NewCache(256),
 	}
 }
+
+// newEpoch draws a random nonzero instance epoch. Randomness (rather than,
+// say, a start timestamp alone) makes collisions between successive
+// processes on the same port vanishingly unlikely even under clock
+// adjustments or rapid crash loops.
+func newEpoch() uint64 {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// Degraded entropy: a start-time epoch still distinguishes any two
+		// processes not born in the same nanosecond.
+		return uint64(time.Now().UnixNano()) | 1
+	}
+	e := binary.LittleEndian.Uint64(b[:])
+	if e == 0 {
+		e = 1
+	}
+	return e
+}
+
+// Epoch returns the worker's instance epoch.
+func (w *Worker) Epoch() uint64 { return w.epoch }
 
 // Get returns the entry bound to id.
 func (w *Worker) Get(id int64) (*Entry, error) {
@@ -190,6 +223,9 @@ func (w *Worker) Handle(reqs []fedrpc.Request) []fedrpc.Response {
 	resps := make([]fedrpc.Response, len(reqs))
 	for i, req := range reqs {
 		resps[i] = w.handleOne(req)
+		// Every response — success or failure — carries the instance
+		// epoch, so restart detection needs no extra round trip.
+		resps[i].Epoch = w.epoch
 	}
 	return resps
 }
@@ -210,6 +246,10 @@ func (w *Worker) handleOne(req fedrpc.Request) fedrpc.Response {
 		w.mu.Lock()
 		w.symtab = map[int64]*Entry{}
 		w.mu.Unlock()
+		return fedrpc.Response{OK: true}
+	case fedrpc.Health:
+		// A pure liveness ping: no symbol-table access, no payload. The
+		// epoch stamped by Handle is the entire answer.
 		return fedrpc.Response{OK: true}
 	default:
 		return fedrpc.Errorf("unknown request type %d", req.Type)
