@@ -11,7 +11,12 @@
 #                      retry, and worker-restart/replay interleavings are
 #                      exactly where data races hide, so these never run
 #                      from cache (the pattern also covers the restart and
-#                      health-probing suites: Restart|Health|Epoch|...).
+#                      health-probing suites: Restart|Health|Epoch|...);
+#   6. obs tests     — the observability suites (metrics registry, RPC
+#                      spans, concurrent Stats/snapshot reads) re-run
+#                      uncached under -race for the same reason;
+#   7. /metrics smoke — a real fedworker process is spawned with
+#                      -metrics-addr and its endpoint is scraped once.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -22,3 +27,27 @@ go test -race ./...
 go test -race -count=1 \
   -run 'Reset|Retry|Redial|Fault|Fail|Stall|Drop|Broken|Timeout|Restart|Health|Epoch|Recover|Replay|Closed|Unrecover|CreationLog' \
   ./internal/netem/ ./internal/fedrpc/ ./internal/federated/ ./internal/fedtest/ ./internal/worker/
+go test -race -count=1 \
+  -run 'Metrics|Span|Histogram|Snapshot|Slow|Instrument|Stats|Breakdown' \
+  ./internal/obs/ ./internal/fedrpc/ ./internal/fedtest/ ./internal/engine/ ./internal/bench/
+
+# /metrics smoke test: boot a real worker with the endpoint enabled, scrape
+# it, and check the process gauges are served.
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+go build -o "$tmp/fedworker" ./cmd/fedworker
+"$tmp/fedworker" -addr 127.0.0.1:0 -data "$tmp" -metrics-addr 127.0.0.1:0 >"$tmp/log" 2>&1 &
+worker_pid=$!
+trap 'kill "$worker_pid" 2>/dev/null || true; rm -rf "$tmp"' EXIT
+metrics_url=""
+for _ in $(seq 1 50); do
+  metrics_url="$(sed -n 's#^fedworker: metrics on \(http://.*/metrics\)$#\1#p' "$tmp/log")"
+  [ -n "$metrics_url" ] && break
+  sleep 0.1
+done
+[ -n "$metrics_url" ] || { echo "ci.sh: fedworker never announced its metrics endpoint" >&2; cat "$tmp/log" >&2; exit 1; }
+scrape="$(curl -fsS "$metrics_url")" || { echo "ci.sh: scraping $metrics_url failed" >&2; exit 1; }
+echo "$scrape" | grep -q 'process.uptime_seconds' || { echo "ci.sh: /metrics is missing process.uptime_seconds" >&2; exit 1; }
+echo "$scrape" | grep -q 'process.goroutines' || { echo "ci.sh: /metrics is missing process.goroutines" >&2; exit 1; }
+kill "$worker_pid"
+echo "ci.sh: /metrics smoke test passed ($metrics_url)"

@@ -23,11 +23,13 @@ import (
 
 	"exdra/internal/bench"
 	"exdra/internal/data"
+	"exdra/internal/engine"
 	"exdra/internal/expdb"
 	"exdra/internal/federated"
 	"exdra/internal/fedrpc"
 	"exdra/internal/fedtest"
 	"exdra/internal/netem"
+	"exdra/internal/obs"
 	"exdra/internal/pipeline"
 	"exdra/internal/privacy"
 
@@ -179,7 +181,22 @@ func runP2(args []string) {
 		"enable restart recovery: log object creations and replay them when a worker comes back with a new instance epoch")
 	healthInterval := fs.Duration("health-interval", 0,
 		"probe worker liveness every interval (0 = no probing); with -recover, restarted workers are repaired proactively")
+	metricsAddr := fs.String("metrics-addr", "",
+		"serve /metrics and /debug/pprof on this address (e.g. 127.0.0.1:9091; empty disables)")
+	slowRPC := fs.Duration("slow-rpc", 0,
+		"log every RPC slower than this threshold with its phase breakdown (0 disables)")
 	fs.Parse(args)
+
+	if *metricsAddr != "" {
+		ms, err := obs.Serve(*metricsAddr, obs.Default())
+		if err != nil {
+			log.Fatalf("exdra: metrics endpoint: %v", err)
+		}
+		defer ms.Close()
+		engine.SetInstrumentation(engine.OpTimer(obs.Default(), "engine.op_seconds."))
+		defer engine.SetInstrumentation(nil)
+		fmt.Printf("exdra: metrics on http://%s/metrics\n", ms.Addr())
+	}
 
 	retry := federated.RetryPolicy{}
 	if *retries > 0 {
@@ -220,6 +237,7 @@ func runP2(args []string) {
 		cl, err := fedtest.Start(fedtest.Config{
 			Workers: *spawn, Faults: faults, Retry: retry,
 			Recover: *recoverFlag, Health: federated.HealthPolicy{Interval: *healthInterval},
+			SlowRPC: *slowRPC,
 		})
 		if err != nil {
 			log.Fatalf("exdra: spawn workers: %v", err)
@@ -242,7 +260,7 @@ func runP2(args []string) {
 		logRecoveryStats(cl.Coord, *recoverFlag, *healthInterval)
 	case *workersFlag != "":
 		addrs := strings.Split(*workersFlag, ",")
-		coord := federated.NewCoordinator(fedrpc.Options{})
+		coord := federated.NewCoordinator(fedrpc.Options{SlowRPC: *slowRPC})
 		defer coord.Close()
 		if retry.Attempts > 0 {
 			coord.SetRetryPolicy(retry)

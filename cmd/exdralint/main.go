@@ -8,6 +8,7 @@
 //	goroleak     go func literals in libraries must be joined
 //	sleepcancel  library waits must be cancellable (no bare time.Sleep)
 //	ctxflow      a received context.Context must propagate, not be dropped
+//	obsreg       constant obs histogram names registered at one call site
 //
 // Usage:
 //

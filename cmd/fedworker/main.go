@@ -25,6 +25,7 @@ import (
 
 	"exdra/internal/fedrpc"
 	"exdra/internal/netem"
+	"exdra/internal/obs"
 	"exdra/internal/worker"
 
 	// Register the parameter-server UDFs so this worker can serve
@@ -47,6 +48,8 @@ func main() {
 	faultResetAfter := flag.Int64("fault-reset-after", 16<<10,
 		"written-byte threshold that triggers an injected reset")
 	faultSeed := flag.Int64("fault-seed", 1, "seed of the deterministic fault schedule")
+	metricsAddr := flag.String("metrics-addr", "",
+		"serve /metrics and /debug/pprof on this address (e.g. 127.0.0.1:9090; empty disables)")
 	flag.Parse()
 
 	opts := fedrpc.Options{IOTimeout: *ioTimeout, IdleTimeout: *idleTimeout}
@@ -78,6 +81,14 @@ func main() {
 	// correlate coordinator-side restart detections with worker logs.
 	fmt.Printf("fedworker: instance epoch %#016x\n", w.Epoch())
 	fmt.Printf("fedworker: registered UDFs: %v\n", worker.RegisteredUDFs())
+	if *metricsAddr != "" {
+		ms, err := obs.Serve(*metricsAddr, obs.Default())
+		if err != nil {
+			log.Fatalf("fedworker: metrics endpoint: %v", err)
+		}
+		defer ms.Close()
+		fmt.Printf("fedworker: metrics on http://%s/metrics\n", ms.Addr())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -1,0 +1,40 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFederatedRunEmitsRPCBreakdown verifies a federated run's measurement
+// carries the observability-registry delta: RPC call counts, per-type
+// counts, and the summed phase seconds, alongside mb_sent.
+func TestFederatedRunEmitsRPCBreakdown(t *testing.T) {
+	w := NewWorkloads(tinyScale())
+	env := Env{Mode: FedLAN, Workers: 2}
+	cl, err := env.Cluster()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	m, err := w.RunAlgorithm("lm", env, cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Extra["rpc_calls"] <= 0 {
+		t.Fatalf("rpc_calls missing from breakdown: %v", m.Extra)
+	}
+	if m.Extra["rpc_exec_inst"] <= 0 {
+		t.Fatalf("per-type count missing from breakdown: %v", m.Extra)
+	}
+	for _, col := range []string{"enc_s", "net_s", "exec_s", "dec_s"} {
+		if _, ok := m.Extra[col]; !ok {
+			t.Fatalf("phase column %s missing from breakdown: %v", col, m.Extra)
+		}
+	}
+	row := m.Row()
+	for _, want := range []string{"rpc_calls=", "rpc_exec_inst=", "enc_s="} {
+		if !strings.Contains(row, want) {
+			t.Fatalf("rendered row missing %q: %s", want, row)
+		}
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"exdra/internal/fedtest"
 	"exdra/internal/matrix"
 	"exdra/internal/nn"
+	"exdra/internal/obs"
 	"exdra/internal/paramserv"
 	"exdra/internal/pipeline"
 	"exdra/internal/privacy"
@@ -86,6 +87,7 @@ func (w *Workloads) RunAlgorithm(name string, env Env, cl *fedtest.Cluster) (Mea
 	}
 	m := Measurement{Experiment: "fig5", Algorithm: name, Mode: env.Mode,
 		Workers: env.Workers, Extra: map[string]float64{}}
+	obsBase := obs.Default().Snapshot()
 	start := time.Now()
 	var err error
 	switch name {
@@ -136,6 +138,7 @@ func (w *Workloads) RunAlgorithm(name string, env Env, cl *fedtest.Cluster) (Mea
 		// Communication during training only (the pre-distribution of the
 		// synthetic data stands in for pre-existing federated files).
 		m.Extra["mb_sent"] = float64(cl.Coord.BytesSent()-baseBytes) / 1e6
+		foldObsDelta(&m, obsBase)
 	}
 	return m, nil
 }
@@ -225,9 +228,11 @@ func (w *Workloads) RunPipeline(trainAlgo string, env Env, cl *fedtest.Cluster) 
 			return Measurement{}, derr
 		}
 		defer cl.Coord.ClearAll()
+		obsBase := obs.Default().Snapshot()
 		start := time.Now()
 		res, err = pipeline.RunP2Federated(ff, y, fr.Names(), cfg)
 		m.Elapsed = time.Since(start)
+		foldObsDelta(&m, obsBase)
 	}
 	if err != nil {
 		return Measurement{}, err

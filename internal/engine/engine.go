@@ -105,6 +105,9 @@ func Free(ms ...Mat) {
 // is consolidated per §4.2 ("some of them are consolidated in the
 // coordinator").
 func MatMul(a, b Mat) Mat {
+	if done := timeOp("mm"); done != nil {
+		defer done()
+	}
 	switch x := a.(type) {
 	case *matrix.Dense:
 		return x.MatMul(Local(b))
@@ -128,6 +131,9 @@ func MatMul(a, b Mat) Mat {
 // with a local right uses sliced broadcasts (the vector-matrix pattern of
 // Example 2).
 func TMatMul(a, b Mat) Mat {
+	if done := timeOp("tmm"); done != nil {
+		defer done()
+	}
 	switch x := a.(type) {
 	case *matrix.Dense:
 		return x.Transpose().MatMul(Local(b))
@@ -144,6 +150,9 @@ func TMatMul(a, b Mat) Mat {
 
 // TSMM computes t(x) %*% x (always a local cols x cols aggregate).
 func TSMM(x Mat) *matrix.Dense {
+	if done := timeOp("tsmm"); done != nil {
+		defer done()
+	}
 	switch m := x.(type) {
 	case *matrix.Dense:
 		return m.TSMM()
@@ -157,6 +166,9 @@ func TSMM(x Mat) *matrix.Dense {
 
 // MMChain computes t(x) %*% (w * (x %*% v)) fused (w may be nil).
 func MMChain(x Mat, v, w *matrix.Dense) *matrix.Dense {
+	if done := timeOp("mmchain"); done != nil {
+		defer done()
+	}
 	switch m := x.(type) {
 	case *matrix.Dense:
 		return m.MMChain(v, w)
@@ -170,6 +182,9 @@ func MMChain(x Mat, v, w *matrix.Dense) *matrix.Dense {
 
 // Transpose computes t(a).
 func Transpose(a Mat) Mat {
+	if done := timeOp("t"); done != nil {
+		defer done()
+	}
 	switch m := a.(type) {
 	case *matrix.Dense:
 		return m.Transpose()
@@ -185,6 +200,9 @@ func Transpose(a Mat) Mat {
 // combination of local and federated operands is supported; fed-fed inputs
 // must be aligned or the second is consolidated (per §4.2).
 func Binary(op matrix.BinaryOp, a, b Mat) Mat {
+	if done := timeOp("binary"); done != nil {
+		defer done()
+	}
 	switch x := a.(type) {
 	case *matrix.Dense:
 		if fb, ok := b.(*federated.Matrix); ok {
@@ -206,6 +224,9 @@ func Binary(op matrix.BinaryOp, a, b Mat) Mat {
 // BinaryScalar applies an element-wise operation against a scalar; swap
 // makes the scalar the left operand.
 func BinaryScalar(op matrix.BinaryOp, a Mat, s float64, swap bool) Mat {
+	if done := timeOp("binary_scalar"); done != nil {
+		defer done()
+	}
 	switch x := a.(type) {
 	case *matrix.Dense:
 		return x.BinaryScalar(op, s, swap)
@@ -219,6 +240,9 @@ func BinaryScalar(op matrix.BinaryOp, a Mat, s float64, swap bool) Mat {
 
 // Unary applies an element-wise unary operation.
 func Unary(op matrix.UnaryOp, a Mat) Mat {
+	if done := timeOp("unary"); done != nil {
+		defer done()
+	}
 	switch x := a.(type) {
 	case *matrix.Dense:
 		return x.Unary(op)
@@ -232,6 +256,9 @@ func Unary(op matrix.UnaryOp, a Mat) Mat {
 
 // Softmax applies row-wise softmax.
 func Softmax(a Mat) Mat {
+	if done := timeOp("softmax"); done != nil {
+		defer done()
+	}
 	switch x := a.(type) {
 	case *matrix.Dense:
 		return x.Softmax()
@@ -245,6 +272,9 @@ func Softmax(a Mat) Mat {
 
 // Agg computes a full aggregate.
 func Agg(op matrix.AggOp, a Mat) float64 {
+	if done := timeOp("agg"); done != nil {
+		defer done()
+	}
 	switch x := a.(type) {
 	case *matrix.Dense:
 		return x.Agg(op)
@@ -261,6 +291,9 @@ func Sum(a Mat) float64 { return Agg(matrix.AggSum, a) }
 
 // RowAgg computes per-row aggregates (stays federated on row partitions).
 func RowAgg(op matrix.AggOp, a Mat) Mat {
+	if done := timeOp("row_agg"); done != nil {
+		defer done()
+	}
 	switch x := a.(type) {
 	case *matrix.Dense:
 		return x.RowAgg(op)
@@ -282,6 +315,9 @@ func RowAgg(op matrix.AggOp, a Mat) Mat {
 // ColAgg computes per-column aggregates as a local 1 x cols vector for
 // row-partitioned (and local) inputs.
 func ColAgg(op matrix.AggOp, a Mat) Mat {
+	if done := timeOp("col_agg"); done != nil {
+		defer done()
+	}
 	switch x := a.(type) {
 	case *matrix.Dense:
 		return x.ColAgg(op)
@@ -302,6 +338,9 @@ func ColAgg(op matrix.AggOp, a Mat) Mat {
 
 // RowIndexMax returns the 1-based argmax column per row.
 func RowIndexMax(a Mat) Mat {
+	if done := timeOp("row_index_max"); done != nil {
+		defer done()
+	}
 	switch x := a.(type) {
 	case *matrix.Dense:
 		return x.RowIndexMax()
@@ -315,6 +354,9 @@ func RowIndexMax(a Mat) Mat {
 
 // Slice extracts [rowBeg:rowEnd, colBeg:colEnd).
 func Slice(a Mat, rowBeg, rowEnd, colBeg, colEnd int) Mat {
+	if done := timeOp("slice"); done != nil {
+		defer done()
+	}
 	switch x := a.(type) {
 	case *matrix.Dense:
 		return x.Slice(rowBeg, rowEnd, colBeg, colEnd)
@@ -328,6 +370,9 @@ func Slice(a Mat, rowBeg, rowEnd, colBeg, colEnd int) Mat {
 
 // Replace substitutes pattern cells.
 func Replace(a Mat, pattern, repl float64) Mat {
+	if done := timeOp("replace"); done != nil {
+		defer done()
+	}
 	switch x := a.(type) {
 	case *matrix.Dense:
 		return x.Replace(pattern, repl)

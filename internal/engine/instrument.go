@@ -1,0 +1,44 @@
+package engine
+
+import (
+	"sync/atomic"
+	"time"
+
+	"exdra/internal/obs"
+)
+
+// instrument holds the active per-operation timing hook. It is nil by
+// default: scripts pay one atomic load per operation and nothing else.
+var instrument atomic.Pointer[func(op string, d time.Duration)]
+
+// SetInstrumentation installs f as the engine's per-operation timing hook;
+// every engine operation (mm, tsmm, binary, agg, ...) reports its opcode
+// and wall time to f on completion. Pass nil to turn instrumentation off.
+// The hook must be safe for concurrent use.
+func SetInstrumentation(f func(op string, d time.Duration)) {
+	if f == nil {
+		instrument.Store(nil)
+		return
+	}
+	instrument.Store(&f)
+}
+
+// OpTimer builds an instrumentation hook that observes each operation into
+// reg as a latency histogram named prefix+op (the binaries use it with
+// prefix "engine.op_seconds." when -metrics-addr is set).
+func OpTimer(reg *obs.Registry, prefix string) func(op string, d time.Duration) {
+	return func(op string, d time.Duration) {
+		reg.Histogram(prefix+op, obs.LatencyBuckets).Observe(d.Seconds())
+	}
+}
+
+// timeOp starts timing one operation, returning the completion callback —
+// or nil when instrumentation is off, so callers skip the defer entirely.
+func timeOp(op string) func() {
+	f := instrument.Load()
+	if f == nil {
+		return nil
+	}
+	start := time.Now()
+	return func() { (*f)(op, time.Since(start)) }
+}

@@ -1,6 +1,7 @@
 package federated
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -8,6 +9,7 @@ import (
 	"time"
 
 	"exdra/internal/fedrpc"
+	"exdra/internal/obs"
 )
 
 // RetryPolicy controls how the coordinator handles transport failures of
@@ -89,6 +91,11 @@ type Coordinator struct {
 
 	statRestarts, statReplayed, statReplayFail atomic.Int64
 	statProbes, statProbeFail                  atomic.Int64
+
+	// reg mirrors the recovery/health counters and the retry funnel into
+	// the observability registry (fed.* metrics), alongside the RPC-level
+	// metrics the clients report themselves.
+	reg *obs.Registry
 }
 
 // NewCoordinator creates a coordinator; opts configure TLS and network
@@ -102,6 +109,10 @@ func NewCoordinator(opts fedrpc.Options) *Coordinator {
 		states:  map[string]*workerState{},
 		done:    make(chan struct{}),
 		rng:     rand.New(rand.NewSource(0)),
+		reg:     opts.Metrics,
+	}
+	if c.reg == nil {
+		c.reg = obs.Default()
 	}
 	c.nextID.Store(1)
 	return c
@@ -185,6 +196,13 @@ func (c *Coordinator) Client(addr string) (*fedrpc.Client, error) {
 // fails fast with ErrWorkerRestarted: retrying against an empty symbol
 // table could only produce misleading "unknown object" noise.
 func (c *Coordinator) call(addr string, reqs []fedrpc.Request) ([]fedrpc.Response, error) {
+	return c.callCtx(context.Background(), addr, reqs)
+}
+
+// callCtx is call with trace metadata: the context's obs span/op labels
+// flow through the RPC client into the span ring, and the retry funnel's
+// own events (retries, transport errors) are counted in the registry.
+func (c *Coordinator) callCtx(ctx context.Context, addr string, reqs []fedrpc.Request) ([]fedrpc.Response, error) {
 	attempts := c.retry.Attempts
 	if attempts < 1 || !RetryableBatch(reqs) {
 		attempts = 1
@@ -193,12 +211,14 @@ func (c *Coordinator) call(addr string, reqs []fedrpc.Request) ([]fedrpc.Respons
 	recoveries := 0
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
+			c.reg.Counter("fed.retries").Inc()
 			if err := c.backoff(attempt); err != nil {
 				return nil, err
 			}
 		}
 		cl, err := c.Client(addr)
 		if err != nil {
+			c.reg.Counter("fed.transport_errors").Inc()
 			lastErr = err
 			continue
 		}
@@ -212,10 +232,11 @@ func (c *Coordinator) call(addr string, reqs []fedrpc.Request) ([]fedrpc.Respons
 				continue
 			}
 		}
-		resps, err := cl.Call(reqs...)
+		resps, err := cl.CallCtx(ctx, reqs...)
 		if err != nil {
 			// Call tore the broken transport down; the next attempt redials
 			// through the cached client.
+			c.reg.Counter("fed.transport_errors").Inc()
 			lastErr = err
 			continue
 		}
@@ -419,7 +440,7 @@ func (c *Coordinator) parallelCall(parts []Partition, build func(i int, p Partit
 	for i, p := range parts {
 		jobs[i].reqs = build(i, p)
 		go func(i int, p Partition) {
-			resps, err := c.call(p.Addr, jobs[i].reqs)
+			resps, err := c.callCtx(obs.WithOp(context.Background(), "parallel"), p.Addr, jobs[i].reqs)
 			if err == nil {
 				for ri, r := range resps {
 					if !r.OK {

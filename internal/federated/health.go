@@ -1,10 +1,12 @@
 package federated
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"exdra/internal/fedrpc"
+	"exdra/internal/obs"
 )
 
 // HealthPolicy configures the coordinator's periodic liveness probing.
@@ -81,9 +83,15 @@ func (c *Coordinator) probeAll() {
 // any other response.
 func (c *Coordinator) Ping(addr string) error {
 	c.statProbes.Add(1)
-	_, err := c.callOne(addr, fedrpc.Request{Type: fedrpc.Health})
+	c.reg.Counter("fed.probes").Inc()
+	resps, err := c.callCtx(obs.WithOp(context.Background(), "health"), addr,
+		[]fedrpc.Request{{Type: fedrpc.Health}})
+	if err == nil && !resps[0].OK {
+		err = fmt.Errorf("federated: %s HEALTH: %s", addr, resps[0].Err)
+	}
 	if err != nil {
 		c.statProbeFail.Add(1)
+		c.reg.Counter("fed.probe_failures").Inc()
 		c.setHealthy(addr, false)
 		return fmt.Errorf("federated: health probe of %s: %w", addr, err)
 	}

@@ -1,6 +1,7 @@
 package federated
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -8,6 +9,7 @@ import (
 
 	"exdra/internal/fedrpc"
 	"exdra/internal/lineage"
+	"exdra/internal/obs"
 )
 
 // This file implements the restart-recovery half of the failure model
@@ -172,6 +174,7 @@ func (c *Coordinator) observeEpoch(addr string, epoch uint64) (restarted bool) {
 			rec.fresh = false
 		}
 		c.statRestarts.Add(1)
+		c.reg.Counter("fed.restarts_detected").Inc()
 		return true
 	}
 }
@@ -401,7 +404,7 @@ func (c *Coordinator) ensureIDs(addr string, cl *fedrpc.Client, ids []int64, str
 			Opcode: "rmvar", Inputs: dead,
 		}})
 	}
-	resps, err := cl.Call(batch...)
+	resps, err := cl.CallCtx(obs.WithOp(context.Background(), "replay"), batch...)
 	if err != nil {
 		return true, fmt.Errorf("federated: replay of %d objects at %s: %w", len(plan), addr, err)
 	}
@@ -413,6 +416,7 @@ func (c *Coordinator) ensureIDs(addr string, cl *fedrpc.Client, ids []int64, str
 	for i, resp := range resps {
 		if !resp.OK {
 			c.statReplayFail.Add(1)
+			c.reg.Counter("fed.replay_failures").Inc()
 			return false, fmt.Errorf("federated: replay %s at %s rejected: %s",
 				batch[i].Type, addr, resp.Err)
 		}
@@ -425,6 +429,7 @@ func (c *Coordinator) ensureIDs(addr string, cl *fedrpc.Client, ids []int64, str
 	}
 	c.recMu.Unlock()
 	c.statReplayed.Add(int64(len(plan)))
+	c.reg.Counter("fed.objects_replayed").Add(int64(len(plan)))
 	return false, nil
 }
 

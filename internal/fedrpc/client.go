@@ -2,16 +2,19 @@ package fedrpc
 
 import (
 	"bufio"
+	"context"
 	"crypto/tls"
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"log"
 	"net"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"exdra/internal/netem"
+	"exdra/internal/obs"
 )
 
 // ErrClosed marks operations on a client after Close. Unlike a broken
@@ -45,6 +48,22 @@ type Options struct {
 	// requests (including mid-request stalls) before it is reclaimed.
 	// Zero means DefaultIdleTimeout; negative disables it.
 	IdleTimeout time.Duration
+	// Metrics is the registry RPC counters, histograms, and trace spans
+	// report into. Nil uses obs.Default(), so an unconfigured endpoint
+	// still shows up on the process /metrics page.
+	Metrics *obs.Registry
+	// SlowRPC, when positive, flags any exchange whose total duration
+	// (queueing included) reaches it: a structured key=value log line is
+	// emitted and rpc.client.slow_calls incremented.
+	SlowRPC time.Duration
+}
+
+// metrics resolves the configured registry against the process default.
+func (o Options) metrics() *obs.Registry {
+	if o.Metrics != nil {
+		return o.Metrics
+	}
+	return obs.Default()
 }
 
 // timeout resolves a configured duration against its default: zero picks
@@ -64,8 +83,13 @@ type rpcEnvelope struct {
 	Requests []Request
 }
 
+// rpcReply carries the batch responses plus the server-side handler wall
+// time, which the client uses to split its blocked-on-reply wait into
+// Network and Execute span phases. Old peers that omit the field (gob
+// tolerates both directions) simply report Execute=0.
 type rpcReply struct {
 	Responses []Response
+	ExecNanos int64
 }
 
 // Client is a coordinator-side connection to one federated worker. A client
@@ -77,12 +101,24 @@ type rpcReply struct {
 // itself broken instead of silently reusing the dead stream; the next Call
 // (or an explicit Redial) transparently re-establishes the transport. The
 // cumulative byte counters survive reconnects.
+//
+// Two locks split the exchange path from the transport state so that Close
+// never waits behind an in-flight Call: mu serializes exchanges (held for
+// the full request/reply I/O), connMu guards the transport fields and is
+// never held across I/O or dialing. Close takes only connMu, closes the
+// connection — interrupting any in-flight exchange — and the interrupted
+// Call observes the closed flag and surfaces ErrClosed. Lock order where
+// both are needed: mu before connMu.
 type Client struct {
 	addr      string
 	opts      Options
 	ioTimeout time.Duration
+	slowRPC   time.Duration
+	reg       *obs.Registry
 
-	mu     sync.Mutex
+	mu sync.Mutex // serializes exchanges; time spent here is the Queue phase
+
+	connMu sync.Mutex
 	conn   net.Conn // nil while broken (pre-redial) or after Close
 	bw     *bufio.Writer
 	enc    *gob.Encoder
@@ -91,42 +127,56 @@ type Client struct {
 
 	bytesOut atomic.Int64
 	bytesIn  atomic.Int64
+	readWait atomic.Int64 // ns blocked in conn reads during the current exchange
 }
 
 // Dial connects to a federated worker at addr.
 func Dial(addr string, opts Options) (*Client, error) {
-	c := &Client{addr: addr, opts: opts, ioTimeout: timeout(opts.IOTimeout, DefaultIOTimeout)}
-	if err := c.redialLocked(); err != nil {
+	c := &Client{
+		addr:      addr,
+		opts:      opts,
+		ioTimeout: timeout(opts.IOTimeout, DefaultIOTimeout),
+		slowRPC:   opts.SlowRPC,
+		reg:       opts.metrics(),
+	}
+	conn, err := c.dialTransport()
+	if err != nil {
 		return nil, err
 	}
+	c.installLocked(conn) // client not yet shared: exclusive access
 	return c, nil
 }
 
-// redialLocked (re)establishes the transport: a fresh connection, encoder,
-// and decoder — a gob stream cannot be resumed after a partial exchange, so
-// both ends must restart their codecs. The cumulative byte counters carry
-// over. Callers hold c.mu (or own the client exclusively, as in Dial).
-func (c *Client) redialLocked() error {
+// dialTransport establishes a shaped (and possibly TLS-wrapped) connection.
+// It holds no locks, so a slow dial never delays Close or state queries.
+func (c *Client) dialTransport() (net.Conn, error) {
 	raw, err := net.DialTimeout("tcp", c.addr, timeout(c.opts.DialTimeout, DefaultDialTimeout))
 	if err != nil {
-		return fmt.Errorf("fedrpc: dial %s: %w", c.addr, err)
+		return nil, fmt.Errorf("fedrpc: dial %s: %w", c.addr, err)
 	}
 	conn := netem.Wrap(raw, c.opts.Netem)
 	if c.opts.TLS != nil {
 		tconn := tls.Client(conn, c.opts.TLS)
 		if err := tconn.Handshake(); err != nil {
 			conn.Close()
-			return fmt.Errorf("fedrpc: tls handshake with %s: %w", c.addr, err)
+			return nil, fmt.Errorf("fedrpc: tls handshake with %s: %w", c.addr, err)
 		}
 		conn = tconn
 	}
+	return conn, nil
+}
+
+// installLocked wires conn up as the active transport: fresh encoder and
+// decoder — a gob stream cannot be resumed after a partial exchange, so
+// both ends must restart their codecs. The cumulative byte counters carry
+// over. Callers hold c.connMu (or own the client exclusively, as in Dial).
+func (c *Client) installLocked(conn net.Conn) {
 	c.conn = conn
 	out := &countingWriter{w: conn, n: &c.bytesOut}
-	in := &countingReader{r: conn, n: &c.bytesIn}
+	in := &countingReader{r: conn, n: &c.bytesIn, wait: &c.readWait}
 	c.bw = bufio.NewWriterSize(out, 1<<16)
 	c.enc = gob.NewEncoder(c.bw)
 	c.dec = gob.NewDecoder(bufio.NewReaderSize(in, 1<<16))
-	return nil
 }
 
 // Addr returns the worker address this client is connected to.
@@ -136,81 +186,220 @@ func (c *Client) Addr() string { return c.addr }
 // per request. A transport failure returns an error; per-request failures
 // are reported in the responses.
 func (c *Client) Call(reqs ...Request) ([]Response, error) {
+	return c.CallCtx(context.Background(), reqs...)
+}
+
+// CallCtx is Call with a context carrying trace metadata: an obs span
+// installed with obs.WithSpan is populated with the exchange's phase
+// timings and byte counts, and an obs.WithOp label is recorded on the
+// span. Every exchange — labeled or not — is also counted in the client's
+// metrics registry and appended to its recent-span ring.
+func (c *Client) CallCtx(ctx context.Context, reqs ...Request) ([]Response, error) {
+	queueStart := time.Now()
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.closed {
-		return nil, fmt.Errorf("fedrpc: call to %s: %w", c.addr, ErrClosed)
+
+	span := obs.SpanFrom(ctx)
+	if span == nil {
+		span = &obs.Span{}
 	}
-	if c.conn == nil {
-		// Broken by an earlier transport failure: reconnect transparently.
-		if err := c.redialLocked(); err != nil {
-			return nil, err
-		}
+	span.Op = obs.Op(ctx)
+	span.Addr = c.addr
+	span.Start = queueStart
+	span.Batch = len(reqs)
+	if len(reqs) > 0 {
+		span.ReqType = reqs[0].Type.String()
 	}
-	// Every failure exit tears the transport down (teardownLocked), which
-	// both closes the conn — retiring its armed deadline with it — and
-	// prevents the next Call from silently reusing a desynced gob stream.
-	c.armDeadline()
-	if err := c.enc.Encode(rpcEnvelope{Requests: reqs}); err != nil {
-		c.teardownLocked()
-		return nil, fmt.Errorf("fedrpc: send to %s: %w", c.addr, err)
+	span.Queue = time.Since(queueStart)
+
+	conn, bw, enc, dec, err := c.transport()
+	if err != nil {
+		c.record(span, reqs, err)
+		return nil, err
 	}
-	if err := c.bw.Flush(); err != nil {
-		c.teardownLocked()
-		return nil, fmt.Errorf("fedrpc: flush to %s: %w", c.addr, err)
+	outStart, inStart := c.bytesOut.Load(), c.bytesIn.Load()
+	c.readWait.Store(0)
+
+	// Every failure exit tears the transport down (fail), which both closes
+	// the conn — retiring its armed deadline with it — and prevents the next
+	// Call from silently reusing a desynced gob stream.
+	c.armDeadline(conn)
+	encStart := time.Now()
+	if err := enc.Encode(rpcEnvelope{Requests: reqs}); err != nil {
+		return c.fail(span, reqs, conn, fmt.Errorf("fedrpc: send to %s: %w", c.addr, err))
 	}
+	if err := bw.Flush(); err != nil {
+		return c.fail(span, reqs, conn, fmt.Errorf("fedrpc: flush to %s: %w", c.addr, err))
+	}
+	span.Encode = time.Since(encStart)
+
+	decStart := time.Now()
 	var reply rpcReply
-	if err := c.dec.Decode(&reply); err != nil {
-		c.teardownLocked()
-		return nil, fmt.Errorf("fedrpc: receive from %s: %w", c.addr, err)
+	if err := dec.Decode(&reply); err != nil {
+		return c.fail(span, reqs, conn, fmt.Errorf("fedrpc: receive from %s: %w", c.addr, err))
 	}
-	c.disarmDeadline()
+	decodeWall := time.Since(decStart)
+	c.disarmDeadline(conn)
+
+	// Phase split: time blocked on the wire minus the server's reported
+	// handler time is Network; decode wall time minus wire wait is Decode.
+	// Both clamp at zero — the clock domains differ.
+	readWait := time.Duration(c.readWait.Load())
+	span.Execute = time.Duration(reply.ExecNanos)
+	if span.Network = readWait - span.Execute; span.Network < 0 {
+		span.Network = 0
+	}
+	if span.Decode = decodeWall - readWait; span.Decode < 0 {
+		span.Decode = 0
+	}
+	span.BytesOut = c.bytesOut.Load() - outStart
+	span.BytesIn = c.bytesIn.Load() - inStart
+
 	if len(reply.Responses) != len(reqs) {
 		// The stream answered, but with the wrong cardinality: a protocol
 		// desync this connection cannot recover from.
-		c.teardownLocked()
-		return nil, fmt.Errorf("fedrpc: %s returned %d responses for %d requests",
-			c.addr, len(reply.Responses), len(reqs))
+		return c.fail(span, reqs, conn, fmt.Errorf("fedrpc: %s returned %d responses for %d requests",
+			c.addr, len(reply.Responses), len(reqs)))
 	}
+	c.record(span, reqs, nil)
 	return reply.Responses, nil
 }
 
-// teardownLocked closes and discards the transport after a failed or
-// desynced exchange, marking the client broken (unless Close follows). The
-// armed deadline dies with the connection, so error paths need no separate
-// disarm. Callers hold c.mu.
-func (c *Client) teardownLocked() {
-	if c.conn != nil {
-		c.conn.Close()
-		c.conn = nil
+// transport returns the live transport, redialing if the client is broken.
+// Dialing happens outside connMu so Close stays prompt; if Close won the
+// race the fresh connection is discarded and ErrClosed returned.
+func (c *Client) transport() (net.Conn, *bufio.Writer, *gob.Encoder, *gob.Decoder, error) {
+	c.connMu.Lock()
+	if c.closed {
+		c.connMu.Unlock()
+		return nil, nil, nil, nil, fmt.Errorf("fedrpc: call to %s: %w", c.addr, ErrClosed)
 	}
-	c.bw, c.enc, c.dec = nil, nil, nil
+	if c.conn != nil {
+		conn, bw, enc, dec := c.conn, c.bw, c.enc, c.dec
+		c.connMu.Unlock()
+		return conn, bw, enc, dec, nil
+	}
+	c.connMu.Unlock()
+
+	// Broken by an earlier transport failure: reconnect transparently. Only
+	// one exchange runs at a time (c.mu), so no concurrent install races us.
+	conn, err := c.dialTransport()
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	c.connMu.Lock()
+	if c.closed {
+		c.connMu.Unlock()
+		conn.Close()
+		return nil, nil, nil, nil, fmt.Errorf("fedrpc: call to %s: %w", c.addr, ErrClosed)
+	}
+	c.installLocked(conn)
+	bw, enc, dec := c.bw, c.enc, c.dec
+	c.connMu.Unlock()
+	return conn, bw, enc, dec, nil
+}
+
+// fail tears the transport down after a failed or desynced exchange. If a
+// racing Close already claimed the connection the I/O error it provoked is
+// reported as ErrClosed — the caller raced Close and must see that, not a
+// bare transport error.
+func (c *Client) fail(sp *obs.Span, reqs []Request, conn net.Conn, err error) ([]Response, error) {
+	c.connMu.Lock()
+	closed := c.closed
+	if conn != nil && c.conn == conn {
+		conn.Close()
+		c.conn = nil
+		c.bw, c.enc, c.dec = nil, nil, nil
+	}
+	c.connMu.Unlock()
+	if closed {
+		err = fmt.Errorf("fedrpc: call to %s: %w", c.addr, ErrClosed)
+	}
+	c.record(sp, reqs, err)
+	return nil, err
+}
+
+// record finalizes the span and reports the exchange into the registry:
+// call/error/byte counters, per-request-type counters, phase histograms
+// (successful exchanges only — failed ones have partial phases), the
+// per-type total-latency histogram, the slow-RPC check, and the span ring.
+func (c *Client) record(sp *obs.Span, reqs []Request, err error) {
+	sp.Total = time.Since(sp.Start)
+	c.reg.Counter("rpc.client.calls").Inc()
+	for _, rq := range reqs {
+		c.reg.Counter("rpc.client.requests." + rq.Type.String()).Inc()
+	}
+	c.reg.Counter("rpc.client.bytes_out").Add(sp.BytesOut)
+	c.reg.Counter("rpc.client.bytes_in").Add(sp.BytesIn)
+	if err != nil {
+		sp.Err = err.Error()
+		c.reg.Counter("rpc.client.errors").Inc()
+	} else {
+		c.reg.Histogram("rpc.client.phase.queue", obs.LatencyBuckets).Observe(sp.Queue.Seconds())
+		c.reg.Histogram("rpc.client.phase.encode", obs.LatencyBuckets).Observe(sp.Encode.Seconds())
+		c.reg.Histogram("rpc.client.phase.network", obs.LatencyBuckets).Observe(sp.Network.Seconds())
+		c.reg.Histogram("rpc.client.phase.execute", obs.LatencyBuckets).Observe(sp.Execute.Seconds())
+		c.reg.Histogram("rpc.client.phase.decode", obs.LatencyBuckets).Observe(sp.Decode.Seconds())
+		if sp.ReqType != "" {
+			c.reg.Histogram("rpc.client.call_seconds."+sp.ReqType, obs.LatencyBuckets).Observe(sp.Total.Seconds())
+		}
+	}
+	if c.slowRPC > 0 && sp.Total >= c.slowRPC {
+		c.reg.Counter("rpc.client.slow_calls").Inc()
+		log.Printf("fedrpc: slow rpc threshold=%s %s", c.slowRPC, sp)
+	}
+	c.reg.RecordSpan(*sp)
 }
 
 // Broken reports whether the client currently has no live transport because
 // an earlier exchange failed. The next Call (or Redial) reconnects.
 func (c *Client) Broken() bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.connMu.Lock()
+	defer c.connMu.Unlock()
 	return c.conn == nil && !c.closed
 }
 
 // Redial forces a fresh transport, tearing down the current connection
-// first if one is live. Byte counters are preserved.
+// first if one is live. Byte counters are preserved. Redial waits for any
+// in-flight Call to finish rather than yanking its connection.
 func (c *Client) Redial() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.connMu.Lock()
 	if c.closed {
+		c.connMu.Unlock()
 		return fmt.Errorf("fedrpc: redial %s: %w", c.addr, ErrClosed)
 	}
-	c.teardownLocked()
-	return c.redialLocked()
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+		c.bw, c.enc, c.dec = nil, nil, nil
+	}
+	c.connMu.Unlock()
+
+	conn, err := c.dialTransport()
+	if err != nil {
+		return err
+	}
+	c.connMu.Lock()
+	defer c.connMu.Unlock()
+	if c.closed {
+		conn.Close()
+		return fmt.Errorf("fedrpc: redial %s: %w", c.addr, ErrClosed)
+	}
+	c.installLocked(conn)
+	return nil
 }
 
 // CallOne sends a single request and returns its response, converting a
 // per-request failure into an error.
 func (c *Client) CallOne(req Request) (Response, error) {
-	resps, err := c.Call(req)
+	return c.CallOneCtx(context.Background(), req)
+}
+
+// CallOneCtx is CallOne with trace metadata from ctx (see CallCtx).
+func (c *Client) CallOneCtx(ctx context.Context, req Request) (Response, error) {
+	resps, err := c.CallCtx(ctx, req)
 	if err != nil {
 		return Response{}, err
 	}
@@ -222,18 +411,18 @@ func (c *Client) CallOne(req Request) (Response, error) {
 
 // armDeadline bounds the upcoming RPC exchange so a dead or wedged peer
 // surfaces as a timeout error instead of hanging the coordinator forever.
-// Callers hold c.mu.
-func (c *Client) armDeadline() {
+func (c *Client) armDeadline(conn net.Conn) {
 	if c.ioTimeout > 0 {
-		_ = c.conn.SetDeadline(time.Now().Add(c.ioTimeout))
+		_ = conn.SetDeadline(time.Now().Add(c.ioTimeout))
 	}
 }
 
 // disarmDeadline clears the exchange deadline so an idle connection is not
-// killed between calls. Callers hold c.mu.
-func (c *Client) disarmDeadline() {
+// killed between calls. Errors are ignored: a racing Close may have
+// retired the connection already.
+func (c *Client) disarmDeadline(conn net.Conn) {
 	if c.ioTimeout > 0 {
-		_ = c.conn.SetDeadline(time.Time{})
+		_ = conn.SetDeadline(time.Time{})
 	}
 }
 
@@ -248,9 +437,12 @@ func (c *Client) BytesReceived() int64 { return c.bytesIn.Load() }
 // error identifiable with errors.Is(err, ErrClosed)). Close is idempotent —
 // including after a transport failure left the client Broken — and releases
 // the underlying connection exactly once; repeated calls return nil.
+//
+// Close is prompt: it does not wait behind an in-flight Call. Closing the
+// connection interrupts that call's I/O, and the call reports ErrClosed.
 func (c *Client) Close() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.connMu.Lock()
+	defer c.connMu.Unlock()
 	if c.closed {
 		return nil
 	}
@@ -275,13 +467,24 @@ func (c *countingWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
+// countingReader counts bytes and, when wait is set, accumulates the time
+// spent blocked in Read — the client resets it per exchange to split reply
+// latency into network wait vs. decode CPU.
 type countingReader struct {
-	r interface{ Read([]byte) (int, error) }
-	n *atomic.Int64
+	r    interface{ Read([]byte) (int, error) }
+	n    *atomic.Int64
+	wait *atomic.Int64
 }
 
 func (c *countingReader) Read(p []byte) (int, error) {
+	var start time.Time
+	if c.wait != nil {
+		start = time.Now()
+	}
 	n, err := c.r.Read(p)
+	if c.wait != nil {
+		c.wait.Add(int64(time.Since(start)))
+	}
 	c.n.Add(int64(n))
 	return n, err
 }

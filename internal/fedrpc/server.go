@@ -2,6 +2,7 @@ package fedrpc
 
 import (
 	"bufio"
+	"context"
 	"crypto/tls"
 	"encoding/gob"
 	"errors"
@@ -13,12 +14,21 @@ import (
 	"time"
 
 	"exdra/internal/netem"
+	"exdra/internal/obs"
 )
 
 // Handler processes a batch of federated requests from one RPC. A federated
 // worker implements this (package worker).
 type Handler interface {
 	Handle(reqs []Request) []Response
+}
+
+// ContextHandler is an optional extension: a handler that also accepts a
+// context scoped to the server's lifetime (canceled on Server.Close), so a
+// long batch can abandon remaining requests when the worker shuts down.
+// The server prefers HandleContext when the handler implements it.
+type ContextHandler interface {
+	HandleContext(ctx context.Context, reqs []Request) []Response
 }
 
 // HandlerFunc adapts a function to the Handler interface.
@@ -35,6 +45,9 @@ type Server struct {
 	handler     Handler
 	ioTimeout   time.Duration
 	idleTimeout time.Duration
+	reg         *obs.Registry
+	cancel      context.CancelFunc
+	baseCtx     context.Context
 
 	mu     sync.Mutex
 	closed bool
@@ -58,8 +71,10 @@ func Serve(addr string, h Handler, opts Options) (*Server, error) {
 		handler:     h,
 		ioTimeout:   timeout(opts.IOTimeout, DefaultIOTimeout),
 		idleTimeout: timeout(opts.IdleTimeout, DefaultIdleTimeout),
+		reg:         opts.metrics(),
 		conns:       map[net.Conn]struct{}{},
 	}
+	s.baseCtx, s.cancel = context.WithCancel(context.Background())
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -117,11 +132,14 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 			return
 		}
-		resps := s.safeHandle(env.Requests)
+		start := time.Now()
+		resps := s.safeHandle(s.baseCtx, env.Requests)
+		elapsed := time.Since(start)
+		s.observe(env.Requests, elapsed)
 		if s.ioTimeout > 0 {
 			_ = conn.SetWriteDeadline(time.Now().Add(s.ioTimeout))
 		}
-		if err := enc.Encode(rpcReply{Responses: resps}); err != nil {
+		if err := enc.Encode(rpcReply{Responses: resps, ExecNanos: int64(elapsed)}); err != nil {
 			log.Printf("fedrpc: encode to %s: %v", conn.RemoteAddr(), err)
 			return
 		}
@@ -132,8 +150,9 @@ func (s *Server) serveConn(conn net.Conn) {
 }
 
 // safeHandle converts handler panics into error responses so a malformed
-// instruction cannot take down a standing worker.
-func (s *Server) safeHandle(reqs []Request) (resps []Response) {
+// instruction cannot take down a standing worker. Context-aware handlers
+// get ctx; plain handlers are called as before.
+func (s *Server) safeHandle(ctx context.Context, reqs []Request) (resps []Response) {
 	defer func() {
 		if r := recover(); r != nil {
 			resps = make([]Response, len(reqs))
@@ -142,10 +161,23 @@ func (s *Server) safeHandle(reqs []Request) (resps []Response) {
 			}
 		}
 	}()
+	if ch, ok := s.handler.(ContextHandler); ok {
+		return ch.HandleContext(ctx, reqs)
+	}
 	return s.handler.Handle(reqs)
 }
 
-// Close stops accepting connections and terminates active ones.
+// observe reports one served batch into the registry.
+func (s *Server) observe(reqs []Request, elapsed time.Duration) {
+	s.reg.Counter("rpc.server.batches").Inc()
+	for _, rq := range reqs {
+		s.reg.Counter("rpc.server.requests." + rq.Type.String()).Inc()
+	}
+	s.reg.Histogram("rpc.server.execute_seconds", obs.LatencyBuckets).Observe(elapsed.Seconds())
+}
+
+// Close stops accepting connections, cancels the handler context, and
+// terminates active connections.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -157,6 +189,7 @@ func (s *Server) Close() error {
 		c.Close()
 	}
 	s.mu.Unlock()
+	s.cancel()
 	err := s.ln.Close()
 	s.wg.Wait()
 	return err

@@ -7,6 +7,7 @@ package fedtest
 
 import (
 	"fmt"
+	"time"
 
 	"exdra/internal/federated"
 	"exdra/internal/fedrpc"
@@ -41,6 +42,9 @@ type Config struct {
 	// Health starts the coordinator's periodic liveness probing when
 	// Interval > 0.
 	Health federated.HealthPolicy
+	// SlowRPC makes the coordinator log every RPC slower than this
+	// threshold with its full phase breakdown (0 disables).
+	SlowRPC time.Duration
 }
 
 // Cluster is a running in-process federation.
@@ -64,6 +68,7 @@ func Start(cfg Config) (*Cluster, error) {
 	serverOpts.Netem = cfg.Netem
 	clientOpts.Netem = cfg.Netem
 	clientOpts.Netem.Faults = cfg.Faults
+	clientOpts.SlowRPC = cfg.SlowRPC
 	if cfg.TLS {
 		srvTLS, cliTLS, err := fedrpc.NewSelfSignedTLS()
 		if err != nil {

@@ -155,6 +155,7 @@ func DefaultAnalyzers() []*Analyzer {
 		GoroLeakAnalyzer(),
 		SleepCancelAnalyzer(),
 		CtxFlowAnalyzer(),
+		ObsRegAnalyzer(),
 	}
 }
 

@@ -134,6 +134,10 @@ func TestCtxFlowFixture(t *testing.T) {
 	checkFixture(t, "ctxflowtd", CtxFlowAnalyzer())
 }
 
+func TestObsRegFixture(t *testing.T) {
+	checkFixture(t, "obsregtd", ObsRegAnalyzer())
+}
+
 func TestSleepCancelExemptsPackageMain(t *testing.T) {
 	pkg, err := fixtureLoader(t).LoadDir(filepath.Join("testdata", "sleepmain"), "fixture/sleepmain")
 	if err != nil {

@@ -1,0 +1,90 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// ObsRegAnalyzer enforces single-site registration of constant-named
+// observability histograms. Registry.Histogram(name, buckets) is
+// get-or-create and the FIRST registration wins the bucket layout; a
+// second call site with the same constant name but different buckets would
+// be silently ignored, so every constant histogram name must have exactly
+// one call site (shared through a helper if several paths observe it).
+// Dynamically built names (per-request-type, per-opcode) are exempt: their
+// call sites are the shared helper.
+//
+// The check is cross-package: the analyzer keeps the first site of every
+// constant name across all packages of one exdralint run and reports the
+// duplicates where they appear.
+func ObsRegAnalyzer() *Analyzer {
+	firstSite := map[string]token.Position{}
+	return &Analyzer{
+		Name: "obsreg",
+		Doc:  "constant obs histogram names must be registered at exactly one call site",
+		Run: func(pass *Pass) {
+			for _, file := range pass.Pkg.Files {
+				ast.Inspect(file, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					name, ok := constHistogramName(pass.Pkg, call)
+					if !ok {
+						return true
+					}
+					pos := pass.Pkg.Fset.Position(call.Pos())
+					if prev, dup := firstSite[name]; dup {
+						pass.Reportf(call.Pos(),
+							"histogram %q is already registered at %s:%d; the first registration wins the bucket layout, so share one call site",
+							name, prev.Filename, prev.Line)
+						return true
+					}
+					firstSite[name] = pos
+					return true
+				})
+			}
+		},
+	}
+}
+
+// constHistogramName reports whether call is Registry.Histogram with a
+// compile-time-constant name, returning the folded name. The receiver is
+// matched by type name so the rule also applies to fixtures defining their
+// own Registry.
+func constHistogramName(pkg *Package, call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Histogram" || len(call.Args) < 1 {
+		return "", false
+	}
+	recv := pkg.TypeOf(sel.X)
+	if recv == nil || !isRegistryType(recv) {
+		return "", false
+	}
+	if pkg.Info == nil {
+		return "", false
+	}
+	tv, ok := pkg.Info.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// isRegistryType reports whether t is (a pointer to) a named type called
+// Registry.
+func isRegistryType(t types.Type) bool {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	return named.Obj().Name() == "Registry"
+}

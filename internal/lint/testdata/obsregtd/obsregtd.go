@@ -1,0 +1,39 @@
+// Package obsregtd is an obsreg rule fixture: it defines a local Registry
+// with the get-or-create Histogram shape so the rule can match the
+// receiver by type name.
+package obsregtd
+
+// Registry mimics the observability registry's get-or-create surface.
+type Registry struct{}
+
+// Histogram is get-or-create: the first registration wins the buckets.
+func (r *Registry) Histogram(name string, buckets []float64) *int { return nil }
+
+var buckets = []float64{0.1, 1}
+
+const latencyName = "rpc.phase.encode"
+
+func firstSite(r *Registry) {
+	r.Histogram(latencyName, buckets)        // first registration: fine
+	r.Histogram("rpc.call_seconds", buckets) // fine, single site
+}
+
+func duplicateSite(r *Registry) {
+	r.Histogram(latencyName, []float64{5, 10}) // want obsreg
+	r.Histogram("rpc."+"call_seconds", nil)    // want obsreg
+}
+
+func dynamicNamesExempt(r *Registry, reqType string) {
+	// Built at run time: the loop body IS the single shared call site.
+	r.Histogram("rpc.requests."+reqType, buckets)
+	r.Histogram("rpc.requests."+reqType, buckets)
+}
+
+type notRegistry struct{}
+
+func (notRegistry) Histogram(name string, buckets []float64) {}
+
+func otherReceiverExempt(n notRegistry) {
+	n.Histogram("rpc.phase.encode", nil)
+	n.Histogram("rpc.phase.encode", nil)
+}

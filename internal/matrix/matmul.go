@@ -50,10 +50,7 @@ func (m *Dense) TSMM() *Dense {
 	out := NewDense(n, n)
 	// Accumulate per-band partials to keep the parallel loop race-free, then
 	// reduce. Bands run over the shared dimension k.
-	threads := maxThreads
-	if threads > k {
-		threads = k
-	}
+	threads := threadsFor(k)
 	if threads <= 1 || k*n*n < parallelThreshold {
 		tsmmBand(m, out, 0, k)
 	} else {
@@ -61,10 +58,7 @@ func (m *Dense) TSMM() *Dense {
 		chunk := (k + threads - 1) / threads
 		parallelFor(threads, chunk*n*n, func(lo, hi int) {
 			for t := lo; t < hi; t++ {
-				rb, re := t*chunk, (t+1)*chunk
-				if re > k {
-					re = k
-				}
+				rb, re := band(t, chunk, k)
 				if rb >= re {
 					continue
 				}
@@ -117,21 +111,12 @@ func (m *Dense) MMChain(v, w *Dense) *Dense {
 		panic("matrix: mmchain requires w of shape rows x 1")
 	}
 	n, k := m.rows, m.cols
-	threads := maxThreads
-	if threads > n {
-		threads = n
-	}
-	chunk := 1
-	if threads > 0 {
-		chunk = (n + threads - 1) / threads
-	}
+	threads := threadsFor(n)
+	chunk := (n + threads - 1) / threads
 	partials := make([]*Dense, threads)
 	parallelFor(threads, chunk*k*2, func(lo, hi int) {
 		for t := lo; t < hi; t++ {
-			rb, re := t*chunk, (t+1)*chunk
-			if re > n {
-				re = n
-			}
+			rb, re := band(t, chunk, n)
 			if rb >= re {
 				continue
 			}

@@ -3,24 +3,55 @@ package matrix
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // parallelThreshold is the minimum work size (cells touched) below which
 // kernels run single-threaded to avoid goroutine overhead.
 const parallelThreshold = 1 << 14
 
-// maxThreads bounds kernel parallelism; it defaults to GOMAXPROCS.
-var maxThreads = runtime.GOMAXPROCS(0)
+// maxThreads bounds kernel parallelism; it defaults to GOMAXPROCS. It is
+// atomic because SetParallelism may be called (e.g. by a worker reacting to
+// load) while other goroutines are inside kernels reading it.
+var maxThreads atomic.Int64
+
+func init() { maxThreads.Store(int64(runtime.GOMAXPROCS(0))) }
 
 // SetParallelism overrides the number of goroutines used by heavy kernels.
-// n < 1 resets to GOMAXPROCS. It returns the previous value.
+// n < 1 resets to GOMAXPROCS. It returns the previous value. Safe for
+// concurrent use with running kernels: each kernel snapshots the value once
+// per invocation.
 func SetParallelism(n int) int {
-	prev := maxThreads
 	if n < 1 {
 		n = runtime.GOMAXPROCS(0)
 	}
-	maxThreads = n
-	return prev
+	return int(maxThreads.Swap(int64(n)))
+}
+
+// threadsFor snapshots the thread bound clamped to an n-item loop, never
+// below 1. Kernels call it exactly once per invocation so chunk sizing and
+// slice allocation agree even if SetParallelism runs concurrently.
+func threadsFor(n int) int {
+	t := int(maxThreads.Load())
+	if t > n {
+		t = n
+	}
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
+// band returns the half-open item range [lo, hi) of band t when n items are
+// split into chunk-sized contiguous bands; hi <= lo means the band is empty
+// (more bands than items).
+func band(t, chunk, n int) (lo, hi int) {
+	lo = t * chunk
+	hi = lo + chunk
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
 }
 
 // parallelFor splits [0, n) into contiguous chunks and runs fn(lo, hi) on
@@ -29,10 +60,7 @@ func parallelFor(n, workPerItem int, fn func(lo, hi int)) {
 	if n <= 0 {
 		return
 	}
-	threads := maxThreads
-	if threads > n {
-		threads = n
-	}
+	threads := threadsFor(n)
 	if threads <= 1 || n*workPerItem < parallelThreshold {
 		fn(0, n)
 		return

@@ -18,6 +18,8 @@ import (
 	"os"
 	"sync"
 	"time"
+
+	"exdra/internal/obs"
 )
 
 // Config describes an emulated link. The zero value emulates a perfect link
@@ -145,6 +147,7 @@ func (f *Faults) planConn() (drop bool, resetAt int64, stall time.Duration) {
 	if f.dropsLeft > 0 {
 		f.dropsLeft--
 		f.stats.Drops++
+		obs.Default().Counter("netem.faults.drops").Inc()
 		return true, 0, 0
 	}
 	if f.resetsLeft > 0 && f.cfg.ResetAfterBytes > 0 {
@@ -159,6 +162,7 @@ func (f *Faults) planConn() (drop bool, resetAt int64, stall time.Duration) {
 	if f.stallsLeft > 0 && f.cfg.StallFor > 0 {
 		f.stallsLeft--
 		f.stats.Stalls++
+		obs.Default().Counter("netem.faults.stalls").Inc()
 		stall = f.cfg.StallFor
 	}
 	return
@@ -182,6 +186,7 @@ func (f *Faults) takeReset(addr string) bool {
 	}
 	f.resetsLeft--
 	f.stats.Resets++
+	obs.Default().Counter("netem.faults.resets").Inc()
 	return true
 }
 

@@ -1,0 +1,336 @@
+// Package obs is the unified observability layer of ExDRa-Go: a
+// stdlib-only metrics registry (counters, gauges, fixed-bucket latency
+// histograms — all atomic and lock-cheap on the hot path), per-RPC trace
+// spans threaded through the federation via context.Context (span.go), and
+// an opt-in HTTP endpoint exposing /metrics and /debug/pprof (http.go).
+//
+// The paper's §6 experiments hinge on knowing exactly where federated time
+// goes — compute vs. transfer vs. serialization — so every layer of the
+// runtime (fedrpc client/server, coordinator retry/recovery/health, worker
+// request handling, netem fault injection) reports into one registry that
+// benchmarks snapshot and operators scrape.
+//
+// Naming convention: dot-separated lowercase paths, coarse-to-fine
+// ("rpc.client.phase.encode"). Histograms observe seconds. A histogram
+// name must be registered (with its bucket layout) at exactly one call
+// site — enforced by the exdralint obsreg rule — because get-or-create
+// semantics silently keep the first bucket layout.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the gauge by n (negative to decrease).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// LatencyBuckets is the standard fixed bucket layout for RPC and
+// instruction latencies: upper bounds in seconds from 100µs to one minute,
+// spanning sub-millisecond LAN instructions to WAN transfers of large
+// partitions. An observation above the last bound lands in the implicit
+// +Inf bucket.
+var LatencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
+
+// Histogram is a fixed-bucket latency histogram. Observations are atomic
+// adds (one per bucket hit plus count and sum); bucket bounds are immutable
+// after registration.
+type Histogram struct {
+	bounds []float64      // ascending upper bounds; implicit +Inf last
+	counts []atomic.Int64 // len(bounds)+1
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one value (seconds for latency histograms).
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// snapshot captures the histogram state.
+func (h *Histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]int64, len(h.counts)),
+		Count:  h.count.Load(),
+		Sum:    h.Sum(),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// Registry is a namespace of metrics. The maps are guarded by a read-write
+// mutex taken only on registration lookups; all metric updates are atomic.
+// The zero value is not usable — create registries with New (or use
+// Default).
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+
+	spanMu   sync.Mutex
+	spans    []Span // ring of recent RPC spans
+	spanNext int
+	spanLen  int
+}
+
+// New creates an empty registry.
+func New() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+var defaultRegistry = New()
+
+// Default returns the process-wide registry. Libraries default to it when
+// no explicit registry is configured, so one /metrics endpoint sees the
+// whole process.
+func Default() *Registry { return defaultRegistry }
+
+// Counter returns (creating if needed) the counter with the given name.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if needed) the gauge with the given name.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (creating if needed) the histogram with the given name.
+// When the name already exists, the existing histogram — and its bucket
+// layout — wins and buckets is ignored; register each histogram name at
+// exactly one call site (the exdralint obsreg rule enforces this for
+// constant names) so layouts cannot silently diverge.
+func (r *Registry) Histogram(name string, buckets []float64) *Histogram {
+	r.mu.RLock()
+	h := r.hists[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.hists[name]; h == nil {
+		h = newHistogram(buckets)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// HistogramSnapshot is the captured state of one histogram.
+type HistogramSnapshot struct {
+	// Bounds are the ascending bucket upper bounds in seconds; Counts has
+	// one extra entry for the implicit +Inf bucket.
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"`
+	Count  int64     `json:"count"`
+	Sum    float64   `json:"sum"`
+}
+
+// Snapshot is a point-in-time copy of a registry, safe to diff, render,
+// and ship. Gauges snapshot their instantaneous value.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot captures every metric currently registered.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		s.Histograms[name] = h.snapshot()
+	}
+	return s
+}
+
+// Diff returns the delta s - prev: counters and histogram counts/sums
+// subtract (metrics absent from prev count from zero), gauges keep their
+// current value. Benchmarks bracket a run with two snapshots and report
+// the diff, so standing registries need no reset.
+func (s Snapshot) Diff(prev Snapshot) Snapshot {
+	d := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	for name, v := range s.Counters {
+		d.Counters[name] = v - prev.Counters[name]
+	}
+	for name, v := range s.Gauges {
+		d.Gauges[name] = v
+	}
+	for name, h := range s.Histograms {
+		p, ok := prev.Histograms[name]
+		if !ok || len(p.Counts) != len(h.Counts) {
+			d.Histograms[name] = h
+			continue
+		}
+		dh := HistogramSnapshot{
+			Bounds: h.Bounds,
+			Counts: make([]int64, len(h.Counts)),
+			Count:  h.Count - p.Count,
+			Sum:    h.Sum - p.Sum,
+		}
+		for i := range h.Counts {
+			dh.Counts[i] = h.Counts[i] - p.Counts[i]
+		}
+		d.Histograms[name] = dh
+	}
+	return d
+}
+
+// WriteText renders the snapshot in a flat, grep-friendly text form:
+// one "name value" line per counter and gauge, and per histogram a
+// "name count=N sum=S" line followed by "name.le.<bound> cumcount" lines.
+func (s Snapshot) WriteText(w io.Writer) error {
+	for _, name := range sortedKeys(s.Counters) {
+		if _, err := fmt.Fprintf(w, "%s %d\n", name, s.Counters[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		if _, err := fmt.Fprintf(w, "%s %d\n", name, s.Gauges[name]); err != nil {
+			return err
+		}
+	}
+	hnames := make([]string, 0, len(s.Histograms))
+	for name := range s.Histograms {
+		hnames = append(hnames, name)
+	}
+	sort.Strings(hnames)
+	for _, name := range hnames {
+		h := s.Histograms[name]
+		if _, err := fmt.Fprintf(w, "%s count=%d sum=%g\n", name, h.Count, h.Sum); err != nil {
+			return err
+		}
+		cum := int64(0)
+		for i, bound := range h.Bounds {
+			cum += h.Counts[i]
+			if cum == 0 {
+				continue // suppress empty leading buckets: keeps /metrics readable
+			}
+			if _, err := fmt.Fprintf(w, "%s.le.%g %d\n", name, bound, cum); err != nil {
+				return err
+			}
+		}
+		if inf := h.Counts[len(h.Counts)-1]; inf > 0 {
+			if _, err := fmt.Fprintf(w, "%s.le.inf %d\n", name, cum+inf); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteJSON renders the snapshot as indented JSON.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(s); err != nil {
+		return err
+	}
+	return nil
+}
+
+func sortedKeys(m map[string]int64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,262 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := New()
+	c := r.Counter("a.b")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("a.b") != c {
+		t.Fatal("second lookup returned a different counter")
+	}
+	g := r.Gauge("g")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("gauge = %d, want 5", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := New()
+	h := r.Histogram("h", []float64{0.001, 0.01, 0.1})
+	// On a bound goes into that bound's bucket (SearchFloat64s: v <= bound).
+	for _, v := range []float64{0.0005, 0.001, 0.05, 99} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 4 {
+		t.Fatalf("count = %d, want 4", got)
+	}
+	if got := h.Sum(); math.Abs(got-99.0515) > 1e-9 {
+		t.Fatalf("sum = %g, want 99.0515", got)
+	}
+	s := h.snapshot()
+	want := []int64{2, 0, 1, 1} // two ≤0.001, one ≤0.1, one +Inf
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (all %v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	r := New()
+	h := r.Histogram("h", LatencyBuckets)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(0.001)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Count(); got != 8000 {
+		t.Fatalf("count = %d, want 8000", got)
+	}
+	if got := h.Sum(); math.Abs(got-8) > 1e-6 {
+		t.Fatalf("sum = %g, want 8", got)
+	}
+}
+
+func TestSnapshotDiff(t *testing.T) {
+	r := New()
+	r.Counter("c").Add(3)
+	r.Gauge("g").Set(10)
+	h := r.Histogram("h", []float64{1})
+	h.Observe(0.5)
+	prev := r.Snapshot()
+
+	r.Counter("c").Add(2)
+	r.Gauge("g").Set(11)
+	h.Observe(2)
+	d := r.Snapshot().Diff(prev)
+
+	if d.Counters["c"] != 2 {
+		t.Fatalf("counter delta = %d, want 2", d.Counters["c"])
+	}
+	if d.Gauges["g"] != 11 {
+		t.Fatalf("gauge in diff = %d, want current value 11", d.Gauges["g"])
+	}
+	dh := d.Histograms["h"]
+	if dh.Count != 1 || math.Abs(dh.Sum-2) > 1e-9 {
+		t.Fatalf("hist delta count=%d sum=%g, want 1/2", dh.Count, dh.Sum)
+	}
+	if dh.Counts[0] != 0 || dh.Counts[1] != 1 {
+		t.Fatalf("hist delta buckets = %v, want [0 1]", dh.Counts)
+	}
+}
+
+func TestWriteTextAndJSON(t *testing.T) {
+	r := New()
+	r.Counter("rpc.calls").Add(2)
+	r.Gauge("workers").Set(3)
+	h := r.Histogram("lat", []float64{0.01, 0.1})
+	h.Observe(0.05)
+	h.Observe(5)
+
+	var b strings.Builder
+	if err := r.Snapshot().WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	for _, want := range []string{
+		"rpc.calls 2\n", "workers 3\n", "lat count=2 sum=5.05\n",
+		"lat.le.0.1 1\n", "lat.le.inf 2\n",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("text output missing %q:\n%s", want, text)
+		}
+	}
+	if strings.Contains(text, "lat.le.0.01") {
+		t.Fatalf("empty leading bucket should be suppressed:\n%s", text)
+	}
+
+	b.Reset()
+	if err := r.Snapshot().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `"rpc.calls": 2`) {
+		t.Fatalf("json output missing counter:\n%s", b.String())
+	}
+}
+
+func TestSpanRing(t *testing.T) {
+	r := New()
+	for i := 0; i < spanRingSize+10; i++ {
+		r.RecordSpan(Span{Addr: fmt.Sprintf("w%d", i)})
+	}
+	spans := r.Spans()
+	if len(spans) != spanRingSize {
+		t.Fatalf("len = %d, want %d", len(spans), spanRingSize)
+	}
+	if spans[0].Addr != "w10" || spans[len(spans)-1].Addr != fmt.Sprintf("w%d", spanRingSize+9) {
+		t.Fatalf("ring order wrong: first=%s last=%s", spans[0].Addr, spans[len(spans)-1].Addr)
+	}
+}
+
+func TestSpanContext(t *testing.T) {
+	sp := &Span{}
+	ctx := WithOp(WithSpan(context.Background(), sp), "train")
+	if SpanFrom(ctx) != sp {
+		t.Fatal("SpanFrom did not return the installed span")
+	}
+	if Op(ctx) != "train" {
+		t.Fatalf("Op = %q, want train", Op(ctx))
+	}
+	if SpanFrom(context.Background()) != nil || Op(context.Background()) != "" {
+		t.Fatal("empty context should carry no span/op")
+	}
+}
+
+func TestSpanString(t *testing.T) {
+	s := Span{
+		Op: "train", Addr: "w1", ReqType: "EXEC_INST", Batch: 2,
+		BytesOut: 100, BytesIn: 50,
+		Queue: time.Millisecond, Total: 5 * time.Millisecond, Err: "boom",
+	}
+	line := s.String()
+	for _, want := range []string{"op=train", "addr=w1", "type=EXEC_INST", "batch=2", `err="boom"`, "queue=1ms"} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("span line missing %q: %s", want, line)
+		}
+	}
+	if !strings.Contains(Span{}.String(), "op=-") {
+		t.Fatal("empty op should render as dash")
+	}
+}
+
+func TestMetricsHTTP(t *testing.T) {
+	r := New()
+	r.Counter("rpc.client.calls").Add(7)
+	r.RecordSpan(Span{Addr: "w0", ReqType: "PUT"})
+	ms, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := ms.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	}()
+
+	get := func(path string) string {
+		resp, err := http.Get("http://" + ms.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("read %s: %v", path, err)
+		}
+		return string(body)
+	}
+
+	text := get("/metrics")
+	if !strings.Contains(text, "rpc.client.calls 7") {
+		t.Fatalf("/metrics missing counter:\n%s", text)
+	}
+	if !strings.Contains(text, "process.uptime_seconds") || !strings.Contains(text, "process.goroutines") {
+		t.Fatalf("/metrics missing process gauges:\n%s", text)
+	}
+	js := get("/metrics?format=json")
+	if !strings.Contains(js, `"rpc.client.calls": 7`) {
+		t.Fatalf("/metrics json missing counter:\n%s", js)
+	}
+	spans := get("/debug/rpcs")
+	if !strings.Contains(spans, "addr=w0") || !strings.Contains(spans, "type=PUT") {
+		t.Fatalf("/debug/rpcs missing span:\n%s", spans)
+	}
+	if !strings.Contains(get("/debug/pprof/cmdline"), "obs") {
+		t.Fatal("/debug/pprof/cmdline did not answer")
+	}
+}
+
+func TestRegistryConcurrentAccess(t *testing.T) {
+	r := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				r.Counter(fmt.Sprintf("c.%d", i%7)).Inc()
+				r.Histogram(fmt.Sprintf("h.%d", i%3), LatencyBuckets).Observe(0.01)
+				r.RecordSpan(Span{Addr: fmt.Sprintf("g%d", g)})
+			}
+		}(g)
+	}
+	for i := 0; i < 50; i++ {
+		_ = r.Snapshot()
+		_ = r.Spans()
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	var total int64
+	for _, v := range s.Counters {
+		total += v
+	}
+	if total != 4*200 {
+		t.Fatalf("counter total = %d, want 800", total)
+	}
+}

@@ -199,6 +199,13 @@ func Merge(spec Spec, colOrder []string, parts ...PartialMeta) *Meta {
 					mx = v
 				}
 			}
+			if mn > mx {
+				// No site observed a finite value (all-NULL column): fall
+				// back to a degenerate [0, 0] range instead of publishing
+				// the ±Inf sentinels, which would poison every downstream
+				// bin computation and render unusable decode bounds.
+				mn, mx = 0, 0
+			}
 			nb := cs.NumBins
 			if nb < 1 {
 				nb = 1
@@ -259,14 +266,17 @@ func (m *Meta) code(col *frame.Column, cs ColumnSpec, i int) (int, error) {
 			return 0, fmt.Errorf("transform: bin %q: %w", col.Name, err)
 		}
 		nb := m.numBinsOf(cs)
-		b := int((v-m.BinMins[col.Name])/m.BinWidths[col.Name]) + 1
-		if b < 1 {
-			b = 1
+		// Clamp in the float domain before converting: converting a float
+		// beyond the int range is implementation-defined in Go (it wraps to
+		// minint on amd64), so an extreme outlier or NaN cell would
+		// otherwise land in bin 1 instead of the boundary bin.
+		f := (v - m.BinMins[col.Name]) / m.BinWidths[col.Name]
+		if math.IsNaN(f) || f < 0 {
+			f = 0
+		} else if f > float64(nb-1) {
+			f = float64(nb-1)
 		}
-		if b > nb {
-			b = nb
-		}
-		return b, nil
+		return int(f) + 1, nil
 	case Hash:
 		return hashBucket(col.AsString(i), cs.K), nil
 	}

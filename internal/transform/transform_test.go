@@ -170,6 +170,85 @@ func TestBinningClampsOutOfRange(t *testing.T) {
 	}
 }
 
+func TestBinningValueAtMaxLandsInLastBin(t *testing.T) {
+	t.Parallel()
+	// v == max sits exactly on the upper boundary: (max-min)/width == nb,
+	// which must clamp into the last bin, not a phantom bin nb+1.
+	f := frame.MustNew(frame.FloatColumn("B", []float64{0, 2, 4, 6, 8, 10}))
+	x, m, err := Encode(f, Spec{Columns: []ColumnSpec{{Name: "B", Method: Bin, NumBins: 5}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.BinWidths["B"] != 2 {
+		t.Fatalf("width %g", m.BinWidths["B"])
+	}
+	if got := x.At(5, 0); got != 5 {
+		t.Fatalf("value==max encoded to bin %g, want last bin 5", got)
+	}
+}
+
+func TestBinningExtremeOutlierLandsInLastBin(t *testing.T) {
+	t.Parallel()
+	// Regression: an apply-time outlier far beyond the training range used
+	// to be converted to int before clamping; float-to-int conversion of an
+	// out-of-range value wraps (to minint on amd64), so 1e30 landed in bin
+	// 1 instead of the last bin. NaN cells (not NA-masked) hit the same
+	// undefined conversion; they must deterministically bin to 1.
+	f := frame.MustNew(frame.FloatColumn("B", []float64{0, 5, 10}))
+	_, m, err := Encode(f, Spec{Columns: []ColumnSpec{{Name: "B", Method: Bin, NumBins: 4}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2 := frame.MustNew(frame.FloatColumn("B", []float64{1e30, -1e30, math.NaN()}))
+	x2, err := Apply(f2, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := x2.At(0, 0); got != 4 {
+		t.Fatalf("outlier 1e30 encoded to bin %g, want last bin 4", got)
+	}
+	if got := x2.At(1, 0); got != 1 {
+		t.Fatalf("outlier -1e30 encoded to bin %g, want bin 1", got)
+	}
+	if got := x2.At(2, 0); got != 1 {
+		t.Fatalf("NaN cell encoded to bin %g, want bin 1", got)
+	}
+}
+
+func TestAllNullColumnBinning(t *testing.T) {
+	t.Parallel()
+	// Regression: merging partials for a column no site has data for used
+	// to publish BinMins=+Inf/width=1 (the untouched scan sentinels),
+	// poisoning later applies and decode bounds. It must degrade to a
+	// finite [0, 0] range.
+	c := frame.FloatColumn("B", []float64{1, 2, 3})
+	c.NA = []bool{true, true, true}
+	f := frame.MustNew(c)
+	spec := Spec{Columns: []ColumnSpec{{Name: "B", Method: Bin, NumBins: 3}}}
+	p := mustPartial(t, f, spec)
+	m := Merge(spec, f.Names(), p)
+	if math.IsInf(m.BinMins["B"], 0) || math.IsNaN(m.BinWidths["B"]) {
+		t.Fatalf("non-finite merged bin range: min=%g width=%g", m.BinMins["B"], m.BinWidths["B"])
+	}
+	x, err := Apply(f, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if x.At(i, 0) != 0 {
+			t.Fatalf("NULL cell %d encoded to %g, want 0", i, x.At(i, 0))
+		}
+	}
+	// Fresh non-NULL data against the degenerate range still clamps sanely.
+	x2, err := Apply(frame.MustNew(frame.FloatColumn("B", []float64{-3, 7})), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x2.At(0, 0) != 1 || x2.At(1, 0) != 3 {
+		t.Fatalf("degenerate-range clamping: %g, %g", x2.At(0, 0), x2.At(1, 0))
+	}
+}
+
 func TestConstantColumnBinning(t *testing.T) {
 	t.Parallel()
 	f := frame.MustNew(frame.FloatColumn("B", []float64{5, 5, 5}))

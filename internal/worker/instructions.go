@@ -2,9 +2,11 @@ package worker
 
 import (
 	"fmt"
+	"time"
 
 	"exdra/internal/fedrpc"
 	"exdra/internal/matrix"
+	"exdra/internal/obs"
 	"exdra/internal/privacy"
 )
 
@@ -42,6 +44,11 @@ func (w *Worker) handleInst(req fedrpc.Request) fedrpc.Response {
 	if inst == nil {
 		return fedrpc.Errorf("EXEC_INST: missing instruction")
 	}
+	start := time.Now()
+	defer func() {
+		w.Metrics.Histogram("worker.inst_seconds."+inst.Opcode, obs.LatencyBuckets).
+			Observe(time.Since(start).Seconds())
+	}()
 	// rightIndex propagates fine-grained column constraints: slicing out
 	// the public columns of a mixed-constraint object yields a
 	// transferable result, while any restricted column keeps its level.

@@ -6,6 +6,7 @@
 package worker
 
 import (
+	"context"
 	"crypto/rand"
 	"encoding/binary"
 	"fmt"
@@ -19,6 +20,7 @@ import (
 	"exdra/internal/frame"
 	"exdra/internal/lineage"
 	"exdra/internal/matrix"
+	"exdra/internal/obs"
 	"exdra/internal/privacy"
 )
 
@@ -89,6 +91,11 @@ type Worker struct {
 	// constraint (READ/PUT with Privacy 0 means Public by convention; set
 	// DefaultLevel to harden a deployment).
 	DefaultLevel privacy.Level
+
+	// Metrics receives per-request counters and handling-latency
+	// histograms. New wires it to obs.Default(); replace before serving to
+	// isolate a worker's metrics.
+	Metrics *obs.Registry
 }
 
 // New creates a worker that resolves READ filenames relative to baseDir.
@@ -98,6 +105,7 @@ func New(baseDir string) *Worker {
 		epoch:   newEpoch(),
 		symtab:  map[int64]*Entry{},
 		Lineage: lineage.NewCache(256),
+		Metrics: obs.Default(),
 	}
 }
 
@@ -220,14 +228,39 @@ func (w *Worker) NumObjects() int {
 // their output binding deterministically). EXEC_UDF makes no such promise;
 // the coordinator never retries it.
 func (w *Worker) Handle(reqs []fedrpc.Request) []fedrpc.Response {
+	return w.HandleContext(context.Background(), reqs)
+}
+
+// HandleContext implements fedrpc.ContextHandler: the server hands the
+// worker a context scoped to its own lifetime, so a batch caught mid-flight
+// by a shutdown fails its remaining requests instead of racing teardown.
+// Each request is timed and counted in the worker's metrics registry.
+func (w *Worker) HandleContext(ctx context.Context, reqs []fedrpc.Request) []fedrpc.Response {
 	resps := make([]fedrpc.Response, len(reqs))
 	for i, req := range reqs {
+		if err := ctx.Err(); err != nil {
+			resps[i] = fedrpc.Errorf("worker shutting down: %v", err)
+			resps[i].Epoch = w.epoch
+			continue
+		}
+		start := time.Now()
 		resps[i] = w.handleOne(req)
+		w.observe(req, resps[i], time.Since(start))
 		// Every response — success or failure — carries the instance
 		// epoch, so restart detection needs no extra round trip.
 		resps[i].Epoch = w.epoch
 	}
 	return resps
+}
+
+// observe reports one handled request into the metrics registry.
+func (w *Worker) observe(req fedrpc.Request, resp fedrpc.Response, elapsed time.Duration) {
+	w.Metrics.Counter("worker.requests." + req.Type.String()).Inc()
+	if !resp.OK {
+		w.Metrics.Counter("worker.errors").Inc()
+	}
+	w.Metrics.Histogram("worker.handle_seconds."+req.Type.String(), obs.LatencyBuckets).
+		Observe(elapsed.Seconds())
 }
 
 func (w *Worker) handleOne(req fedrpc.Request) fedrpc.Response {
