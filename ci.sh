@@ -2,27 +2,33 @@
 # ci.sh — the tier-2 gate. Everything here must pass before a change lands:
 #
 #   1. go build      — the tree compiles;
-#   2. go vet        — stock static analysis;
-#   3. exdralint     — project-specific federation-runtime invariants
-#                      (see DESIGN.md, "Static analysis");
-#   4. go test -race — full test suite under the race detector;
-#   5. fault tests   — the fault-injection/recovery suites re-run under
+#   2. gofmt         — every file is canonically formatted;
+#   3. go vet        — stock static analysis;
+#   4. exdralint     — project-specific federation-runtime invariants
+#                      (see DESIGN.md, "Static analysis"); run through its
+#                      -json output piped into lintfmt, so the
+#                      machine-readable stream is exercised on every CI run
+#                      while the log keeps the "file:line: rule: msg" form;
+#   5. go test -race — full test suite under the race detector;
+#   6. fault tests   — the fault-injection/recovery suites re-run under
 #                      -race with -count=1: connection teardown, redial,
 #                      retry, and worker-restart/replay interleavings are
 #                      exactly where data races hide, so these never run
 #                      from cache (the pattern also covers the restart and
 #                      health-probing suites: Restart|Health|Epoch|...);
-#   6. obs tests     — the observability suites (metrics registry, RPC
+#   7. obs tests     — the observability suites (metrics registry, RPC
 #                      spans, concurrent Stats/snapshot reads) re-run
 #                      uncached under -race for the same reason;
-#   7. /metrics smoke — a real fedworker process is spawned with
+#   8. /metrics smoke — a real fedworker process is spawned with
 #                      -metrics-addr and its endpoint is scraped once.
 set -euo pipefail
 cd "$(dirname "$0")"
 
 go build ./...
+unformatted="$(gofmt -l .)"
+[ -z "$unformatted" ] || { echo "ci.sh: gofmt needed:" >&2; echo "$unformatted" >&2; exit 1; }
 go vet ./...
-go run ./cmd/exdralint ./...
+go run ./cmd/exdralint -json ./... | go run ./cmd/lintfmt
 go test -race ./...
 go test -race -count=1 \
   -run 'Reset|Retry|Redial|Fault|Fail|Stall|Drop|Broken|Timeout|Restart|Health|Epoch|Recover|Replay|Closed|Unrecover|CreationLog' \

@@ -9,15 +9,18 @@
 //	sleepcancel  library waits must be cancellable (no bare time.Sleep)
 //	ctxflow      a received context.Context must propagate, not be dropped
 //	obsreg       constant obs histogram names registered at one call site
+//	guardedby    fields annotated "guarded by <mu>" accessed under that lock
+//	lockhold     no blocking op (RPC, channel, conn I/O) while a lock is held
 //
 // Usage:
 //
-//	exdralint [packages]
+//	exdralint [-json] [packages]
 //
 // Packages are go-style patterns relative to the module root ("./..." by
-// default). Findings print as "file:line: rule: message"; the exit status
-// is 1 when there are findings, 2 on load errors, 0 on a clean tree.
-// Suppress an individual finding with a justification:
+// default). Findings print as "file:line: rule: message", or with -json as
+// a JSON array of {rule, file, line, message} objects; the exit status is 1
+// when there are findings, 2 on load errors, 0 on a clean tree. Suppress an
+// individual finding with a justification:
 //
 //	//lint:ignore <rule> <reason>
 //
@@ -25,53 +28,111 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
 	"exdra/internal/lint"
 )
 
-func main() {
-	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: exdralint [packages]\n")
-		flag.PrintDefaults()
+// options are the parsed command-line settings.
+type options struct {
+	json     bool
+	patterns []string
+}
+
+// parseArgs parses argv (without the program name) into options. Usage and
+// flag errors are written to stderr.
+func parseArgs(argv []string, stderr io.Writer) (options, error) {
+	fs := flag.NewFlagSet("exdralint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: exdralint [-json] [packages]\n")
+		fs.PrintDefaults()
 	}
-	flag.Parse()
-	args := flag.Args()
-	if len(args) == 0 {
-		args = []string{"./..."}
+	var opts options
+	fs.BoolVar(&opts.json, "json", false, "emit findings as a JSON array of {rule, file, line, message}")
+	if err := fs.Parse(argv); err != nil {
+		return options{}, err
+	}
+	opts.patterns = fs.Args()
+	if len(opts.patterns) == 0 {
+		opts.patterns = []string{"./..."}
+	}
+	return opts, nil
+}
+
+// jsonFinding is the machine-readable form of one finding.
+type jsonFinding struct {
+	Rule    string `json:"rule"`
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Message string `json:"message"`
+}
+
+// writeJSON renders findings as an indented JSON array (an empty array on a
+// clean tree, so consumers always get valid JSON).
+func writeJSON(w io.Writer, findings []lint.Finding) error {
+	out := make([]jsonFinding, len(findings))
+	for i, f := range findings {
+		out[i] = jsonFinding{Rule: f.Rule, File: f.Pos.Filename, Line: f.Pos.Line, Message: f.Msg}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable body of main: parse, load, analyze, print. It returns
+// the process exit status (0 clean, 1 findings, 2 usage or load errors).
+func run(argv []string, stdout, stderr io.Writer) int {
+	opts, err := parseArgs(argv, stderr)
+	if err != nil {
+		return 2
 	}
 
 	modDir, err := findModuleRoot()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "exdralint:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "exdralint:", err)
+		return 2
 	}
 	loader, err := lint.NewLoader(modDir)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "exdralint:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "exdralint:", err)
+		return 2
 	}
-	pkgs, err := loader.LoadPatterns(args)
+	pkgs, err := loader.LoadPatterns(opts.patterns)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "exdralint:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "exdralint:", err)
+		return 2
 	}
 	for _, p := range pkgs {
 		for _, terr := range p.TypeErrors {
-			fmt.Fprintf(os.Stderr, "exdralint: %s: type warning: %v\n", p.Path, terr)
+			fmt.Fprintf(stderr, "exdralint: %s: type warning: %v\n", p.Path, terr)
 		}
 	}
 	findings := lint.Run(pkgs, lint.DefaultAnalyzers())
-	for _, f := range findings {
-		fmt.Println(f)
+	if opts.json {
+		if err := writeJSON(stdout, findings); err != nil {
+			fmt.Fprintln(stderr, "exdralint:", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintln(stdout, f)
+		}
 	}
 	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "exdralint: %d finding(s)\n", len(findings))
-		os.Exit(1)
+		fmt.Fprintf(stderr, "exdralint: %d finding(s)\n", len(findings))
+		return 1
 	}
+	return 0
 }
 
 // findModuleRoot walks upward from the working directory to the nearest

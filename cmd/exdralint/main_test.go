@@ -1,0 +1,108 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"exdra/internal/lint"
+)
+
+func TestParseArgsDefaults(t *testing.T) {
+	var stderr bytes.Buffer
+	opts, err := parseArgs(nil, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.json {
+		t.Error("json should default to false")
+	}
+	if len(opts.patterns) != 1 || opts.patterns[0] != "./..." {
+		t.Errorf("default patterns = %v, want [./...]", opts.patterns)
+	}
+}
+
+func TestParseArgsJSONAndPatterns(t *testing.T) {
+	var stderr bytes.Buffer
+	opts, err := parseArgs([]string{"-json", "./internal/fedrpc", "./internal/worker"}, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !opts.json {
+		t.Error("-json not parsed")
+	}
+	want := []string{"./internal/fedrpc", "./internal/worker"}
+	if len(opts.patterns) != 2 || opts.patterns[0] != want[0] || opts.patterns[1] != want[1] {
+		t.Errorf("patterns = %v, want %v", opts.patterns, want)
+	}
+}
+
+func TestParseArgsBadFlag(t *testing.T) {
+	var stderr bytes.Buffer
+	if _, err := parseArgs([]string{"-nope"}, &stderr); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+	if !strings.Contains(stderr.String(), "usage: exdralint") {
+		t.Errorf("usage not printed on bad flag; stderr: %q", stderr.String())
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	findings := []lint.Finding{
+		{Rule: "lockhold", Pos: token.Position{Filename: "a/b.go", Line: 12}, Msg: "send on ch while holding s.mu"},
+		{Rule: "guardedby", Pos: token.Position{Filename: "c.go", Line: 3}, Msg: "x.n accessed without holding x.mu"},
+	}
+	var buf bytes.Buffer
+	if err := writeJSON(&buf, findings); err != nil {
+		t.Fatal(err)
+	}
+	var got []jsonFinding
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(got) != 2 {
+		t.Fatalf("decoded %d findings, want 2", len(got))
+	}
+	if got[0].Rule != "lockhold" || got[0].File != "a/b.go" || got[0].Line != 12 ||
+		got[0].Message != "send on ch while holding s.mu" {
+		t.Errorf("first finding round-tripped as %+v", got[0])
+	}
+}
+
+func TestWriteJSONEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeJSON(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(buf.String()) != "[]" {
+		t.Errorf("empty findings rendered as %q, want []", buf.String())
+	}
+}
+
+func TestFindModuleRoot(t *testing.T) {
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := findModuleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Errorf("returned root %s has no go.mod", root)
+	}
+	if !strings.HasPrefix(wd, root) {
+		t.Errorf("root %s is not an ancestor of %s", root, wd)
+	}
+}
+
+func TestFindModuleRootOutsideModule(t *testing.T) {
+	t.Chdir(t.TempDir())
+	if _, err := findModuleRoot(); err == nil {
+		t.Fatal("expected an error outside any module")
+	}
+}

@@ -1,0 +1,42 @@
+// Command lintfmt converts exdralint -json output back into the canonical
+// "file:line: rule: message" text form. CI pipes the linter through it:
+//
+//	exdralint -json ./... | lintfmt
+//
+// so the machine-readable stream is exercised on every run while the log
+// stays grep-able. Exit status is 1 when the stream contains findings
+// (mirroring exdralint itself), 2 when stdin is not a valid findings array.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+type finding struct {
+	Rule    string `json:"rule"`
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Message string `json:"message"`
+}
+
+func main() {
+	os.Exit(run(os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(stdin io.Reader, stdout, stderr io.Writer) int {
+	var findings []finding
+	if err := json.NewDecoder(stdin).Decode(&findings); err != nil {
+		fmt.Fprintln(stderr, "lintfmt: decoding findings:", err)
+		return 2
+	}
+	for _, f := range findings {
+		fmt.Fprintf(stdout, "%s:%d: %s: %s\n", f.File, f.Line, f.Rule, f.Message)
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunFormatsFindings(t *testing.T) {
+	in := strings.NewReader(`[
+  {"rule": "lockhold", "file": "a/b.go", "line": 12, "message": "send on ch while holding s.mu"},
+  {"rule": "guardedby", "file": "c.go", "line": 3, "message": "x.n accessed without holding x.mu"}
+]`)
+	var out, errb bytes.Buffer
+	if code := run(in, &out, &errb); code != 1 {
+		t.Fatalf("exit = %d, want 1 (findings present); stderr: %s", code, errb.String())
+	}
+	want := "a/b.go:12: lockhold: send on ch while holding s.mu\n" +
+		"c.go:3: guardedby: x.n accessed without holding x.mu\n"
+	if out.String() != want {
+		t.Errorf("output:\n%s\nwant:\n%s", out.String(), want)
+	}
+}
+
+func TestRunCleanTree(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(strings.NewReader("[]\n"), &out, &errb); code != 0 {
+		t.Fatalf("exit = %d, want 0 on empty findings", code)
+	}
+	if out.Len() != 0 {
+		t.Errorf("unexpected output on clean tree: %q", out.String())
+	}
+}
+
+func TestRunBadInput(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(strings.NewReader("not json"), &out, &errb); code != 2 {
+		t.Fatalf("exit = %d, want 2 on malformed input", code)
+	}
+	if !strings.Contains(errb.String(), "lintfmt:") {
+		t.Errorf("no diagnostic on malformed input; stderr: %q", errb.String())
+	}
+}

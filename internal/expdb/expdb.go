@@ -101,8 +101,8 @@ type Run struct {
 type Store struct {
 	mu   sync.Mutex
 	dir  string
-	runs map[string]*Run
-	next int
+	runs map[string]*Run // guarded by mu
+	next int             // guarded by mu
 }
 
 // Open creates or loads a store at dir ("" = in-memory).

@@ -71,22 +71,22 @@ type Coordinator struct {
 	retry RetryPolicy
 
 	mu      sync.Mutex
-	clients map[string]*fedrpc.Client
-	dialing map[string]*dialCall
-	closed  bool
-	done    chan struct{} // closed by Close; cancels retry backoffs
+	clients map[string]*fedrpc.Client // guarded by mu
+	dialing map[string]*dialCall      // guarded by mu
+	closed  bool                      // guarded by mu
+	done    chan struct{}             // closed by Close; cancels retry backoffs
 	nextID  atomic.Int64
 
 	rngMu sync.Mutex
-	rng   *rand.Rand // jitter source, guarded by rngMu
+	rng   *rand.Rand // jitter source; guarded by rngMu
 
 	// Restart-recovery state (recovery.go): the creation log per worker
-	// address, guarded by recMu, plus the health prober's join handle and
-	// the observability counters behind Stats().
+	// address behind recMu, plus the health prober's join handle and the
+	// observability counters behind Stats().
 	recovery bool // EnableRecovery: creation log + replay on epoch change
 	recMu    sync.Mutex
-	states   map[string]*workerState
-	probing  bool // a health prober goroutine is running (StartHealth)
+	states   map[string]*workerState // guarded by recMu
+	probing  bool                    // a health prober goroutine is running (StartHealth); guarded by mu
 	healthWg sync.WaitGroup
 
 	statRestarts, statReplayed, statReplayFail atomic.Int64

@@ -74,12 +74,13 @@ type creationRec struct {
 	unrecoverable bool
 }
 
-// workerState is the coordinator's per-address recovery state.
+// workerState is the coordinator's per-address recovery state. All data
+// fields are guarded by the owning Coordinator's recMu.
 type workerState struct {
-	epoch   uint64 // last observed instance epoch (0 = never heard from)
-	healthy bool   // last probe outcome (true until a probe fails)
-	probed  bool   // at least one probe/operation completed
-	records map[int64]*creationRec
+	epoch   uint64                 // last observed instance epoch (0 = never heard from); guarded by Coordinator.recMu
+	healthy bool                   // last probe outcome (true until a probe fails); guarded by Coordinator.recMu
+	probed  bool                   // at least one probe/operation completed; guarded by Coordinator.recMu
+	records map[int64]*creationRec // guarded by Coordinator.recMu
 
 	// replayMu serializes replay per worker so two operations recovering
 	// the same restarted worker cannot interleave their replay batches
@@ -245,7 +246,7 @@ func (c *Coordinator) recordBatch(addr string, reqs []fedrpc.Request, resps []fe
 
 // instTrace builds the canonical lineage trace of an instruction output:
 // opcode (with scalars and sorted attrs folded in) over the traces of its
-// inputs. Unknown inputs degrade to literal ID traces.
+// inputs. Unknown inputs degrade to literal ID traces. Callers hold recMu.
 func instTrace(s *workerState, inst *fedrpc.Instruction) string {
 	op := inst.Opcode
 	if len(inst.Scalars) > 0 {
@@ -275,7 +276,7 @@ func instTrace(s *workerState, inst *fedrpc.Instruction) string {
 // gcRecords drops dead creation records no live object depends on
 // (transitively). Dead-but-reachable entries — broadcast temps consumed by
 // recorded instructions — are retained: replaying their dependents needs
-// them back, briefly.
+// them back, briefly. Callers hold recMu.
 func gcRecords(s *workerState) {
 	reachable := map[int64]bool{}
 	var mark func(id int64)
@@ -404,6 +405,13 @@ func (c *Coordinator) ensureIDs(addr string, cl *fedrpc.Client, ids []int64, str
 			Opcode: "rmvar", Inputs: dead,
 		}})
 	}
+	// replayMu is held across the exchange by design: it exists to
+	// serialize whole replay rounds per worker (plan + batch + ack), not
+	// to guard data — releasing it before the call would let two
+	// recovering operations interleave their replay batches, which is the
+	// exact race it was added for. It is a per-worker leaf lock: nothing
+	// else is acquired under it, and the call itself is deadline-bounded.
+	//lint:ignore lockhold replayMu serializes whole replay rounds per worker; leaf lock, deadline-bounded call
 	resps, err := cl.CallCtx(obs.WithOp(context.Background(), "replay"), batch...)
 	if err != nil {
 		return true, fmt.Errorf("federated: replay of %d objects at %s: %w", len(plan), addr, err)

@@ -119,11 +119,11 @@ type Client struct {
 	mu sync.Mutex // serializes exchanges; time spent here is the Queue phase
 
 	connMu sync.Mutex
-	conn   net.Conn // nil while broken (pre-redial) or after Close
-	bw     *bufio.Writer
-	enc    *gob.Encoder
-	dec    *gob.Decoder
-	closed bool // Close was called; distinguishes closed from broken
+	conn   net.Conn      // nil while broken (pre-redial) or after Close; guarded by connMu
+	bw     *bufio.Writer // guarded by connMu
+	enc    *gob.Encoder  // guarded by connMu
+	dec    *gob.Decoder  // guarded by connMu
+	closed bool          // Close was called; distinguishes closed from broken; guarded by connMu
 
 	bytesOut atomic.Int64
 	bytesIn  atomic.Int64
@@ -225,6 +225,12 @@ func (c *Client) CallCtx(ctx context.Context, reqs ...Request) ([]Response, erro
 	// Call from silently reusing a desynced gob stream.
 	c.armDeadline(conn)
 	encStart := time.Now()
+	// The exchange I/O below runs under c.mu by design: mu IS the
+	// per-connection exchange serializer (time blocked on it is the span's
+	// Queue phase), not a data guard — gob streams cannot interleave two
+	// exchanges. connMu, the data guard, is never held across this I/O,
+	// and the conn deadline armed above bounds the hold time.
+	//lint:ignore lockhold mu is the exchange serializer; holding it across the deadline-bounded I/O is its purpose
 	if err := enc.Encode(rpcEnvelope{Requests: reqs}); err != nil {
 		return c.fail(span, reqs, conn, fmt.Errorf("fedrpc: send to %s: %w", c.addr, err))
 	}
@@ -235,6 +241,7 @@ func (c *Client) CallCtx(ctx context.Context, reqs ...Request) ([]Response, erro
 
 	decStart := time.Now()
 	var reply rpcReply
+	//lint:ignore lockhold same exchange: mu serializes the full request/reply round; the armed deadline bounds it
 	if err := dec.Decode(&reply); err != nil {
 		return c.fail(span, reqs, conn, fmt.Errorf("fedrpc: receive from %s: %w", c.addr, err))
 	}
@@ -377,6 +384,11 @@ func (c *Client) Redial() error {
 	}
 	c.connMu.Unlock()
 
+	// Dialing happens under mu only: holding the exchange serializer is
+	// what "Redial waits for in-flight Calls" means, and it keeps a
+	// concurrent Call from racing the transport swap. connMu is released,
+	// so Close and state queries stay responsive during a slow dial.
+	//lint:ignore lockhold mu blocks concurrent exchanges during the swap on purpose; connMu is not held
 	conn, err := c.dialTransport()
 	if err != nil {
 		return err

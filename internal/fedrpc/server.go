@@ -50,8 +50,8 @@ type Server struct {
 	baseCtx     context.Context
 
 	mu     sync.Mutex
-	closed bool
-	conns  map[net.Conn]struct{}
+	closed bool                  // guarded by mu
+	conns  map[net.Conn]struct{} // guarded by mu
 	wg     sync.WaitGroup
 }
 

@@ -39,8 +39,8 @@ type MountArgs struct {
 // mount is the gateway-held handle of a subgroup federation.
 type mount struct {
 	mu    sync.Mutex
-	coord *federated.Coordinator
-	fx    *federated.Matrix
+	coord *federated.Coordinator // guarded by mu
+	fx    *federated.Matrix      // guarded by mu
 }
 
 // udfMount makes the gateway worker a coordinator of the subgroup: it

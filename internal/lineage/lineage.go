@@ -45,10 +45,10 @@ func LiteralTrace(kind string, id any) string {
 type Cache struct {
 	mu      sync.Mutex
 	cap     int
-	entries map[string]*list.Element
-	order   *list.List // front = most recently used
+	entries map[string]*list.Element // guarded by mu
+	order   *list.List               // front = most recently used; guarded by mu
 
-	hits, misses int64
+	hits, misses int64 // guarded by mu
 }
 
 type cacheEntry struct {

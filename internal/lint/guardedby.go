@@ -1,0 +1,258 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// GuardedByAnalyzer enforces `// guarded by <mu>` field annotations: an
+// annotated struct field or package variable may only be read or written
+// in a function that holds the named mutex, as computed by the lock-flow
+// walk (lockflow.go). The annotation grammar (DESIGN.md §5):
+//
+//   - `// guarded by mu` on a field means the sibling mutex field of the
+//     same struct value: an access x.field requires x.mu held.
+//   - `// guarded by Type.mu` (dotted) marks a field guarded by another
+//     struct's mutex; it matches any held lock with that mutex name.
+//   - `// guarded by mu` on a package var names a package-level mutex.
+//
+// Escape hatches: functions named *Locked, functions documented
+// "callers hold <mu>", constructor-style writes through a local that is
+// only ever assigned fresh allocations (&T{...}, T{...}, new(T)) — a
+// value no other goroutine can reach yet — and, as everywhere, a
+// justified //lint:ignore.
+func GuardedByAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "guardedby",
+		Doc:  "fields annotated `// guarded by <mu>` are accessed only with the mutex held",
+		Run:  runGuardedBy,
+	}
+}
+
+func runGuardedBy(pass *Pass) {
+	guards := collectGuards(pass.Pkg)
+	if len(guards) == 0 {
+		return
+	}
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fresh := freshObjects(pass.Pkg, fd)
+			walkLocks(pass.Pkg, fd, func(n ast.Node, held *heldSet, inDefer bool) {
+				switch n := n.(type) {
+				case *ast.SelectorExpr:
+					g, ok := guards[fieldOf(pass.Pkg, n)]
+					if !ok || baseIsFresh(pass.Pkg, n.X, fresh) {
+						return
+					}
+					if g.dotted {
+						if held.holdsNamed(g.mu) {
+							return
+						}
+					} else if held.holds(exprToken(pass.Pkg, n.X), g.mu) {
+						return
+					}
+					pass.Reportf(n.Sel.Pos(),
+						"%s (guarded by %s) accessed without holding %s",
+						types.ExprString(n), g.display, g.display)
+				case *ast.Ident:
+					obj := pass.Pkg.Info.Uses[n]
+					// Only package-level vars: field idents reached here
+					// are composite-literal keys, and a composite literal
+					// constructs a fresh value.
+					if v, isVar := obj.(*types.Var); !isVar || v.IsField() {
+						return
+					}
+					g, ok := guards[obj]
+					if !ok {
+						return
+					}
+					if held.holds("", g.mu) || held.holdsNamed(g.mu) {
+						return
+					}
+					pass.Reportf(n.Pos(),
+						"%s (guarded by %s) accessed without holding %s",
+						n.Name, g.display, g.display)
+				}
+			})
+		}
+	}
+}
+
+// guardSpec is one parsed `// guarded by <mu>` annotation.
+type guardSpec struct {
+	mu      string // mutex name (last component)
+	dotted  bool   // written Type.mu: match by mutex name on any receiver
+	display string // annotation text as written
+}
+
+// collectGuards gathers guarded-by annotations from struct field and
+// package-var declarations of the package under analysis. (Annotations
+// on other packages' exported fields are enforced where they are
+// declared — the analysis is per-package.)
+func collectGuards(pkg *Package) map[types.Object]guardSpec {
+	guards := map[types.Object]guardSpec{}
+	if pkg.Info == nil {
+		return guards
+	}
+	record := func(names []*ast.Ident, cgs ...*ast.CommentGroup) {
+		spec, ok := parseGuard(cgs...)
+		if !ok {
+			return
+		}
+		for _, n := range names {
+			if obj := pkg.Info.Defs[n]; obj != nil {
+				guards[obj] = spec
+			}
+		}
+	}
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.StructType:
+				if n.Fields == nil {
+					return true
+				}
+				for _, f := range n.Fields.List {
+					record(f.Names, f.Doc, f.Comment)
+				}
+			case *ast.GenDecl:
+				if n.Tok != token.VAR {
+					return true
+				}
+				for _, s := range n.Specs {
+					if vs, ok := s.(*ast.ValueSpec); ok {
+						record(vs.Names, vs.Doc, vs.Comment)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+// parseGuard extracts the mutex spec from the first comment group
+// containing "guarded by <mu>".
+func parseGuard(cgs ...*ast.CommentGroup) (guardSpec, bool) {
+	for _, cg := range cgs {
+		if cg == nil {
+			continue
+		}
+		text := cg.Text()
+		i := strings.Index(strings.ToLower(text), "guarded by ")
+		if i < 0 {
+			continue
+		}
+		tok := text[i+len("guarded by "):]
+		if j := strings.IndexAny(tok, " \t\n,;:()"); j >= 0 {
+			tok = tok[:j]
+		}
+		tok = strings.TrimRight(tok, ".")
+		if tok == "" {
+			continue
+		}
+		spec := guardSpec{display: tok, mu: tok}
+		if k := strings.LastIndex(tok, "."); k >= 0 {
+			spec.mu = tok[k+1:]
+			spec.dotted = true
+		}
+		return spec, true
+	}
+	return guardSpec{}, false
+}
+
+// fieldOf resolves sel to the struct-field object it selects, or nil for
+// method selections, package qualifiers, and unresolved expressions.
+func fieldOf(pkg *Package, sel *ast.SelectorExpr) types.Object {
+	if pkg.Info == nil {
+		return nil
+	}
+	if s, ok := pkg.Info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		return s.Obj()
+	}
+	return nil
+}
+
+// freshObjects returns the locals of fd whose every assignment is a
+// fresh allocation (&T{...}, T{...}, new(T)): their fields cannot be
+// shared with another goroutine yet, so constructor-style writes are
+// exempt from guardedby.
+func freshObjects(pkg *Package, fd *ast.FuncDecl) map[types.Object]bool {
+	if pkg.Info == nil {
+		return nil
+	}
+	fresh := map[types.Object]bool{}
+	tainted := map[types.Object]bool{}
+	mark := func(lhs, rhs ast.Expr) {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return
+		}
+		obj := pkg.Info.ObjectOf(id)
+		if obj == nil || obj.Pos() < fd.Pos() || obj.Pos() > fd.End() {
+			return // not a local of this function
+		}
+		if rhs != nil && isFreshAlloc(rhs) {
+			fresh[obj] = true
+		} else {
+			tainted[obj] = true
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i := range n.Lhs {
+					mark(n.Lhs[i], n.Rhs[i])
+				}
+			} else {
+				for _, l := range n.Lhs {
+					mark(l, nil)
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range n.Names {
+				if i < len(n.Values) {
+					mark(name, n.Values[i])
+				}
+			}
+		}
+		return true
+	})
+	for o := range tainted {
+		delete(fresh, o)
+	}
+	return fresh
+}
+
+func isFreshAlloc(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		return e.Op == token.AND && isFreshAlloc(e.X)
+	case *ast.CallExpr:
+		return calleeName(e) == "new"
+	}
+	return false
+}
+
+// baseIsFresh reports whether the access goes directly through a fresh
+// local (w.field with w fresh). Deeper chains (w.inner.field) are not
+// exempt: the inner object may be shared even when w is not.
+func baseIsFresh(pkg *Package, e ast.Expr, fresh map[types.Object]bool) bool {
+	if len(fresh) == 0 {
+		return false
+	}
+	if s, ok := ast.Unparen(e).(*ast.StarExpr); ok {
+		e = s.X
+	}
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && fresh[pkg.Info.ObjectOf(id)]
+}

@@ -19,8 +19,10 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Finding is one rule violation at a source position.
@@ -41,7 +43,15 @@ func (f Finding) String() string {
 type Analyzer struct {
 	Name string
 	Doc  string
-	Run  func(pass *Pass)
+	// Run inspects one package. Packages are analyzed concurrently, so
+	// an analyzer carrying cross-package state must synchronize it
+	// itself and defer any order-dependent decision to Finish.
+	Run func(pass *Pass)
+	// Finish, when set, runs once (serially) after every package's Run
+	// has completed, on a Pass whose Pkg is nil; report through
+	// ReportPosf. Cross-package analyzers collect during Run and decide
+	// deterministically here.
+	Finish func(pass *Pass)
 }
 
 // Pass couples one analyzer invocation with one package.
@@ -60,16 +70,57 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// ReportPosf records a finding at an already-resolved position. Finish
+// hooks use it: they run without a package, on positions captured during
+// the per-package Run phase.
+func (p *Pass) ReportPosf(pos token.Position, format string, args ...any) {
+	*p.out = append(*p.out, Finding{Rule: p.rule, Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
 // Run applies every analyzer to every package and returns the surviving
-// findings (suppressed ones are dropped) sorted by file, line, and rule.
+// findings (suppressed ones are dropped) sorted by file, line, rule, and
+// message. Packages are analyzed concurrently, one worker per CPU; the
+// output is deterministic because findings are collected per package and
+// cross-package analyzers decide in their serial Finish phase.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
-	var all []Finding
-	for _, pkg := range pkgs {
-		var raw []Finding
-		for _, a := range analyzers {
-			a.Run(&Pass{Pkg: pkg, rule: a.Name, out: &raw})
+	perPkg := make([][]Finding, len(pkgs))
+	igs := make([]ignoreSet, len(pkgs))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, pkg := range pkgs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, pkg *Package) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			var raw []Finding
+			for _, a := range analyzers {
+				a.Run(&Pass{Pkg: pkg, rule: a.Name, out: &raw})
+			}
+			perPkg[i] = raw
+			igs[i] = collectIgnores(pkg)
+		}(i, pkg)
+	}
+	wg.Wait()
+
+	var finish []Finding
+	for _, a := range analyzers {
+		if a.Finish != nil {
+			a.Finish(&Pass{rule: a.Name, out: &finish})
 		}
-		ig := collectIgnores(pkg)
+	}
+
+	// Suppression is global: ignore keys are file:line, so directives
+	// collected per package merge without collisions, and Finish-phase
+	// findings are filtered by the same set.
+	ig := ignoreSet{}
+	for _, pig := range igs {
+		for k, v := range pig {
+			ig[k] = append(ig[k], v...)
+		}
+	}
+	var all []Finding
+	for _, raw := range append(perPkg, finish) {
 		for _, f := range raw {
 			if !ig.suppressed(f) {
 				all = append(all, f)
@@ -84,7 +135,10 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
 		if a.Pos.Line != b.Pos.Line {
 			return a.Pos.Line < b.Pos.Line
 		}
-		return a.Rule < b.Rule
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Msg < b.Msg
 	})
 	return all
 }
@@ -156,6 +210,8 @@ func DefaultAnalyzers() []*Analyzer {
 		SleepCancelAnalyzer(),
 		CtxFlowAnalyzer(),
 		ObsRegAnalyzer(),
+		GuardedByAnalyzer(),
+		LockHoldAnalyzer(),
 	}
 }
 

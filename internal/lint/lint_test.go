@@ -138,6 +138,14 @@ func TestObsRegFixture(t *testing.T) {
 	checkFixture(t, "obsregtd", ObsRegAnalyzer())
 }
 
+func TestGuardedByFixture(t *testing.T) {
+	checkFixture(t, "guardedbytd", GuardedByAnalyzer())
+}
+
+func TestLockHoldFixture(t *testing.T) {
+	checkFixture(t, "lockholdtd", LockHoldAnalyzer())
+}
+
 func TestSleepCancelExemptsPackageMain(t *testing.T) {
 	pkg, err := fixtureLoader(t).LoadDir(filepath.Join("testdata", "sleepmain"), "fixture/sleepmain")
 	if err != nil {
@@ -185,19 +193,140 @@ var c int
 		rule string
 		want bool
 	}{
-		{4, "ruleA", true},   // standalone directive covers the line below
-		{3, "ruleA", true},   // ...and its own line
-		{5, "ruleA", false},  // ...but not two lines down
-		{6, "ruleB", true},   // trailing form, first of a comma list
-		{6, "ruleC", true},   // ...second of the list
-		{6, "ruleA", false},  // other rules unaffected
-		{9, "ruleD", false},  // reason missing: directive is inert
+		{4, "ruleA", true},  // standalone directive covers the line below
+		{3, "ruleA", true},  // ...and its own line
+		{5, "ruleA", false}, // ...but not two lines down
+		{6, "ruleB", true},  // trailing form, first of a comma list
+		{6, "ruleC", true},  // ...second of the list
+		{6, "ruleA", false}, // other rules unaffected
+		{9, "ruleD", false}, // reason missing: directive is inert
 	}
 	for _, c := range cases {
 		f := Finding{Rule: c.rule, Pos: token.Position{Filename: "p.go", Line: c.line}}
 		if got := ig.suppressed(f); got != c.want {
 			t.Errorf("suppressed(%s@%d) = %v, want %v", c.rule, c.line, got, c.want)
 		}
+	}
+}
+
+// TestRunSuppressionAcrossPackages checks the end-to-end suppression filter
+// in Run, which analyzes packages in parallel and merges their ignore
+// directives into one set: the directive in one package must drop exactly
+// its own finding, never a sibling package's identical violation.
+func TestRunSuppressionAcrossPackages(t *testing.T) {
+	l := fixtureLoader(t)
+	write := func(dir, name, src string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dirA, dirB := t.TempDir(), t.TempDir()
+	write(dirA, "a.go", `package a
+
+func A() {
+	panic("boom") //lint:ignore nopanic fixture exercises suppression
+}
+`)
+	write(dirB, "b.go", `package b
+
+func B() {
+	panic("boom")
+}
+`)
+	pa, err := l.LoadDir(dirA, "fixture/supa")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := l.LoadDir(dirB, "fixture/supb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings := Run([]*Package{pa, pb}, []*Analyzer{NoPanicAnalyzer(nil)})
+	if len(findings) != 1 {
+		t.Fatalf("got %d findings, want exactly the unsuppressed one: %v", len(findings), findings)
+	}
+	if got := filepath.Base(findings[0].Pos.Filename); got != "b.go" {
+		t.Errorf("surviving finding is in %s, want b.go", got)
+	}
+}
+
+// TestRunDeterministicOrder runs the same multi-package analysis several
+// times: the parallel Run must produce identical, position-sorted output
+// every time regardless of goroutine scheduling.
+func TestRunDeterministicOrder(t *testing.T) {
+	l := fixtureLoader(t)
+	var pkgs []*Package
+	for _, name := range []string{"nopanictd", "goberrtd", "guardedbytd", "lockholdtd"} {
+		p, err := l.LoadDir(filepath.Join("testdata", name), "fixture/"+name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	analyzers := []*Analyzer{NoPanicAnalyzer(nil), GobErrAnalyzer(), GuardedByAnalyzer(), LockHoldAnalyzer()}
+	render := func() []string {
+		var out []string
+		for _, f := range Run(pkgs, analyzers) {
+			out = append(out, f.String())
+		}
+		return out
+	}
+	first := Run(pkgs, analyzers)
+	if len(first) == 0 {
+		t.Fatal("fixtures produced no findings; determinism test is vacuous")
+	}
+	if !sort.SliceIsSorted(first, func(i, j int) bool {
+		a, b := first[i].Pos, first[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Line < b.Line
+	}) {
+		t.Errorf("findings are not position-sorted: %v", first)
+	}
+	want := render()
+	for i := 0; i < 3; i++ {
+		if got := render(); !slicesEqual(got, want) {
+			t.Fatalf("run %d produced different output:\n%v\nvs\n%v", i+2, got, want)
+		}
+	}
+}
+
+func slicesEqual(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestLoadPatternsErrors covers the loader's failure paths: a pattern
+// escaping the module, a nonexistent directory, and a directory with no
+// buildable Go files.
+func TestLoadPatternsErrors(t *testing.T) {
+	l := fixtureLoader(t)
+	if _, err := l.LoadPatterns([]string{"../outside"}); err == nil ||
+		!strings.Contains(err.Error(), "outside module") {
+		t.Errorf("pattern escaping the module: err = %v, want 'outside module'", err)
+	}
+	if _, err := l.LoadPatterns([]string{"./no-such-dir"}); err == nil {
+		t.Error("nonexistent plain directory: no error")
+	}
+	if _, err := l.LoadPatterns([]string{"./no-such-dir/..."}); err == nil {
+		t.Error("nonexistent pattern root: no error")
+	}
+}
+
+func TestLoadDirNoGoFiles(t *testing.T) {
+	l := fixtureLoader(t)
+	if _, err := l.LoadDir(t.TempDir(), "fixture/empty"); err == nil ||
+		!strings.Contains(err.Error(), "no buildable Go files") {
+		t.Errorf("empty dir: err = %v, want 'no buildable Go files'", err)
 	}
 }
 

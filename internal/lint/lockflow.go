@@ -1,0 +1,565 @@
+package lint
+
+// Lock-flow analysis shared by the guardedby and lockhold rules: a
+// statement-ordered walk of a function body tracking which mutexes are
+// held at each point. The tracking is intraprocedural and path-aware in
+// the one way that matters for real code: each branch of an
+// if/switch/select walks a copy of the held set, branches that terminate
+// (return, break, panic) are discarded at the merge point, and surviving
+// branches merge by intersection — so the ubiquitous
+//
+//	mu.Lock()
+//	if cond {
+//		mu.Unlock()
+//		return
+//	}
+//	... // still holds mu
+//
+// idiom resolves without false positives. Loops walk their body once on a
+// copy and intersect the exit state back in (the zero-iteration case).
+//
+// Function contracts seed the entry set: a name ending in "Locked" means
+// the caller holds the relevant lock (wildcard), and a doc-comment line
+// containing "callers hold <mu>" adds that specific lock.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// heldLock identifies one mutex the walk believes is held. base is an
+// identity token for the receiver chain the mutex was locked through
+// ("" for bare identifiers such as package-level mutexes); name is the
+// mutex field or variable name.
+type heldLock struct {
+	base    string
+	name    string
+	display string // rendering for diagnostics, e.g. "c.connMu"
+}
+
+func (l heldLock) key() string { return l.base + "\x00" + l.name }
+
+// heldSet is the set of locks held at a program point. all marks
+// functions whose *Locked name promises the caller holds the relevant
+// lock without naming it.
+type heldSet struct {
+	all   bool
+	locks map[string]heldLock
+}
+
+func newHeldSet() *heldSet { return &heldSet{locks: map[string]heldLock{}} }
+
+func (h *heldSet) clone() *heldSet {
+	c := &heldSet{all: h.all, locks: make(map[string]heldLock, len(h.locks))}
+	for k, v := range h.locks {
+		c.locks[k] = v
+	}
+	return c
+}
+
+func (h *heldSet) add(l heldLock)    { h.locks[l.key()] = l }
+func (h *heldSet) remove(l heldLock) { delete(h.locks, l.key()) }
+func (h *heldSet) empty() bool       { return !h.all && len(h.locks) == 0 }
+
+// intersect reduces h to the locks held in both sets: a merge point after
+// branching control flow must assume the weaker side.
+func (h *heldSet) intersect(o *heldSet) {
+	switch {
+	case o.all:
+		return
+	case h.all:
+		h.all = false
+		h.locks = make(map[string]heldLock, len(o.locks))
+		for k, v := range o.locks {
+			h.locks[k] = v
+		}
+	default:
+		for k := range h.locks {
+			if _, ok := o.locks[k]; !ok {
+				delete(h.locks, k)
+			}
+		}
+	}
+}
+
+// holds reports whether a lock on base's mutex name is held.
+func (h *heldSet) holds(base, name string) bool {
+	if h.all {
+		return true
+	}
+	_, ok := h.locks[base+"\x00"+name]
+	return ok
+}
+
+// holdsNamed reports whether any held lock's mutex name matches,
+// regardless of the receiver it was locked through — cross-struct
+// "guarded by Type.mu" annotations can only match by name.
+func (h *heldSet) holdsNamed(name string) bool {
+	if h.all {
+		return true
+	}
+	for _, l := range h.locks {
+		if l.name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// displays returns the held locks' renderings, sorted, for diagnostics.
+func (h *heldSet) displays() []string {
+	out := make([]string, 0, len(h.locks))
+	for _, l := range h.locks {
+		out = append(out, l.display)
+	}
+	sort.Strings(out)
+	if len(out) == 0 && h.all {
+		out = []string{"a caller-held lock"}
+	}
+	return out
+}
+
+// lockVisitor observes interesting nodes (selector and identifier reads,
+// calls, channel operations, range and select statements) together with
+// the lock set held at that point. inDefer marks nodes whose evaluation
+// is delayed to function return by defer.
+type lockVisitor func(n ast.Node, held *heldSet, inDefer bool)
+
+// walkLocks runs the lock-flow walk over fd's body.
+func walkLocks(pkg *Package, fd *ast.FuncDecl, visit lockVisitor) {
+	if fd.Body == nil {
+		return
+	}
+	w := &lockWalker{pkg: pkg, visit: visit}
+	held := newHeldSet()
+	if strings.HasSuffix(fd.Name.Name, "Locked") {
+		held.all = true
+	}
+	for _, spec := range callersHoldSpecs(fd) {
+		held.add(contractLock(pkg, fd, spec))
+	}
+	w.stmts(fd.Body.List, held)
+}
+
+type lockWalker struct {
+	pkg   *Package
+	visit lockVisitor
+}
+
+// stmts walks a statement list, mutating held in place, and reports
+// whether control cannot fall off the end.
+func (w *lockWalker) stmts(list []ast.Stmt, held *heldSet) bool {
+	for _, s := range list {
+		if w.stmt(s, held) {
+			return true
+		}
+	}
+	return false
+}
+
+func (w *lockWalker) stmt(s ast.Stmt, held *heldSet) bool {
+	switch s := s.(type) {
+	case nil:
+		return false
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			if lk, acquire, ok := w.lockOp(call); ok {
+				if acquire {
+					held.add(lk)
+				} else {
+					held.remove(lk)
+				}
+				return false
+			}
+			if terminatingCall(call) {
+				w.expr(s.X, held, false)
+				return true
+			}
+		}
+		w.expr(s.X, held, false)
+	case *ast.DeferStmt:
+		if _, acquire, ok := w.lockOp(s.Call); ok && !acquire {
+			// defer mu.Unlock(): released at return; the lock stays
+			// held through the rest of the function.
+			return false
+		}
+		w.expr(s.Call, held, true)
+	case *ast.GoStmt:
+		for _, a := range s.Call.Args {
+			w.expr(a, held, false)
+		}
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			// A spawned goroutine does not inherit the caller's locks.
+			w.stmts(lit.Body.List, newHeldSet())
+		} else {
+			w.expr(s.Call.Fun, held, false)
+		}
+	case *ast.SendStmt:
+		w.visit(s, held, false)
+		w.expr(s.Chan, held, false)
+		w.expr(s.Value, held, false)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.expr(e, held, false)
+		}
+		for _, e := range s.Lhs {
+			w.expr(e, held, false)
+		}
+	case *ast.IncDecStmt:
+		w.expr(s.X, held, false)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.expr(v, held, false)
+					}
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.expr(e, held, false)
+		}
+		return true
+	case *ast.BranchStmt:
+		// break/continue/goto leave this straight-line region; dropping
+		// the branch at merge points avoids false positives after loops
+		// that unlock-and-break.
+		return true
+	case *ast.BlockStmt:
+		return w.stmts(s.List, held)
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, held)
+	case *ast.IfStmt:
+		w.stmt(s.Init, held)
+		w.expr(s.Cond, held, false)
+		body := held.clone()
+		bodyTerm := w.stmts(s.Body.List, body)
+		if s.Else == nil {
+			if !bodyTerm {
+				held.intersect(body)
+			}
+			return false
+		}
+		els := held.clone()
+		elseTerm := w.stmt(s.Else, els)
+		switch {
+		case bodyTerm && elseTerm:
+			return true
+		case bodyTerm:
+			*held = *els
+		case elseTerm:
+			*held = *body
+		default:
+			body.intersect(els)
+			*held = *body
+		}
+	case *ast.ForStmt:
+		w.stmt(s.Init, held)
+		if s.Cond != nil {
+			w.expr(s.Cond, held, false)
+		}
+		body := held.clone()
+		if !w.stmts(s.Body.List, body) {
+			w.stmt(s.Post, body)
+		}
+		held.intersect(body) // the loop may run zero times
+	case *ast.RangeStmt:
+		w.visit(s, held, false) // lockhold: range over a channel blocks
+		w.expr(s.X, held, false)
+		body := held.clone()
+		w.stmts(s.Body.List, body)
+		held.intersect(body)
+	case *ast.SwitchStmt:
+		w.stmt(s.Init, held)
+		if s.Tag != nil {
+			w.expr(s.Tag, held, false)
+		}
+		return w.caseClauses(s.Body, held, false)
+	case *ast.TypeSwitchStmt:
+		w.stmt(s.Init, held)
+		w.stmt(s.Assign, held)
+		return w.caseClauses(s.Body, held, false)
+	case *ast.SelectStmt:
+		w.visit(s, held, false) // lockhold: select without default blocks
+		return w.caseClauses(s.Body, held, true)
+	}
+	return false
+}
+
+// caseClauses walks switch/type-switch/select clause bodies, each on a
+// copy of held, and merges surviving branches by intersection.
+// exhaustive marks constructs where exactly one branch always runs
+// (select); a switch is exhaustive only when it has a default clause.
+// Reports terminated when the construct is exhaustive and every branch
+// terminates.
+func (w *lockWalker) caseClauses(body *ast.BlockStmt, held *heldSet, exhaustive bool) bool {
+	var survivors []*heldSet
+	hasDefault := false
+	for _, cl := range body.List {
+		branch := held.clone()
+		var stmts []ast.Stmt
+		switch cl := cl.(type) {
+		case *ast.CaseClause:
+			if cl.List == nil {
+				hasDefault = true
+			}
+			for _, e := range cl.List {
+				w.expr(e, branch, false)
+			}
+			stmts = cl.Body
+		case *ast.CommClause:
+			if cl.Comm == nil {
+				hasDefault = true
+			}
+			w.commStmt(cl.Comm, branch)
+			stmts = cl.Body
+		}
+		if !w.stmts(stmts, branch) {
+			survivors = append(survivors, branch)
+		}
+	}
+	exhaustive = exhaustive || hasDefault
+	if exhaustive && len(survivors) == 0 && len(body.List) > 0 {
+		return true
+	}
+	if exhaustive && len(survivors) > 0 {
+		merged := survivors[0]
+		for _, s := range survivors[1:] {
+			merged.intersect(s)
+		}
+		*held = *merged
+		return false
+	}
+	// Not exhaustive: the no-case-taken fall-through keeps the incoming
+	// set, so intersect the survivors into it.
+	for _, s := range survivors {
+		held.intersect(s)
+	}
+	return false
+}
+
+// commStmt walks a select communication statement. The channel operation
+// itself is not reported — blocking in a select is attributed to the
+// SelectStmt (and only when it has no default clause).
+func (w *lockWalker) commStmt(s ast.Stmt, held *heldSet) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.SendStmt:
+		w.expr(s.Chan, held, false)
+		w.expr(s.Value, held, false)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.commExpr(e, held)
+		}
+		for _, e := range s.Lhs {
+			w.expr(e, held, false)
+		}
+	case *ast.ExprStmt:
+		w.commExpr(s.X, held)
+	}
+}
+
+func (w *lockWalker) commExpr(e ast.Expr, held *heldSet) {
+	if u, ok := ast.Unparen(e).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+		w.expr(u.X, held, false)
+		return
+	}
+	w.expr(e, held, false)
+}
+
+// expr visits an expression tree, reporting interesting nodes. FuncLits
+// run where they are written in this codebase (immediately, or via
+// same-goroutine helpers), so they walk on a copy of the current set;
+// go-statement literals are handled by the statement walk and start
+// empty.
+func (w *lockWalker) expr(e ast.Expr, held *heldSet, inDefer bool) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			w.stmts(n.Body.List, held.clone())
+			return false
+		case *ast.SelectorExpr:
+			w.visit(n, held, inDefer)
+			w.expr(n.X, held, inDefer)
+			return false
+		case *ast.CallExpr:
+			w.visit(n, held, inDefer)
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				w.visit(n, held, inDefer)
+			}
+		case *ast.Ident:
+			w.visit(n, held, inDefer)
+		}
+		return true
+	})
+}
+
+// lockOp recognizes mu.Lock/RLock/Unlock/RUnlock calls on sync.Mutex or
+// sync.RWMutex values and returns the lock identity and direction.
+func (w *lockWalker) lockOp(call *ast.CallExpr) (lk heldLock, acquire, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel || len(call.Args) != 0 {
+		return heldLock{}, false, false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		acquire = true
+	case "Unlock", "RUnlock":
+	default:
+		return heldLock{}, false, false
+	}
+	if !isMutexType(w.pkg.TypeOf(sel.X)) {
+		return heldLock{}, false, false
+	}
+	lk = heldLock{display: types.ExprString(sel.X)}
+	switch recv := ast.Unparen(sel.X).(type) {
+	case *ast.SelectorExpr:
+		lk.base = exprToken(w.pkg, recv.X)
+		lk.name = recv.Sel.Name
+	case *ast.Ident:
+		lk.name = recv.Name
+	default:
+		lk.base = exprToken(w.pkg, recv)
+		lk.name = lk.display
+	}
+	return lk, acquire, true
+}
+
+// isMutexType reports whether t is (a pointer to) sync.Mutex or
+// sync.RWMutex.
+func isMutexType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}
+
+// exprToken renders an identity token for a receiver chain. Identifiers
+// resolve to their declaration position so the same variable matches
+// under any spelling scope; everything else falls back to source text.
+func exprToken(pkg *Package, e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if pkg.Info != nil {
+			if obj := pkg.Info.ObjectOf(e); obj != nil {
+				return objToken(obj)
+			}
+		}
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprToken(pkg, e.X) + "." + e.Sel.Name
+	case *ast.StarExpr:
+		return exprToken(pkg, e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return exprToken(pkg, e.X)
+		}
+	}
+	return types.ExprString(e)
+}
+
+func objToken(obj types.Object) string { return fmt.Sprintf("@%d", obj.Pos()) }
+
+// terminatingCall recognizes calls that do not return: panic and the
+// conventional fatal-exit helpers.
+func terminatingCall(call *ast.CallExpr) bool {
+	switch calleeName(call) {
+	case "panic", "Exit", "Fatal", "Fatalf", "Fatalln", "Goexit":
+		return true
+	}
+	return false
+}
+
+// callersHoldSpecs extracts the lock expressions of "callers hold <mu>"
+// (or "caller holds / callers must hold") doc-comment contracts.
+func callersHoldSpecs(fd *ast.FuncDecl) []string {
+	if fd.Doc == nil {
+		return nil
+	}
+	text := fd.Doc.Text()
+	lower := strings.ToLower(text)
+	var out []string
+	for _, marker := range []string{"callers hold ", "caller holds ", "callers must hold ", "caller must hold "} {
+		for base := 0; ; {
+			i := strings.Index(lower[base:], marker)
+			if i < 0 {
+				break
+			}
+			start := base + i + len(marker)
+			tok := text[start:]
+			if j := strings.IndexAny(tok, " \t\n,;:)"); j >= 0 {
+				tok = tok[:j]
+			}
+			if tok = strings.TrimRight(tok, "."); tok != "" {
+				out = append(out, tok)
+			}
+			base = start
+		}
+	}
+	return out
+}
+
+// contractLock resolves a "callers hold" spec ("mu", "c.mu",
+// "s.replayMu") to a held lock, binding the base to the receiver or a
+// parameter when the spec names one.
+func contractLock(pkg *Package, fd *ast.FuncDecl, spec string) heldLock {
+	lk := heldLock{display: spec, name: spec}
+	base := ""
+	if i := strings.LastIndex(spec, "."); i >= 0 {
+		base, lk.name = spec[:i], spec[i+1:]
+	}
+	if base == "" {
+		// Bare "callers hold mu" on a method means a receiver field.
+		if obj := paramObj(pkg, fd, ""); obj != nil {
+			lk.base = objToken(obj)
+		}
+		return lk
+	}
+	if obj := paramObj(pkg, fd, base); obj != nil {
+		lk.base = objToken(obj)
+	} else {
+		lk.base = base
+	}
+	return lk
+}
+
+// paramObj resolves name among fd's receiver and parameters; an empty
+// name resolves to the receiver.
+func paramObj(pkg *Package, fd *ast.FuncDecl, name string) types.Object {
+	if pkg.Info == nil {
+		return nil
+	}
+	lists := []*ast.FieldList{fd.Recv, fd.Type.Params}
+	for li, fl := range lists {
+		if fl == nil {
+			continue
+		}
+		for _, f := range fl.List {
+			for _, id := range f.Names {
+				if id.Name == name || (name == "" && li == 0) {
+					return pkg.Info.Defs[id]
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,154 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// LockHoldAnalyzer flags blocking operations performed while a mutex is
+// held: channel sends and receives, select without a default clause,
+// range over a channel, sync.WaitGroup.Wait, fedrpc exchanges
+// (Call/CallCtx/CallOne/CallOneCtx on a type named Client), raw conn
+// Read/Write, gob Encode/Decode, and anything whose callee name contains
+// "dial". At the paper's 35–60 ms WAN RTT, a blocking call inside a
+// critical section stretches every contending goroutine's wait to
+// network latency; in the coordinator's retry/replay paths it is also a
+// deadlock hazard. Holding a lock across I/O that is genuinely the
+// type's contract (the fedrpc exchange serializer) carries a justified
+// //lint:ignore instead.
+//
+// Deferred calls are not flagged: defers run at return, where the lock
+// order is governed by the defer stack, not the statement position.
+func LockHoldAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "lockhold",
+		Doc:  "no blocking operation (network I/O, RPC, channel op, Wait) while a mutex is held",
+		Run:  runLockHold,
+	}
+}
+
+func runLockHold(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			walkLocks(pass.Pkg, fd, func(n ast.Node, held *heldSet, inDefer bool) {
+				if held.empty() || inDefer {
+					return
+				}
+				desc := ""
+				switch n := n.(type) {
+				case *ast.SendStmt:
+					desc = "channel send"
+				case *ast.UnaryExpr:
+					if n.Op == token.ARROW {
+						desc = "channel receive"
+					}
+				case *ast.RangeStmt:
+					if t := pass.Pkg.TypeOf(n.X); t != nil {
+						if _, isChan := t.Underlying().(*types.Chan); isChan {
+							desc = "range over channel"
+						}
+					}
+				case *ast.SelectStmt:
+					if !hasDefaultClause(n.Body) {
+						desc = "blocking select"
+					}
+				case *ast.CallExpr:
+					desc = blockingCall(pass.Pkg, n)
+				}
+				if desc == "" {
+					return
+				}
+				pass.Reportf(n.Pos(),
+					"%s while holding %s; release the lock first, or every contender waits out the blocked peer",
+					desc, strings.Join(held.displays(), ", "))
+			})
+		}
+	}
+}
+
+// blockingCall classifies call as a potentially unbounded blocking
+// operation and returns a description, or "".
+func blockingCall(pkg *Package, call *ast.CallExpr) string {
+	name := calleeName(call)
+	if name == "" {
+		return ""
+	}
+	if strings.Contains(strings.ToLower(name), "dial") {
+		return name + " (dials)"
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	recv := pkg.TypeOf(sel.X)
+	if recv == nil {
+		return ""
+	}
+	switch name {
+	case "Wait":
+		// sync.Cond.Wait is excluded: it requires the lock by contract.
+		if isNamedType(recv, "sync", "WaitGroup") {
+			return "WaitGroup.Wait"
+		}
+	case "Call", "CallCtx", "CallOne", "CallOneCtx":
+		// Matched by type name, like obsreg's Registry, so fixtures and
+		// wrappers with their own Client type are covered too.
+		if isTypeNamed(recv, "Client") {
+			return "RPC " + name
+		}
+	case "Read", "Write":
+		if isConnLike(recv, pkg) {
+			return "conn " + name
+		}
+	case "Encode", "Decode":
+		if isNamedType(recv, "encoding/gob", "Encoder") ||
+			isNamedType(recv, "encoding/gob", "Decoder") {
+			return "gob " + name
+		}
+	}
+	return ""
+}
+
+// isNamedType reports whether t is (a pointer to) the named type
+// pkgPath.name.
+func isNamedType(t types.Type, pkgPath, name string) bool {
+	named := namedOf(t)
+	if named == nil {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// isTypeNamed reports whether t is (a pointer to) a named type with the
+// given bare name, in any package.
+func isTypeNamed(t types.Type, name string) bool {
+	named := namedOf(t)
+	return named != nil && named.Obj().Name() == name
+}
+
+func namedOf(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+func hasDefaultClause(body *ast.BlockStmt) bool {
+	for _, cl := range body.List {
+		if cc, ok := cl.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}

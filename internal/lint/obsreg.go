@@ -5,6 +5,8 @@ import (
 	"go/constant"
 	"go/token"
 	"go/types"
+	"sort"
+	"sync"
 )
 
 // ObsRegAnalyzer enforces single-site registration of constant-named
@@ -16,11 +18,17 @@ import (
 // Dynamically built names (per-request-type, per-opcode) are exempt: their
 // call sites are the shared helper.
 //
-// The check is cross-package: the analyzer keeps the first site of every
-// constant name across all packages of one exdralint run and reports the
-// duplicates where they appear.
+// The check is cross-package: Run (which executes concurrently, one
+// goroutine per package) only collects the call sites; Finish sorts them
+// and reports every site of a name except the lexicographically first,
+// so the output is deterministic regardless of analysis order.
 func ObsRegAnalyzer() *Analyzer {
-	firstSite := map[string]token.Position{}
+	var mu sync.Mutex
+	type site struct {
+		name string
+		pos  token.Position
+	}
+	var sites []site
 	return &Analyzer{
 		Name: "obsreg",
 		Doc:  "constant obs histogram names must be registered at exactly one call site",
@@ -36,15 +44,38 @@ func ObsRegAnalyzer() *Analyzer {
 						return true
 					}
 					pos := pass.Pkg.Fset.Position(call.Pos())
-					if prev, dup := firstSite[name]; dup {
-						pass.Reportf(call.Pos(),
-							"histogram %q is already registered at %s:%d; the first registration wins the bucket layout, so share one call site",
-							name, prev.Filename, prev.Line)
-						return true
-					}
-					firstSite[name] = pos
+					mu.Lock()
+					sites = append(sites, site{name: name, pos: pos})
+					mu.Unlock()
 					return true
 				})
+			}
+		},
+		Finish: func(pass *Pass) {
+			sort.Slice(sites, func(i, j int) bool {
+				a, b := sites[i], sites[j]
+				if a.name != b.name {
+					return a.name < b.name
+				}
+				if a.pos.Filename != b.pos.Filename {
+					return a.pos.Filename < b.pos.Filename
+				}
+				if a.pos.Line != b.pos.Line {
+					return a.pos.Line < b.pos.Line
+				}
+				return a.pos.Column < b.pos.Column
+			})
+			for i, s := range sites {
+				if i == 0 || sites[i-1].name != s.name {
+					continue // the first site of each name wins
+				}
+				first := sites[i-1]
+				for j := i - 1; j >= 0 && sites[j].name == s.name; j-- {
+					first = sites[j]
+				}
+				pass.ReportPosf(s.pos,
+					"histogram %q is already registered at %s:%d; the first registration wins the bucket layout, so share one call site",
+					s.name, first.pos.Filename, first.pos.Line)
 			}
 		},
 	}

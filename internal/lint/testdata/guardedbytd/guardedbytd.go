@@ -1,0 +1,115 @@
+// Package guardedbytd is a guardedby rule fixture: fields annotated
+// `// guarded by <mu>` must only be accessed with the mutex held.
+package guardedbytd
+
+import "sync"
+
+// registry mimics a mutex-guarded struct.
+type registry struct {
+	mu sync.Mutex
+	// count is the running total.
+	count int // guarded by mu
+	// name is set at construction and immutable after; unannotated.
+	name string
+}
+
+func (r *registry) good() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.count
+}
+
+func (r *registry) bad() int {
+	return r.count // want guardedby
+}
+
+func (r *registry) badWrite() {
+	r.count = 1 // want guardedby
+}
+
+func (r *registry) unlockInBranch(cond bool) int {
+	r.mu.Lock()
+	if cond {
+		r.mu.Unlock()
+		return -1
+	}
+	n := r.count // mu is held on this path: no finding
+	r.mu.Unlock()
+	return n
+}
+
+func (r *registry) afterUnlock() int {
+	r.mu.Lock()
+	n := r.count
+	r.mu.Unlock()
+	return n + r.count // want guardedby
+}
+
+// countLocked returns the total; the *Locked suffix promises the caller
+// holds r.mu.
+func (r *registry) countLocked() int { return r.count }
+
+// peek reads the total.
+//
+// Callers hold r.mu for the duration.
+func (r *registry) peek() int { return r.count }
+
+func (r *registry) goroutineDoesNotInherit() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	go func() {
+		_ = r.count // want guardedby
+	}()
+}
+
+func newRegistry(name string) *registry {
+	r := &registry{}
+	r.count = 1 // fresh object: constructor writes are exempt
+	r.name = name
+	return r
+}
+
+func (r *registry) suppressedRead() int {
+	//lint:ignore guardedby single-goroutine init path, caller documents exclusivity
+	return r.count
+}
+
+// rw covers RWMutex locking and cross-struct (dotted) annotations.
+type rw struct {
+	mu sync.RWMutex
+	m  map[string]int // guarded by mu
+}
+
+// item is owned by an rw container.
+type item struct {
+	hits int // guarded by rw.mu
+}
+
+func (s *rw) read(k string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.m[k]
+}
+
+func (s *rw) crossStruct(it *item) {
+	s.mu.Lock()
+	it.hits++ // rw.mu held: the dotted annotation matches by mutex name
+	s.mu.Unlock()
+	it.hits++ // want guardedby
+}
+
+var (
+	pkgMu sync.Mutex
+	// pkgReg maps names to ids.
+	pkgReg = map[string]int{} // guarded by pkgMu
+)
+
+func pkgGood(k string) int {
+	pkgMu.Lock()
+	defer pkgMu.Unlock()
+	return pkgReg[k]
+}
+
+func pkgBad(k string) int {
+	return pkgReg[k] // want guardedby
+}

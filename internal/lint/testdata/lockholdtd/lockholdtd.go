@@ -1,0 +1,121 @@
+// Package lockholdtd is a lockhold rule fixture: no blocking operation
+// (channel op, Wait, RPC, conn I/O, dial) while a mutex is held.
+package lockholdtd
+
+import (
+	"net"
+	"sync"
+)
+
+// Client mimics the fedrpc client type: the rule matches exchange
+// methods by receiver type name.
+type Client struct{}
+
+// Call mimics a blocking exchange.
+func (c *Client) Call(req string) error { return nil }
+
+// CallCtx mimics a blocking exchange.
+func (c *Client) CallCtx(req string) error { return nil }
+
+type svc struct {
+	mu sync.Mutex
+	wg sync.WaitGroup
+	ch chan int
+	cl *Client
+}
+
+func (s *svc) sendUnderLock(v int) {
+	s.mu.Lock()
+	s.ch <- v // want lockhold
+	s.mu.Unlock()
+}
+
+func (s *svc) sendAfterUnlock(v int) {
+	s.mu.Lock()
+	s.mu.Unlock()
+	s.ch <- v
+}
+
+func (s *svc) recvUnderLock() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return <-s.ch // want lockhold
+}
+
+func (s *svc) rpcUnderLock() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cl.Call("x") // want lockhold
+}
+
+func (s *svc) waitUnderLock() {
+	s.mu.Lock()
+	s.wg.Wait() // want lockhold
+	s.mu.Unlock()
+}
+
+func (s *svc) waitOutsideLock() {
+	s.mu.Lock()
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+func (s *svc) selectUnderLock() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want lockhold
+	case v := <-s.ch:
+		return v
+	}
+}
+
+func (s *svc) selectWithDefaultIsFine() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case v := <-s.ch:
+		return v
+	default:
+		return 0
+	}
+}
+
+func (s *svc) connWriteUnderLock(c net.Conn, p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return c.Write(p) // want lockhold
+}
+
+func (s *svc) dialUnderLock(addr string) (net.Conn, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return net.Dial("tcp", addr) // want lockhold
+}
+
+func (s *svc) rangeChanUnderLock() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for v := range s.ch { // want lockhold
+		n += v
+	}
+	return n
+}
+
+func (s *svc) suppressed() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//lint:ignore lockhold exchange serializer: holding mu across the exchange is this type's contract
+	return s.cl.CallCtx("x")
+}
+
+func (s *svc) unlockInBranchThenSend(cond bool, v int) {
+	s.mu.Lock()
+	if cond {
+		s.mu.Unlock()
+		s.ch <- v
+		return
+	}
+	s.mu.Unlock()
+	s.ch <- v
+}

@@ -3,8 +3,8 @@
 package sleeptd
 
 import (
-	clock "time"
 	"time"
+	clock "time"
 )
 
 func bareSleep() {

@@ -189,7 +189,7 @@ type Node struct {
 	Capacity int
 
 	mu   sync.Mutex
-	load int
+	load int // guarded by mu
 }
 
 // Load returns the node's current placement load.
@@ -211,11 +211,11 @@ type Placement struct {
 // and go (the paper's operator re-assignment under topology changes).
 type Instance struct {
 	mu         sync.Mutex
-	nodes      []*Node
-	sources    map[string]func() Source
-	sinks      map[string]*FileSink
-	queries    map[string]*Query
-	placements map[string]*Placement
+	nodes      []*Node                  // slice immutable after NewInstance; Node.load has its own lock
+	sources    map[string]func() Source // guarded by mu
+	sinks      map[string]*FileSink     // guarded by mu
+	queries    map[string]*Query        // guarded by mu
+	placements map[string]*Placement    // guarded by mu
 }
 
 // NewInstance builds an instance over the given topology nodes.

@@ -22,13 +22,14 @@ type FileSink struct {
 	// RetentionAge drops tuples whose TS is older than newestTS - age
 	// (0 = unbounded).
 	retentionAge int64
-	buf          []Tuple
+	buf          []Tuple // guarded by mu
 	path         string
-	file         *os.File
-	w            *bufio.Writer
+	file         *os.File      // guarded by mu
+	w            *bufio.Writer // guarded by mu
 	// stats are the incrementally maintained per-channel aggregates over
 	// the retained tuples (ExDRa §4.4, incremental maintenance of cached
 	// intermediates under appends and retention-driven deletions).
+	// Guarded by mu.
 	stats *matrix.IncrementalStats
 }
 

@@ -109,13 +109,13 @@ type FaultStats struct {
 // from the schedule.
 type Faults struct {
 	mu         sync.Mutex
-	cfg        FaultConfig
-	rng        *rand.Rand
-	resetsLeft int
-	dropsLeft  int
-	stallsLeft int
-	resetAddrs map[string]bool // addresses already reset (ResetPerAddr)
-	stats      FaultStats
+	cfg        FaultConfig     // immutable after NewFaults
+	rng        *rand.Rand      // guarded by mu
+	resetsLeft int             // guarded by mu
+	dropsLeft  int             // guarded by mu
+	stallsLeft int             // guarded by mu
+	resetAddrs map[string]bool // addresses already reset (ResetPerAddr); guarded by mu
+	stats      FaultStats      // guarded by mu
 }
 
 // NewFaults compiles a fault schedule from cfg.
@@ -203,22 +203,26 @@ type conn struct {
 	mu sync.Mutex
 	// nextFree is the emulated time at which the link becomes free again;
 	// a write completing at time t makes the link busy until t + len/bw.
+	// Guarded by mu.
 	nextFree time.Time
 	// lastWrite tracks burst boundaries: a write more than burstGap after
 	// the previous one is a new message burst and pays one-way latency.
+	// Guarded by mu.
 	lastWrite time.Time
 	// wdeadline mirrors the most recent SetDeadline/SetWriteDeadline so
 	// the emulated delay can be cut short when the caller's deadline
-	// expires first.
+	// expires first. Guarded by mu.
 	wdeadline time.Time
 	// written counts bytes attempted through Write, for the reset
-	// threshold.
+	// threshold. Guarded by mu.
 	written int64
 	// resetAt is this connection's planned reset threshold (0 = none).
+	// Guarded by mu.
 	resetAt int64
-	// stall is the pending one-shot first-write stall window.
+	// stall is the pending one-shot first-write stall window. Guarded by mu.
 	stall time.Duration
 	// broken is the sticky error after an injected fault killed the conn.
+	// Guarded by mu.
 	broken error
 }
 

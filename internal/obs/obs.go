@@ -117,14 +117,14 @@ func (h *Histogram) snapshot() HistogramSnapshot {
 // Default).
 type Registry struct {
 	mu       sync.RWMutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	hists    map[string]*Histogram
+	counters map[string]*Counter   // guarded by mu
+	gauges   map[string]*Gauge     // guarded by mu
+	hists    map[string]*Histogram // guarded by mu
 
 	spanMu   sync.Mutex
-	spans    []Span // ring of recent RPC spans
-	spanNext int
-	spanLen  int
+	spans    []Span // ring of recent RPC spans; guarded by spanMu
+	spanNext int    // guarded by spanMu
+	spanLen  int    // guarded by spanMu
 }
 
 // New creates an empty registry.

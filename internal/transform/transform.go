@@ -274,7 +274,7 @@ func (m *Meta) code(col *frame.Column, cs ColumnSpec, i int) (int, error) {
 		if math.IsNaN(f) || f < 0 {
 			f = 0
 		} else if f > float64(nb-1) {
-			f = float64(nb-1)
+			f = float64(nb - 1)
 		}
 		return int(f) + 1, nil
 	case Hash:

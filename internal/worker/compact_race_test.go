@@ -1,0 +1,52 @@
+package worker
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"exdra/internal/fedrpc"
+	"exdra/internal/privacy"
+)
+
+// TestCompactConcurrentAccess ping-pongs Compact against concurrent GET and
+// Matrix access on the same binding. Compact swaps Entry.Mat/Entry.Comp in
+// place under the worker mutex; readers that skip the lock can catch the
+// mid-swap instant where both fields look nil and silently misclassify a
+// matrix as a scalar (GET) or read a stale pointer. Run with -race this
+// test fails on any unlocked reader; without -race it still catches the
+// misclassification when the interleaving hits.
+func TestCompactConcurrentAccess(t *testing.T) {
+	w := New("")
+	rng := rand.New(rand.NewSource(7))
+	m := onehot(rng, 200, 8)
+	put(t, w, 1, m, privacy.Public)
+
+	const rounds = 200
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			w.Compact(1.2)                         // dense -> compressed
+			if _, err := w.Matrix(1); err != nil { // compressed -> dense
+				t.Errorf("Matrix during compaction: %v", err)
+				return
+			}
+		}
+	}()
+
+	for i := 0; i < rounds; i++ {
+		resp := w.handleGet(fedrpc.Request{Type: fedrpc.Get, ID: 1})
+		if !resp.OK {
+			t.Fatalf("GET during compaction: %s", resp.Err)
+		}
+		if resp.Data.Kind != fedrpc.PayloadMatrix {
+			t.Fatalf("GET during compaction returned payload kind %d, want matrix", resp.Data.Kind)
+		}
+		if got := resp.Data.Matrix(); got.Rows() != 200 || got.Cols() != 8 {
+			t.Fatalf("GET during compaction returned %dx%d matrix", got.Rows(), got.Cols())
+		}
+	}
+	wg.Wait()
+}

@@ -22,7 +22,7 @@ type UDF func(w *Worker, call *fedrpc.UDFCall) (fedrpc.Payload, error)
 
 var (
 	udfMu  sync.RWMutex
-	udfReg = map[string]UDF{}
+	udfReg = map[string]UDF{} // guarded by udfMu
 )
 
 // MustRegisterUDF registers fn under name. Registering a duplicate name

@@ -56,10 +56,19 @@ func udfObjDims(w *Worker, call *fedrpc.UDFCall) (fedrpc.Payload, error) {
 	if err != nil {
 		return fedrpc.Payload{}, err
 	}
+	// Snapshot under the lock: Compact swaps Mat/Comp in place, and both
+	// carry the dimensions — a compacted matrix must not degrade to the
+	// scalar [1,1] answer.
+	w.mu.RLock()
+	mat, comp := e.Mat, e.Comp
+	w.mu.RUnlock()
 	switch {
-	case e.Mat != nil:
+	case mat != nil:
 		return fedrpc.MatrixPayload(matrix.RowVector([]float64{
-			float64(e.Mat.Rows()), float64(e.Mat.Cols())})), nil
+			float64(mat.Rows()), float64(mat.Cols())})), nil
+	case comp != nil:
+		return fedrpc.MatrixPayload(matrix.RowVector([]float64{
+			float64(comp.Rows()), float64(comp.Cols())})), nil
 	case e.Fr != nil:
 		return fedrpc.MatrixPayload(matrix.RowVector([]float64{
 			float64(e.Fr.NumRows()), float64(e.Fr.NumCols())})), nil
@@ -191,11 +200,16 @@ func udfFrameNumRows(w *Worker, call *fedrpc.UDFCall) (fedrpc.Payload, error) {
 	if err != nil {
 		return fedrpc.Payload{}, err
 	}
+	w.mu.RLock()
+	mat, comp := e.Mat, e.Comp
+	w.mu.RUnlock()
 	switch {
 	case e.Fr != nil:
 		return fedrpc.ScalarPayload(float64(e.Fr.NumRows())), nil
-	case e.Mat != nil:
-		return fedrpc.ScalarPayload(float64(e.Mat.Rows())), nil
+	case mat != nil:
+		return fedrpc.ScalarPayload(float64(mat.Rows())), nil
+	case comp != nil:
+		return fedrpc.ScalarPayload(float64(comp.Rows())), nil
 	default:
 		return fedrpc.Payload{}, fmt.Errorf("frame_nrows: object %d has no rows", call.Inputs[0])
 	}

@@ -29,7 +29,11 @@ import (
 // holds opaque execution-context state (e.g. a parameter-server worker
 // session) that UDFs manage and that is never transferable via GET.
 type Entry struct {
-	Mat    *matrix.Dense
+	// Mat and Comp are the two representations of a matrix binding and are
+	// swapped in place by Compact and Matrix; unlike the other fields (set
+	// once before the entry is published) they mutate after Put, so both are
+	// guarded by Worker.mu.
+	Mat    *matrix.Dense // guarded by Worker.mu
 	Fr     *frame.Frame
 	Scalar float64
 	IsScal bool
@@ -40,7 +44,7 @@ type Entry struct {
 	// operations (rightIndex) propagate the relevant slice.
 	ColLevels []privacy.Level
 	// Comp holds the matrix in compressed form after Compact; Matrix
-	// transparently decompresses on access.
+	// transparently decompresses on access. Guarded by Worker.mu.
 	Comp *matrix.Compressed
 }
 
@@ -54,6 +58,9 @@ func (e *Entry) effectiveLevel() privacy.Level {
 	return level
 }
 
+// describe renders a short human-readable form of the binding for error
+// messages and privacy-violation reports. Callers hold mu (the owning
+// Worker's) because Mat and Comp swap under it.
 func (e *Entry) describe() string {
 	switch {
 	case e.Mat != nil:
@@ -81,7 +88,7 @@ type Worker struct {
 	epoch uint64
 
 	mu     sync.RWMutex
-	symtab map[int64]*Entry
+	symtab map[int64]*Entry // guarded by mu (and Entry.Mat/Comp swaps)
 
 	// Lineage caches reusable intermediates (e.g. parsed raw files and
 	// recode maps) across pipeline runs, per ExDRa §4.4.
@@ -149,18 +156,30 @@ func (w *Worker) Matrix(id int64) (*matrix.Dense, error) {
 	if err != nil {
 		return nil, err
 	}
+	w.mu.RLock()
+	m := e.Mat
+	w.mu.RUnlock()
+	if m != nil {
+		return m, nil
+	}
+	// Slow path: decompress under the write lock and hand back the pointer
+	// captured while still holding it — Compact may swap Mat out again the
+	// instant the lock drops, but our snapshot stays valid (Compact never
+	// mutates the dense buffer, it only unlinks it).
+	w.mu.Lock()
 	if e.Mat == nil && e.Comp != nil {
-		w.mu.Lock()
-		if e.Mat == nil && e.Comp != nil {
-			e.Mat = e.Comp.Decompress()
-			e.Comp = nil
-		}
-		w.mu.Unlock()
+		e.Mat = e.Comp.Decompress()
+		e.Comp = nil
 	}
-	if e.Mat == nil {
-		return nil, fmt.Errorf("worker: object %d is not a matrix (%s)", id, e.describe())
+	m = e.Mat
+	w.mu.Unlock()
+	if m == nil {
+		w.mu.RLock()
+		desc := e.describe()
+		w.mu.RUnlock()
+		return nil, fmt.Errorf("worker: object %d is not a matrix (%s)", id, desc)
 	}
-	return e.Mat, nil
+	return m, nil
 }
 
 // Frame returns the frame bound to id.
@@ -170,7 +189,10 @@ func (w *Worker) Frame(id int64) (*frame.Frame, error) {
 		return nil, err
 	}
 	if e.Fr == nil {
-		return nil, fmt.Errorf("worker: object %d is not a frame (%s)", id, e.describe())
+		w.mu.RLock()
+		desc := e.describe()
+		w.mu.RUnlock()
+		return nil, fmt.Errorf("worker: object %d is not a frame (%s)", id, desc)
 	}
 	return e.Fr, nil
 }
@@ -375,14 +397,23 @@ func (w *Worker) handleGet(req fedrpc.Request) fedrpc.Response {
 	if err != nil {
 		return fedrpc.Errorf("GET: %v", err)
 	}
-	if err := privacy.CheckTransfer(e.effectiveLevel(), e.describe()); err != nil {
+	// Snapshot the Mat/Comp pair under the lock: Compact swaps them in
+	// place, and an unlocked reader can catch the moment where both look
+	// nil and misclassify a matrix as a scalar. The snapshot pointers stay
+	// valid after release (the buffers themselves are immutable), so the
+	// expensive Decompress runs outside the lock.
+	w.mu.RLock()
+	mat, comp := e.Mat, e.Comp
+	desc := e.describe()
+	w.mu.RUnlock()
+	if err := privacy.CheckTransfer(e.effectiveLevel(), desc); err != nil {
 		return fedrpc.Errorf("GET %d: %v", req.ID, err)
 	}
 	switch {
-	case e.Mat != nil:
-		return fedrpc.Response{OK: true, Data: fedrpc.MatrixPayload(e.Mat)}
-	case e.Comp != nil:
-		return fedrpc.Response{OK: true, Data: fedrpc.MatrixPayload(e.Comp.Decompress())}
+	case mat != nil:
+		return fedrpc.Response{OK: true, Data: fedrpc.MatrixPayload(mat)}
+	case comp != nil:
+		return fedrpc.Response{OK: true, Data: fedrpc.MatrixPayload(comp.Decompress())}
 	case e.Fr != nil:
 		return fedrpc.Response{OK: true, Data: fedrpc.FramePayload(e.Fr)}
 	case e.Obj != nil:
