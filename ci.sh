@@ -20,7 +20,14 @@
 #                      spans, concurrent Stats/snapshot reads) re-run
 #                      uncached under -race for the same reason;
 #   8. /metrics smoke — a real fedworker process is spawned with
-#                      -metrics-addr and its endpoint is scraped once.
+#                      -metrics-addr and its endpoint is scraped once;
+#   9. bench smoke    — expbench -smoke regenerates BENCH_smoke.json
+#                      (FedLAN transfer + LM under the binary wire format)
+#                      and -compare gates the fresh encode+decode phase
+#                      seconds against the committed snapshot at 2x, so a
+#                      serialization regression fails CI before it lands.
+#                      On success the committed snapshot is refreshed, so
+#                      the baseline tracks the current machine.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -57,3 +64,10 @@ echo "$scrape" | grep -q 'process.uptime_seconds' || { echo "ci.sh: /metrics is 
 echo "$scrape" | grep -q 'process.goroutines' || { echo "ci.sh: /metrics is missing process.goroutines" >&2; exit 1; }
 kill "$worker_pid"
 echo "ci.sh: /metrics smoke test passed ($metrics_url)"
+
+# Bench smoke: regenerate the serialization snapshot and gate enc+dec
+# seconds against the committed baseline (see BENCH_smoke.json).
+go run ./cmd/expbench -smoke -json "$tmp/BENCH_smoke.json"
+go run ./cmd/expbench -compare "BENCH_smoke.json,$tmp/BENCH_smoke.json" -max-ratio 2
+cp "$tmp/BENCH_smoke.json" BENCH_smoke.json
+echo "ci.sh: bench smoke gate passed (BENCH_smoke.json refreshed)"

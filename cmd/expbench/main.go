@@ -4,11 +4,17 @@
 //
 // Usage:
 //
-//	expbench -exp fig5|fig6|fig7|fig8|table1|all [-workers 1,2,3,5]
+//	expbench -exp fig5|fig6|fig7|fig8|table1|wire|all [-workers 1,2,3,5]
 //	         [-rows N -cols N -cnnrows N -piperows N]
+//	expbench -smoke [-gob] [-json BENCH_smoke.json]
+//	expbench -compare baseline.json,current.json [-max-ratio 2] [-floor 0.025]
 //
 // Sizes default to laptop scale; raise them to approach the paper's
-// 1M x 1,050 setting.
+// 1M x 1,050 setting. -smoke runs the fixed-scale CI smoke and -compare
+// gates the encode+decode phase seconds of a fresh snapshot against a
+// committed baseline (see BENCH_*.json and ci.sh); -exp wire emits the
+// wire-format comparison rows, with -gob measuring the legacy pure-gob
+// encoding.
 package main
 
 import (
@@ -23,13 +29,66 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig5, fig6, fig7, fig8, table1, or all")
+	exp := flag.String("exp", "all", "experiment: fig5, fig6, fig7, fig8, table1, wire, or all")
 	workersFlag := flag.String("workers", "1,2,3", "comma-separated worker counts for scaling sweeps")
 	rows := flag.Int("rows", 0, "override feature-matrix rows")
 	cols := flag.Int("cols", 0, "override feature-matrix cols")
 	cnnRows := flag.Int("cnnrows", 0, "override CNN dataset rows")
 	pipeRows := flag.Int("piperows", 0, "override pipeline table rows")
+	smoke := flag.Bool("smoke", false, "run the fixed-scale CI bench smoke (FedLAN transfer + LM) instead of -exp")
+	gob := flag.Bool("gob", false, "measure the legacy pure-gob wire format (with -smoke or -exp wire)")
+	jsonPath := flag.String("json", "", "also write the run's rows as a BENCH_*.json snapshot (with -smoke or -exp wire)")
+	compare := flag.String("compare", "", "baseline.json,current.json: gate enc+dec phase seconds and exit")
+	maxRatio := flag.Float64("max-ratio", 2, "allowed enc+dec regression ratio for -compare")
+	floor := flag.Float64("floor", 0.025, "absolute enc+dec seconds below which -compare never fails")
 	flag.Parse()
+
+	if *compare != "" {
+		parts := strings.Split(*compare, ",")
+		if len(parts) != 2 {
+			log.Fatalf("expbench: -compare wants baseline.json,current.json, got %q", *compare)
+		}
+		base, err := bench.ReadSnapshot(strings.TrimSpace(parts[0]))
+		if err != nil {
+			log.Fatalf("expbench: %v", err)
+		}
+		cur, err := bench.ReadSnapshot(strings.TrimSpace(parts[1]))
+		if err != nil {
+			log.Fatalf("expbench: %v", err)
+		}
+		if err := bench.CompareEncDec(base, cur, *maxRatio, *floor); err != nil {
+			log.Fatalf("expbench: %v", err)
+		}
+		fmt.Printf("bench compare ok: %s within %.1fx of %s\n", cur.Name, *maxRatio, base.Name)
+		return
+	}
+
+	emit := func(name string, ms []bench.Measurement, err error) {
+		if err != nil {
+			log.Fatalf("expbench: %s: %v", name, err)
+		}
+		for _, m := range ms {
+			fmt.Println(m.Row())
+		}
+		if *jsonPath != "" {
+			snap := bench.NewSnapshot(name, bench.WireName(*gob), ms)
+			if err := snap.WriteFile(*jsonPath); err != nil {
+				log.Fatalf("expbench: write %s: %v", *jsonPath, err)
+			}
+			fmt.Printf("wrote %s (%d rows, wire=%s)\n", *jsonPath, len(snap.Rows), snap.Wire)
+		}
+	}
+
+	if *smoke {
+		ms, err := bench.Smoke(*gob)
+		emit("smoke", ms, err)
+		return
+	}
+	if *exp == "wire" {
+		ms, err := bench.WireBench(*gob)
+		emit("wire", ms, err)
+		return
+	}
 
 	sc := bench.DefaultScale()
 	if *rows > 0 {

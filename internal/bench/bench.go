@@ -14,6 +14,7 @@ import (
 
 	"exdra/internal/fedtest"
 	"exdra/internal/netem"
+	"exdra/internal/obs"
 )
 
 // Mode is an execution environment of §6.1.
@@ -97,6 +98,13 @@ func envInt(key string) (int, bool) {
 type Env struct {
 	Mode    Mode
 	Workers int
+	// Gob pins the federation to the legacy pure-gob wire format, for
+	// before/after encoding comparisons (BENCH_wire_*.json).
+	Gob bool
+	// Metrics, when non-nil, isolates the run's counters in a dedicated
+	// registry so folded deltas cannot be polluted by concurrent activity
+	// on obs.Default().
+	Metrics *obs.Registry
 }
 
 // Cluster starts the federation matching the env (nil cluster for Local).
@@ -104,7 +112,7 @@ func (e Env) Cluster() (*fedtest.Cluster, error) {
 	if e.Mode == Local {
 		return nil, nil
 	}
-	cfg := fedtest.Config{Workers: e.Workers}
+	cfg := fedtest.Config{Workers: e.Workers, ForceGob: e.Gob, Metrics: e.Metrics}
 	switch e.Mode {
 	case FedLAN:
 	case FedWAN:

@@ -10,11 +10,16 @@ import (
 // the measurement's Extra columns, so BENCH output carries the RPC
 // breakdown next to wall time: call/error counts, per-request-type counts
 // (rpc_exec_inst, rpc_get, ...), and the summed per-phase seconds
-// (enc_s/net_s/exec_s/dec_s). Runners snapshot obs.Default() when their
-// timer starts — after data distribution, matching the mb_sent convention —
-// and fold the diff when it stops.
-func foldObsDelta(m *Measurement, prev obs.Snapshot) {
-	d := obs.Default().Snapshot().Diff(prev)
+// (enc_s/net_s/exec_s/dec_s). Runners snapshot the run's registry — the
+// cluster's isolated one when configured, obs.Default() otherwise (reg nil
+// also falls back to the default) — when their timer starts, after data
+// distribution, matching the mb_sent convention, and fold the diff when it
+// stops.
+func foldObsDelta(m *Measurement, reg *obs.Registry, prev obs.Snapshot) {
+	if reg == nil {
+		reg = obs.Default()
+	}
+	d := reg.Snapshot().Diff(prev)
 	if n := d.Counters["rpc.client.calls"]; n > 0 {
 		m.Extra["rpc_calls"] = float64(n)
 	}

@@ -174,7 +174,10 @@ func TestClientDialCoalesces(t *testing.T) {
 			defer c.Close()
 		}
 	}()
-	coord := federated.NewCoordinator(fedrpc.Options{})
+	// ForceGob: the fake listener above never speaks, so a framing
+	// handshake would wait out the dial timeout; this test is about dial
+	// coalescing, not the wire format.
+	coord := federated.NewCoordinator(fedrpc.Options{ForceGob: true})
 	defer coord.Close()
 	var wg sync.WaitGroup
 	for i := 0; i < 8; i++ {

@@ -56,6 +56,12 @@ type Options struct {
 	// (queueing included) reaches it: a structured key=value log line is
 	// emitted and rpc.client.slow_calls incremented.
 	SlowRPC time.Duration
+	// ForceGob disables binary wire framing (wire.go) on this endpoint: a
+	// client never sends the version prelude, a server never sniffs for
+	// it. Both then speak the pure-gob legacy format, exactly like a
+	// pre-framing build — used by tests and benchmarks to exercise the
+	// fallback path and to measure the old encoding.
+	ForceGob bool
 }
 
 // metrics resolves the configured registry against the process default.
@@ -86,11 +92,24 @@ type rpcEnvelope struct {
 // rpcReply carries the batch responses plus the server-side handler wall
 // time, which the client uses to split its blocked-on-reply wait into
 // Network and Execute span phases. Old peers that omit the field (gob
-// tolerates both directions) simply report Execute=0.
+// tolerates both directions) simply report Execute=0. This is the
+// legacy-gob reply shape; binary-framed connections use wireReply
+// (wire.go), which readReply converts back into this form.
 type rpcReply struct {
 	Responses []Response
 	ExecNanos int64
 }
+
+// Format-hint states: what dialTransport learned about the peer. The hint
+// starts unknown, becomes sticky-binary after one successful handshake
+// (later handshake failures are then ordinary transport errors, never a
+// downgrade), and becomes sticky-gob when an unknown peer slams the
+// stream shut on the prelude — the signature of a pre-framing build.
+const (
+	hintUnknown int32 = iota
+	hintBinary
+	hintGob
+)
 
 // Client is a coordinator-side connection to one federated worker. A client
 // is safe for concurrent use; calls are serialized per connection (the
@@ -121,10 +140,13 @@ type Client struct {
 	connMu sync.Mutex
 	conn   net.Conn      // nil while broken (pre-redial) or after Close; guarded by connMu
 	bw     *bufio.Writer // guarded by connMu
+	br     *bufio.Reader // guarded by connMu
 	enc    *gob.Encoder  // guarded by connMu
 	dec    *gob.Decoder  // guarded by connMu
+	binary bool          // this transport negotiated binary framing; guarded by connMu
 	closed bool          // Close was called; distinguishes closed from broken; guarded by connMu
 
+	hint     atomic.Int32 // hint* state: survives transport teardown across redials
 	bytesOut atomic.Int64
 	bytesIn  atomic.Int64
 	readWait atomic.Int64 // ns blocked in conn reads during the current exchange
@@ -139,17 +161,57 @@ func Dial(addr string, opts Options) (*Client, error) {
 		slowRPC:   opts.SlowRPC,
 		reg:       opts.metrics(),
 	}
-	conn, err := c.dialTransport()
+	conn, binary, err := c.dialTransport()
 	if err != nil {
 		return nil, err
 	}
-	c.installLocked(conn) // client not yet shared: exclusive access
+	c.installLocked(conn, binary) // client not yet shared: exclusive access
 	return c, nil
 }
 
-// dialTransport establishes a shaped (and possibly TLS-wrapped) connection.
+// dialTransport establishes a shaped (and possibly TLS-wrapped) connection
+// and negotiates the wire format on it; the bool reports binary framing.
 // It holds no locks, so a slow dial never delays Close or state queries.
-func (c *Client) dialTransport() (net.Conn, error) {
+//
+// Negotiation is a dedicated handshake at connect time — never piggybacked
+// on the first request batch — so a fallback redial re-sends five prelude
+// bytes, not application requests (an EXEC_UDF resent after an ambiguous
+// failure could double-execute). The cost is one extra RTT per connection;
+// connections are standing, so the RTT amortizes across the session.
+func (c *Client) dialTransport() (net.Conn, bool, error) {
+	conn, err := c.dialRaw()
+	if err != nil {
+		return nil, false, err
+	}
+	if c.opts.ForceGob || c.hint.Load() == hintGob {
+		return conn, false, nil
+	}
+	herr := negotiate(conn, timeout(c.opts.DialTimeout, DefaultDialTimeout))
+	if herr == nil {
+		_ = conn.SetDeadline(time.Time{}) // handshake deadline off; CallCtx arms per exchange
+		c.hint.Store(hintBinary)
+		return conn, true, nil
+	}
+	conn.Close()
+	if c.hint.Load() == hintUnknown && peerRejectedPrelude(herr) {
+		// A peer we had never reached in binary closed the stream on the
+		// prelude: a pre-framing build whose gob decoder choked on the
+		// 0x00 lead byte. Fall back to pure gob for the client's lifetime.
+		c.hint.Store(hintGob)
+		c.reg.Counter("rpc.client.gob_fallbacks").Inc()
+		log.Printf("fedrpc: %s rejected framing prelude (%v); falling back to gob", c.addr, herr)
+		conn, err := c.dialRaw()
+		if err != nil {
+			return nil, false, err
+		}
+		return conn, false, nil
+	}
+	return nil, false, fmt.Errorf("fedrpc: handshake with %s: %w", c.addr, herr)
+}
+
+// dialRaw establishes the shaped (and possibly TLS-wrapped) connection,
+// with no format negotiation.
+func (c *Client) dialRaw() (net.Conn, error) {
 	raw, err := net.DialTimeout("tcp", c.addr, timeout(c.opts.DialTimeout, DefaultDialTimeout))
 	if err != nil {
 		return nil, fmt.Errorf("fedrpc: dial %s: %w", c.addr, err)
@@ -170,13 +232,23 @@ func (c *Client) dialTransport() (net.Conn, error) {
 // decoder — a gob stream cannot be resumed after a partial exchange, so
 // both ends must restart their codecs. The cumulative byte counters carry
 // over. Callers hold c.connMu (or own the client exclusively, as in Dial).
-func (c *Client) installLocked(conn net.Conn) {
+func (c *Client) installLocked(conn net.Conn, binary bool) {
 	c.conn = conn
+	c.binary = binary
 	out := &countingWriter{w: conn, n: &c.bytesOut}
 	in := &countingReader{r: conn, n: &c.bytesIn, wait: &c.readWait}
 	c.bw = bufio.NewWriterSize(out, 1<<16)
+	c.br = bufio.NewReaderSize(in, 1<<16)
 	c.enc = gob.NewEncoder(c.bw)
-	c.dec = gob.NewDecoder(bufio.NewReaderSize(in, 1<<16))
+	c.dec = gob.NewDecoder(c.br)
+}
+
+// WireBinary reports whether the current transport negotiated binary
+// framing (false while broken, closed, or speaking legacy gob).
+func (c *Client) WireBinary() bool {
+	c.connMu.Lock()
+	defer c.connMu.Unlock()
+	return c.conn != nil && c.binary
 }
 
 // Addr returns the worker address this client is connected to.
@@ -212,38 +284,52 @@ func (c *Client) CallCtx(ctx context.Context, reqs ...Request) ([]Response, erro
 	}
 	span.Queue = time.Since(queueStart)
 
-	conn, bw, enc, dec, err := c.transport()
+	t, err := c.transport()
 	if err != nil {
 		c.record(span, reqs, err)
 		return nil, err
 	}
+	conn := t.conn
 	outStart, inStart := c.bytesOut.Load(), c.bytesIn.Load()
 	c.readWait.Store(0)
 
 	// Every failure exit tears the transport down (fail), which both closes
 	// the conn — retiring its armed deadline with it — and prevents the next
-	// Call from silently reusing a desynced gob stream.
+	// Call from silently reusing a desynced stream.
 	c.armDeadline(conn)
 	encStart := time.Now()
 	// The exchange I/O below runs under c.mu by design: mu IS the
 	// per-connection exchange serializer (time blocked on it is the span's
-	// Queue phase), not a data guard — gob streams cannot interleave two
-	// exchanges. connMu, the data guard, is never held across this I/O,
-	// and the conn deadline armed above bounds the hold time.
-	//lint:ignore lockhold mu is the exchange serializer; holding it across the deadline-bounded I/O is its purpose
-	if err := enc.Encode(rpcEnvelope{Requests: reqs}); err != nil {
-		return c.fail(span, reqs, conn, fmt.Errorf("fedrpc: send to %s: %w", c.addr, err))
+	// Queue phase), not a data guard — neither gob streams nor slab frames
+	// can interleave two exchanges. connMu, the data guard, is never held
+	// across this I/O, and the conn deadline armed above bounds the hold
+	// time.
+	var serr error
+	if t.binary {
+		serr = writeBatch(t.enc, t.bw, reqs)
+	} else {
+		//lint:ignore lockhold mu is the exchange serializer; holding it across the deadline-bounded I/O is its purpose
+		serr = t.enc.Encode(rpcEnvelope{Requests: reqs})
 	}
-	if err := bw.Flush(); err != nil {
+	if serr != nil {
+		return c.fail(span, reqs, conn, fmt.Errorf("fedrpc: send to %s: %w", c.addr, serr))
+	}
+	if err := t.bw.Flush(); err != nil {
 		return c.fail(span, reqs, conn, fmt.Errorf("fedrpc: flush to %s: %w", c.addr, err))
 	}
 	span.Encode = time.Since(encStart)
 
 	decStart := time.Now()
 	var reply rpcReply
-	//lint:ignore lockhold same exchange: mu serializes the full request/reply round; the armed deadline bounds it
-	if err := dec.Decode(&reply); err != nil {
-		return c.fail(span, reqs, conn, fmt.Errorf("fedrpc: receive from %s: %w", c.addr, err))
+	var derr error
+	if t.binary {
+		reply, derr = readReply(t.dec, t.br)
+	} else {
+		//lint:ignore lockhold same exchange: mu serializes the full request/reply round; the armed deadline bounds it
+		derr = t.dec.Decode(&reply)
+	}
+	if derr != nil {
+		return c.fail(span, reqs, conn, fmt.Errorf("fedrpc: receive from %s: %w", c.addr, derr))
 	}
 	decodeWall := time.Since(decStart)
 	c.disarmDeadline(conn)
@@ -272,38 +358,50 @@ func (c *Client) CallCtx(ctx context.Context, reqs ...Request) ([]Response, erro
 	return reply.Responses, nil
 }
 
+// transportState is one Call's snapshot of the live transport, taken under
+// connMu and then used lock-free for the exchange I/O (c.mu guarantees one
+// exchange at a time).
+type transportState struct {
+	conn   net.Conn
+	bw     *bufio.Writer
+	br     *bufio.Reader
+	enc    *gob.Encoder
+	dec    *gob.Decoder
+	binary bool
+}
+
 // transport returns the live transport, redialing if the client is broken.
 // Dialing happens outside connMu so Close stays prompt; if Close won the
 // race the fresh connection is discarded and ErrClosed returned.
-func (c *Client) transport() (net.Conn, *bufio.Writer, *gob.Encoder, *gob.Decoder, error) {
+func (c *Client) transport() (transportState, error) {
 	c.connMu.Lock()
 	if c.closed {
 		c.connMu.Unlock()
-		return nil, nil, nil, nil, fmt.Errorf("fedrpc: call to %s: %w", c.addr, ErrClosed)
+		return transportState{}, fmt.Errorf("fedrpc: call to %s: %w", c.addr, ErrClosed)
 	}
 	if c.conn != nil {
-		conn, bw, enc, dec := c.conn, c.bw, c.enc, c.dec
+		t := transportState{conn: c.conn, bw: c.bw, br: c.br, enc: c.enc, dec: c.dec, binary: c.binary}
 		c.connMu.Unlock()
-		return conn, bw, enc, dec, nil
+		return t, nil
 	}
 	c.connMu.Unlock()
 
 	// Broken by an earlier transport failure: reconnect transparently. Only
 	// one exchange runs at a time (c.mu), so no concurrent install races us.
-	conn, err := c.dialTransport()
+	conn, binary, err := c.dialTransport()
 	if err != nil {
-		return nil, nil, nil, nil, err
+		return transportState{}, err
 	}
 	c.connMu.Lock()
 	if c.closed {
 		c.connMu.Unlock()
 		conn.Close()
-		return nil, nil, nil, nil, fmt.Errorf("fedrpc: call to %s: %w", c.addr, ErrClosed)
+		return transportState{}, fmt.Errorf("fedrpc: call to %s: %w", c.addr, ErrClosed)
 	}
-	c.installLocked(conn)
-	bw, enc, dec := c.bw, c.enc, c.dec
+	c.installLocked(conn, binary)
+	t := transportState{conn: c.conn, bw: c.bw, br: c.br, enc: c.enc, dec: c.dec, binary: c.binary}
 	c.connMu.Unlock()
-	return conn, bw, enc, dec, nil
+	return t, nil
 }
 
 // fail tears the transport down after a failed or desynced exchange. If a
@@ -316,7 +414,8 @@ func (c *Client) fail(sp *obs.Span, reqs []Request, conn net.Conn, err error) ([
 	if conn != nil && c.conn == conn {
 		conn.Close()
 		c.conn = nil
-		c.bw, c.enc, c.dec = nil, nil, nil
+		c.bw, c.br, c.enc, c.dec = nil, nil, nil, nil
+		c.binary = false
 	}
 	c.connMu.Unlock()
 	if closed {
@@ -380,7 +479,8 @@ func (c *Client) Redial() error {
 	if c.conn != nil {
 		c.conn.Close()
 		c.conn = nil
-		c.bw, c.enc, c.dec = nil, nil, nil
+		c.bw, c.br, c.enc, c.dec = nil, nil, nil, nil
+		c.binary = false
 	}
 	c.connMu.Unlock()
 
@@ -389,7 +489,7 @@ func (c *Client) Redial() error {
 	// concurrent Call from racing the transport swap. connMu is released,
 	// so Close and state queries stay responsive during a slow dial.
 	//lint:ignore lockhold mu blocks concurrent exchanges during the swap on purpose; connMu is not held
-	conn, err := c.dialTransport()
+	conn, binary, err := c.dialTransport()
 	if err != nil {
 		return err
 	}
@@ -399,7 +499,7 @@ func (c *Client) Redial() error {
 		conn.Close()
 		return fmt.Errorf("fedrpc: redial %s: %w", c.addr, ErrClosed)
 	}
-	c.installLocked(conn)
+	c.installLocked(conn, binary)
 	return nil
 }
 
@@ -464,7 +564,8 @@ func (c *Client) Close() error {
 	}
 	err := c.conn.Close()
 	c.conn = nil
-	c.bw, c.enc, c.dec = nil, nil, nil
+	c.bw, c.br, c.enc, c.dec = nil, nil, nil, nil
+	c.binary = false
 	return err
 }
 

@@ -187,6 +187,10 @@ func TestWANEmulationAddsLatency(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
+	// The dial-time framing handshake and the call below must land in
+	// separate message bursts (netem charges RTT once per burst), so let
+	// the burst gap elapse before measuring.
+	time.Sleep(5 * time.Millisecond)
 	start := time.Now()
 	if _, err := c.CallOne(Request{Type: Put, ID: 1, Data: ScalarPayload(1)}); err != nil {
 		t.Fatal(err)
@@ -331,7 +335,9 @@ func TestIOTimeoutUnblocksSilentPeer(t *testing.T) {
 		}
 	}()
 
-	c, err := Dial(ln.Addr().String(), Options{IOTimeout: 100 * time.Millisecond})
+	// ForceGob: the mute peer above never acks a framing handshake, and
+	// this test pins the exchange deadline, not the wire format.
+	c, err := Dial(ln.Addr().String(), Options{IOTimeout: 100 * time.Millisecond, ForceGob: true})
 	if err != nil {
 		t.Fatal(err)
 	}

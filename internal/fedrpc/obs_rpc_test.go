@@ -98,7 +98,9 @@ func TestCloseDoesNotBlockOnInFlightCall(t *testing.T) {
 		}
 	}()
 
-	c, err := Dial(ln.Addr().String(), Options{Metrics: obs.New()})
+	// ForceGob: the swallow-server never acks a framing handshake, and
+	// this test pins Close promptness, not the wire format.
+	c, err := Dial(ln.Addr().String(), Options{Metrics: obs.New(), ForceGob: true})
 	if err != nil {
 		t.Fatal(err)
 	}

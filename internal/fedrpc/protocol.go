@@ -3,8 +3,10 @@
 // exchanged between a coordinator and standing federated workers. A single
 // RPC carries a sequence of requests and returns one response per request;
 // the coordinator issues RPCs to all workers in parallel. Transport is TCP
-// with gob encoding, optionally TLS-encrypted (the paper's SSL setting) and
-// optionally shaped by package netem for WAN experiments.
+// with a negotiated encoding — binary framing (gob control envelope + raw
+// float64 slabs, see wire.go) between current peers, pure gob with older
+// ones — optionally TLS-encrypted (the paper's SSL setting) and optionally
+// shaped by package netem for WAN experiments.
 package fedrpc
 
 import (
@@ -135,9 +137,24 @@ type Payload struct {
 	Bytes  []byte
 }
 
-// MatrixPayload wraps a dense matrix for transfer.
+// MatrixPayload wraps a dense matrix for transfer. The payload aliases m's
+// backing array — no copy — so the caller must guarantee m is not mutated
+// until the payload has been fully serialized (for a coordinator: until
+// Call returns). When the matrix can be mutated concurrently (e.g. a GET
+// reply serialized after the worker lock is released), use
+// MatrixPayloadCopy instead.
 func MatrixPayload(m *matrix.Dense) Payload {
 	return Payload{Kind: PayloadMatrix, Rows: m.Rows(), Cols: m.Cols(), Values: m.Data()}
+}
+
+// MatrixPayloadCopy wraps a dense matrix for transfer, snapshotting its
+// backing array. Use it when the matrix may be mutated between payload
+// construction and serialization; the copy must happen while the caller
+// still holds whatever lock guards the matrix.
+func MatrixPayloadCopy(m *matrix.Dense) Payload {
+	vals := make([]float64, len(m.Data()))
+	copy(vals, m.Data())
+	return Payload{Kind: PayloadMatrix, Rows: m.Rows(), Cols: m.Cols(), Values: vals}
 }
 
 // Matrix reconstructs the transferred matrix, or nil for non-matrix payloads.

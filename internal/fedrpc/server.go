@@ -45,6 +45,7 @@ type Server struct {
 	handler     Handler
 	ioTimeout   time.Duration
 	idleTimeout time.Duration
+	forceGob    bool
 	reg         *obs.Registry
 	cancel      context.CancelFunc
 	baseCtx     context.Context
@@ -71,6 +72,7 @@ func Serve(addr string, h Handler, opts Options) (*Server, error) {
 		handler:     h,
 		ioTimeout:   timeout(opts.IOTimeout, DefaultIOTimeout),
 		idleTimeout: timeout(opts.IdleTimeout, DefaultIdleTimeout),
+		forceGob:    opts.ForceGob,
 		reg:         opts.metrics(),
 		conns:       map[net.Conn]struct{}{},
 	}
@@ -115,8 +117,38 @@ func (s *Server) serveConn(conn net.Conn) {
 		conn.Close()
 	}()
 	bw := bufio.NewWriterSize(conn, 1<<16)
+	br := bufio.NewReaderSize(conn, 1<<16)
+
+	// Format sniff: a current client opens the stream with the 5-byte
+	// framing prelude, whose 0x00 lead byte can never begin a gob message,
+	// so one peeked byte distinguishes the formats without consuming
+	// anything from a legacy peer's stream. ForceGob skips the sniff
+	// entirely, behaving exactly like a pre-framing build (the client's
+	// prelude then desyncs the gob decoder below and the connection dies,
+	// which is precisely the legacy behavior clients fall back from).
+	useBinary := false
+	if !s.forceGob {
+		if s.idleTimeout > 0 {
+			_ = conn.SetReadDeadline(time.Now().Add(s.idleTimeout))
+		}
+		lead, err := br.Peek(1)
+		if err != nil {
+			return // peer vanished before the first byte; nothing to log
+		}
+		if lead[0] == wirePrelude[0] {
+			if s.ioTimeout > 0 {
+				_ = conn.SetWriteDeadline(time.Now().Add(s.ioTimeout))
+			}
+			if err := serverHandshake(br, bw); err != nil {
+				log.Printf("fedrpc: handshake from %s: %v", conn.RemoteAddr(), err)
+				return
+			}
+			useBinary = true
+		}
+	}
+
 	enc := gob.NewEncoder(bw)
-	dec := gob.NewDecoder(bufio.NewReaderSize(conn, 1<<16))
+	dec := gob.NewDecoder(br)
 	for {
 		// The read deadline doubles as the idle bound: a coordinator that
 		// vanished mid-request or stopped talking entirely releases this
@@ -125,25 +157,42 @@ func (s *Server) serveConn(conn net.Conn) {
 		if s.idleTimeout > 0 {
 			_ = conn.SetReadDeadline(time.Now().Add(s.idleTimeout))
 		}
-		var env rpcEnvelope
-		if err := dec.Decode(&env); err != nil {
-			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
-				log.Printf("fedrpc: decode from %s: %v", conn.RemoteAddr(), err)
+		var reqs []Request
+		var rerr error
+		if useBinary {
+			reqs, rerr = readBatch(dec, br)
+		} else {
+			var env rpcEnvelope
+			rerr = dec.Decode(&env)
+			reqs = env.Requests
+		}
+		if rerr != nil {
+			if !errors.Is(rerr, io.EOF) && !errors.Is(rerr, net.ErrClosed) {
+				log.Printf("fedrpc: decode from %s: %v", conn.RemoteAddr(), rerr)
 			}
 			return
 		}
 		start := time.Now()
-		resps := s.safeHandle(s.baseCtx, env.Requests)
+		resps := s.safeHandle(s.baseCtx, reqs)
 		elapsed := time.Since(start)
-		s.observe(env.Requests, elapsed)
+		s.observe(reqs, elapsed)
 		if s.ioTimeout > 0 {
 			_ = conn.SetWriteDeadline(time.Now().Add(s.ioTimeout))
 		}
-		if err := enc.Encode(rpcReply{Responses: resps, ExecNanos: int64(elapsed)}); err != nil {
-			log.Printf("fedrpc: encode to %s: %v", conn.RemoteAddr(), err)
+		var werr error
+		if useBinary {
+			werr = writeReply(enc, bw, resps, int64(elapsed))
+		} else {
+			werr = enc.Encode(rpcReply{Responses: resps, ExecNanos: int64(elapsed)})
+		}
+		if werr != nil {
+			log.Printf("fedrpc: encode to %s: %v", conn.RemoteAddr(), werr)
 			return
 		}
 		if err := bw.Flush(); err != nil {
+			// A reply lost mid-write must leave a server-side trace, same
+			// as an encode failure: the client only sees a dead stream.
+			log.Printf("fedrpc: flush to %s: %v", conn.RemoteAddr(), err)
 			return
 		}
 	}

@@ -1,0 +1,437 @@
+package fedrpc
+
+// Binary wire framing (wire format v1).
+//
+// The legacy protocol gob-encodes entire request/response batches,
+// including dense float64 slabs, which makes encode/decode the dominant
+// phase of matrix-heavy RPCs (gob walks every value through reflection and
+// varint-compresses it). Format v1 splits each batch into
+//
+//	[gob control envelope][raw slab][raw slab]...
+//
+// where the envelope (wireEnvelope / wireReply) carries everything small —
+// types, IDs, dims, errors, instructions, the batch epoch — and each
+// payload's Values ([]float64) and Bytes ([]byte) contents follow as raw
+// little-endian slabs written directly from (and read directly into) the
+// backing arrays. gob remains the envelope codec because it is
+// self-delimiting on a stream and never reads past a message boundary, so
+// raw slabs can interleave with gob messages on one buffered connection.
+//
+// Negotiation: a connection starts in the legacy gob format unless the
+// client sends the 5-byte prelude {0x00, 'X', 'D', 'R', version}. The
+// leading 0x00 can never begin a gob stream (a gob message starts with its
+// byte count, an unsigned value >= 1 whose first encoded byte is nonzero),
+// so a server can sniff one byte and serve both formats on the same port:
+// prelude seen -> echo its own prelude and speak v1; anything else -> pure
+// gob, exactly as before this format existed. A client that sends the
+// prelude to a pre-framing server sees the connection die (the old gob
+// decoder chokes on 0x00 and closes); it then redials once and falls back
+// to pure gob for good (see Client.dialTransport).
+//
+// The reply envelope carries the worker's instance epoch once per batch
+// instead of once per response; the client stamps it back onto every
+// decoded Response so the coordinator's restart detection is unchanged.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"strings"
+	"sync"
+	"time"
+	"unsafe"
+
+	"exdra/internal/frame"
+	"exdra/internal/netem"
+)
+
+// wireVersion is the framing version this build speaks.
+const wireVersion byte = 1
+
+// wirePrelude is the 5-byte stream prelude: an impossible-for-gob first
+// byte, a magic tag, and the version byte.
+var wirePrelude = [5]byte{0x00, 'X', 'D', 'R', wireVersion}
+
+// maxSlabBytes bounds a single decoded slab (16 GiB) so a corrupt or
+// hostile envelope cannot OOM the process with one forged length.
+const maxSlabBytes = int64(1) << 34
+
+// wireEnvelope is the control message of one request batch: Request with
+// the slab contents (Payload.Values/Bytes) hoisted out. Keep wireRequest's
+// fields in sync with Request — TestWireRequestFieldParity enforces it.
+type wireEnvelope struct {
+	Requests []wireRequest
+}
+
+// wireRequest mirrors Request with Data replaced by its slab descriptor.
+type wireRequest struct {
+	Type       RequestType
+	ID         int64
+	Filename   string
+	Privacy    int
+	ColPrivacy []int
+	Data       wirePayload
+	Inst       *Instruction
+	UDF        *UDFCall
+}
+
+// wireReply is the control message of one response batch. Epoch is the
+// responding worker's instance epoch, stamped once per batch (the legacy
+// format repeats it on every response).
+type wireReply struct {
+	Responses []wireResponse
+	ExecNanos int64
+	Epoch     uint64
+}
+
+// wireResponse mirrors Response minus the per-response Epoch (hoisted into
+// the wireReply envelope) and minus the slab contents.
+type wireResponse struct {
+	OK   bool
+	Err  string
+	Data wirePayload
+}
+
+// wirePayload is a Payload with the two slab fields replaced by their
+// lengths: NVals float64s and NBytes bytes follow the envelope as raw
+// slabs, in batch order, Values before Bytes. Length -1 preserves a nil
+// slice across the wire (0 is a present-but-empty slab). Frames keep
+// traveling inside the envelope: they are typed columns (strings included)
+// with no flat numeric backing array to alias.
+type wirePayload struct {
+	Kind   PayloadKind
+	Rows   int
+	Cols   int
+	Scalar float64
+	Frame  []*frame.Column
+	NVals  int
+	NBytes int
+}
+
+// toWirePayload hoists the slab lengths out of p.
+func toWirePayload(p Payload) wirePayload {
+	wp := wirePayload{Kind: p.Kind, Rows: p.Rows, Cols: p.Cols,
+		Scalar: p.Scalar, Frame: p.Frame, NVals: -1, NBytes: -1}
+	if p.Values != nil {
+		wp.NVals = len(p.Values)
+	}
+	if p.Bytes != nil {
+		wp.NBytes = len(p.Bytes)
+	}
+	return wp
+}
+
+// writePayloadSlabs writes p's slabs in wire order (Values, then Bytes).
+func writePayloadSlabs(w io.Writer, p Payload) error {
+	if len(p.Values) > 0 {
+		if err := writeFloatSlab(w, p.Values); err != nil {
+			return err
+		}
+	}
+	if len(p.Bytes) > 0 {
+		if _, err := w.Write(p.Bytes); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readPayload validates wp and reads its slabs into freshly allocated
+// destination arrays — never pooled ones: ownership transfers to the
+// decoded Payload (a PUT binds the slab into the symbol table as-is), so
+// recycling here would alias live objects.
+func readPayload(r io.Reader, wp wirePayload) (Payload, error) {
+	p := Payload{Kind: wp.Kind, Rows: wp.Rows, Cols: wp.Cols,
+		Scalar: wp.Scalar, Frame: wp.Frame}
+	if wp.NVals < -1 || int64(wp.NVals)*8 > maxSlabBytes {
+		return p, fmt.Errorf("fedrpc: invalid values-slab length %d", wp.NVals)
+	}
+	if wp.NBytes < -1 || int64(wp.NBytes) > maxSlabBytes {
+		return p, fmt.Errorf("fedrpc: invalid bytes-slab length %d", wp.NBytes)
+	}
+	if wp.Kind == PayloadMatrix && wp.NVals >= 0 && wp.NVals != wp.Rows*wp.Cols {
+		return p, fmt.Errorf("fedrpc: matrix slab has %d values for %dx%d", wp.NVals, wp.Rows, wp.Cols)
+	}
+	if wp.NVals >= 0 {
+		p.Values = make([]float64, wp.NVals)
+		if err := readFloatSlab(r, p.Values); err != nil {
+			return p, err
+		}
+	}
+	if wp.NBytes >= 0 {
+		p.Bytes = make([]byte, wp.NBytes)
+		if _, err := io.ReadFull(r, p.Bytes); err != nil {
+			return p, err
+		}
+	}
+	return p, nil
+}
+
+// writeBatch frames one request batch: envelope, then slabs. The caller
+// flushes the underlying writer.
+func writeBatch(enc *gob.Encoder, w io.Writer, reqs []Request) error {
+	env := wireEnvelope{Requests: make([]wireRequest, len(reqs))}
+	for i, rq := range reqs {
+		env.Requests[i] = wireRequest{
+			Type: rq.Type, ID: rq.ID, Filename: rq.Filename,
+			Privacy: rq.Privacy, ColPrivacy: rq.ColPrivacy,
+			Data: toWirePayload(rq.Data), Inst: rq.Inst, UDF: rq.UDF,
+		}
+	}
+	if err := enc.Encode(env); err != nil {
+		return err
+	}
+	for i := range reqs {
+		if err := writePayloadSlabs(w, reqs[i].Data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readBatch decodes one framed request batch.
+func readBatch(dec *gob.Decoder, r io.Reader) ([]Request, error) {
+	var env wireEnvelope
+	if err := dec.Decode(&env); err != nil {
+		return nil, err
+	}
+	reqs := make([]Request, len(env.Requests))
+	for i, wr := range env.Requests {
+		data, err := readPayload(r, wr.Data)
+		if err != nil {
+			return nil, err
+		}
+		reqs[i] = Request{
+			Type: wr.Type, ID: wr.ID, Filename: wr.Filename,
+			Privacy: wr.Privacy, ColPrivacy: wr.ColPrivacy,
+			Data: data, Inst: wr.Inst, UDF: wr.UDF,
+		}
+	}
+	return reqs, nil
+}
+
+// writeReply frames one response batch. The epoch is hoisted from the
+// responses (one worker process answered the whole batch, so the first
+// nonzero stamp represents them all) into the envelope. The caller
+// flushes.
+func writeReply(enc *gob.Encoder, w io.Writer, resps []Response, execNanos int64) error {
+	rep := wireReply{Responses: make([]wireResponse, len(resps)), ExecNanos: execNanos}
+	for i, rs := range resps {
+		if rep.Epoch == 0 {
+			rep.Epoch = rs.Epoch
+		}
+		rep.Responses[i] = wireResponse{OK: rs.OK, Err: rs.Err, Data: toWirePayload(rs.Data)}
+	}
+	if err := enc.Encode(rep); err != nil {
+		return err
+	}
+	for i := range resps {
+		if err := writePayloadSlabs(w, resps[i].Data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readReply decodes one framed response batch, stamping the envelope epoch
+// back onto every response so Response.Epoch keeps its documented meaning
+// for coordinators regardless of wire format.
+func readReply(dec *gob.Decoder, r io.Reader) (rpcReply, error) {
+	var rep wireReply
+	if err := dec.Decode(&rep); err != nil {
+		return rpcReply{}, err
+	}
+	out := rpcReply{Responses: make([]Response, len(rep.Responses)), ExecNanos: rep.ExecNanos}
+	for i, wr := range rep.Responses {
+		data, err := readPayload(r, wr.Data)
+		if err != nil {
+			return rpcReply{}, err
+		}
+		out.Responses[i] = Response{OK: wr.OK, Err: wr.Err, Data: data, Epoch: rep.Epoch}
+	}
+	return out, nil
+}
+
+// --- raw float64 slab I/O -------------------------------------------------
+
+// hostLittleEndian reports whether the native byte order matches the wire
+// order; when it does, slabs move as single zero-copy writes and reads of
+// the float64 backing array's byte view.
+var hostLittleEndian = binary.NativeEndian.Uint16([]byte{0x34, 0x12}) == 0x1234
+
+// slabChunk sizes the pooled conversion buffers of the portable path.
+const slabChunk = 64 << 10
+
+// slabPool recycles the conversion buffers used when a slab cannot be
+// moved zero-copy (big-endian hosts). Matrix destination slabs are never
+// pooled — only these transient staging chunks are.
+var slabPool = sync.Pool{New: func() any {
+	b := make([]byte, slabChunk)
+	return &b
+}}
+
+// floatBytes reinterprets f as its raw byte view (no copy). Only valid
+// when host and wire byte order agree.
+func floatBytes(f []float64) []byte {
+	if len(f) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(unsafe.SliceData(f))), len(f)*8)
+}
+
+// writeFloatSlab writes f as raw little-endian bytes: zero-copy straight
+// from the backing array on little-endian hosts, chunk-converted through a
+// pooled buffer otherwise.
+func writeFloatSlab(w io.Writer, f []float64) error {
+	if hostLittleEndian {
+		_, err := w.Write(floatBytes(f))
+		return err
+	}
+	return writeFloatSlabPortable(w, f)
+}
+
+// writeFloatSlabPortable is the explicit-conversion path (also exercised
+// directly by tests so the pooled-buffer code is covered on every host).
+func writeFloatSlabPortable(w io.Writer, f []float64) error {
+	bp := slabPool.Get().(*[]byte)
+	defer slabPool.Put(bp)
+	buf := *bp
+	for len(f) > 0 {
+		n := len(f)
+		if n > len(buf)/8 {
+			n = len(buf) / 8
+		}
+		for i := 0; i < n; i++ {
+			binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(f[i]))
+		}
+		if _, err := w.Write(buf[:n*8]); err != nil {
+			return err
+		}
+		f = f[n:]
+	}
+	return nil
+}
+
+// readFloatSlab fills f from raw little-endian bytes: zero-copy into the
+// destination slab on little-endian hosts.
+func readFloatSlab(r io.Reader, f []float64) error {
+	if hostLittleEndian {
+		_, err := io.ReadFull(r, floatBytes(f))
+		return err
+	}
+	return readFloatSlabPortable(r, f)
+}
+
+// readFloatSlabPortable is the explicit-conversion read path.
+func readFloatSlabPortable(r io.Reader, f []float64) error {
+	bp := slabPool.Get().(*[]byte)
+	defer slabPool.Put(bp)
+	buf := *bp
+	for len(f) > 0 {
+		n := len(f)
+		if n > len(buf)/8 {
+			n = len(buf) / 8
+		}
+		if _, err := io.ReadFull(r, buf[:n*8]); err != nil {
+			return err
+		}
+		for i := 0; i < n; i++ {
+			f[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[i*8:]))
+		}
+		f = f[n:]
+	}
+	return nil
+}
+
+// --- negotiation ----------------------------------------------------------
+
+// ackReadError marks a handshake failure that occurred while waiting for
+// the server's ack — i.e. after the prelude was written successfully. Only
+// this stage can signal a pre-framing peer (see peerRejectedPrelude); a
+// failure writing the prelude is an ordinary transport error.
+type ackReadError struct{ err error }
+
+func (e *ackReadError) Error() string { return "reading handshake ack: " + e.err.Error() }
+func (e *ackReadError) Unwrap() error { return e.err }
+
+// negotiate performs the client half of the version handshake on a fresh
+// connection: send the prelude, read the server's. It returns nil when the
+// peer acknowledged the binary format. The deadline (when nonzero) bounds
+// the whole handshake; the caller disarms it.
+func negotiate(conn net.Conn, deadline time.Duration) error {
+	if deadline > 0 {
+		_ = conn.SetDeadline(time.Now().Add(deadline))
+	}
+	if _, err := conn.Write(wirePrelude[:]); err != nil {
+		return err
+	}
+	var got [5]byte
+	if _, err := io.ReadFull(conn, got[:]); err != nil {
+		return &ackReadError{err: err}
+	}
+	if got[0] != wirePrelude[0] || got[1] != wirePrelude[1] ||
+		got[2] != wirePrelude[2] || got[3] != wirePrelude[3] {
+		return fmt.Errorf("fedrpc: bad handshake prelude % x", got)
+	}
+	if got[4] < 1 {
+		return fmt.Errorf("fedrpc: peer speaks framing version %d", got[4])
+	}
+	// Both sides speak min(local, remote); only v1 exists, so any
+	// acknowledged version >= 1 means v1 frames flow.
+	return nil
+}
+
+// peerRejectedPrelude classifies a handshake failure as "pre-framing peer
+// slammed the stream shut on the prelude" — the gob decoder of an old
+// server errors on the 0x00 lead byte, logs, and closes the connection —
+// as opposed to a timeout, an injected netem fault, or a local close,
+// which are ordinary transport errors. Detection is conservative: the
+// prelude write must have succeeded (only the ack read can carry the
+// rejection signal), and only a clean stream end or a peer reset
+// qualifies.
+func peerRejectedPrelude(err error) bool {
+	var ack *ackReadError
+	if !errors.As(err, &ack) {
+		return false
+	}
+	err = ack.err
+	if ne, ok := err.(net.Error); ok && ne.Timeout() {
+		return false
+	}
+	if errors.Is(err, netem.ErrInjectedReset) {
+		return false // fault injection simulates flaky transport, not an old peer
+	}
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return true
+	}
+	// A RST surfaces as *net.OpError wrapping ECONNRESET/EPIPE; match on
+	// the syscall-agnostic string forms to stay portable.
+	s := err.Error()
+	return strings.Contains(s, "connection reset") || strings.Contains(s, "broken pipe")
+}
+
+// serverHandshake completes the server half: consume the client prelude
+// already sniffed by the caller and echo our own. The bufio.Writer is
+// flushed eagerly so the client's handshake read returns before the first
+// request is even sent.
+func serverHandshake(br *bufio.Reader, bw *bufio.Writer) error {
+	var got [5]byte
+	if _, err := io.ReadFull(br, got[:]); err != nil {
+		return err
+	}
+	if got[1] != wirePrelude[1] || got[2] != wirePrelude[2] || got[3] != wirePrelude[3] {
+		return fmt.Errorf("fedrpc: bad client prelude % x", got)
+	}
+	if got[4] < 1 {
+		return fmt.Errorf("fedrpc: client speaks framing version %d", got[4])
+	}
+	if _, err := bw.Write(wirePrelude[:]); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,379 @@
+package fedrpc
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"exdra/internal/frame"
+	"exdra/internal/matrix"
+	"exdra/internal/obs"
+)
+
+// fieldNames lists a struct type's field names in declaration order.
+func fieldNames(t reflect.Type) []string {
+	names := make([]string, t.NumField())
+	for i := range names {
+		names[i] = t.Field(i).Name
+	}
+	return names
+}
+
+// TestWireRequestFieldParity pins the wire structs to their protocol
+// counterparts: anyone adding a field to Request/Response/Payload must
+// thread it through the binary framing too, or silently lose it on the
+// wire. The envelope types mirror the protocol types field-for-field with
+// two deliberate exceptions — slab contents become lengths, and the
+// per-response Epoch is hoisted into the reply envelope.
+func TestWireRequestFieldParity(t *testing.T) {
+	if got, want := fieldNames(reflect.TypeOf(wireRequest{})), fieldNames(reflect.TypeOf(Request{})); !reflect.DeepEqual(got, want) {
+		t.Errorf("wireRequest fields %v do not mirror Request fields %v", got, want)
+	}
+
+	want := fieldNames(reflect.TypeOf(Response{}))
+	// Epoch travels once per batch in wireReply.Epoch, not per response.
+	trimmed := want[:0:0]
+	for _, n := range want {
+		if n != "Epoch" {
+			trimmed = append(trimmed, n)
+		}
+	}
+	if got := fieldNames(reflect.TypeOf(wireResponse{})); !reflect.DeepEqual(got, trimmed) {
+		t.Errorf("wireResponse fields %v do not mirror Response-minus-Epoch %v", got, trimmed)
+	}
+	if _, ok := reflect.TypeOf(wireReply{}).FieldByName("Epoch"); !ok {
+		t.Error("wireReply lost its hoisted Epoch field")
+	}
+
+	// Payload's slab fields become length descriptors; everything else must
+	// carry over by name.
+	slabbed := map[string]string{"Values": "NVals", "Bytes": "NBytes"}
+	pt, wt := reflect.TypeOf(Payload{}), reflect.TypeOf(wirePayload{})
+	for i := 0; i < pt.NumField(); i++ {
+		name := pt.Field(i).Name
+		if repl, ok := slabbed[name]; ok {
+			name = repl
+		}
+		if _, ok := wt.FieldByName(name); !ok {
+			t.Errorf("wirePayload is missing a counterpart for Payload.%s (want field %q)", pt.Field(i).Name, name)
+		}
+	}
+	if pt.NumField() != wt.NumField() {
+		t.Errorf("wirePayload has %d fields for Payload's %d", wt.NumField(), pt.NumField())
+	}
+}
+
+// TestFloatSlabGoldenBytes pins the slab encoding to raw little-endian
+// IEEE-754 — byte-for-byte, on both the zero-copy and the portable
+// conversion path — and round-trips NaN and the infinities bit-exactly.
+func TestFloatSlabGoldenBytes(t *testing.T) {
+	vals := []float64{0, 1, -2.5, math.Pi, math.NaN(), math.Inf(1), math.Inf(-1), math.SmallestNonzeroFloat64}
+	golden := make([]byte, len(vals)*8)
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(golden[i*8:], math.Float64bits(v))
+	}
+
+	writers := map[string]func(*bytes.Buffer) error{
+		"native":   func(b *bytes.Buffer) error { return writeFloatSlab(b, vals) },
+		"portable": func(b *bytes.Buffer) error { return writeFloatSlabPortable(b, vals) },
+	}
+	for name, write := range writers {
+		var buf bytes.Buffer
+		if err := write(&buf); err != nil {
+			t.Fatalf("%s write: %v", name, err)
+		}
+		if !bytes.Equal(buf.Bytes(), golden) {
+			t.Fatalf("%s slab bytes:\n got % x\nwant % x", name, buf.Bytes(), golden)
+		}
+	}
+
+	readers := map[string]func(*bytes.Reader, []float64) error{
+		"native":   func(r *bytes.Reader, f []float64) error { return readFloatSlab(r, f) },
+		"portable": func(r *bytes.Reader, f []float64) error { return readFloatSlabPortable(r, f) },
+	}
+	for name, read := range readers {
+		got := make([]float64, len(vals))
+		if err := read(bytes.NewReader(golden), got); err != nil {
+			t.Fatalf("%s read: %v", name, err)
+		}
+		for i := range vals {
+			if math.Float64bits(got[i]) != math.Float64bits(vals[i]) {
+				t.Fatalf("%s read[%d] = %v (bits %x), want %v", name, i, got[i], math.Float64bits(got[i]), vals[i])
+			}
+		}
+	}
+}
+
+// TestFloatSlabPortableChunking pushes a slab past the pooled 64 KiB
+// staging buffer so the portable path's chunk loop is exercised.
+func TestFloatSlabPortableChunking(t *testing.T) {
+	vals := make([]float64, 3*slabChunk/8+5) // ~3.6 chunks
+	for i := range vals {
+		vals[i] = float64(i) * 0.5
+	}
+	var buf bytes.Buffer
+	if err := writeFloatSlabPortable(&buf, vals); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != len(vals)*8 {
+		t.Fatalf("portable write emitted %d bytes, want %d", buf.Len(), len(vals)*8)
+	}
+	got := make([]float64, len(vals))
+	if err := readFloatSlabPortable(bytes.NewReader(buf.Bytes()), got); err != nil {
+		t.Fatal(err)
+	}
+	for i := range vals {
+		if got[i] != vals[i] {
+			t.Fatalf("chunked round trip diverged at %d: %v != %v", i, got[i], vals[i])
+		}
+	}
+}
+
+// payloadEqual compares payloads treating NaN as equal to itself (bitwise
+// float comparison) and distinguishing nil from empty slices.
+func payloadEqual(a, b Payload) bool {
+	if a.Kind != b.Kind || a.Rows != b.Rows || a.Cols != b.Cols ||
+		math.Float64bits(a.Scalar) != math.Float64bits(b.Scalar) {
+		return false
+	}
+	if (a.Values == nil) != (b.Values == nil) || len(a.Values) != len(b.Values) {
+		return false
+	}
+	for i := range a.Values {
+		if math.Float64bits(a.Values[i]) != math.Float64bits(b.Values[i]) {
+			return false
+		}
+	}
+	if (a.Bytes == nil) != (b.Bytes == nil) || !bytes.Equal(a.Bytes, b.Bytes) {
+		return false
+	}
+	return reflect.DeepEqual(a.Frame, b.Frame)
+}
+
+// wirePayloadCases covers every PayloadKind plus the slab edge shapes:
+// nil vs present-but-empty, single element, multi-chunk large, and the
+// non-finite values raw IEEE framing must preserve.
+func wirePayloadCases() map[string]Payload {
+	big := matrix.Rand(rand.New(rand.NewSource(7)), 123, 57, -1, 1)
+	bigVals := big.Data()
+	bigVals[0] = math.NaN()
+	bigVals[1] = math.Inf(1)
+	bigVals[len(bigVals)-1] = math.Inf(-1)
+	f := frame.MustNew(
+		frame.StringColumn("name", []string{"a", "", "c"}),
+		frame.FloatColumn("v", []float64{1, 2, 3}),
+	)
+	return map[string]Payload{
+		"none":         {},
+		"matrix-1x1":   MatrixPayload(matrix.FromRows([][]float64{{42.5}})),
+		"matrix-empty": {Kind: PayloadMatrix, Rows: 0, Cols: 0, Values: []float64{}},
+		"matrix-large": MatrixPayload(big),
+		"scalar":       ScalarPayload(-0.125),
+		"bytes":        BytesPayload([]byte{0x00, 0xff, 'X', 'D', 'R'}),
+		"bytes-empty":  BytesPayload([]byte{}),
+		"frame":        FramePayload(f),
+	}
+}
+
+// TestWireBatchRoundTrip frames request batches through an in-memory
+// stream for every payload kind and checks bit-exact reconstruction —
+// including a multi-request batch that interleaves several slabs behind
+// one envelope.
+func TestWireBatchRoundTrip(t *testing.T) {
+	cases := wirePayloadCases()
+	var batch []Request
+	var id int64
+	for name, p := range cases {
+		t.Run(name, func(t *testing.T) {
+			req := Request{Type: Put, ID: 9, Filename: name, Privacy: 2,
+				ColPrivacy: []int{0, 1}, Data: p,
+				Inst: &Instruction{Opcode: "mm", Inputs: []int64{1, 2}, Output: 3, Scalars: []float64{0.5}}}
+			var buf bytes.Buffer
+			if err := writeBatch(gob.NewEncoder(&buf), &buf, []Request{req}); err != nil {
+				t.Fatal(err)
+			}
+			got, err := readBatch(gob.NewDecoder(&buf), &buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != 1 {
+				t.Fatalf("decoded %d requests, want 1", len(got))
+			}
+			g := got[0]
+			if g.Type != req.Type || g.ID != req.ID || g.Filename != req.Filename ||
+				g.Privacy != req.Privacy || !reflect.DeepEqual(g.ColPrivacy, req.ColPrivacy) ||
+				!reflect.DeepEqual(g.Inst, req.Inst) {
+				t.Fatalf("envelope fields diverged:\n got %+v\nwant %+v", g, req)
+			}
+			if !payloadEqual(g.Data, req.Data) {
+				t.Fatalf("payload diverged:\n got %+v\nwant %+v", g.Data, req.Data)
+			}
+		})
+		id++
+		batch = append(batch, Request{Type: Put, ID: id, Data: p})
+	}
+
+	var buf bytes.Buffer
+	if err := writeBatch(gob.NewEncoder(&buf), &buf, batch); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readBatch(gob.NewDecoder(&buf), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(batch) {
+		t.Fatalf("decoded %d requests, want %d", len(got), len(batch))
+	}
+	for i := range batch {
+		if !payloadEqual(got[i].Data, batch[i].Data) {
+			t.Fatalf("batched slab %d misaligned:\n got %+v\nwant %+v", i, got[i].Data, batch[i].Data)
+		}
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("%d unread bytes after batch decode", buf.Len())
+	}
+}
+
+// TestWireReplyRoundTrip checks the response direction, including the
+// epoch hoist: the envelope carries the worker epoch once, and decoding
+// stamps it back onto every response.
+func TestWireReplyRoundTrip(t *testing.T) {
+	cases := wirePayloadCases()
+	resps := []Response{
+		{OK: true, Data: cases["matrix-large"], Epoch: 0xfeed},
+		{OK: false, Err: "no object 4", Epoch: 0xfeed},
+		{OK: true, Data: cases["bytes"], Epoch: 0xfeed},
+	}
+	var buf bytes.Buffer
+	if err := writeReply(gob.NewEncoder(&buf), &buf, resps, 12345); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := readReply(gob.NewDecoder(&buf), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ExecNanos != 12345 {
+		t.Fatalf("ExecNanos = %d, want 12345", rep.ExecNanos)
+	}
+	if len(rep.Responses) != len(resps) {
+		t.Fatalf("decoded %d responses, want %d", len(rep.Responses), len(resps))
+	}
+	for i, r := range rep.Responses {
+		if r.Epoch != 0xfeed {
+			t.Fatalf("response %d epoch = %#x, want the hoisted batch epoch 0xfeed", i, r.Epoch)
+		}
+		if r.OK != resps[i].OK || r.Err != resps[i].Err || !payloadEqual(r.Data, resps[i].Data) {
+			t.Fatalf("response %d diverged:\n got %+v\nwant %+v", i, r, resps[i])
+		}
+	}
+}
+
+// TestReadPayloadRejectsCorruptLengths forges slab descriptors a hostile
+// or corrupted envelope could carry; readPayload must reject them before
+// allocating.
+func TestReadPayloadRejectsCorruptLengths(t *testing.T) {
+	cases := map[string]wirePayload{
+		"negative-nvals":  {Kind: PayloadMatrix, NVals: -7},
+		"negative-nbytes": {Kind: PayloadBytes, NVals: -1, NBytes: -2},
+		"huge-nvals":      {Kind: PayloadMatrix, Rows: 1 << 16, Cols: 1 << 16, NVals: 1 << 32},
+		"huge-nbytes":     {Kind: PayloadBytes, NVals: -1, NBytes: 1 << 35},
+		"shape-mismatch":  {Kind: PayloadMatrix, Rows: 3, Cols: 3, NVals: 8},
+	}
+	for name, wp := range cases {
+		if _, err := readPayload(bytes.NewReader(nil), wp); err == nil {
+			t.Errorf("%s: readPayload accepted forged descriptor %+v", name, wp)
+		}
+	}
+}
+
+// TestNegotiationFallbackToGobServer dials a gob-only server (a stand-in
+// for a pre-framing build) with a binary-capable client: the handshake
+// must fail closed, the client must redial in the legacy format, record
+// exactly one fallback, and keep the gob hint sticky across later redials.
+func TestNegotiationFallbackToGobServer(t *testing.T) {
+	s, _ := startServer(t, Options{ForceGob: true})
+	reg := obs.New()
+	c, err := Dial(s.Addr(), Options{Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.WireBinary() {
+		t.Fatal("client claims binary framing against a gob-only server")
+	}
+
+	m := matrix.FromRows([][]float64{{1, 2}, {3, 4}})
+	if _, err := c.CallOne(Request{Type: Put, ID: 1, Data: MatrixPayload(m)}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.CallOne(Request{Type: Get, ID: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Data.Matrix().EqualApprox(m, 0) {
+		t.Fatal("matrix round trip over the fallback transport")
+	}
+
+	if n := reg.Counter("rpc.client.gob_fallbacks").Value(); n != 1 {
+		t.Fatalf("gob_fallbacks = %d after first dial, want 1", n)
+	}
+	if err := c.Redial(); err != nil {
+		t.Fatal(err)
+	}
+	if c.WireBinary() {
+		t.Fatal("redial forgot the sticky gob hint")
+	}
+	if n := reg.Counter("rpc.client.gob_fallbacks").Value(); n != 1 {
+		t.Fatalf("gob_fallbacks = %d after redial, want still 1 (hint should skip the handshake)", n)
+	}
+	if _, err := c.CallOne(Request{Type: Get, ID: 1}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNegotiationBinaryByDefault pins the happy path: two current peers
+// negotiate the binary format without any configuration.
+func TestNegotiationBinaryByDefault(t *testing.T) {
+	s, _ := startServer(t, Options{})
+	c, err := Dial(s.Addr(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if !c.WireBinary() {
+		t.Fatal("two current peers should negotiate binary framing")
+	}
+	if _, err := c.CallOne(Request{Type: Put, ID: 1, Data: ScalarPayload(7)}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGobClientAgainstBinaryServer covers the other compatibility
+// direction: a ForceGob client (a stand-in for an old coordinator) against
+// a current server, which must sniff the absent prelude and serve gob.
+func TestGobClientAgainstBinaryServer(t *testing.T) {
+	s, _ := startServer(t, Options{})
+	c, err := Dial(s.Addr(), Options{ForceGob: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.WireBinary() {
+		t.Fatal("ForceGob client reports binary framing")
+	}
+	m := matrix.FromRows([][]float64{{5, 6, 7}})
+	if _, err := c.CallOne(Request{Type: Put, ID: 2, Data: MatrixPayload(m)}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.CallOne(Request{Type: Get, ID: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Data.Matrix().EqualApprox(m, 0) {
+		t.Fatal("matrix round trip from a gob client to a binary-capable server")
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"exdra/internal/federated"
 	"exdra/internal/fedrpc"
 	"exdra/internal/netem"
+	"exdra/internal/obs"
 	"exdra/internal/worker"
 )
 
@@ -45,6 +46,15 @@ type Config struct {
 	// SlowRPC makes the coordinator log every RPC slower than this
 	// threshold with its full phase breakdown (0 disables).
 	SlowRPC time.Duration
+	// Metrics, when non-nil, isolates the whole federation's counters and
+	// histograms (coordinator clients, servers, and workers) in the given
+	// registry instead of obs.Default() — benchmarks fold exactly their
+	// own run's deltas, unpolluted by parallel tests.
+	Metrics *obs.Registry
+	// ForceGob pins every connection to the legacy pure-gob wire format
+	// (no binary framing), for fallback tests and before/after encoding
+	// benchmarks.
+	ForceGob bool
 }
 
 // Cluster is a running in-process federation.
@@ -56,6 +66,16 @@ type Cluster struct {
 
 	serverOpts fedrpc.Options
 	baseDirs   []string // per worker, padded to len(Workers)
+	metrics    *obs.Registry
+}
+
+// Registry returns the observability registry this federation reports
+// into: the configured Metrics registry, or obs.Default().
+func (c *Cluster) Registry() *obs.Registry {
+	if c.metrics != nil {
+		return c.metrics
+	}
+	return obs.Default()
 }
 
 // Start launches the federation.
@@ -66,9 +86,13 @@ func Start(cfg Config) (*Cluster, error) {
 	}
 	var serverOpts, clientOpts fedrpc.Options
 	serverOpts.Netem = cfg.Netem
+	serverOpts.Metrics = cfg.Metrics
+	serverOpts.ForceGob = cfg.ForceGob
 	clientOpts.Netem = cfg.Netem
 	clientOpts.Netem.Faults = cfg.Faults
 	clientOpts.SlowRPC = cfg.SlowRPC
+	clientOpts.Metrics = cfg.Metrics
+	clientOpts.ForceGob = cfg.ForceGob
 	if cfg.TLS {
 		srvTLS, cliTLS, err := fedrpc.NewSelfSignedTLS()
 		if err != nil {
@@ -77,13 +101,16 @@ func Start(cfg Config) (*Cluster, error) {
 		serverOpts.TLS = srvTLS
 		clientOpts.TLS = cliTLS
 	}
-	cl := &Cluster{serverOpts: serverOpts}
+	cl := &Cluster{serverOpts: serverOpts, metrics: cfg.Metrics}
 	for i := 0; i < n; i++ {
 		dir := ""
 		if i < len(cfg.BaseDirs) {
 			dir = cfg.BaseDirs[i]
 		}
 		w := worker.New(dir)
+		if cfg.Metrics != nil {
+			w.Metrics = cfg.Metrics
+		}
 		srv, err := fedrpc.Serve("127.0.0.1:0", w, serverOpts)
 		if err != nil {
 			cl.Close()
@@ -116,6 +143,9 @@ func (c *Cluster) RestartWorker(i int) error {
 	addr := c.Addrs[i]
 	c.Servers[i].Close()
 	w := worker.New(c.baseDirs[i])
+	if c.metrics != nil {
+		w.Metrics = c.metrics
+	}
 	srv, err := fedrpc.Serve(addr, w, c.serverOpts)
 	if err != nil {
 		return fmt.Errorf("fedtest: restart worker %d on %s: %w", i, addr, err)

@@ -71,6 +71,14 @@ func (w *Worker) handleInst(req fedrpc.Request) fedrpc.Response {
 			return fedrpc.Response{OK: true}
 		}
 	}
+	// leftIndex mutates its target instead of producing a fresh output, so
+	// it bypasses the allocate-and-Put path below.
+	if inst.Opcode == "leftIndex" {
+		if err := w.execLeftIndex(inst); err != nil {
+			return fedrpc.Errorf("EXEC_INST leftIndex: %v", err)
+		}
+		return fedrpc.Response{OK: true}
+	}
 	out, level, err := w.execInst(inst)
 	if err != nil {
 		return fedrpc.Errorf("EXEC_INST %s: %v", inst.Opcode, err)
@@ -79,6 +87,61 @@ func (w *Worker) handleInst(req fedrpc.Request) fedrpc.Response {
 		w.Put(inst.Output, &Entry{Mat: out, Level: level})
 	}
 	return fedrpc.Response{OK: true}
+}
+
+// execLeftIndex implements left indexing, X[rb+1:rb+n, cb+1:cb+m] = Y
+// (DML matrix assignment, ExDRa Table 1): inputs are the target and source
+// IDs, scalars the zero-based row and column offsets. It is the one
+// instruction that mutates an existing binding in place — every other op
+// allocates a fresh output — so the write runs under the worker's write
+// lock, which excludes the under-lock payload snapshot a concurrent GET
+// takes of the same binding (handleGet).
+//
+// Privacy: an entry's level is set once at creation and read lock-free
+// everywhere, so the target's level cannot be raised to absorb a more
+// restrictive source; such a write is rejected instead — anything else
+// would launder the source's constraint through the laxer target.
+func (w *Worker) execLeftIndex(inst *fedrpc.Instruction) error {
+	if len(inst.Inputs) < 2 {
+		return fmt.Errorf("needs target and source IDs")
+	}
+	if len(inst.Scalars) < 2 {
+		return fmt.Errorf("needs row and column offsets")
+	}
+	rb, cb := int(inst.Scalars[0]), int(inst.Scalars[1])
+	tgt, err := w.Get(inst.Inputs[0])
+	if err != nil {
+		return err
+	}
+	srcEnt, err := w.Get(inst.Inputs[1])
+	if err != nil {
+		return err
+	}
+	src, err := w.Matrix(inst.Inputs[1])
+	if err != nil {
+		return err
+	}
+	if sl, tl := srcEnt.effectiveLevel(), tgt.effectiveLevel(); privacy.Max(sl, tl) != tl {
+		return fmt.Errorf("source level %v exceeds target level %v", sl, tl)
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	// Decompress in place under the write lock: mutating a dense buffer
+	// that Compact already unlinked would silently lose the write.
+	if tgt.Mat == nil && tgt.Comp != nil {
+		tgt.Mat = tgt.Comp.Decompress()
+		tgt.Comp = nil
+	}
+	m := tgt.Mat
+	if m == nil {
+		return fmt.Errorf("target %d is not a matrix (%s)", inst.Inputs[0], tgt.describe())
+	}
+	if rb < 0 || cb < 0 || rb+src.Rows() > m.Rows() || cb+src.Cols() > m.Cols() {
+		return fmt.Errorf("assignment [%d+%d, %d+%d] out of range for %dx%d",
+			rb, src.Rows(), cb, src.Cols(), m.Rows(), m.Cols())
+	}
+	m.SetSlice(rb, cb, src)
+	return nil
 }
 
 // inputLevel returns the most restrictive privacy level among instruction

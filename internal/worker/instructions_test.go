@@ -177,3 +177,53 @@ func TestAllMappedOpcodes(t *testing.T) {
 		}
 	}
 }
+
+// TestLeftIndex covers the one in-place instruction: a successful
+// sub-block assignment, bounds rejection, privacy laundering rejection
+// (restricted source into a public target), and in-place decompression of
+// a compacted target.
+func TestLeftIndex(t *testing.T) {
+	w := New("")
+	put(t, w, 1, matrix.Fill(4, 4, 0), privacy.Public)
+	put(t, w, 2, matrix.Fill(2, 2, 7), privacy.Public)
+
+	if r := exec(t, w, fedrpc.Instruction{Opcode: "leftIndex", Inputs: []int64{1, 2}, Scalars: []float64{1, 2}}); !r.OK {
+		t.Fatalf("leftIndex: %s", r.Err)
+	}
+	got, _ := w.Matrix(1)
+	want := matrix.Fill(4, 4, 0)
+	want.SetSlice(1, 2, matrix.Fill(2, 2, 7))
+	if !got.EqualApprox(want, 0) {
+		t.Fatalf("leftIndex result %v", got.Data())
+	}
+
+	// Out-of-range assignment errors instead of panicking the worker.
+	if r := exec(t, w, fedrpc.Instruction{Opcode: "leftIndex", Inputs: []int64{1, 2}, Scalars: []float64{3, 3}}); r.OK {
+		t.Fatal("out-of-range leftIndex accepted")
+	}
+	// Missing operands error.
+	if r := exec(t, w, fedrpc.Instruction{Opcode: "leftIndex", Inputs: []int64{1}, Scalars: []float64{0, 0}}); r.OK {
+		t.Fatal("leftIndex without source accepted")
+	}
+
+	// A restricted source must not launder through a public target: the
+	// target's level is fixed at creation, so the write is rejected.
+	put(t, w, 3, matrix.Fill(2, 2, 9), privacy.Private)
+	if r := exec(t, w, fedrpc.Instruction{Opcode: "leftIndex", Inputs: []int64{1, 3}, Scalars: []float64{0, 0}}); r.OK {
+		t.Fatal("Private source written into Public target")
+	}
+
+	// A compacted target is decompressed in place and then mutated.
+	rng := rand.New(rand.NewSource(3))
+	put(t, w, 4, onehot(rng, 64, 4), privacy.Public)
+	if n, _ := w.Compact(1.0); n == 0 {
+		t.Fatal("compaction did not engage")
+	}
+	if r := exec(t, w, fedrpc.Instruction{Opcode: "leftIndex", Inputs: []int64{4, 2}, Scalars: []float64{0, 0}}); !r.OK {
+		t.Fatalf("leftIndex into compacted target: %s", r.Err)
+	}
+	got4, _ := w.Matrix(4)
+	if got4.Data()[0] != 7 || got4.Data()[1] != 7 {
+		t.Fatal("leftIndex into compacted target lost the write")
+	}
+}

@@ -1,0 +1,89 @@
+package worker
+
+import (
+	"sync"
+	"testing"
+
+	"exdra/internal/fedrpc"
+	"exdra/internal/matrix"
+	"exdra/internal/obs"
+	"exdra/internal/privacy"
+)
+
+// TestGetConcurrentLeftIndex pins the payload/live-buffer aliasing fix: a
+// GET reply is serialized by the server's connection goroutine after the
+// worker handler (and its lock) returned, so a payload that aliased the
+// binding's backing array would race with a concurrent in-place leftIndex
+// overwriting the same binding — a torn slab on the wire. With the fix
+// (handleGet snapshots the dense buffer under the read lock) every reply
+// is a consistent before-or-after image. Run with -race this test fails
+// on the aliasing bug directly; without -race it still catches torn
+// replies by value (a mix of source values inside one reply).
+//
+// The matrix is deliberately multi-megabyte: the reply slab then exceeds
+// the socket buffers, so the serializing goroutine stays inside the write
+// for milliseconds while the in-process mutator loops — plenty of overlap
+// for the race detector to observe.
+func TestGetConcurrentLeftIndex(t *testing.T) {
+	w := New("")
+	w.Metrics = obs.New()
+	srv, err := fedrpc.Serve("127.0.0.1:0", w, fedrpc.Options{Metrics: obs.New()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := fedrpc.Dial(srv.Addr(), fedrpc.Options{Metrics: obs.New()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const rows, cols = 1024, 512 // 4 MB slab
+	w.PutMatrix(1, matrix.Fill(rows, cols, 1), privacy.Public)
+	w.PutMatrix(2, matrix.Fill(rows, cols, 2), privacy.Public)
+	w.PutMatrix(3, matrix.Fill(rows, cols, 3), privacy.Public)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		// Ping-pong ID 1 between all-2 and all-3 full overwrites, driven
+		// in-process so the mutation loop outpaces the RPC round trips.
+		src := int64(2)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			resp := w.handleInst(fedrpc.Request{Type: fedrpc.ExecInst, Inst: &fedrpc.Instruction{
+				Opcode: "leftIndex", Inputs: []int64{1, src}, Scalars: []float64{0, 0},
+			}})
+			if !resp.OK {
+				t.Errorf("leftIndex: %s", resp.Err)
+				return
+			}
+			src = 5 - src
+		}
+	}()
+
+	for i := 0; i < 30; i++ {
+		resp, err := c.CallOne(fedrpc.Request{Type: fedrpc.Get, ID: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := resp.Data.Matrix()
+		if m == nil {
+			t.Fatalf("iter %d: GET returned non-matrix payload kind %d", i, resp.Data.Kind)
+		}
+		first := m.Data()[0]
+		for _, v := range m.Data() {
+			if v != first {
+				t.Fatalf("iter %d: torn GET reply: saw both %v and %v in one snapshot", i, first, v)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -399,19 +399,29 @@ func (w *Worker) handleGet(req fedrpc.Request) fedrpc.Response {
 	}
 	// Snapshot the Mat/Comp pair under the lock: Compact swaps them in
 	// place, and an unlocked reader can catch the moment where both look
-	// nil and misclassify a matrix as a scalar. The snapshot pointers stay
-	// valid after release (the buffers themselves are immutable), so the
-	// expensive Decompress runs outside the lock.
+	// nil and misclassify a matrix as a scalar. The dense payload is
+	// copied (not aliased) while the lock is still held: the reply is
+	// serialized by fedrpc's serveConn long after this handler returns,
+	// and an in-place instruction (leftIndex) mutating the same binding
+	// in that window would otherwise put a torn slab on the wire. The
+	// compressed snapshot stays a pointer — Compact never mutates the
+	// compressed buffer, it only unlinks it — so the expensive Decompress
+	// runs outside the lock.
 	w.mu.RLock()
-	mat, comp := e.Mat, e.Comp
+	comp := e.Comp
+	var matPayload fedrpc.Payload
+	hasMat := e.Mat != nil
+	if hasMat {
+		matPayload = fedrpc.MatrixPayloadCopy(e.Mat)
+	}
 	desc := e.describe()
 	w.mu.RUnlock()
 	if err := privacy.CheckTransfer(e.effectiveLevel(), desc); err != nil {
 		return fedrpc.Errorf("GET %d: %v", req.ID, err)
 	}
 	switch {
-	case mat != nil:
-		return fedrpc.Response{OK: true, Data: fedrpc.MatrixPayload(mat)}
+	case hasMat:
+		return fedrpc.Response{OK: true, Data: matPayload}
 	case comp != nil:
 		return fedrpc.Response{OK: true, Data: fedrpc.MatrixPayload(comp.Decompress())}
 	case e.Fr != nil:
