@@ -19,9 +19,17 @@
 #   7. obs tests     — the observability suites (metrics registry, RPC
 #                      spans, concurrent Stats/snapshot reads) re-run
 #                      uncached under -race for the same reason;
-#   8. /metrics smoke — a real fedworker process is spawned with
+#   8. chaos + deadline/breaker e2e — the byzantine chaos harness and the
+#                      stalled-worker deadline/breaker lifecycle re-run
+#                      uncached under -race (covered by the widened fault
+#                      pattern in step 6: Chaos|Deadline|Breaker|...);
+#   9. wire fuzz smoke — the Go-native fuzz targets for the binary framing
+#                      decode paths each run for 10s: forged lengths,
+#                      truncation, and corruption must error, never panic
+#                      or over-allocate;
+#  10. /metrics smoke — a real fedworker process is spawned with
 #                      -metrics-addr and its endpoint is scraped once;
-#   9. bench smoke    — expbench -smoke regenerates BENCH_smoke.json
+#  11. bench smoke    — expbench -smoke regenerates BENCH_smoke.json
 #                      (FedLAN transfer + LM under the binary wire format)
 #                      and -compare gates the fresh encode+decode phase
 #                      seconds against the committed snapshot at 2x, so a
@@ -38,11 +46,17 @@ go vet ./...
 go run ./cmd/exdralint -json ./... | go run ./cmd/lintfmt
 go test -race ./...
 go test -race -count=1 \
-  -run 'Reset|Retry|Redial|Fault|Fail|Stall|Drop|Broken|Timeout|Restart|Health|Epoch|Recover|Replay|Closed|Unrecover|CreationLog' \
+  -run 'Reset|Retry|Redial|Fault|Fail|Stall|Drop|Broken|Timeout|Restart|Health|Epoch|Recover|Replay|Closed|Unrecover|CreationLog|Chaos|Deadline|Breaker|Cancel|Queued|Truncation|Corrupt' \
   ./internal/netem/ ./internal/fedrpc/ ./internal/federated/ ./internal/fedtest/ ./internal/worker/
 go test -race -count=1 \
   -run 'Metrics|Span|Histogram|Snapshot|Slow|Instrument|Stats|Breakdown' \
   ./internal/obs/ ./internal/fedrpc/ ./internal/fedtest/ ./internal/engine/ ./internal/bench/
+
+# Wire-protocol fuzz smoke: 10 seconds per decode path. A finding lands in
+# internal/fedrpc/testdata/fuzz/ and fails the run.
+go test -run='^$' -fuzz='^FuzzWireEnvelope$' -fuzztime=10s ./internal/fedrpc/
+go test -run='^$' -fuzz='^FuzzWireReply$' -fuzztime=10s ./internal/fedrpc/
+echo "ci.sh: wire fuzz smoke passed"
 
 # /metrics smoke test: boot a real worker with the endpoint enabled, scrape
 # it, and check the process gauges are served.

@@ -9,6 +9,7 @@
 //	exdra p2      -algo lm|ffn [-workers addr1,addr2 | -spawn 3] [-rows N] [-track dir]
 //	              [-retries N -retry-backoff 50ms] [-fault-resets N -fault-reset-after 16384]
 //	              [-recover] [-health-interval 5s]
+//	              [-call-timeout 5s] [-breaker-threshold 3 -breaker-cooldown 10s]
 //	exdra runs    -track dir [-metric r2]
 //	exdra table1
 package main
@@ -181,6 +182,12 @@ func runP2(args []string) {
 		"enable restart recovery: log object creations and replay them when a worker comes back with a new instance epoch")
 	healthInterval := fs.Duration("health-interval", 0,
 		"probe worker liveness every interval (0 = no probing); with -recover, restarted workers are repaired proactively")
+	callTimeout := fs.Duration("call-timeout", 0,
+		"per-batch deadline propagated to workers over the wire; a stalled worker fails the batch with DEADLINE_EXCEEDED instead of hanging (0 = no deadline)")
+	breakerThreshold := fs.Int("breaker-threshold", 0,
+		"open a worker's circuit breaker after N consecutive transport/deadline failures; while open, calls fail fast with ErrWorkerUnavailable until a health probe succeeds (0 = breaker disabled)")
+	breakerCooldown := fs.Duration("breaker-cooldown", 0,
+		"with -breaker-threshold: also allow a half-open trial after this much time open, even without a health probe (0 = probe-driven recovery only)")
 	metricsAddr := fs.String("metrics-addr", "",
 		"serve /metrics and /debug/pprof on this address (e.g. 127.0.0.1:9091; empty disables)")
 	slowRPC := fs.Duration("slow-rpc", 0,
@@ -237,7 +244,8 @@ func runP2(args []string) {
 		cl, err := fedtest.Start(fedtest.Config{
 			Workers: *spawn, Faults: faults, Retry: retry,
 			Recover: *recoverFlag, Health: federated.HealthPolicy{Interval: *healthInterval},
-			SlowRPC: *slowRPC,
+			SlowRPC: *slowRPC, CallTimeout: *callTimeout,
+			Breaker: federated.BreakerPolicy{Threshold: *breakerThreshold, Cooldown: *breakerCooldown},
 		})
 		if err != nil {
 			log.Fatalf("exdra: spawn workers: %v", err)
@@ -264,6 +272,10 @@ func runP2(args []string) {
 		defer coord.Close()
 		if retry.Attempts > 0 {
 			coord.SetRetryPolicy(retry)
+		}
+		coord.SetCallTimeout(*callTimeout)
+		if *breakerThreshold > 0 {
+			coord.SetBreakerPolicy(federated.BreakerPolicy{Threshold: *breakerThreshold, Cooldown: *breakerCooldown})
 		}
 		coord.EnableRecovery(*recoverFlag)
 		coord.StartHealth(federated.HealthPolicy{Interval: *healthInterval})

@@ -1,0 +1,244 @@
+package federated
+
+// Per-worker circuit breakers.
+//
+// The retry loop (coordinator.go) makes the coordinator persistent; the
+// breaker makes it polite about it. Without one, a worker that is down —
+// or, worse, up but consistently blowing its call budgets — gets hammered
+// with redials and full-size batches by every operation that touches its
+// partition, each paying the whole timeout before failing. The breaker
+// converts that repeated full-price failure into an immediate typed
+// ErrWorkerUnavailable while the worker is known-sick, and uses the health
+// prober's cheap HEALTH pings (one empty request, no payload) as the
+// recovery signal instead of live traffic.
+//
+// State machine (classic three-state):
+//
+//	closed ──(Threshold consecutive transport/deadline failures)──> open
+//	open ──(successful HEALTH probe, or Cooldown elapsed)──> half-open
+//	half-open ──(one real call succeeds)──> closed
+//	half-open ──(the trial call fails)──> open
+//
+// While open, real calls fail fast with ErrWorkerUnavailable; HEALTH
+// probes always pass through (they are the recovery signal). While
+// half-open, exactly one real call is admitted as the trial; concurrent
+// calls keep failing fast until it resolves.
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrWorkerUnavailable marks calls rejected without touching the wire
+// because the worker's circuit breaker is open: recent consecutive
+// failures exhausted BreakerPolicy.Threshold and no recovery signal (a
+// successful health probe, or Cooldown) has arrived yet. Callers can
+// errors.Is for it to distinguish load-shedding from a fresh failure.
+var ErrWorkerUnavailable = errors.New("federated: worker unavailable (circuit breaker open)")
+
+// BreakerPolicy configures the per-worker circuit breakers. The zero value
+// disables breaking entirely (every call goes to the wire, as before).
+type BreakerPolicy struct {
+	// Threshold is the number of consecutive transport failures or
+	// deadline blowouts that trips a worker's breaker open. <= 0 disables
+	// the breaker.
+	Threshold int
+	// Cooldown, when positive, moves an open breaker to half-open after
+	// this much time even without a successful health probe — the recovery
+	// path for coordinators that run without a prober (StartHealth off).
+	// Zero means probe-only recovery.
+	Cooldown time.Duration
+}
+
+// DefaultBreakerPolicy trips after 3 consecutive failures and allows a
+// self-service trial after 5s open, prober or not.
+func DefaultBreakerPolicy() BreakerPolicy {
+	return BreakerPolicy{Threshold: 3, Cooldown: 5 * time.Second}
+}
+
+// Breaker states.
+const (
+	breakerClosed = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// breakerStateName maps states to the labels used in errors and tests.
+func breakerStateName(s int) string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// breaker is one worker's circuit state.
+type breaker struct {
+	mu       sync.Mutex
+	state    int       // breaker* constant; guarded by mu
+	fails    int       // consecutive failures while closed; guarded by mu
+	openedAt time.Time // when the breaker last tripped; guarded by mu
+	trial    bool      // a half-open trial call is in flight; guarded by mu
+}
+
+// breakerFor returns (creating if needed) the breaker for addr.
+func (c *Coordinator) breakerFor(addr string) *breaker {
+	c.brkMu.Lock()
+	defer c.brkMu.Unlock()
+	b, ok := c.breakers[addr]
+	if !ok {
+		b = &breaker{}
+		c.breakers[addr] = b
+	}
+	return b
+}
+
+// SetBreakerPolicy configures (or, with the zero value, disables) the
+// per-worker circuit breakers. Call it before issuing federated
+// operations; existing breaker state is reset.
+func (c *Coordinator) SetBreakerPolicy(p BreakerPolicy) {
+	c.brkMu.Lock()
+	c.breaker = p
+	c.breakers = map[string]*breaker{}
+	c.brkMu.Unlock()
+	c.reg.Gauge("fed.breaker.open_count").Set(0)
+}
+
+// BreakerState reports the named worker's breaker state ("closed", "open",
+// "half-open") — closed when breaking is disabled or the worker is
+// unknown.
+func (c *Coordinator) BreakerState(addr string) string {
+	c.brkMu.Lock()
+	enabled := c.breaker.Threshold > 0
+	b := c.breakers[addr]
+	c.brkMu.Unlock()
+	if !enabled || b == nil {
+		return breakerStateName(breakerClosed)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return breakerStateName(b.state)
+}
+
+// breakerAllow gates one call attempt to addr. Health batches always pass:
+// they are the probe traffic the recovery path depends on. For real
+// traffic: closed passes, open fails fast (after a Cooldown check), and
+// half-open admits exactly one in-flight trial.
+func (c *Coordinator) breakerAllow(addr string, isHealth bool) error {
+	c.brkMu.Lock()
+	pol := c.breaker
+	c.brkMu.Unlock()
+	if pol.Threshold <= 0 || isHealth {
+		return nil
+	}
+	b := c.breakerFor(addr)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return nil
+	case breakerOpen:
+		if pol.Cooldown > 0 && time.Since(b.openedAt) >= pol.Cooldown {
+			b.state = breakerHalfOpen
+			b.trial = true
+			c.reg.Counter("fed.breaker.half_opens").Inc()
+			c.reg.Gauge("fed.breaker.open_count").Add(-1)
+			return nil // this call is the trial
+		}
+		return ErrWorkerUnavailable
+	default: // half-open
+		if b.trial {
+			return ErrWorkerUnavailable // a trial is already in flight
+		}
+		b.trial = true
+		return nil
+	}
+}
+
+// breakerSuccess records a successful real exchange with addr: a
+// half-open trial (or any success) closes the breaker and clears the
+// consecutive-failure count.
+func (c *Coordinator) breakerSuccess(addr string, isHealth bool) {
+	c.brkMu.Lock()
+	pol := c.breaker
+	c.brkMu.Unlock()
+	if pol.Threshold <= 0 {
+		return
+	}
+	if isHealth {
+		c.breakerProbeSuccess(addr)
+		return
+	}
+	b := c.breakerFor(addr)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != breakerClosed {
+		c.reg.Counter("fed.breaker.closes").Inc()
+		if b.state == breakerOpen {
+			c.reg.Gauge("fed.breaker.open_count").Add(-1)
+		}
+	}
+	b.state = breakerClosed
+	b.fails = 0
+	b.trial = false
+}
+
+// breakerFailure records a transport failure or deadline blowout against
+// addr. Threshold consecutive failures trip the breaker; a failed
+// half-open trial re-opens it immediately.
+func (c *Coordinator) breakerFailure(addr string) {
+	c.brkMu.Lock()
+	pol := c.breaker
+	c.brkMu.Unlock()
+	if pol.Threshold <= 0 {
+		return
+	}
+	b := c.breakerFor(addr)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerOpen:
+		return // already open; nothing to count
+	case breakerHalfOpen:
+		b.state = breakerOpen
+		b.openedAt = time.Now()
+		b.trial = false
+		c.reg.Counter("fed.breaker.opens").Inc()
+		c.reg.Gauge("fed.breaker.open_count").Add(1)
+		return
+	}
+	b.fails++
+	if b.fails >= pol.Threshold {
+		b.state = breakerOpen
+		b.openedAt = time.Now()
+		b.fails = 0
+		c.reg.Counter("fed.breaker.opens").Inc()
+		c.reg.Gauge("fed.breaker.open_count").Add(1)
+	}
+}
+
+// breakerProbeSuccess records a successful HEALTH probe of addr: the
+// recovery signal that moves an open breaker to half-open, where the next
+// real call runs as the trial. A probe alone never closes the breaker —
+// HEALTH exercises none of the data path ("one real call closes it").
+func (c *Coordinator) breakerProbeSuccess(addr string) {
+	c.brkMu.Lock()
+	pol := c.breaker
+	c.brkMu.Unlock()
+	if pol.Threshold <= 0 {
+		return
+	}
+	b := c.breakerFor(addr)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == breakerOpen {
+		b.state = breakerHalfOpen
+		b.trial = false
+		c.reg.Counter("fed.breaker.half_opens").Inc()
+		c.reg.Gauge("fed.breaker.open_count").Add(-1)
+	}
+}

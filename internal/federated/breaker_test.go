@@ -1,0 +1,174 @@
+package federated
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"exdra/internal/fedrpc"
+	"exdra/internal/obs"
+)
+
+// newBreakerCoord builds a coordinator with an isolated registry and the
+// given breaker policy — no network involved; these tests drive the state
+// machine directly through the coordinator's breaker hooks.
+func newBreakerCoord(p BreakerPolicy) *Coordinator {
+	c := NewCoordinator(fedrpc.Options{Metrics: obs.New()})
+	c.SetBreakerPolicy(p)
+	return c
+}
+
+// TestBreakerTripsAfterThreshold pins the closed→open transition: exactly
+// Threshold consecutive failures trip the breaker; a success before the
+// threshold resets the count.
+func TestBreakerTripsAfterThreshold(t *testing.T) {
+	c := newBreakerCoord(BreakerPolicy{Threshold: 3})
+	defer c.Close()
+	const addr = "w1:1"
+
+	c.breakerFailure(addr)
+	c.breakerFailure(addr)
+	c.breakerSuccess(addr, false) // resets the consecutive count
+	c.breakerFailure(addr)
+	c.breakerFailure(addr)
+	if got := c.BreakerState(addr); got != "closed" {
+		t.Fatalf("state after 2 consecutive failures = %q, want closed", got)
+	}
+	if err := c.breakerAllow(addr, false); err != nil {
+		t.Fatalf("closed breaker rejected a call: %v", err)
+	}
+	c.breakerFailure(addr)
+	if got := c.BreakerState(addr); got != "open" {
+		t.Fatalf("state after 3 consecutive failures = %q, want open", got)
+	}
+	if err := c.breakerAllow(addr, false); !errors.Is(err, ErrWorkerUnavailable) {
+		t.Fatalf("open breaker allow = %v, want ErrWorkerUnavailable", err)
+	}
+	// Health probes always pass: they are the recovery signal.
+	if err := c.breakerAllow(addr, true); err != nil {
+		t.Fatalf("open breaker rejected a health probe: %v", err)
+	}
+	if got := c.reg.Counter("fed.breaker.opens").Value(); got != 1 {
+		t.Fatalf("fed.breaker.opens = %d, want 1", got)
+	}
+	if got := c.reg.Gauge("fed.breaker.open_count").Value(); got != 1 {
+		t.Fatalf("fed.breaker.open_count = %d, want 1", got)
+	}
+}
+
+// TestBreakerProbeHalfOpenAndTrial pins the recovery path: a successful
+// probe half-opens, exactly one trial call is admitted, and its outcome
+// decides between closed and open.
+func TestBreakerProbeHalfOpenAndTrial(t *testing.T) {
+	c := newBreakerCoord(BreakerPolicy{Threshold: 1})
+	defer c.Close()
+	const addr = "w1:1"
+
+	c.breakerFailure(addr)
+	if got := c.BreakerState(addr); got != "open" {
+		t.Fatalf("state = %q, want open", got)
+	}
+	// A probe success (the prober's Ping feeding breakerSuccess with
+	// isHealth=true) moves open → half-open but never closes.
+	c.breakerSuccess(addr, true)
+	if got := c.BreakerState(addr); got != "half-open" {
+		t.Fatalf("state after probe success = %q, want half-open", got)
+	}
+	if got := c.reg.Gauge("fed.breaker.open_count").Value(); got != 0 {
+		t.Fatalf("fed.breaker.open_count = %d, want 0 after half-open", got)
+	}
+	// Exactly one trial is admitted; a concurrent call keeps failing fast.
+	if err := c.breakerAllow(addr, false); err != nil {
+		t.Fatalf("half-open breaker rejected the trial: %v", err)
+	}
+	if err := c.breakerAllow(addr, false); !errors.Is(err, ErrWorkerUnavailable) {
+		t.Fatalf("second call during trial = %v, want ErrWorkerUnavailable", err)
+	}
+	// Trial failure re-opens immediately.
+	c.breakerFailure(addr)
+	if got := c.BreakerState(addr); got != "open" {
+		t.Fatalf("state after failed trial = %q, want open", got)
+	}
+	// Probe again; this time the trial succeeds and the breaker closes.
+	c.breakerSuccess(addr, true)
+	if err := c.breakerAllow(addr, false); err != nil {
+		t.Fatalf("half-open breaker rejected the trial: %v", err)
+	}
+	c.breakerSuccess(addr, false)
+	if got := c.BreakerState(addr); got != "closed" {
+		t.Fatalf("state after successful trial = %q, want closed", got)
+	}
+	if err := c.breakerAllow(addr, false); err != nil {
+		t.Fatalf("closed breaker rejected a call: %v", err)
+	}
+}
+
+// TestBreakerCooldownHalfOpens pins the proberless recovery path: after
+// Cooldown the next allow converts itself into the half-open trial.
+func TestBreakerCooldownHalfOpens(t *testing.T) {
+	c := newBreakerCoord(BreakerPolicy{Threshold: 1, Cooldown: time.Millisecond})
+	defer c.Close()
+	const addr = "w1:1"
+
+	c.breakerFailure(addr)
+	// Rewind openedAt instead of sleeping (no time.Sleep in tests that can
+	// avoid it): the cooldown check compares against wall clock.
+	b := c.breakerFor(addr)
+	b.mu.Lock()
+	b.openedAt = time.Now().Add(-time.Second)
+	b.mu.Unlock()
+	if err := c.breakerAllow(addr, false); err != nil {
+		t.Fatalf("allow after cooldown = %v, want the half-open trial", err)
+	}
+	if got := c.BreakerState(addr); got != "half-open" {
+		t.Fatalf("state after cooldown allow = %q, want half-open", got)
+	}
+	// The cooldown allow IS the trial: a second call is rejected.
+	if err := c.breakerAllow(addr, false); !errors.Is(err, ErrWorkerUnavailable) {
+		t.Fatalf("second call during cooldown trial = %v, want ErrWorkerUnavailable", err)
+	}
+}
+
+// TestBreakerDisabledIsTransparent pins the zero-policy behavior: nothing
+// is ever rejected and no state is tracked.
+func TestBreakerDisabledIsTransparent(t *testing.T) {
+	c := NewCoordinator(fedrpc.Options{Metrics: obs.New()})
+	defer c.Close()
+	const addr = "w1:1"
+	for i := 0; i < 10; i++ {
+		c.breakerFailure(addr)
+	}
+	if err := c.breakerAllow(addr, false); err != nil {
+		t.Fatalf("disabled breaker rejected a call: %v", err)
+	}
+	if got := c.BreakerState(addr); got != "closed" {
+		t.Fatalf("disabled breaker state = %q, want closed", got)
+	}
+}
+
+// TestHealthPolicyJitterSpread pins the prober-jitter satellite: with
+// Jitter set, successive waits differ (no thundering herd lockstep) and
+// stay inside [(1-j)·I, (1+j)·I]; with Jitter zero the wait is exactly the
+// interval.
+func TestHealthPolicyJitterSpread(t *testing.T) {
+	p := HealthPolicy{Interval: time.Second, Jitter: 0.4, Seed: 7}
+	rng := newHealthRNG(p.Seed)
+	lo := time.Duration(float64(p.Interval) * (1 - p.Jitter))
+	hi := time.Duration(float64(p.Interval) * (1 + p.Jitter))
+	seen := map[time.Duration]bool{}
+	for i := 0; i < 64; i++ {
+		w := p.wait(rng)
+		if w < lo || w > hi {
+			t.Fatalf("jittered wait %v outside [%v, %v]", w, lo, hi)
+		}
+		seen[w] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("64 jittered waits produced %d distinct values; jitter is not spreading", len(seen))
+	}
+
+	fixed := HealthPolicy{Interval: time.Second}
+	if w := fixed.wait(rng); w != time.Second {
+		t.Fatalf("unjittered wait = %v, want exactly %v", w, time.Second)
+	}
+}

@@ -2,6 +2,7 @@ package federated
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -69,6 +70,18 @@ func RetryableBatch(reqs []fedrpc.Request) bool {
 type Coordinator struct {
 	opts  fedrpc.Options
 	retry RetryPolicy
+	// callTimeout, when positive, is the default per-attempt time budget:
+	// callCtx wraps any caller context that carries no deadline of its own
+	// in context.WithTimeout(ctx, callTimeout), so every RPC travels with a
+	// deadline even when the application code above never set one. Set
+	// before issuing operations (SetCallTimeout), like retry.
+	callTimeout time.Duration
+
+	// Circuit-breaker state (breaker.go): policy plus one breaker per
+	// worker address.
+	brkMu    sync.Mutex
+	breaker  BreakerPolicy       // guarded by brkMu
+	breakers map[string]*breaker // guarded by brkMu
 
 	mu      sync.Mutex
 	clients map[string]*fedrpc.Client // guarded by mu
@@ -103,13 +116,14 @@ type Coordinator struct {
 // SetRetryPolicy.
 func NewCoordinator(opts fedrpc.Options) *Coordinator {
 	c := &Coordinator{
-		opts:    opts,
-		clients: map[string]*fedrpc.Client{},
-		dialing: map[string]*dialCall{},
-		states:  map[string]*workerState{},
-		done:    make(chan struct{}),
-		rng:     rand.New(rand.NewSource(0)),
-		reg:     opts.Metrics,
+		opts:     opts,
+		clients:  map[string]*fedrpc.Client{},
+		dialing:  map[string]*dialCall{},
+		states:   map[string]*workerState{},
+		breakers: map[string]*breaker{},
+		done:     make(chan struct{}),
+		rng:      rand.New(rand.NewSource(0)),
+		reg:      opts.Metrics,
 	}
 	if c.reg == nil {
 		c.reg = obs.Default()
@@ -125,6 +139,17 @@ func (c *Coordinator) SetRetryPolicy(p RetryPolicy) {
 	c.rngMu.Lock()
 	c.rng = rand.New(rand.NewSource(p.Seed))
 	c.rngMu.Unlock()
+}
+
+// SetCallTimeout sets the default per-attempt time budget for every RPC
+// whose caller context carries no deadline of its own (0 disables — calls
+// then rely on the transport's coarse I/O timeout alone). The budget
+// travels to the worker on the wire, bounds handler execution there, and
+// is never refunded by a retry: a deadline blowout fails the batch
+// immediately with fedrpc.ErrDeadlineExceeded. Call before issuing
+// federated operations.
+func (c *Coordinator) SetCallTimeout(d time.Duration) {
+	c.callTimeout = d
 }
 
 // NewID allocates a federation-unique data ID.
@@ -202,7 +227,24 @@ func (c *Coordinator) call(addr string, reqs []fedrpc.Request) ([]fedrpc.Respons
 // callCtx is call with trace metadata: the context's obs span/op labels
 // flow through the RPC client into the span ring, and the retry funnel's
 // own events (retries, transport errors) are counted in the registry.
+//
+// Two failure classes cut the retry loop short. A deadline blowout —
+// locally (the context budget expired mid-exchange) or remotely (the
+// worker answered with the typed DEADLINE_EXCEEDED code) — returns
+// immediately with an error wrapping fedrpc.ErrDeadlineExceeded: the
+// caller's budget is spent, and N retries would multiply the wait to N×
+// the budget the caller asked for. And while the worker's circuit breaker
+// is open (breaker.go), attempts fail fast with ErrWorkerUnavailable
+// before touching the wire. Both classes still count as breaker failures,
+// so a worker that keeps blowing budgets trips its breaker just like one
+// that drops connections.
 func (c *Coordinator) callCtx(ctx context.Context, addr string, reqs []fedrpc.Request) ([]fedrpc.Response, error) {
+	isHealth := healthBatch(reqs)
+	if _, hasDeadline := ctx.Deadline(); !hasDeadline && c.callTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.callTimeout)
+		defer cancel()
+	}
 	attempts := c.retry.Attempts
 	if attempts < 1 || !RetryableBatch(reqs) {
 		attempts = 1
@@ -216,9 +258,18 @@ func (c *Coordinator) callCtx(ctx context.Context, addr string, reqs []fedrpc.Re
 				return nil, err
 			}
 		}
+		if err := c.breakerAllow(addr, isHealth); err != nil {
+			c.reg.Counter("fed.breaker.rejections").Inc()
+			if lastErr != nil {
+				// Mid-retry trip: the root cause outranks the load-shed.
+				return nil, fmt.Errorf("federated: %s: %w (after: %v)", addr, ErrWorkerUnavailable, lastErr)
+			}
+			return nil, fmt.Errorf("federated: %s: %w", addr, err)
+		}
 		cl, err := c.Client(addr)
 		if err != nil {
 			c.reg.Counter("fed.transport_errors").Inc()
+			c.breakerFailure(addr)
 			lastErr = err
 			continue
 		}
@@ -237,9 +288,26 @@ func (c *Coordinator) callCtx(ctx context.Context, addr string, reqs []fedrpc.Re
 			// Call tore the broken transport down; the next attempt redials
 			// through the cached client.
 			c.reg.Counter("fed.transport_errors").Inc()
+			c.breakerFailure(addr)
+			if errors.Is(err, fedrpc.ErrDeadlineExceeded) {
+				c.reg.Counter("fed.deadline_exceeded").Inc()
+				return nil, err // the budget is spent; never retry
+			}
+			if ctx.Err() != nil {
+				return nil, err // cancelled caller: retrying is pointless
+			}
 			lastErr = err
 			continue
 		}
+		if i := deadlineIdx(resps); i >= 0 {
+			// The worker (or the server's reply backstop) abandoned the
+			// batch at budget expiry and said so with the typed code.
+			c.reg.Counter("fed.deadline_exceeded").Inc()
+			c.breakerFailure(addr)
+			return nil, fmt.Errorf("federated: %s %s: %w: %s",
+				addr, reqs[i].Type, fedrpc.ErrDeadlineExceeded, resps[i].Err)
+		}
+		c.breakerSuccess(addr, isHealth)
 		if c.observeEpoch(addr, epochOf(resps)) {
 			if allOK(resps) {
 				// The batch fully succeeded on the fresh process — it read
@@ -281,6 +349,29 @@ func allOK(resps []fedrpc.Response) bool {
 		}
 	}
 	return true
+}
+
+// healthBatch reports whether every request is a HEALTH ping — probe
+// traffic, which bypasses the circuit breaker (it is the recovery signal)
+// and feeds its open → half-open transition on success.
+func healthBatch(reqs []fedrpc.Request) bool {
+	for _, r := range reqs {
+		if r.Type != fedrpc.Health {
+			return false
+		}
+	}
+	return len(reqs) > 0
+}
+
+// deadlineIdx returns the index of the first response carrying the typed
+// DEADLINE_EXCEEDED code, or -1.
+func deadlineIdx(resps []fedrpc.Response) int {
+	for i, r := range resps {
+		if r.Code == fedrpc.CodeDeadlineExceeded {
+			return i
+		}
+	}
+	return -1
 }
 
 // callOne issues a single request through the retry policy, converting a

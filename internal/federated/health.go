@@ -3,6 +3,7 @@ package federated
 import (
 	"context"
 	"fmt"
+	"math/rand"
 	"time"
 
 	"exdra/internal/fedrpc"
@@ -19,6 +20,34 @@ type HealthPolicy struct {
 	// Interval is the pause between probe rounds. Zero or negative
 	// disables probing (StartHealth becomes a no-op).
 	Interval time.Duration
+	// Jitter spreads each round's wait uniformly over
+	// [(1-Jitter)×Interval, (1+Jitter)×Interval), so a fleet of
+	// coordinators (or one coordinator whose probers all started on the
+	// same reconnect) doesn't fire every probe on the same tick — the
+	// thundering herd that turns a worker's recovery moment into a probe
+	// storm. Zero disables; values are clamped to [0, 1].
+	Jitter float64
+	// Seed feeds the jitter RNG, keeping probe schedules deterministic in
+	// tests (the dp.go convention for seeded randomness).
+	Seed int64
+}
+
+// newHealthRNG builds the prober's jitter RNG from a policy seed.
+func newHealthRNG(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// wait returns the next round's jittered pause.
+func (p HealthPolicy) wait(rng *rand.Rand) time.Duration {
+	j := p.Jitter
+	if j <= 0 {
+		return p.Interval
+	}
+	if j > 1 {
+		j = 1
+	}
+	f := 1 + j*(2*rng.Float64()-1)
+	return time.Duration(float64(p.Interval) * f)
 }
 
 // StartHealth launches the background health prober. Each round pings
@@ -41,7 +70,8 @@ func (c *Coordinator) StartHealth(p HealthPolicy) {
 	c.mu.Unlock()
 	go func() {
 		defer c.healthWg.Done()
-		t := time.NewTimer(p.Interval)
+		rng := newHealthRNG(p.Seed)
+		t := time.NewTimer(p.wait(rng))
 		defer t.Stop()
 		for {
 			select {
@@ -50,7 +80,7 @@ func (c *Coordinator) StartHealth(p HealthPolicy) {
 			case <-t.C:
 			}
 			c.probeAll()
-			t.Reset(p.Interval)
+			t.Reset(p.wait(rng))
 		}
 	}()
 }

@@ -84,9 +84,13 @@ func timeout(configured, def time.Duration) time.Duration {
 	return configured
 }
 
-// rpcEnvelope is the on-wire unit: one envelope per Call.
+// rpcEnvelope is the on-wire unit: one envelope per Call. DeadlineNanos is
+// the relative call budget (0 = none); like its binary-framing counterpart
+// (wireEnvelope) it rides gob's skip-unknown/zero-missing field semantics,
+// so old peers interoperate unchanged in both directions.
 type rpcEnvelope struct {
-	Requests []Request
+	Requests      []Request
+	DeadlineNanos int64
 }
 
 // rpcReply carries the batch responses plus the server-side handler wall
@@ -121,13 +125,16 @@ const (
 // (or an explicit Redial) transparently re-establishes the transport. The
 // cumulative byte counters survive reconnects.
 //
-// Two locks split the exchange path from the transport state so that Close
-// never waits behind an in-flight Call: mu serializes exchanges (held for
-// the full request/reply I/O), connMu guards the transport fields and is
-// never held across I/O or dialing. Close takes only connMu, closes the
-// connection — interrupting any in-flight exchange — and the interrupted
-// Call observes the closed flag and surfaces ErrClosed. Lock order where
-// both are needed: mu before connMu.
+// The exchange path and the transport state are guarded separately so that
+// Close never waits behind an in-flight Call: exchange is a capacity-1
+// semaphore serializing exchanges (held for the full request/reply I/O —
+// a channel rather than a mutex so a caller whose context dies while
+// queued can give up without touching the untorn connection), connMu
+// guards the transport fields and is never held across I/O or dialing.
+// Close takes only connMu, closes the connection — interrupting any
+// in-flight exchange — and the interrupted Call observes the closed flag
+// and surfaces ErrClosed. Order where both are needed: exchange before
+// connMu.
 type Client struct {
 	addr      string
 	opts      Options
@@ -135,7 +142,9 @@ type Client struct {
 	slowRPC   time.Duration
 	reg       *obs.Registry
 
-	mu sync.Mutex // serializes exchanges; time spent here is the Queue phase
+	// exchange serializes RPC exchanges: send to acquire, receive to
+	// release. Time blocked acquiring it is the span's Queue phase.
+	exchange chan struct{}
 
 	connMu sync.Mutex
 	conn   net.Conn      // nil while broken (pre-redial) or after Close; guarded by connMu
@@ -160,6 +169,7 @@ func Dial(addr string, opts Options) (*Client, error) {
 		ioTimeout: timeout(opts.IOTimeout, DefaultIOTimeout),
 		slowRPC:   opts.SlowRPC,
 		reg:       opts.metrics(),
+		exchange:  make(chan struct{}, 1),
 	}
 	conn, binary, err := c.dialTransport()
 	if err != nil {
@@ -261,15 +271,23 @@ func (c *Client) Call(reqs ...Request) ([]Response, error) {
 	return c.CallCtx(context.Background(), reqs...)
 }
 
-// CallCtx is Call with a context carrying trace metadata: an obs span
-// installed with obs.WithSpan is populated with the exchange's phase
-// timings and byte counts, and an obs.WithOp label is recorded on the
-// span. Every exchange — labeled or not — is also counted in the client's
-// metrics registry and appended to its recent-span ring.
+// CallCtx is Call with a context governing the exchange and carrying trace
+// metadata: an obs span installed with obs.WithSpan is populated with the
+// exchange's phase timings and byte counts, and an obs.WithOp label is
+// recorded on the span. Every exchange — labeled or not — is also counted
+// in the client's metrics registry and appended to its recent-span ring.
+//
+// A context deadline becomes the call's time budget: it bounds the local
+// exchange I/O (plus a small grace window so the worker's own typed
+// DEADLINE_EXCEEDED reply can arrive first) and travels to the server as a
+// relative deadline in the request envelope, where it bounds handler
+// execution. Budget exhaustion surfaces as an error wrapping both
+// ErrDeadlineExceeded and context.DeadlineExceeded. Cancelling ctx while
+// the call is still queued behind another exchange returns ctx.Err()
+// without touching the connection; cancelling it mid-exchange interrupts
+// the I/O promptly and tears the transport down (the stream is desynced).
 func (c *Client) CallCtx(ctx context.Context, reqs ...Request) ([]Response, error) {
 	queueStart := time.Now()
-	c.mu.Lock()
-	defer c.mu.Unlock()
 
 	span := obs.SpanFrom(ctx)
 	if span == nil {
@@ -282,7 +300,30 @@ func (c *Client) CallCtx(ctx context.Context, reqs ...Request) ([]Response, erro
 	if len(reqs) > 0 {
 		span.ReqType = reqs[0].Type.String()
 	}
+
+	if err := c.acquireExchange(ctx); err != nil {
+		// Cancelled while queued: no exchange started, the connection
+		// belongs to someone else and stays up. The caller's own context
+		// error is the whole story.
+		c.record(span, reqs, err)
+		return nil, err
+	}
+	defer c.releaseExchange()
 	span.Queue = time.Since(queueStart)
+
+	// The remaining budget (when ctx carries a deadline) travels to the
+	// server as a relative deadline and bounds the local I/O below.
+	var budget time.Duration
+	var deadlineNanos int64
+	if dl, ok := ctx.Deadline(); ok {
+		budget = time.Until(dl)
+		if budget <= 0 {
+			err := fmt.Errorf("fedrpc: call to %s: %w", c.addr, ErrDeadlineExceeded)
+			c.record(span, reqs, err)
+			return nil, err
+		}
+		deadlineNanos = int64(budget)
+	}
 
 	t, err := c.transport()
 	if err != nil {
@@ -296,26 +337,35 @@ func (c *Client) CallCtx(ctx context.Context, reqs ...Request) ([]Response, erro
 	// Every failure exit tears the transport down (fail), which both closes
 	// the conn — retiring its armed deadline with it — and prevents the next
 	// Call from silently reusing a desynced stream.
-	c.armDeadline(conn)
+	c.armDeadline(conn, budget)
+	// An explicit cancellation must interrupt in-flight I/O now, not when
+	// the armed deadline fires. Deadline expiry is deliberately left to the
+	// armed grace window: the worker's typed reply is usually already in
+	// flight and beats it.
+	stopWatch := context.AfterFunc(ctx, func() {
+		if context.Cause(ctx) == context.Canceled {
+			_ = conn.SetDeadline(time.Now())
+		}
+	})
+	defer stopWatch()
 	encStart := time.Now()
-	// The exchange I/O below runs under c.mu by design: mu IS the
-	// per-connection exchange serializer (time blocked on it is the span's
-	// Queue phase), not a data guard — neither gob streams nor slab frames
-	// can interleave two exchanges. connMu, the data guard, is never held
-	// across this I/O, and the conn deadline armed above bounds the hold
-	// time.
+	// The exchange I/O below runs while holding the exchange semaphore by
+	// design: it IS the per-connection serializer (time blocked on it is
+	// the span's Queue phase), not a data guard — neither gob streams nor
+	// slab frames can interleave two exchanges. connMu, the data guard, is
+	// never held across this I/O, and the conn deadline armed above bounds
+	// the hold time.
 	var serr error
 	if t.binary {
-		serr = writeBatch(t.enc, t.bw, reqs)
+		serr = writeBatch(t.enc, t.bw, reqs, deadlineNanos)
 	} else {
-		//lint:ignore lockhold mu is the exchange serializer; holding it across the deadline-bounded I/O is its purpose
-		serr = t.enc.Encode(rpcEnvelope{Requests: reqs})
+		serr = t.enc.Encode(rpcEnvelope{Requests: reqs, DeadlineNanos: deadlineNanos})
 	}
 	if serr != nil {
-		return c.fail(span, reqs, conn, fmt.Errorf("fedrpc: send to %s: %w", c.addr, serr))
+		return c.fail(ctx, span, reqs, conn, fmt.Errorf("fedrpc: send to %s: %w", c.addr, serr))
 	}
 	if err := t.bw.Flush(); err != nil {
-		return c.fail(span, reqs, conn, fmt.Errorf("fedrpc: flush to %s: %w", c.addr, err))
+		return c.fail(ctx, span, reqs, conn, fmt.Errorf("fedrpc: flush to %s: %w", c.addr, err))
 	}
 	span.Encode = time.Since(encStart)
 
@@ -325,11 +375,10 @@ func (c *Client) CallCtx(ctx context.Context, reqs ...Request) ([]Response, erro
 	if t.binary {
 		reply, derr = readReply(t.dec, t.br)
 	} else {
-		//lint:ignore lockhold same exchange: mu serializes the full request/reply round; the armed deadline bounds it
 		derr = t.dec.Decode(&reply)
 	}
 	if derr != nil {
-		return c.fail(span, reqs, conn, fmt.Errorf("fedrpc: receive from %s: %w", c.addr, derr))
+		return c.fail(ctx, span, reqs, conn, fmt.Errorf("fedrpc: receive from %s: %w", c.addr, derr))
 	}
 	decodeWall := time.Since(decStart)
 	c.disarmDeadline(conn)
@@ -351,16 +400,37 @@ func (c *Client) CallCtx(ctx context.Context, reqs ...Request) ([]Response, erro
 	if len(reply.Responses) != len(reqs) {
 		// The stream answered, but with the wrong cardinality: a protocol
 		// desync this connection cannot recover from.
-		return c.fail(span, reqs, conn, fmt.Errorf("fedrpc: %s returned %d responses for %d requests",
+		return c.fail(ctx, span, reqs, conn, fmt.Errorf("fedrpc: %s returned %d responses for %d requests",
 			c.addr, len(reply.Responses), len(reqs)))
 	}
 	c.record(span, reqs, nil)
 	return reply.Responses, nil
 }
 
+// acquireExchange takes the exchange semaphore, or gives up when ctx dies
+// first. The fast path never touches ctx, so an already-cancelled context
+// still wins an uncontended semaphore — matching mutex semantics for
+// callers that don't race cancellation.
+func (c *Client) acquireExchange(ctx context.Context) error {
+	select {
+	case c.exchange <- struct{}{}:
+		return nil
+	default:
+	}
+	select {
+	case c.exchange <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// releaseExchange returns the exchange semaphore.
+func (c *Client) releaseExchange() { <-c.exchange }
+
 // transportState is one Call's snapshot of the live transport, taken under
-// connMu and then used lock-free for the exchange I/O (c.mu guarantees one
-// exchange at a time).
+// connMu and then used lock-free for the exchange I/O (the exchange
+// semaphore guarantees one exchange at a time).
 type transportState struct {
 	conn   net.Conn
 	bw     *bufio.Writer
@@ -387,7 +457,8 @@ func (c *Client) transport() (transportState, error) {
 	c.connMu.Unlock()
 
 	// Broken by an earlier transport failure: reconnect transparently. Only
-	// one exchange runs at a time (c.mu), so no concurrent install races us.
+	// one exchange runs at a time (the exchange semaphore), so no
+	// concurrent install races us.
 	conn, binary, err := c.dialTransport()
 	if err != nil {
 		return transportState{}, err
@@ -404,11 +475,14 @@ func (c *Client) transport() (transportState, error) {
 	return t, nil
 }
 
-// fail tears the transport down after a failed or desynced exchange. If a
-// racing Close already claimed the connection the I/O error it provoked is
-// reported as ErrClosed — the caller raced Close and must see that, not a
-// bare transport error.
-func (c *Client) fail(sp *obs.Span, reqs []Request, conn net.Conn, err error) ([]Response, error) {
+// fail tears the transport down after a failed or desynced exchange and
+// classifies the error. If a racing Close already claimed the connection
+// the I/O error it provoked is reported as ErrClosed — the caller raced
+// Close and must see that, not a bare transport error. Likewise, when the
+// caller's own context expired or was cancelled, the I/O error is just the
+// mechanism by which the interruption surfaced: the caller sees a typed
+// deadline/cancellation error with the transport detail attached.
+func (c *Client) fail(ctx context.Context, sp *obs.Span, reqs []Request, conn net.Conn, err error) ([]Response, error) {
 	c.connMu.Lock()
 	closed := c.closed
 	if conn != nil && c.conn == conn {
@@ -418,8 +492,13 @@ func (c *Client) fail(sp *obs.Span, reqs []Request, conn net.Conn, err error) ([
 		c.binary = false
 	}
 	c.connMu.Unlock()
-	if closed {
+	switch {
+	case closed:
 		err = fmt.Errorf("fedrpc: call to %s: %w", c.addr, ErrClosed)
+	case ctx != nil && errors.Is(ctx.Err(), context.DeadlineExceeded):
+		err = fmt.Errorf("fedrpc: call to %s: %w (%v)", c.addr, ErrDeadlineExceeded, err)
+	case ctx != nil && errors.Is(ctx.Err(), context.Canceled):
+		err = fmt.Errorf("fedrpc: call to %s cancelled: %w (%v)", c.addr, ctx.Err(), err)
 	}
 	c.record(sp, reqs, err)
 	return nil, err
@@ -469,8 +548,8 @@ func (c *Client) Broken() bool {
 // first if one is live. Byte counters are preserved. Redial waits for any
 // in-flight Call to finish rather than yanking its connection.
 func (c *Client) Redial() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	_ = c.acquireExchange(context.Background()) // never fails: ctx cannot die
+	defer c.releaseExchange()
 	c.connMu.Lock()
 	if c.closed {
 		c.connMu.Unlock()
@@ -484,11 +563,11 @@ func (c *Client) Redial() error {
 	}
 	c.connMu.Unlock()
 
-	// Dialing happens under mu only: holding the exchange serializer is
-	// what "Redial waits for in-flight Calls" means, and it keeps a
-	// concurrent Call from racing the transport swap. connMu is released,
-	// so Close and state queries stay responsive during a slow dial.
-	//lint:ignore lockhold mu blocks concurrent exchanges during the swap on purpose; connMu is not held
+	// Dialing happens while holding only the exchange semaphore: holding
+	// the serializer is what "Redial waits for in-flight Calls" means, and
+	// it keeps a concurrent Call from racing the transport swap. connMu is
+	// released, so Close and state queries stay responsive during a slow
+	// dial.
 	conn, binary, err := c.dialTransport()
 	if err != nil {
 		return err
@@ -523,9 +602,28 @@ func (c *Client) CallOneCtx(ctx context.Context, req Request) (Response, error) 
 
 // armDeadline bounds the upcoming RPC exchange so a dead or wedged peer
 // surfaces as a timeout error instead of hanging the coordinator forever.
-func (c *Client) armDeadline(conn net.Conn) {
-	if c.ioTimeout > 0 {
-		_ = conn.SetDeadline(time.Now().Add(c.ioTimeout))
+// When the call carries a time budget the bound tightens to the budget
+// plus a short grace window — long enough for the worker's own typed
+// DEADLINE_EXCEEDED reply (sent exactly at budget expiry) to cross the
+// wire, short enough that a fully wedged link still fails within ~2× the
+// budget.
+func (c *Client) armDeadline(conn net.Conn, budget time.Duration) {
+	d := c.ioTimeout
+	if budget > 0 {
+		grace := budget / 2
+		if grace > time.Second {
+			grace = time.Second
+		}
+		if b := budget + grace; d <= 0 || b < d {
+			d = b
+		}
+	}
+	if d > 0 {
+		_ = conn.SetDeadline(time.Now().Add(d))
+	} else {
+		// Clear rather than skip: a cancelled previous call's watchdog may
+		// have left a poison (past) deadline on this connection.
+		_ = conn.SetDeadline(time.Time{})
 	}
 }
 
@@ -533,9 +631,7 @@ func (c *Client) armDeadline(conn net.Conn) {
 // killed between calls. Errors are ignored: a racing Close may have
 // retired the connection already.
 func (c *Client) disarmDeadline(conn net.Conn) {
-	if c.ioTimeout > 0 {
-		_ = conn.SetDeadline(time.Time{})
-	}
+	_ = conn.SetDeadline(time.Time{})
 }
 
 // BytesSent returns the total bytes written to this worker.

@@ -10,6 +10,7 @@
 package fedrpc
 
 import (
+	"context"
 	"fmt"
 
 	"exdra/internal/frame"
@@ -94,10 +95,31 @@ type Request struct {
 	UDF        *UDFCall
 }
 
+// Response codes classify failures beyond the human-readable Err string.
+// Old peers never set Code (gob zero-fills missing fields), so zero must
+// always mean "no machine-readable class" — matching their behavior.
+const (
+	// CodeNone is the zero value: no failure class attached.
+	CodeNone = 0
+	// CodeDeadlineExceeded marks a request abandoned because the call
+	// budget carried on the wire expired before (or while) it executed.
+	// Coordinators must not retry the batch on this attempt: the budget is
+	// spent, and re-sending would double the caller's wait.
+	CodeDeadlineExceeded = 1
+)
+
+// ErrDeadlineExceeded is the client-side form of CodeDeadlineExceeded: the
+// call's time budget ran out, either locally (the context expired before or
+// during the exchange) or remotely (the worker replied with the typed
+// code). It wraps context.DeadlineExceeded so errors.Is works with either
+// sentinel.
+var ErrDeadlineExceeded = fmt.Errorf("fedrpc: DEADLINE_EXCEEDED: %w", context.DeadlineExceeded)
+
 // Response answers one request. Err is empty on success.
 type Response struct {
 	OK   bool
 	Err  string
+	Code int     // failure class (Code* constants); 0 when unclassified
 	Data Payload // GET and EXEC_UDF results
 	// Epoch is the responding worker process's instance epoch: a random
 	// nonzero value generated once at process startup and stamped on every

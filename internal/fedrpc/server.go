@@ -158,13 +158,15 @@ func (s *Server) serveConn(conn net.Conn) {
 			_ = conn.SetReadDeadline(time.Now().Add(s.idleTimeout))
 		}
 		var reqs []Request
+		var deadlineNanos int64
 		var rerr error
 		if useBinary {
-			reqs, rerr = readBatch(dec, br)
+			reqs, deadlineNanos, rerr = readBatch(dec, br)
 		} else {
 			var env rpcEnvelope
 			rerr = dec.Decode(&env)
 			reqs = env.Requests
+			deadlineNanos = env.DeadlineNanos
 		}
 		if rerr != nil {
 			if !errors.Is(rerr, io.EOF) && !errors.Is(rerr, net.ErrClosed) {
@@ -173,7 +175,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			return
 		}
 		start := time.Now()
-		resps := s.safeHandle(s.baseCtx, reqs)
+		resps := s.handleBatch(reqs, deadlineNanos)
 		elapsed := time.Since(start)
 		s.observe(reqs, elapsed)
 		if s.ioTimeout > 0 {
@@ -195,6 +197,47 @@ func (s *Server) serveConn(conn net.Conn) {
 			log.Printf("fedrpc: flush to %s: %v", conn.RemoteAddr(), err)
 			return
 		}
+	}
+}
+
+// handleBatch runs one request batch under the deadline the client put on
+// the wire (deadlineNanos, relative; 0 = none — every pre-deadline peer).
+//
+// With a deadline, the handler runs in its own goroutine so the reply can
+// be written the moment the budget expires: the client is waiting with a
+// budget-plus-grace I/O deadline of its own, and a typed reply that beats
+// that window keeps the connection (and its negotiated format) alive
+// instead of forcing a teardown-and-redial. A context-aware handler
+// (package worker) usually notices the expiry itself and returns typed
+// responses first; the select here is the backstop for a kernel too deep
+// in compute to check. The abandoned goroutine finishes its current op,
+// sends into the buffered channel, and exits — its late result is simply
+// discarded.
+func (s *Server) handleBatch(reqs []Request, deadlineNanos int64) []Response {
+	if deadlineNanos <= 0 {
+		return s.safeHandle(s.baseCtx, reqs)
+	}
+	ctx, cancel := context.WithTimeout(s.baseCtx, time.Duration(deadlineNanos))
+	defer cancel()
+	done := make(chan []Response, 1)
+	go func() { done <- s.safeHandle(ctx, reqs) }()
+	select {
+	case resps := <-done:
+		return resps
+	case <-ctx.Done():
+		if context.Cause(ctx) != context.DeadlineExceeded {
+			// Server shutdown, not budget expiry: let the handler observe
+			// the cancellation and produce its own shutdown responses.
+			return <-done
+		}
+		resps := make([]Response, len(reqs))
+		for i := range resps {
+			resps[i] = Response{
+				Err:  fmt.Sprintf("deadline exceeded after %s", time.Duration(deadlineNanos)),
+				Code: CodeDeadlineExceeded,
+			}
+		}
+		return resps
 	}
 }
 

@@ -38,6 +38,7 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 	"net"
@@ -61,11 +62,39 @@ var wirePrelude = [5]byte{0x00, 'X', 'D', 'R', wireVersion}
 // hostile envelope cannot OOM the process with one forged length.
 const maxSlabBytes = int64(1) << 34
 
+// maxEagerSlabBytes bounds what a decoder allocates up front on the word of
+// an unverified length descriptor (16 MiB — comfortably above the paper's
+// per-RPC transfers). Longer slabs are real but rare, so they are read
+// through a doubling-growth loop instead: a forged multi-GiB length then
+// costs at most twice the bytes actually present on the stream, not a 16
+// GiB make() before the first read.
+const maxEagerSlabBytes = int64(16) << 20
+
+// castagnoli is the CRC-32C table used for slab checksums. Castagnoli
+// because amd64 and arm64 compute it in hardware — one cheap extra pass
+// over slabs that are otherwise written and read zero-copy, so a flipped
+// bit in transit surfaces as a typed integrity error instead of silently
+// corrupting a model.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
 // wireEnvelope is the control message of one request batch: Request with
 // the slab contents (Payload.Values/Bytes) hoisted out. Keep wireRequest's
 // fields in sync with Request — TestWireRequestFieldParity enforces it.
+//
+// DeadlineNanos and Checksums ride the existing gob envelope without a
+// version bump: gob skips fields the receiver doesn't know and zero-fills
+// fields the sender didn't send, so an old peer simply sees no deadline and
+// no checksums — exactly the pre-deadline behavior.
 type wireEnvelope struct {
 	Requests []wireRequest
+	// DeadlineNanos is the relative time budget the caller grants this
+	// batch (nanoseconds from the moment the server decodes it). Zero means
+	// no deadline — the value an old peer's envelope decodes to.
+	DeadlineNanos int64
+	// Checksums reports that every slab descriptor in this envelope carries
+	// a CRC-32C of its slab contents. Old peers send false (zero value) and
+	// their slabs are accepted unverified, as before.
+	Checksums bool
 }
 
 // wireRequest mirrors Request with Data replaced by its slab descriptor.
@@ -87,6 +116,8 @@ type wireReply struct {
 	Responses []wireResponse
 	ExecNanos int64
 	Epoch     uint64
+	// Checksums mirrors wireEnvelope.Checksums for the reply direction.
+	Checksums bool
 }
 
 // wireResponse mirrors Response minus the per-response Epoch (hoisted into
@@ -94,6 +125,7 @@ type wireReply struct {
 type wireResponse struct {
 	OK   bool
 	Err  string
+	Code int
 	Data wirePayload
 }
 
@@ -111,19 +143,41 @@ type wirePayload struct {
 	Frame  []*frame.Column
 	NVals  int
 	NBytes int
+	// ValsCRC and BytesCRC are CRC-32C checksums of the two slabs' wire
+	// bytes, meaningful only when the enclosing envelope sets Checksums.
+	ValsCRC  uint32
+	BytesCRC uint32
 }
 
-// toWirePayload hoists the slab lengths out of p.
+// toWirePayload hoists the slab lengths out of p and stamps each slab's
+// CRC-32C (over the little-endian wire representation — identical to the
+// in-memory bytes on LE hosts, converted chunkwise on others).
 func toWirePayload(p Payload) wirePayload {
 	wp := wirePayload{Kind: p.Kind, Rows: p.Rows, Cols: p.Cols,
 		Scalar: p.Scalar, Frame: p.Frame, NVals: -1, NBytes: -1}
 	if p.Values != nil {
 		wp.NVals = len(p.Values)
+		wp.ValsCRC = floatSlabCRC(p.Values)
 	}
 	if p.Bytes != nil {
 		wp.NBytes = len(p.Bytes)
+		wp.BytesCRC = crc32.Checksum(p.Bytes, castagnoli)
 	}
 	return wp
+}
+
+// floatSlabCRC computes the CRC-32C of f's little-endian wire bytes.
+func floatSlabCRC(f []float64) uint32 {
+	if hostLittleEndian {
+		return crc32.Checksum(floatBytes(f), castagnoli)
+	}
+	var crc uint32
+	var buf [8]byte
+	for _, v := range f {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		crc = crc32.Update(crc, castagnoli, buf[:])
+	}
+	return crc
 }
 
 // writePayloadSlabs writes p's slabs in wire order (Values, then Bytes).
@@ -144,8 +198,9 @@ func writePayloadSlabs(w io.Writer, p Payload) error {
 // readPayload validates wp and reads its slabs into freshly allocated
 // destination arrays — never pooled ones: ownership transfers to the
 // decoded Payload (a PUT binds the slab into the symbol table as-is), so
-// recycling here would alias live objects.
-func readPayload(r io.Reader, wp wirePayload) (Payload, error) {
+// recycling here would alias live objects. With verify set (the envelope
+// declared checksums) each slab's CRC-32C must match its descriptor.
+func readPayload(r io.Reader, wp wirePayload, verify bool) (Payload, error) {
 	p := Payload{Kind: wp.Kind, Rows: wp.Rows, Cols: wp.Cols,
 		Scalar: wp.Scalar, Frame: wp.Frame}
 	if wp.NVals < -1 || int64(wp.NVals)*8 > maxSlabBytes {
@@ -158,24 +213,88 @@ func readPayload(r io.Reader, wp wirePayload) (Payload, error) {
 		return p, fmt.Errorf("fedrpc: matrix slab has %d values for %dx%d", wp.NVals, wp.Rows, wp.Cols)
 	}
 	if wp.NVals >= 0 {
-		p.Values = make([]float64, wp.NVals)
-		if err := readFloatSlab(r, p.Values); err != nil {
+		vals, err := readFloatSlabAlloc(r, wp.NVals)
+		p.Values = vals
+		if err != nil {
 			return p, err
+		}
+		if verify && floatSlabCRC(vals) != wp.ValsCRC {
+			return p, fmt.Errorf("fedrpc: values-slab checksum mismatch (%d values)", wp.NVals)
 		}
 	}
 	if wp.NBytes >= 0 {
-		p.Bytes = make([]byte, wp.NBytes)
-		if _, err := io.ReadFull(r, p.Bytes); err != nil {
+		b, err := readBytesAlloc(r, wp.NBytes)
+		p.Bytes = b
+		if err != nil {
 			return p, err
+		}
+		if verify && crc32.Checksum(b, castagnoli) != wp.BytesCRC {
+			return p, fmt.Errorf("fedrpc: bytes-slab checksum mismatch (%d bytes)", wp.NBytes)
 		}
 	}
 	return p, nil
 }
 
-// writeBatch frames one request batch: envelope, then slabs. The caller
-// flushes the underlying writer.
-func writeBatch(enc *gob.Encoder, w io.Writer, reqs []Request) error {
-	env := wireEnvelope{Requests: make([]wireRequest, len(reqs))}
+// readFloatSlabAlloc allocates and fills an n-float destination slab.
+// Small slabs (the common case) are allocated exactly; larger ones grow by
+// doubling as data actually arrives, so a forged length descriptor cannot
+// force a huge allocation for a stream about to end.
+func readFloatSlabAlloc(r io.Reader, n int) ([]float64, error) {
+	if int64(n)*8 <= maxEagerSlabBytes {
+		f := make([]float64, n)
+		return f, readFloatSlab(r, f)
+	}
+	f := make([]float64, int(maxEagerSlabBytes/8))
+	for filled := 0; ; {
+		if err := readFloatSlab(r, f[filled:]); err != nil {
+			return nil, err
+		}
+		filled = len(f)
+		if filled == n {
+			return f, nil
+		}
+		next := 2 * filled
+		if next > n {
+			next = n
+		}
+		grown := make([]float64, next)
+		copy(grown, f)
+		f = grown
+	}
+}
+
+// readBytesAlloc is readFloatSlabAlloc for byte slabs.
+func readBytesAlloc(r io.Reader, n int) ([]byte, error) {
+	if int64(n) <= maxEagerSlabBytes {
+		b := make([]byte, n)
+		_, err := io.ReadFull(r, b)
+		return b, err
+	}
+	b := make([]byte, int(maxEagerSlabBytes))
+	for filled := 0; ; {
+		if _, err := io.ReadFull(r, b[filled:]); err != nil {
+			return nil, err
+		}
+		filled = len(b)
+		if filled == n {
+			return b, nil
+		}
+		next := 2 * filled
+		if next > n {
+			next = n
+		}
+		grown := make([]byte, next)
+		copy(grown, b)
+		b = grown
+	}
+}
+
+// writeBatch frames one request batch: envelope, then slabs.
+// deadlineNanos is the relative call budget carried to the server (0 = no
+// deadline). The caller flushes the underlying writer.
+func writeBatch(enc *gob.Encoder, w io.Writer, reqs []Request, deadlineNanos int64) error {
+	env := wireEnvelope{Requests: make([]wireRequest, len(reqs)),
+		DeadlineNanos: deadlineNanos, Checksums: true}
 	for i, rq := range reqs {
 		env.Requests[i] = wireRequest{
 			Type: rq.Type, ID: rq.ID, Filename: rq.Filename,
@@ -194,17 +313,18 @@ func writeBatch(enc *gob.Encoder, w io.Writer, reqs []Request) error {
 	return nil
 }
 
-// readBatch decodes one framed request batch.
-func readBatch(dec *gob.Decoder, r io.Reader) ([]Request, error) {
+// readBatch decodes one framed request batch plus its relative deadline
+// (0 when the peer sent none — including every pre-deadline peer).
+func readBatch(dec *gob.Decoder, r io.Reader) ([]Request, int64, error) {
 	var env wireEnvelope
 	if err := dec.Decode(&env); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	reqs := make([]Request, len(env.Requests))
 	for i, wr := range env.Requests {
-		data, err := readPayload(r, wr.Data)
+		data, err := readPayload(r, wr.Data, env.Checksums)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		reqs[i] = Request{
 			Type: wr.Type, ID: wr.ID, Filename: wr.Filename,
@@ -212,7 +332,7 @@ func readBatch(dec *gob.Decoder, r io.Reader) ([]Request, error) {
 			Data: data, Inst: wr.Inst, UDF: wr.UDF,
 		}
 	}
-	return reqs, nil
+	return reqs, env.DeadlineNanos, nil
 }
 
 // writeReply frames one response batch. The epoch is hoisted from the
@@ -220,12 +340,13 @@ func readBatch(dec *gob.Decoder, r io.Reader) ([]Request, error) {
 // nonzero stamp represents them all) into the envelope. The caller
 // flushes.
 func writeReply(enc *gob.Encoder, w io.Writer, resps []Response, execNanos int64) error {
-	rep := wireReply{Responses: make([]wireResponse, len(resps)), ExecNanos: execNanos}
+	rep := wireReply{Responses: make([]wireResponse, len(resps)), ExecNanos: execNanos,
+		Checksums: true}
 	for i, rs := range resps {
 		if rep.Epoch == 0 {
 			rep.Epoch = rs.Epoch
 		}
-		rep.Responses[i] = wireResponse{OK: rs.OK, Err: rs.Err, Data: toWirePayload(rs.Data)}
+		rep.Responses[i] = wireResponse{OK: rs.OK, Err: rs.Err, Code: rs.Code, Data: toWirePayload(rs.Data)}
 	}
 	if err := enc.Encode(rep); err != nil {
 		return err
@@ -248,11 +369,11 @@ func readReply(dec *gob.Decoder, r io.Reader) (rpcReply, error) {
 	}
 	out := rpcReply{Responses: make([]Response, len(rep.Responses)), ExecNanos: rep.ExecNanos}
 	for i, wr := range rep.Responses {
-		data, err := readPayload(r, wr.Data)
+		data, err := readPayload(r, wr.Data, rep.Checksums)
 		if err != nil {
 			return rpcReply{}, err
 		}
-		out.Responses[i] = Response{OK: wr.OK, Err: wr.Err, Data: data, Epoch: rep.Epoch}
+		out.Responses[i] = Response{OK: wr.OK, Err: wr.Err, Code: wr.Code, Data: data, Epoch: rep.Epoch}
 	}
 	return out, nil
 }

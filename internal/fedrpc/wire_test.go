@@ -50,8 +50,10 @@ func TestWireRequestFieldParity(t *testing.T) {
 	}
 
 	// Payload's slab fields become length descriptors; everything else must
-	// carry over by name.
+	// carry over by name. The CRC fields are wire-only metadata (each slab's
+	// checksum) with no Payload counterpart.
 	slabbed := map[string]string{"Values": "NVals", "Bytes": "NBytes"}
+	wireOnly := map[string]bool{"ValsCRC": true, "BytesCRC": true}
 	pt, wt := reflect.TypeOf(Payload{}), reflect.TypeOf(wirePayload{})
 	for i := 0; i < pt.NumField(); i++ {
 		name := pt.Field(i).Name
@@ -62,8 +64,13 @@ func TestWireRequestFieldParity(t *testing.T) {
 			t.Errorf("wirePayload is missing a counterpart for Payload.%s (want field %q)", pt.Field(i).Name, name)
 		}
 	}
-	if pt.NumField() != wt.NumField() {
-		t.Errorf("wirePayload has %d fields for Payload's %d", wt.NumField(), pt.NumField())
+	if pt.NumField()+len(wireOnly) != wt.NumField() {
+		t.Errorf("wirePayload has %d fields for Payload's %d (+%d wire-only)", wt.NumField(), pt.NumField(), len(wireOnly))
+	}
+	for name := range wireOnly {
+		if _, ok := wt.FieldByName(name); !ok {
+			t.Errorf("wirePayload is missing wire-only field %q", name)
+		}
 	}
 }
 
@@ -193,10 +200,10 @@ func TestWireBatchRoundTrip(t *testing.T) {
 				ColPrivacy: []int{0, 1}, Data: p,
 				Inst: &Instruction{Opcode: "mm", Inputs: []int64{1, 2}, Output: 3, Scalars: []float64{0.5}}}
 			var buf bytes.Buffer
-			if err := writeBatch(gob.NewEncoder(&buf), &buf, []Request{req}); err != nil {
+			if err := writeBatch(gob.NewEncoder(&buf), &buf, []Request{req}, 0); err != nil {
 				t.Fatal(err)
 			}
-			got, err := readBatch(gob.NewDecoder(&buf), &buf)
+			got, _, err := readBatch(gob.NewDecoder(&buf), &buf)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -218,10 +225,10 @@ func TestWireBatchRoundTrip(t *testing.T) {
 	}
 
 	var buf bytes.Buffer
-	if err := writeBatch(gob.NewEncoder(&buf), &buf, batch); err != nil {
+	if err := writeBatch(gob.NewEncoder(&buf), &buf, batch, 0); err != nil {
 		t.Fatal(err)
 	}
-	got, err := readBatch(gob.NewDecoder(&buf), &buf)
+	got, _, err := readBatch(gob.NewDecoder(&buf), &buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -284,7 +291,7 @@ func TestReadPayloadRejectsCorruptLengths(t *testing.T) {
 		"shape-mismatch":  {Kind: PayloadMatrix, Rows: 3, Cols: 3, NVals: 8},
 	}
 	for name, wp := range cases {
-		if _, err := readPayload(bytes.NewReader(nil), wp); err == nil {
+		if _, err := readPayload(bytes.NewReader(nil), wp, false); err == nil {
 			t.Errorf("%s: readPayload accepted forged descriptor %+v", name, wp)
 		}
 	}

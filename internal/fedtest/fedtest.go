@@ -43,6 +43,13 @@ type Config struct {
 	// Health starts the coordinator's periodic liveness probing when
 	// Interval > 0.
 	Health federated.HealthPolicy
+	// Breaker configures the coordinator's per-worker circuit breakers;
+	// the zero value keeps them off.
+	Breaker federated.BreakerPolicy
+	// CallTimeout bounds each coordinator→worker RPC when the caller's
+	// context carries no deadline of its own; the budget travels to the
+	// worker on the wire. Zero leaves calls unbounded.
+	CallTimeout time.Duration
 	// SlowRPC makes the coordinator log every RPC slower than this
 	// threshold with its full phase breakdown (0 disables).
 	SlowRPC time.Duration
@@ -126,6 +133,10 @@ func Start(cfg Config) (*Cluster, error) {
 		cl.Coord.SetRetryPolicy(cfg.Retry)
 	}
 	cl.Coord.EnableRecovery(cfg.Recover)
+	if cfg.Breaker != (federated.BreakerPolicy{}) {
+		cl.Coord.SetBreakerPolicy(cfg.Breaker)
+	}
+	cl.Coord.SetCallTimeout(cfg.CallTimeout)
 	cl.Coord.StartHealth(cfg.Health)
 	return cl, nil
 }

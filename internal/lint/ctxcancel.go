@@ -1,0 +1,265 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxCancelAnalyzer enforces that the cancel func returned by
+// context.WithTimeout / context.WithDeadline (and their *Cause variants) is
+// released on every path. These constructors arm a timer that keeps the
+// derived context — and through its done channel everything select-ing on
+// it — alive until the deadline fires; a dropped or conditionally-called
+// cancel leaks that timer on the paths that skip it. go vet's lostcancel
+// catches the never-used case; this rule is stricter: a cancel that is
+// called but not deferred must be a sibling statement of the assignment
+// with no return or branch between them, because anything weaker means
+// some path exits the function with the timer still armed.
+//
+// Accepted shapes:
+//
+//	ctx, cancel := context.WithTimeout(parent, d); defer cancel()
+//	var cancel context.CancelFunc; ctx, cancel = context.WithTimeout(...); defer cancel()
+//	ctx, cancel := context.WithTimeout(parent, d); use(ctx); cancel()   // same block, nothing diverts in between
+//	return ctx, cancel                                                   // escape: the caller owns the release
+func CtxCancelAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "ctxcancel",
+		Doc:  "context.WithTimeout/WithDeadline cancel funcs must be deferred, escape to the caller, or be called on every path",
+		Run: func(pass *Pass) {
+			for _, file := range pass.Pkg.Files {
+				ast.Inspect(file, func(n ast.Node) bool {
+					switch fn := n.(type) {
+					case *ast.FuncDecl:
+						if fn.Body != nil {
+							checkCtxCancel(pass, fn.Body)
+						}
+					case *ast.FuncLit:
+						checkCtxCancel(pass, fn.Body)
+					}
+					return true
+				})
+			}
+		},
+	}
+}
+
+// ctxCancelSite is one deadline-context construction inside a function
+// body.
+type ctxCancelSite struct {
+	assign *ast.AssignStmt
+	fname  string     // WithTimeout, WithDeadline, ...
+	cancel *ast.Ident // the Lhs cancel identifier (possibly blank)
+	obj    types.Object
+}
+
+// checkCtxCancel analyzes one function body in isolation. Sites inside
+// nested function literals belong to the literal's own invocation of this
+// check; uses of an outer cancel inside a nested literal count as escapes
+// for the outer site (the closure owns the release).
+func checkCtxCancel(pass *Pass, body *ast.BlockStmt) {
+	for _, site := range ctxCancelSites(pass, body) {
+		if site.cancel.Name == "_" {
+			pass.Reportf(site.cancel.Pos(),
+				"cancel func of context.%s discarded; its timer leaks until the parent context ends — assign and defer it", site.fname)
+			continue
+		}
+		if site.obj == nil {
+			continue // unresolvable (type error); stay quiet
+		}
+		deferred, escaped, calls := ctxCancelUses(pass, body, site)
+		switch {
+		case deferred || escaped:
+		case len(calls) == 0:
+			pass.Reportf(site.cancel.Pos(),
+				"cancel func of context.%s is never called; defer it so the timer is released on every path", site.fname)
+		case !ctxCancelAllPaths(body, site.assign, calls):
+			pass.Reportf(site.cancel.Pos(),
+				"cancel func of context.%s is not called on every path; defer it, or call it as a sibling of the assignment with no return or branch in between", site.fname)
+		}
+	}
+}
+
+// ctxCancelSites finds the WithTimeout/WithDeadline assignments directly
+// inside body, skipping nested function literals.
+func ctxCancelSites(pass *Pass, body *ast.BlockStmt) []ctxCancelSite {
+	var sites []ctxCancelSite
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 2 || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fname, ok := deadlineCtxConstructor(pass, call)
+		if !ok {
+			return true
+		}
+		id, ok := ast.Unparen(as.Lhs[1]).(*ast.Ident)
+		if !ok {
+			return true // stored straight into a field: the holder owns it
+		}
+		obj := pass.Pkg.Info.Defs[id]
+		if obj == nil {
+			obj = pass.Pkg.Info.Uses[id]
+		}
+		sites = append(sites, ctxCancelSite{assign: as, fname: fname, cancel: id, obj: obj})
+		return true
+	})
+	return sites
+}
+
+// deadlineCtxConstructor reports whether call is one of the context
+// constructors that arm a timer, resolving the package alias-proof.
+func deadlineCtxConstructor(pass *Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	switch sel.Sel.Name {
+	case "WithTimeout", "WithDeadline", "WithTimeoutCause", "WithDeadlineCause":
+	default:
+		return "", false
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok || pass.Pkg.Info == nil {
+		return "", false
+	}
+	pn, ok := pass.Pkg.Info.Uses[id].(*types.PkgName)
+	if !ok || pn.Imported().Path() != "context" {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// ctxCancelUses classifies every reference to the site's cancel object in
+// body: a `defer cancel()`, direct call statements, or anything else — an
+// escape (passed on, stored, returned, captured by a closure), which hands
+// the release duty to someone this analysis cannot see and is accepted.
+func ctxCancelUses(pass *Pass, body *ast.BlockStmt, site ctxCancelSite) (deferred, escaped bool, calls []ast.Stmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.FuncLit:
+			// Any reference from a nested closure is an escape: the
+			// closure owns the release, and when it runs is beyond this
+			// per-function analysis.
+			ast.Inspect(st.Body, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && pass.Pkg.Info.Uses[id] == site.obj {
+					escaped = true
+				}
+				return !escaped
+			})
+			return false
+		case *ast.DeferStmt:
+			if callTargets(pass, st.Call, site.obj) {
+				deferred = true
+				return false
+			}
+		case *ast.ExprStmt:
+			if ce, ok := ast.Unparen(st.X).(*ast.CallExpr); ok && callTargets(pass, ce, site.obj) {
+				calls = append(calls, st)
+				return false
+			}
+		case *ast.AssignStmt:
+			// `_ = cancel` silences the compiler's unused-variable check
+			// without releasing anything; it is not an escape.
+			if len(st.Lhs) == 1 && len(st.Rhs) == 1 {
+				lhs, lok := ast.Unparen(st.Lhs[0]).(*ast.Ident)
+				rhs, rok := ast.Unparen(st.Rhs[0]).(*ast.Ident)
+				if lok && rok && lhs.Name == "_" && pass.Pkg.Info.Uses[rhs] == site.obj {
+					return false
+				}
+			}
+		case *ast.Ident:
+			if pass.Pkg.Info.Uses[st] == site.obj && st != site.cancel {
+				escaped = true
+			}
+		}
+		return true
+	})
+	return deferred, escaped, calls
+}
+
+// callTargets reports whether call invokes exactly the given object.
+func callTargets(pass *Pass, call *ast.CallExpr, obj types.Object) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && pass.Pkg.Info.Uses[id] == obj
+}
+
+// ctxCancelAllPaths reports whether one of the direct cancel calls is a
+// sibling statement of the assignment — same statement list, later index —
+// with nothing in between that can divert control (return, break,
+// continue, goto). That is the one shape where a plain call provably runs
+// whenever the assignment did; everything else should defer.
+func ctxCancelAllPaths(body *ast.BlockStmt, assign *ast.AssignStmt, calls []ast.Stmt) bool {
+	isCall := map[ast.Stmt]bool{}
+	for _, c := range calls {
+		isCall[c] = true
+	}
+	for _, list := range stmtListsIn(body) {
+		i := -1
+		for idx, st := range list {
+			if st == ast.Stmt(assign) {
+				i = idx
+				break
+			}
+		}
+		if i < 0 {
+			continue
+		}
+		for j := i + 1; j < len(list); j++ {
+			if isCall[list[j]] {
+				return !divertsControl(list[i+1 : j])
+			}
+		}
+	}
+	return false
+}
+
+// stmtListsIn collects every statement list in body — block bodies and
+// switch/select clause bodies — skipping nested function literals.
+func stmtListsIn(body *ast.BlockStmt) [][]ast.Stmt {
+	var lists [][]ast.Stmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.BlockStmt:
+			lists = append(lists, st.List)
+		case *ast.CaseClause:
+			lists = append(lists, st.Body)
+		case *ast.CommClause:
+			lists = append(lists, st.Body)
+		}
+		return true
+	})
+	return lists
+}
+
+// divertsControl reports whether any statement in the slice contains a
+// return, break, continue, or goto (outside nested function literals):
+// control reaching the first statement might then skip the rest of the
+// list.
+func divertsControl(stmts []ast.Stmt) bool {
+	diverts := false
+	for _, st := range stmts {
+		ast.Inspect(st, func(n ast.Node) bool {
+			switch n.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.ReturnStmt, *ast.BranchStmt:
+				diverts = true
+			}
+			return !diverts
+		})
+		if diverts {
+			return true
+		}
+	}
+	return false
+}

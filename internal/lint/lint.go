@@ -212,6 +212,7 @@ func DefaultAnalyzers() []*Analyzer {
 		ObsRegAnalyzer(),
 		GuardedByAnalyzer(),
 		LockHoldAnalyzer(),
+		CtxCancelAnalyzer(),
 	}
 }
 

@@ -146,6 +146,10 @@ func TestLockHoldFixture(t *testing.T) {
 	checkFixture(t, "lockholdtd", LockHoldAnalyzer())
 }
 
+func TestCtxCancelFixture(t *testing.T) {
+	checkFixture(t, "ctxcanceltd", CtxCancelAnalyzer())
+}
+
 func TestSleepCancelExemptsPackageMain(t *testing.T) {
 	pkg, err := fixtureLoader(t).LoadDir(filepath.Join("testdata", "sleepmain"), "fixture/sleepmain")
 	if err != nil {

@@ -1,0 +1,100 @@
+// Package ctxcanceltd is a ctxcancel rule fixture.
+package ctxcanceltd
+
+import (
+	"context"
+	"time"
+)
+
+func use(ctx context.Context) error {
+	<-ctx.Done()
+	return ctx.Err()
+}
+
+// deferredRelease is the canonical good shape.
+func deferredRelease(parent context.Context) error {
+	ctx, cancel := context.WithTimeout(parent, time.Second)
+	defer cancel()
+	return use(ctx)
+}
+
+// declaredThenAssigned mirrors the coordinator: the cancel var is declared
+// up front, assigned inside a branch, and deferred right there.
+func declaredThenAssigned(parent context.Context, budget time.Duration) error {
+	ctx := parent
+	var cancel context.CancelFunc
+	if budget > 0 {
+		ctx, cancel = context.WithTimeout(ctx, budget)
+		defer cancel()
+	}
+	return use(ctx)
+}
+
+// straightLineCall releases without defer, but as a sibling statement with
+// nothing in between that can divert control.
+func straightLineCall(parent context.Context) error {
+	ctx, cancel := context.WithDeadline(parent, time.Now().Add(time.Second))
+	err := use(ctx)
+	cancel()
+	return err
+}
+
+// escapesToCaller hands the cancel func out; the caller owns the release.
+func escapesToCaller(parent context.Context) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithTimeout(parent, time.Second)
+	return ctx, cancel
+}
+
+// escapesIntoClosure releases from a cleanup closure.
+func escapesIntoClosure(parent context.Context) (context.Context, func()) {
+	ctx, cancel := context.WithTimeout(parent, time.Second)
+	return ctx, func() { cancel() }
+}
+
+// withCancelOutOfScope: plain WithCancel arms no timer and is not this
+// rule's business (ctxflow and vet cover it).
+func withCancelOutOfScope(parent context.Context) error {
+	ctx, cancel := context.WithCancel(parent)
+	defer cancel()
+	return use(ctx)
+}
+
+// discarded throws the cancel func away entirely.
+func discarded(parent context.Context) error {
+	ctx, _ := context.WithTimeout(parent, time.Second) // want ctxcancel
+	return use(ctx)
+}
+
+// neverCalled binds the cancel func but never releases it.
+func neverCalled(parent context.Context) error {
+	ctx, cancel := context.WithTimeout(parent, time.Second) // want ctxcancel
+	_ = cancel
+	return use(ctx)
+}
+
+// conditionalOnly releases on one branch and leaks on the other.
+func conditionalOnly(parent context.Context, eager bool) error {
+	ctx, cancel := context.WithTimeout(parent, time.Second) // want ctxcancel
+	if eager {
+		cancel()
+	}
+	return use(ctx)
+}
+
+// earlyReturnSkips has a return between the assignment and the release, so
+// the error path exits with the timer still armed.
+func earlyReturnSkips(parent context.Context) error {
+	ctx, cancel := context.WithDeadline(parent, time.Now().Add(time.Second)) // want ctxcancel
+	if err := use(ctx); err != nil {
+		return err
+	}
+	cancel()
+	return nil
+}
+
+// suppressed shows the escape hatch for a justified violation.
+func suppressed(parent context.Context) context.Context {
+	//lint:ignore ctxcancel fixture exercises suppression
+	ctx, _ := context.WithTimeout(parent, time.Second)
+	return ctx
+}

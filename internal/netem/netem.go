@@ -60,6 +60,13 @@ var ErrInjectedReset = errors.New("netem: injected connection reset")
 // established and then immediately killed.
 var ErrInjectedDrop = errors.New("netem: injected connection drop")
 
+// ErrInjectedTruncation marks a fault-injected mid-stream truncation: the
+// connection delivered a prefix of a message (for the binary framing,
+// typically a partial float slab) and was then torn down, so the peer
+// observes a short read in the middle of a frame rather than at a message
+// boundary.
+var ErrInjectedTruncation = errors.New("netem: injected mid-stream truncation")
+
 // FaultConfig describes a deterministic fault schedule. All faults are
 // driven by Seed, so a test run is reproducible.
 type FaultConfig struct {
@@ -88,45 +95,87 @@ type FaultConfig struct {
 	// establishment (one-shot connect-then-die drops); their first I/O
 	// fails with ErrInjectedDrop.
 	Drops int
-	// Stalls freezes the first write of the next N wrapped connections
-	// for StallFor before proceeding — a stall window long enough to trip
-	// the caller's I/O deadline when StallFor exceeds it.
+	// Stalls freezes one write of the next N wrapped connections for
+	// StallFor before proceeding — a stall window long enough to trip the
+	// caller's I/O deadline when StallFor exceeds it. By default the
+	// connection's first write stalls; StallAfterBytes moves the window
+	// later into the stream.
 	Stalls int
 	// StallFor is the stall-window duration; required (>0) for Stalls to
 	// take effect.
 	StallFor time.Duration
+	// StallAfterBytes arms the stall only once the connection has already
+	// written this many bytes, so the freeze lands mid-batch (inside the
+	// framed payload) instead of on the handshake prelude that every
+	// connection writes first. Zero keeps the legacy first-write stall.
+	StallAfterBytes int64
+	// StallThenReset tears the connection down with ErrInjectedReset when
+	// the stall window elapses instead of letting the write proceed — the
+	// "peer froze, then the kernel gave up on it" failure, which exercises
+	// both the caller's deadline discipline (during the stall) and its
+	// redial path (after).
+	StallThenReset bool
+	// Truncations is the number of mid-stream truncations to inject. An
+	// affected connection delivers exactly TruncateAfterBytes bytes and is
+	// then torn down mid-frame; its writer fails with
+	// ErrInjectedTruncation and the peer observes a short read inside a
+	// message.
+	Truncations int
+	// TruncateAfterBytes is the written-byte offset at which an affected
+	// connection is cut; required (>0) for Truncations to take effect.
+	TruncateAfterBytes int64
+	// CorruptBytes is the number of single-byte corruptions to inject.
+	// An affected connection XORs one seeded bit into the byte at stream
+	// offset CorruptAfterBytes and otherwise proceeds normally — the
+	// silent-corruption fault that only checksums (or a lucky decode
+	// error) can catch.
+	CorruptBytes int
+	// CorruptAfterBytes is the stream offset of the byte to corrupt.
+	// Point it past the frame header to land inside a payload slab.
+	CorruptAfterBytes int64
 }
 
-// FaultStats counts the faults injected so far.
+// FaultStats counts the faults injected so far. Drops and Stalls are
+// counted when a connection is assigned the fault (the assignment alone
+// already perturbs the schedule); Resets, StallResets, Truncations and
+// Corruptions are counted only when the fault actually fires on the wire,
+// so chaos tests can assert the byzantine path was genuinely exercised.
 type FaultStats struct {
-	Resets int
-	Drops  int
-	Stalls int
+	Resets      int
+	Drops       int
+	Stalls      int
+	StallResets int
+	Truncations int
+	Corruptions int
 }
 
 // Faults is the shared, mutable state of one fault schedule. Create it with
 // NewFaults and place the same pointer in every Config that should draw
 // from the schedule.
 type Faults struct {
-	mu         sync.Mutex
-	cfg        FaultConfig     // immutable after NewFaults
-	rng        *rand.Rand      // guarded by mu
-	resetsLeft int             // guarded by mu
-	dropsLeft  int             // guarded by mu
-	stallsLeft int             // guarded by mu
-	resetAddrs map[string]bool // addresses already reset (ResetPerAddr); guarded by mu
-	stats      FaultStats      // guarded by mu
+	mu           sync.Mutex
+	cfg          FaultConfig     // immutable after NewFaults
+	rng          *rand.Rand      // guarded by mu
+	resetsLeft   int             // guarded by mu
+	dropsLeft    int             // guarded by mu
+	stallsLeft   int             // guarded by mu
+	truncsLeft   int             // guarded by mu
+	corruptsLeft int             // guarded by mu
+	resetAddrs   map[string]bool // addresses already reset (ResetPerAddr); guarded by mu
+	stats        FaultStats      // guarded by mu
 }
 
 // NewFaults compiles a fault schedule from cfg.
 func NewFaults(cfg FaultConfig) *Faults {
 	return &Faults{
-		cfg:        cfg,
-		rng:        rand.New(rand.NewSource(cfg.Seed)),
-		resetsLeft: cfg.ConnResets,
-		dropsLeft:  cfg.Drops,
-		stallsLeft: cfg.Stalls,
-		resetAddrs: map[string]bool{},
+		cfg:          cfg,
+		rng:          rand.New(rand.NewSource(cfg.Seed)),
+		resetsLeft:   cfg.ConnResets,
+		dropsLeft:    cfg.Drops,
+		stallsLeft:   cfg.Stalls,
+		truncsLeft:   cfg.Truncations,
+		corruptsLeft: cfg.CorruptBytes,
+		resetAddrs:   map[string]bool{},
 	}
 }
 
@@ -138,34 +187,107 @@ func (f *Faults) Stats() FaultStats {
 	return f.stats
 }
 
-// planConn draws one connection's fault plan from the schedule: whether to
-// drop it outright, the written-byte reset threshold (0 = none planned),
-// and a one-shot first-write stall window.
-func (f *Faults) planConn() (drop bool, resetAt int64, stall time.Duration) {
+// connPlan is one connection's share of the fault schedule, drawn at wrap
+// time. Zero-valued fields mean "no such fault planned".
+type connPlan struct {
+	drop        bool
+	resetAt     int64 // written-byte reset threshold (0 = none)
+	stall       time.Duration
+	stallAfter  int64 // bytes written before the stall arms
+	stallReset  bool  // tear the conn down when the stall elapses
+	truncateAt  int64 // written-byte truncation offset (0 = none)
+	corrupt     bool
+	corruptAt   int64 // stream offset of the byte to corrupt
+	corruptMask byte  // nonzero XOR mask for the corrupted byte
+}
+
+// planConn draws one connection's fault plan from the schedule. Resets
+// keep their legacy independent draw (their jittered threshold coexists
+// with anything). The byzantine classes — truncation, corruption, stall —
+// are assigned at most one per connection, chosen by the seeded RNG among
+// the classes with remaining budget: stacking them on one connection would
+// just let the earliest-firing fault mask the rest, and a chaos config
+// wants every budgeted class to actually reach the wire.
+func (f *Faults) planConn() connPlan {
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	var pl connPlan
 	if f.dropsLeft > 0 {
 		f.dropsLeft--
 		f.stats.Drops++
 		obs.Default().Counter("netem.faults.drops").Inc()
-		return true, 0, 0
+		pl.drop = true
+		return pl
 	}
 	if f.resetsLeft > 0 && f.cfg.ResetAfterBytes > 0 {
-		resetAt = f.cfg.ResetAfterBytes
+		pl.resetAt = f.cfg.ResetAfterBytes
 		if j := f.cfg.ResetJitter; j > 0 {
-			resetAt += int64(float64(f.cfg.ResetAfterBytes) * j * (f.rng.Float64()*2 - 1))
-			if resetAt < 1 {
-				resetAt = 1
+			pl.resetAt += int64(float64(f.cfg.ResetAfterBytes) * j * (f.rng.Float64()*2 - 1))
+			if pl.resetAt < 1 {
+				pl.resetAt = 1
 			}
 		}
 	}
+	const (
+		classTruncate = iota
+		classCorrupt
+		classStall
+	)
+	var classes []int
+	if f.truncsLeft > 0 && f.cfg.TruncateAfterBytes > 0 {
+		classes = append(classes, classTruncate)
+	}
+	if f.corruptsLeft > 0 {
+		classes = append(classes, classCorrupt)
+	}
 	if f.stallsLeft > 0 && f.cfg.StallFor > 0 {
+		classes = append(classes, classStall)
+	}
+	if len(classes) == 0 {
+		return pl
+	}
+	switch classes[f.rng.Intn(len(classes))] {
+	case classTruncate:
+		f.truncsLeft--
+		pl.truncateAt = f.cfg.TruncateAfterBytes
+	case classCorrupt:
+		f.corruptsLeft--
+		pl.corrupt = true
+		pl.corruptAt = f.cfg.CorruptAfterBytes
+		pl.corruptMask = 1 << uint(f.rng.Intn(8))
+	case classStall:
 		f.stallsLeft--
 		f.stats.Stalls++
 		obs.Default().Counter("netem.faults.stalls").Inc()
-		stall = f.cfg.StallFor
+		pl.stall = f.cfg.StallFor
+		pl.stallAfter = f.cfg.StallAfterBytes
+		pl.stallReset = f.cfg.StallThenReset
 	}
-	return
+	return pl
+}
+
+// noteTruncation records a truncation that actually fired.
+func (f *Faults) noteTruncation() {
+	f.mu.Lock()
+	f.stats.Truncations++
+	f.mu.Unlock()
+	obs.Default().Counter("netem.faults.truncations").Inc()
+}
+
+// noteCorruption records a corruption that actually fired.
+func (f *Faults) noteCorruption() {
+	f.mu.Lock()
+	f.stats.Corruptions++
+	f.mu.Unlock()
+	obs.Default().Counter("netem.faults.corruptions").Inc()
+}
+
+// noteStallReset records a stall window that ended in a teardown.
+func (f *Faults) noteStallReset() {
+	f.mu.Lock()
+	f.stats.StallResets++
+	f.mu.Unlock()
+	obs.Default().Counter("netem.faults.stall_resets").Inc()
 }
 
 // takeReset consumes one reset token when a connection to addr crosses its
@@ -219,8 +341,22 @@ type conn struct {
 	// resetAt is this connection's planned reset threshold (0 = none).
 	// Guarded by mu.
 	resetAt int64
-	// stall is the pending one-shot first-write stall window. Guarded by mu.
+	// stall is the pending one-shot stall window. Guarded by mu.
 	stall time.Duration
+	// stallAfter delays the stall until this many bytes have been written.
+	// Guarded by mu.
+	stallAfter int64
+	// stallReset tears the conn down when the stall window elapses.
+	// Guarded by mu.
+	stallReset bool
+	// truncateAt is the planned mid-stream truncation offset (0 = none).
+	// Guarded by mu.
+	truncateAt int64
+	// corruptArmed/corruptAt/corruptMask describe the planned single-byte
+	// corruption; armed distinguishes offset 0 from "none". Guarded by mu.
+	corruptArmed bool
+	corruptAt    int64
+	corruptMask  byte
 	// broken is the sticky error after an injected fault killed the conn.
 	// Guarded by mu.
 	broken error
@@ -239,9 +375,12 @@ func Wrap(c net.Conn, cfg Config) net.Conn {
 	}
 	w := &conn{Conn: c, cfg: cfg, closed: make(chan struct{})}
 	if f := cfg.Faults; f != nil {
-		drop, resetAt, stall := f.planConn()
-		w.resetAt, w.stall = resetAt, stall
-		if drop {
+		pl := f.planConn()
+		w.resetAt = pl.resetAt
+		w.stall, w.stallAfter, w.stallReset = pl.stall, pl.stallAfter, pl.stallReset
+		w.truncateAt = pl.truncateAt
+		w.corruptArmed, w.corruptAt, w.corruptMask = pl.corrupt, pl.corruptAt, pl.corruptMask
+		if pl.drop {
 			w.broken = ErrInjectedDrop
 			c.Close()
 		}
@@ -278,9 +417,16 @@ func (c *conn) Write(p []byte) (int, error) {
 			wait = d
 		}
 	}
-	// A planned stall window applies once, on top of the shaping delay.
-	wait += c.stall
-	c.stall = 0
+	// A planned stall window applies once, on top of the shaping delay —
+	// but only once the stream has advanced past StallAfterBytes, so a
+	// mid-batch stall skips the handshake prelude and lands inside a
+	// framed payload.
+	var stallReset bool
+	if c.stall > 0 && c.written >= c.stallAfter {
+		wait += c.stall
+		c.stall = 0
+		stallReset = c.stallReset
+	}
 	c.lastWrite = now.Add(wait)
 	deadline := c.wdeadline
 	c.mu.Unlock()
@@ -289,10 +435,82 @@ func (c *conn) Write(p []byte) (int, error) {
 			return 0, err
 		}
 	}
+	if stallReset {
+		// The stall window elapsed without the caller's deadline firing;
+		// now the emulated peer resets the connection.
+		c.mu.Lock()
+		c.broken = ErrInjectedReset
+		c.mu.Unlock()
+		c.cfg.Faults.noteStallReset()
+		c.Conn.Close()
+		return 0, c.opErr("write", ErrInjectedReset)
+	}
+	// Corruption first: it leaves the connection alive, so a truncation
+	// planned at a later offset of the same write still gets its turn.
+	p = c.maybeCorrupt(p)
+	if n, err, handled := c.maybeTruncate(p); handled {
+		return n, err
+	}
 	if err := c.maybeReset(len(p)); err != nil {
 		return 0, err
 	}
 	return c.Conn.Write(p)
+}
+
+// maybeTruncate cuts the connection mid-write when the planned truncation
+// offset falls inside p: the prefix up to the offset is delivered, the
+// transport is closed, and the caller sees ErrInjectedTruncation. The peer
+// observes a short read inside a frame — for the binary framing, typically
+// a partial float slab.
+//
+//lint:ignore netdeadline fault-injection shim; the partial write runs under whatever deadline the caller armed on the wrapped conn
+func (c *conn) maybeTruncate(p []byte) (int, error, bool) {
+	c.mu.Lock()
+	if c.truncateAt <= 0 || c.written+int64(len(p)) <= c.truncateAt {
+		c.mu.Unlock()
+		return 0, nil, false
+	}
+	keep := c.truncateAt - c.written
+	if keep < 0 {
+		keep = 0
+	}
+	c.truncateAt = 0
+	c.broken = ErrInjectedTruncation
+	c.mu.Unlock()
+	c.cfg.Faults.noteTruncation()
+	n := 0
+	if keep > 0 {
+		n, _ = c.Conn.Write(p[:keep])
+	}
+	c.Conn.Close()
+	return n, c.opErr("write", ErrInjectedTruncation), true
+}
+
+// maybeCorrupt flips one seeded bit of the byte at the planned stream
+// offset and lets the write proceed — the connection stays healthy, only
+// the data lies. The caller's buffer is never mutated; the corruption
+// happens on a copy.
+func (c *conn) maybeCorrupt(p []byte) []byte {
+	c.mu.Lock()
+	if !c.corruptArmed || c.written+int64(len(p)) <= c.corruptAt || len(p) == 0 {
+		c.mu.Unlock()
+		return p
+	}
+	idx := c.corruptAt - c.written
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= int64(len(p)) {
+		idx = int64(len(p)) - 1
+	}
+	mask := c.corruptMask
+	c.corruptArmed = false
+	c.mu.Unlock()
+	c.cfg.Faults.noteCorruption()
+	q := make([]byte, len(p))
+	copy(q, p)
+	q[idx] ^= mask
+	return q
 }
 
 // maybeReset accounts n attempted bytes and tears the connection down when

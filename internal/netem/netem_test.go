@@ -259,13 +259,149 @@ func TestResetPerAddrSparesRedialedConns(t *testing.T) {
 	}
 }
 
+func TestInjectedTruncationMidStream(t *testing.T) {
+	c, s := pipeConns(t)
+	faults := NewFaults(FaultConfig{Truncations: 1, TruncateAfterBytes: 6})
+	wc := Wrap(c, Config{Faults: faults})
+	if _, err := wc.Write([]byte("head")); err != nil {
+		t.Fatalf("below threshold: %v", err)
+	}
+	// This write crosses the offset: 2 of its 8 bytes are delivered, then
+	// the conn dies.
+	n, err := wc.Write([]byte("slabslab"))
+	if !errors.Is(err, ErrInjectedTruncation) {
+		t.Fatalf("want injected truncation, got %v", err)
+	}
+	if n != 2 {
+		t.Fatalf("delivered %d bytes past the threshold, want 2", n)
+	}
+	// The truncation is sticky and counted.
+	if _, err := wc.Write([]byte("x")); !errors.Is(err, ErrInjectedTruncation) {
+		t.Fatalf("truncation not sticky: %v", err)
+	}
+	if st := faults.Stats(); st.Truncations != 1 {
+		t.Fatalf("stats = %+v, want 1 truncation", st)
+	}
+	// The peer sees exactly the 6-byte prefix and then EOF.
+	got := make([]byte, 16)
+	total := 0
+	for {
+		n, err := s.Read(got[total:])
+		total += n
+		if err != nil {
+			break
+		}
+	}
+	if total != 6 || string(got[:6]) != "headsl" {
+		t.Fatalf("peer saw %q (%d bytes), want 6-byte prefix \"headsl\"", got[:total], total)
+	}
+	// The budget is one-shot: a second connection is untouched.
+	c2, _ := pipeConns(t)
+	wc2 := Wrap(c2, Config{Faults: faults})
+	if _, err := wc2.Write(make([]byte, 64)); err != nil {
+		t.Fatalf("truncation fired beyond its budget: %v", err)
+	}
+}
+
+func TestInjectedSingleByteCorruption(t *testing.T) {
+	c, s := pipeConns(t)
+	faults := NewFaults(FaultConfig{Seed: 9, CorruptBytes: 1, CorruptAfterBytes: 3})
+	wc := Wrap(c, Config{Faults: faults})
+	payload := []byte("01234567")
+	orig := append([]byte(nil), payload...)
+	if _, err := wc.Write(payload); err != nil {
+		t.Fatalf("corrupting write must succeed: %v", err)
+	}
+	if string(payload) != string(orig) {
+		t.Fatal("caller's buffer was mutated; corruption must act on a copy")
+	}
+	got := make([]byte, len(payload))
+	total := 0
+	for total < len(payload) {
+		n, err := s.Read(got[total:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += n
+	}
+	diff := 0
+	for i := range got {
+		if got[i] != orig[i] {
+			diff++
+			if i != 3 {
+				t.Fatalf("corrupted byte at offset %d, want 3", i)
+			}
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("%d bytes differ, want exactly 1", diff)
+	}
+	if st := faults.Stats(); st.Corruptions != 1 {
+		t.Fatalf("stats = %+v, want 1 corruption", st)
+	}
+	// One-shot: the next write passes through clean.
+	if _, err := wc.Write([]byte("abcd")); err != nil {
+		t.Fatal(err)
+	}
+	clean := make([]byte, 4)
+	total = 0
+	for total < 4 {
+		n, err := s.Read(clean[total:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += n
+	}
+	if string(clean) != "abcd" {
+		t.Fatalf("second write corrupted too: %q", clean)
+	}
+}
+
+func TestStallAfterBytesDefersWindow(t *testing.T) {
+	c, _ := pipeConns(t)
+	faults := NewFaults(FaultConfig{Stalls: 1, StallFor: 5 * time.Second, StallAfterBytes: 8})
+	wc := Wrap(c, Config{Faults: faults})
+	if err := wc.SetDeadline(time.Now().Add(100 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	// Below the arming threshold: the "handshake" writes sail through.
+	start := time.Now()
+	if _, err := wc.Write([]byte("prelude!")); err != nil {
+		t.Fatalf("pre-threshold write stalled: %v", err)
+	}
+	if d := time.Since(start); d > 50*time.Millisecond {
+		t.Fatalf("stall fired before StallAfterBytes: %v", d)
+	}
+	// The next write is past the threshold: the stall fires and the
+	// deadline trips it.
+	if _, err := wc.Write([]byte("batch")); !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("want deadline error from deferred stall, got %v", err)
+	}
+}
+
+func TestStallThenResetTearsDownAfterWindow(t *testing.T) {
+	c, _ := pipeConns(t)
+	faults := NewFaults(FaultConfig{Stalls: 1, StallFor: 20 * time.Millisecond, StallThenReset: true})
+	wc := Wrap(c, Config{Faults: faults})
+	// No deadline: the stall window elapses, then the reset lands.
+	if _, err := wc.Write([]byte("x")); !errors.Is(err, ErrInjectedReset) {
+		t.Fatalf("want injected reset after stall window, got %v", err)
+	}
+	if _, err := wc.Write([]byte("y")); !errors.Is(err, ErrInjectedReset) {
+		t.Fatalf("stall-reset not sticky: %v", err)
+	}
+	st := faults.Stats()
+	if st.StallResets != 1 || st.Stalls != 1 {
+		t.Fatalf("stats = %+v, want 1 stall and 1 stall-reset", st)
+	}
+}
+
 func TestResetJitterIsDeterministic(t *testing.T) {
 	thresholds := func(seed int64) []int64 {
 		f := NewFaults(FaultConfig{Seed: seed, ConnResets: 3, ResetAfterBytes: 1000, ResetJitter: 0.5})
 		var out []int64
 		for i := 0; i < 3; i++ {
-			_, at, _ := f.planConn()
-			out = append(out, at)
+			out = append(out, f.planConn().resetAt)
 		}
 		return out
 	}

@@ -1,6 +1,7 @@
 package worker
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -38,11 +39,19 @@ var aggOps = map[string]matrix.AggOp{
 
 // handleInst interprets one EXEC_INST request. Inputs and the output are
 // symbol-table IDs; the output privacy level is the propagation of the most
-// restrictive input level through the operation kind.
-func (w *Worker) handleInst(req fedrpc.Request) fedrpc.Response {
+// restrictive input level through the operation kind. The kernels
+// themselves run to completion once started — cancellation is checked here,
+// at the instruction boundary, so a multi-request EXEC batch whose call
+// budget expires stops before launching the next long kernel (the server's
+// reply path separately ensures the coordinator is answered on time even
+// when a kernel is mid-flight).
+func (w *Worker) handleInst(ctx context.Context, req fedrpc.Request) fedrpc.Response {
 	inst := req.Inst
 	if inst == nil {
 		return fedrpc.Errorf("EXEC_INST: missing instruction")
+	}
+	if err := ctx.Err(); err != nil {
+		return abortResponse(err)
 	}
 	start := time.Now()
 	defer func() {

@@ -1,6 +1,7 @@
 package worker
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -57,7 +58,7 @@ func TestGetConcurrentLeftIndex(t *testing.T) {
 				return
 			default:
 			}
-			resp := w.handleInst(fedrpc.Request{Type: fedrpc.ExecInst, Inst: &fedrpc.Instruction{
+			resp := w.handleInst(context.Background(), fedrpc.Request{Type: fedrpc.ExecInst, Inst: &fedrpc.Instruction{
 				Opcode: "leftIndex", Inputs: []int64{1, src}, Scalars: []float64{0, 0},
 			}})
 			if !resp.OK {

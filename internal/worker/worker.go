@@ -254,25 +254,42 @@ func (w *Worker) Handle(reqs []fedrpc.Request) []fedrpc.Response {
 }
 
 // HandleContext implements fedrpc.ContextHandler: the server hands the
-// worker a context scoped to its own lifetime, so a batch caught mid-flight
-// by a shutdown fails its remaining requests instead of racing teardown.
-// Each request is timed and counted in the worker's metrics registry.
+// worker a context scoped to its own lifetime and — when the coordinator
+// put a call budget on the wire — bounded by that deadline. A batch caught
+// mid-flight by a shutdown fails its remaining requests instead of racing
+// teardown; a batch whose budget expires abandons the remaining requests
+// with typed DEADLINE_EXCEEDED responses, which the coordinator treats as
+// non-retryable (the budget is spent — DESIGN.md §3.5). Each request is
+// timed and counted in the worker's metrics registry.
 func (w *Worker) HandleContext(ctx context.Context, reqs []fedrpc.Request) []fedrpc.Response {
 	resps := make([]fedrpc.Response, len(reqs))
 	for i, req := range reqs {
 		if err := ctx.Err(); err != nil {
-			resps[i] = fedrpc.Errorf("worker shutting down: %v", err)
+			resps[i] = abortResponse(err)
 			resps[i].Epoch = w.epoch
+			w.Metrics.Counter("worker.aborted_requests").Inc()
 			continue
 		}
 		start := time.Now()
-		resps[i] = w.handleOne(req)
+		resps[i] = w.handleOne(ctx, req)
 		w.observe(req, resps[i], time.Since(start))
 		// Every response — success or failure — carries the instance
 		// epoch, so restart detection needs no extra round trip.
 		resps[i].Epoch = w.epoch
 	}
 	return resps
+}
+
+// abortResponse classifies a context failure: a spent call budget gets the
+// typed DEADLINE_EXCEEDED code (never retried by coordinators), anything
+// else is a shutdown.
+func abortResponse(err error) fedrpc.Response {
+	if err == context.DeadlineExceeded {
+		r := fedrpc.Errorf("deadline exceeded: %v", err)
+		r.Code = fedrpc.CodeDeadlineExceeded
+		return r
+	}
+	return fedrpc.Errorf("worker shutting down: %v", err)
 }
 
 // observe reports one handled request into the metrics registry.
@@ -285,7 +302,7 @@ func (w *Worker) observe(req fedrpc.Request, resp fedrpc.Response, elapsed time.
 		Observe(elapsed.Seconds())
 }
 
-func (w *Worker) handleOne(req fedrpc.Request) fedrpc.Response {
+func (w *Worker) handleOne(ctx context.Context, req fedrpc.Request) fedrpc.Response {
 	switch req.Type {
 	case fedrpc.Read:
 		return w.handleRead(req)
@@ -294,7 +311,7 @@ func (w *Worker) handleOne(req fedrpc.Request) fedrpc.Response {
 	case fedrpc.Get:
 		return w.handleGet(req)
 	case fedrpc.ExecInst:
-		return w.handleInst(req)
+		return w.handleInst(ctx, req)
 	case fedrpc.ExecUDF:
 		return w.handleUDF(req)
 	case fedrpc.Clear:
