@@ -29,7 +29,13 @@
 #                      or over-allocate;
 #  10. /metrics smoke — a real fedworker process is spawned with
 #                      -metrics-addr and its endpoint is scraped once;
-#  11. bench smoke    — expbench -smoke regenerates BENCH_smoke.json
+#  11. exdrad smoke   — the standing coordinator daemon is spawned over two
+#                      real fedworker processes; two concurrent sessions are
+#                      opened over its HTTP API, each trains a seeded LM,
+#                      and the daemon's /metrics must export the serve.*
+#                      series (sessions, pool churn) while a worker exports
+#                      the worker.conns gauge;
+#  12. bench smoke    — expbench -smoke regenerates BENCH_smoke.json
 #                      (FedLAN transfer + LM under the binary wire format)
 #                      and -compare gates the fresh encode+decode phase
 #                      seconds against the committed snapshot at 2x, so a
@@ -46,8 +52,8 @@ go vet ./...
 go run ./cmd/exdralint -json ./... | go run ./cmd/lintfmt
 go test -race ./...
 go test -race -count=1 \
-  -run 'Reset|Retry|Redial|Fault|Fail|Stall|Drop|Broken|Timeout|Restart|Health|Epoch|Recover|Replay|Closed|Unrecover|CreationLog|Chaos|Deadline|Breaker|Cancel|Queued|Truncation|Corrupt' \
-  ./internal/netem/ ./internal/fedrpc/ ./internal/federated/ ./internal/fedtest/ ./internal/worker/
+  -run 'Reset|Retry|Redial|Fault|Fail|Stall|Drop|Broken|Timeout|Restart|Health|Epoch|Recover|Replay|Closed|Unrecover|CreationLog|Chaos|Deadline|Breaker|Cancel|Queued|Truncation|Corrupt|Session|Admission|Drain|Reap|Namespace|MaxConns|Pool' \
+  ./internal/netem/ ./internal/fedrpc/ ./internal/federated/ ./internal/fedtest/ ./internal/worker/ ./internal/fedserve/
 go test -race -count=1 \
   -run 'Metrics|Span|Histogram|Snapshot|Slow|Instrument|Stats|Breakdown' \
   ./internal/obs/ ./internal/fedrpc/ ./internal/fedtest/ ./internal/engine/ ./internal/bench/
@@ -78,6 +84,59 @@ echo "$scrape" | grep -q 'process.uptime_seconds' || { echo "ci.sh: /metrics is 
 echo "$scrape" | grep -q 'process.goroutines' || { echo "ci.sh: /metrics is missing process.goroutines" >&2; exit 1; }
 kill "$worker_pid"
 echo "ci.sh: /metrics smoke test passed ($metrics_url)"
+
+# exdrad smoke test: a standing coordinator daemon over two real workers,
+# driven through its HTTP session API by two concurrent sessions. The
+# daemon's /metrics must export the serve.* series, and a worker capped
+# with -max-conns must export its worker.conns gauge.
+go build -o "$tmp/exdrad" ./cmd/exdrad
+wait_line() { # wait_line LOGFILE SED_PATTERN → prints the first capture
+  local out=""
+  for _ in $(seq 1 50); do
+    out="$(sed -n "$2" "$1")"
+    [ -n "$out" ] && break
+    sleep 0.1
+  done
+  [ -n "$out" ] || { echo "ci.sh: timed out waiting for $2 in $1" >&2; cat "$1" >&2; exit 1; }
+  echo "$out"
+}
+"$tmp/fedworker" -addr 127.0.0.1:0 -data "$tmp" -max-conns 16 -metrics-addr 127.0.0.1:0 >"$tmp/w1.log" 2>&1 &
+w1_pid=$!
+"$tmp/fedworker" -addr 127.0.0.1:0 -data "$tmp" -max-conns 16 >"$tmp/w2.log" 2>&1 &
+w2_pid=$!
+trap 'kill "$w1_pid" "$w2_pid" 2>/dev/null || true; rm -rf "$tmp"' EXIT
+w1_addr="$(wait_line "$tmp/w1.log" 's#^fedworker: listening on \([0-9.:]*\) .*#\1#p')"
+w2_addr="$(wait_line "$tmp/w2.log" 's#^fedworker: listening on \([0-9.:]*\) .*#\1#p')"
+w1_metrics="$(wait_line "$tmp/w1.log" 's#^fedworker: metrics on \(http://.*/metrics\)$#\1#p')"
+"$tmp/exdrad" -addr 127.0.0.1:0 -workers "$w1_addr,$w2_addr" -metrics-addr 127.0.0.1:0 >"$tmp/d.log" 2>&1 &
+exdrad_pid=$!
+trap 'kill "$exdrad_pid" "$w1_pid" "$w2_pid" 2>/dev/null || true; rm -rf "$tmp"' EXIT
+api="$(wait_line "$tmp/d.log" 's#^exdrad: session API on \(http://.*\)$#\1#p')"
+d_metrics="$(wait_line "$tmp/d.log" 's#^exdrad: metrics on \(http://.*/metrics\)$#\1#p')"
+s1="$(curl -fsS -X POST "$api/v1/sessions" | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')"
+s2="$(curl -fsS -X POST "$api/v1/sessions" | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')"
+[ -n "$s1" ] && [ -n "$s2" ] && [ "$s1" != "$s2" ] || { echo "ci.sh: exdrad session open failed ($s1/$s2)" >&2; exit 1; }
+curl -fsS -X POST -d '{"seed":7}' "$api/v1/sessions/$s1/lm" >"$tmp/lm1.json" &
+lm1_pid=$!
+curl -fsS -X POST -d '{"seed":9}' "$api/v1/sessions/$s2/lm" >"$tmp/lm2.json" &
+lm2_pid=$!
+wait "$lm1_pid" "$lm2_pid" || { echo "ci.sh: concurrent LM runs failed" >&2; cat "$tmp/d.log" >&2; exit 1; }
+grep -q '"weights"' "$tmp/lm1.json" && grep -q '"weights"' "$tmp/lm2.json" \
+  || { echo "ci.sh: LM responses carry no weights" >&2; exit 1; }
+curl -fsS -X DELETE "$api/v1/sessions/$s1" >/dev/null
+curl -fsS -X DELETE "$api/v1/sessions/$s2" >/dev/null
+serve_scrape="$(curl -fsS "$d_metrics")"
+for series in serve.sessions.opened serve.sessions.closed serve.pool.checkouts; do
+  echo "$serve_scrape" | grep -q "$series" || { echo "ci.sh: exdrad /metrics is missing $series" >&2; exit 1; }
+done
+w1_scrape="$(curl -fsS "$w1_metrics")"
+echo "$w1_scrape" | grep -q 'worker.conns' \
+  || { echo "ci.sh: worker /metrics is missing worker.conns" >&2; exit 1; }
+kill -TERM "$exdrad_pid"
+wait "$exdrad_pid" 2>/dev/null || true
+grep -q '^exdrad: shut down$' "$tmp/d.log" || { echo "ci.sh: exdrad did not drain cleanly" >&2; cat "$tmp/d.log" >&2; exit 1; }
+kill "$w1_pid" "$w2_pid"
+echo "ci.sh: exdrad smoke test passed (two concurrent sessions over $w1_addr,$w2_addr)"
 
 # Bench smoke: regenerate the serialization snapshot and gate enc+dec
 # seconds against the committed baseline (see BENCH_smoke.json).

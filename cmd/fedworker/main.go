@@ -48,11 +48,14 @@ func main() {
 	faultResetAfter := flag.Int64("fault-reset-after", 16<<10,
 		"written-byte threshold that triggers an injected reset")
 	faultSeed := flag.Int64("fault-seed", 1, "seed of the deterministic fault schedule")
+	maxConns := flag.Int("max-conns", 0,
+		"cap on concurrently served connections; accepts beyond it are rejected with backoff (0 = unlimited). "+
+			"Size it to at least coordinators × their pool size, or pooled clients will see rejected checkouts.")
 	metricsAddr := flag.String("metrics-addr", "",
 		"serve /metrics and /debug/pprof on this address (e.g. 127.0.0.1:9090; empty disables)")
 	flag.Parse()
 
-	opts := fedrpc.Options{IOTimeout: *ioTimeout, IdleTimeout: *idleTimeout}
+	opts := fedrpc.Options{IOTimeout: *ioTimeout, IdleTimeout: *idleTimeout, MaxConns: *maxConns}
 	opts.Netem = netem.Config{RTT: *rtt, BandwidthBps: *bw}
 	if *faultResets > 0 {
 		// No ResetPerAddr here: the server sees a fresh ephemeral peer
@@ -74,7 +77,8 @@ func main() {
 	if err != nil {
 		log.Fatalf("fedworker: %v", err)
 	}
-	fmt.Printf("fedworker: listening on %s (data dir %s, tls=%v)\n", srv.Addr(), *dataDir, *useTLS)
+	fmt.Printf("fedworker: listening on %s (data dir %s, tls=%v, max-conns=%d)\n",
+		srv.Addr(), *dataDir, *useTLS, *maxConns)
 	// The instance epoch identifies this process incarnation: coordinators
 	// compare it across responses to tell a restarted worker (new epoch,
 	// empty symbol table) from a flaky connection. Logged so operators can

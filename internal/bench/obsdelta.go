@@ -29,6 +29,18 @@ func foldObsDelta(m *Measurement, reg *obs.Registry, prev obs.Snapshot) {
 	if n := d.Counters["fed.retries"]; n > 0 {
 		m.Extra["rpc_retries"] = float64(n)
 	}
+	// Service-layer columns: pool churn (checkouts and how many had to wait
+	// for a connection) and admission rejections, so a bench row run through
+	// fedserve shows contention next to its wall time.
+	if n := d.Counters["serve.pool.checkouts"]; n > 0 {
+		m.Extra["pool_checkouts"] = float64(n)
+	}
+	if n := d.Counters["serve.pool.waits"]; n > 0 {
+		m.Extra["pool_waits"] = float64(n)
+	}
+	if n := d.Counters["serve.rejections"]; n > 0 {
+		m.Extra["serve_rejections"] = float64(n)
+	}
 	for name, v := range d.Counters {
 		if v > 0 && strings.HasPrefix(name, "rpc.client.requests.") {
 			typ := strings.ToLower(strings.TrimPrefix(name, "rpc.client.requests."))

@@ -85,14 +85,20 @@ type breaker struct {
 	trial    bool      // a half-open trial call is in flight; guarded by mu
 }
 
+// Breakers live on the Fleet, one per worker address, shared by every
+// session: a worker that is down is down for all of them, so one session's
+// transport failures shed load for the rest. The Coordinator methods below
+// the Fleet ones are thin delegates kept for callers (and tests) that
+// predate the fleet split.
+
 // breakerFor returns (creating if needed) the breaker for addr.
-func (c *Coordinator) breakerFor(addr string) *breaker {
-	c.brkMu.Lock()
-	defer c.brkMu.Unlock()
-	b, ok := c.breakers[addr]
+func (f *Fleet) breakerFor(addr string) *breaker {
+	f.brkMu.Lock()
+	defer f.brkMu.Unlock()
+	b, ok := f.breakers[addr]
 	if !ok {
 		b = &breaker{}
-		c.breakers[addr] = b
+		f.breakers[addr] = b
 	}
 	return b
 }
@@ -100,22 +106,26 @@ func (c *Coordinator) breakerFor(addr string) *breaker {
 // SetBreakerPolicy configures (or, with the zero value, disables) the
 // per-worker circuit breakers. Call it before issuing federated
 // operations; existing breaker state is reset.
-func (c *Coordinator) SetBreakerPolicy(p BreakerPolicy) {
-	c.brkMu.Lock()
-	c.breaker = p
-	c.breakers = map[string]*breaker{}
-	c.brkMu.Unlock()
-	c.reg.Gauge("fed.breaker.open_count").Set(0)
+func (f *Fleet) SetBreakerPolicy(p BreakerPolicy) {
+	f.brkMu.Lock()
+	f.breaker = p
+	f.breakers = map[string]*breaker{}
+	f.brkMu.Unlock()
+	f.reg.Gauge("fed.breaker.open_count").Set(0)
 }
+
+// SetBreakerPolicy configures the breakers of this coordinator's fleet —
+// fleet-wide state: on a shared fleet it applies to every session.
+func (c *Coordinator) SetBreakerPolicy(p BreakerPolicy) { c.fleet.SetBreakerPolicy(p) }
 
 // BreakerState reports the named worker's breaker state ("closed", "open",
 // "half-open") — closed when breaking is disabled or the worker is
 // unknown.
-func (c *Coordinator) BreakerState(addr string) string {
-	c.brkMu.Lock()
-	enabled := c.breaker.Threshold > 0
-	b := c.breakers[addr]
-	c.brkMu.Unlock()
+func (f *Fleet) BreakerState(addr string) string {
+	f.brkMu.Lock()
+	enabled := f.breaker.Threshold > 0
+	b := f.breakers[addr]
+	f.brkMu.Unlock()
 	if !enabled || b == nil {
 		return breakerStateName(breakerClosed)
 	}
@@ -124,18 +134,22 @@ func (c *Coordinator) BreakerState(addr string) string {
 	return breakerStateName(b.state)
 }
 
+// BreakerState reports a worker's breaker state on this coordinator's
+// fleet.
+func (c *Coordinator) BreakerState(addr string) string { return c.fleet.BreakerState(addr) }
+
 // breakerAllow gates one call attempt to addr. Health batches always pass:
 // they are the probe traffic the recovery path depends on. For real
 // traffic: closed passes, open fails fast (after a Cooldown check), and
 // half-open admits exactly one in-flight trial.
-func (c *Coordinator) breakerAllow(addr string, isHealth bool) error {
-	c.brkMu.Lock()
-	pol := c.breaker
-	c.brkMu.Unlock()
+func (f *Fleet) breakerAllow(addr string, isHealth bool) error {
+	f.brkMu.Lock()
+	pol := f.breaker
+	f.brkMu.Unlock()
 	if pol.Threshold <= 0 || isHealth {
 		return nil
 	}
-	b := c.breakerFor(addr)
+	b := f.breakerFor(addr)
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	switch b.state {
@@ -145,8 +159,8 @@ func (c *Coordinator) breakerAllow(addr string, isHealth bool) error {
 		if pol.Cooldown > 0 && time.Since(b.openedAt) >= pol.Cooldown {
 			b.state = breakerHalfOpen
 			b.trial = true
-			c.reg.Counter("fed.breaker.half_opens").Inc()
-			c.reg.Gauge("fed.breaker.open_count").Add(-1)
+			f.reg.Counter("fed.breaker.half_opens").Inc()
+			f.reg.Gauge("fed.breaker.open_count").Add(-1)
 			return nil // this call is the trial
 		}
 		return ErrWorkerUnavailable
@@ -162,24 +176,24 @@ func (c *Coordinator) breakerAllow(addr string, isHealth bool) error {
 // breakerSuccess records a successful real exchange with addr: a
 // half-open trial (or any success) closes the breaker and clears the
 // consecutive-failure count.
-func (c *Coordinator) breakerSuccess(addr string, isHealth bool) {
-	c.brkMu.Lock()
-	pol := c.breaker
-	c.brkMu.Unlock()
+func (f *Fleet) breakerSuccess(addr string, isHealth bool) {
+	f.brkMu.Lock()
+	pol := f.breaker
+	f.brkMu.Unlock()
 	if pol.Threshold <= 0 {
 		return
 	}
 	if isHealth {
-		c.breakerProbeSuccess(addr)
+		f.breakerProbeSuccess(addr)
 		return
 	}
-	b := c.breakerFor(addr)
+	b := f.breakerFor(addr)
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.state != breakerClosed {
-		c.reg.Counter("fed.breaker.closes").Inc()
+		f.reg.Counter("fed.breaker.closes").Inc()
 		if b.state == breakerOpen {
-			c.reg.Gauge("fed.breaker.open_count").Add(-1)
+			f.reg.Gauge("fed.breaker.open_count").Add(-1)
 		}
 	}
 	b.state = breakerClosed
@@ -190,14 +204,14 @@ func (c *Coordinator) breakerSuccess(addr string, isHealth bool) {
 // breakerFailure records a transport failure or deadline blowout against
 // addr. Threshold consecutive failures trip the breaker; a failed
 // half-open trial re-opens it immediately.
-func (c *Coordinator) breakerFailure(addr string) {
-	c.brkMu.Lock()
-	pol := c.breaker
-	c.brkMu.Unlock()
+func (f *Fleet) breakerFailure(addr string) {
+	f.brkMu.Lock()
+	pol := f.breaker
+	f.brkMu.Unlock()
 	if pol.Threshold <= 0 {
 		return
 	}
-	b := c.breakerFor(addr)
+	b := f.breakerFor(addr)
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	switch b.state {
@@ -207,8 +221,8 @@ func (c *Coordinator) breakerFailure(addr string) {
 		b.state = breakerOpen
 		b.openedAt = time.Now()
 		b.trial = false
-		c.reg.Counter("fed.breaker.opens").Inc()
-		c.reg.Gauge("fed.breaker.open_count").Add(1)
+		f.reg.Counter("fed.breaker.opens").Inc()
+		f.reg.Gauge("fed.breaker.open_count").Add(1)
 		return
 	}
 	b.fails++
@@ -216,8 +230,8 @@ func (c *Coordinator) breakerFailure(addr string) {
 		b.state = breakerOpen
 		b.openedAt = time.Now()
 		b.fails = 0
-		c.reg.Counter("fed.breaker.opens").Inc()
-		c.reg.Gauge("fed.breaker.open_count").Add(1)
+		f.reg.Counter("fed.breaker.opens").Inc()
+		f.reg.Gauge("fed.breaker.open_count").Add(1)
 	}
 }
 
@@ -225,20 +239,37 @@ func (c *Coordinator) breakerFailure(addr string) {
 // recovery signal that moves an open breaker to half-open, where the next
 // real call runs as the trial. A probe alone never closes the breaker —
 // HEALTH exercises none of the data path ("one real call closes it").
-func (c *Coordinator) breakerProbeSuccess(addr string) {
-	c.brkMu.Lock()
-	pol := c.breaker
-	c.brkMu.Unlock()
+func (f *Fleet) breakerProbeSuccess(addr string) {
+	f.brkMu.Lock()
+	pol := f.breaker
+	f.brkMu.Unlock()
 	if pol.Threshold <= 0 {
 		return
 	}
-	b := c.breakerFor(addr)
+	b := f.breakerFor(addr)
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.state == breakerOpen {
 		b.state = breakerHalfOpen
 		b.trial = false
-		c.reg.Counter("fed.breaker.half_opens").Inc()
-		c.reg.Gauge("fed.breaker.open_count").Add(-1)
+		f.reg.Counter("fed.breaker.half_opens").Inc()
+		f.reg.Gauge("fed.breaker.open_count").Add(-1)
 	}
 }
+
+// Coordinator delegates: the retry loop (and pre-fleet tests) address the
+// breakers through the session's coordinator.
+
+func (c *Coordinator) breakerAllow(addr string, isHealth bool) error {
+	return c.fleet.breakerAllow(addr, isHealth)
+}
+
+func (c *Coordinator) breakerSuccess(addr string, isHealth bool) {
+	c.fleet.breakerSuccess(addr, isHealth)
+}
+
+func (c *Coordinator) breakerFailure(addr string) { c.fleet.breakerFailure(addr) }
+
+func (c *Coordinator) breakerProbeSuccess(addr string) { c.fleet.breakerProbeSuccess(addr) }
+
+func (c *Coordinator) breakerFor(addr string) *breaker { return c.fleet.breakerFor(addr) }

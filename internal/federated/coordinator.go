@@ -62,14 +62,22 @@ func RetryableBatch(reqs []fedrpc.Request) bool {
 	return true
 }
 
-// Coordinator is the main control program's view of the federation: it
-// manages one persistent connection per federated worker, allocates
-// federation-wide data IDs, and issues RPCs to all workers in parallel
-// (ExDRa §4.1). With a RetryPolicy set it survives transient transport
-// failures on idempotent batches by redialing and re-issuing.
+// Coordinator is one control program's view of the federation: it allocates
+// session-unique data IDs and issues RPCs to all workers in parallel (ExDRa
+// §4.1). With a RetryPolicy set it survives transient transport failures on
+// idempotent batches by redialing and re-issuing.
+//
+// Connections and circuit breakers live in a Fleet: the legacy constructor
+// NewCoordinator owns a private size-1 fleet (one connection per address,
+// exactly the pre-pool behavior), while Fleet.NewSession returns a
+// coordinator sharing a standing fleet with other sessions, its object IDs
+// scoped by a session namespace (fedrpc.MakeID) so concurrent sessions
+// never collide in a worker's symbol table.
 type Coordinator struct {
-	opts  fedrpc.Options
-	retry RetryPolicy
+	fleet    *Fleet
+	ownFleet bool  // Close tears the fleet down too (legacy constructor)
+	ns       int64 // session namespace; 0 = legacy unscoped
+	retry    RetryPolicy
 	// callTimeout, when positive, is the default per-attempt time budget:
 	// callCtx wraps any caller context that carries no deadline of its own
 	// in context.WithTimeout(ctx, callTimeout), so every RPC travels with a
@@ -77,17 +85,10 @@ type Coordinator struct {
 	// before issuing operations (SetCallTimeout), like retry.
 	callTimeout time.Duration
 
-	// Circuit-breaker state (breaker.go): policy plus one breaker per
-	// worker address.
-	brkMu    sync.Mutex
-	breaker  BreakerPolicy       // guarded by brkMu
-	breakers map[string]*breaker // guarded by brkMu
-
 	mu      sync.Mutex
-	clients map[string]*fedrpc.Client // guarded by mu
-	dialing map[string]*dialCall      // guarded by mu
-	closed  bool                      // guarded by mu
-	done    chan struct{}             // closed by Close; cancels retry backoffs
+	touched map[string]struct{} // worker addrs this session has used; guarded by mu
+	closed  bool                // guarded by mu
+	done    chan struct{}       // closed by Close; cancels retry backoffs
 	nextID  atomic.Int64
 
 	rngMu sync.Mutex
@@ -111,26 +112,37 @@ type Coordinator struct {
 	reg *obs.Registry
 }
 
-// NewCoordinator creates a coordinator; opts configure TLS and network
+// NewCoordinator creates a standalone coordinator owning a private fleet
+// with one connection per worker address; opts configure TLS and network
 // emulation for all worker connections. Retries are off by default — see
-// SetRetryPolicy.
+// SetRetryPolicy. For many sessions over one shared fleet, use NewFleet +
+// Fleet.NewSession instead.
 func NewCoordinator(opts fedrpc.Options) *Coordinator {
+	return newCoordinator(NewFleet(opts, 1), true, 0)
+}
+
+// newCoordinator builds a coordinator view of f under namespace ns.
+func newCoordinator(f *Fleet, ownFleet bool, ns int64) *Coordinator {
 	c := &Coordinator{
-		opts:     opts,
-		clients:  map[string]*fedrpc.Client{},
-		dialing:  map[string]*dialCall{},
+		fleet:    f,
+		ownFleet: ownFleet,
+		ns:       ns,
+		touched:  map[string]struct{}{},
 		states:   map[string]*workerState{},
-		breakers: map[string]*breaker{},
 		done:     make(chan struct{}),
 		rng:      rand.New(rand.NewSource(0)),
-		reg:      opts.Metrics,
-	}
-	if c.reg == nil {
-		c.reg = obs.Default()
+		reg:      f.reg,
 	}
 	c.nextID.Store(1)
 	return c
 }
+
+// Fleet returns the fleet this coordinator issues calls through.
+func (c *Coordinator) Fleet() *Fleet { return c.fleet }
+
+// Namespace returns the session namespace scoping this coordinator's object
+// IDs (0 for a legacy standalone coordinator).
+func (c *Coordinator) Namespace() int64 { return c.ns }
 
 // SetRetryPolicy configures transport-failure handling for idempotent
 // request batches. Call it before issuing federated operations.
@@ -152,56 +164,36 @@ func (c *Coordinator) SetCallTimeout(d time.Duration) {
 	c.callTimeout = d
 }
 
-// NewID allocates a federation-unique data ID.
-func (c *Coordinator) NewID() int64 { return c.nextID.Add(1) }
+// NewID allocates a session-unique data ID, namespace-qualified so that
+// IDs from two sessions sharing a fleet can never collide in a worker's
+// symbol table (fedrpc.MakeID; a legacy coordinator's namespace is 0 and
+// its IDs are the bare sequence, exactly as before).
+func (c *Coordinator) NewID() int64 { return fedrpc.MakeID(c.ns, c.nextID.Add(1)) }
 
-// dialCall tracks one in-flight dial so concurrent callers for the same
-// address share its outcome instead of dialing redundantly.
-type dialCall struct {
-	done chan struct{}
-	cl   *fedrpc.Client
-	err  error
-}
-
-// Client returns the (lazily dialed) connection to a worker address. The
-// dial itself runs outside the coordinator lock — one unreachable worker
-// (up to the dial timeout) must not serialize dials to healthy workers or
-// block the byte-counter accessors — with a per-address in-flight guard so
-// concurrent callers coalesce onto a single dial.
-func (c *Coordinator) Client(addr string) (*fedrpc.Client, error) {
+// pool returns addr's connection pool, marking the address as touched by
+// this session (the scope of ClearAll and the health prober).
+func (c *Coordinator) pool(addr string) (*fedrpc.Pool, error) {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
 		return nil, fmt.Errorf("federated: coordinator is closed")
 	}
-	if cl, ok := c.clients[addr]; ok {
-		c.mu.Unlock()
-		return cl, nil
-	}
-	if d, ok := c.dialing[addr]; ok {
-		c.mu.Unlock()
-		<-d.done
-		return d.cl, d.err
-	}
-	d := &dialCall{done: make(chan struct{})}
-	c.dialing[addr] = d
+	c.touched[addr] = struct{}{}
 	c.mu.Unlock()
+	return c.fleet.pool(addr)
+}
 
-	cl, err := fedrpc.Dial(addr, c.opts)
-
-	c.mu.Lock()
-	delete(c.dialing, addr)
-	if err == nil && c.closed {
-		cl.Close()
-		cl, err = nil, fmt.Errorf("federated: coordinator is closed")
+// Client returns the stable shared connection to a worker address (the
+// fleet pool's first client, lazily dialed). Cleanup sweeps and legacy
+// single-connection callers use it; the retry loop checks whole
+// connections out of the pool instead (attemptCall), so those callers do
+// not serialize behind this one client's exchange lock.
+func (c *Coordinator) Client(addr string) (*fedrpc.Client, error) {
+	pl, err := c.pool(addr)
+	if err != nil {
+		return nil, err
 	}
-	if err == nil {
-		c.clients[addr] = cl
-	}
-	c.mu.Unlock()
-	d.cl, d.err = cl, err
-	close(d.done)
-	return cl, err
+	return pl.Shared(context.Background())
 }
 
 // call issues one request batch to addr through the retry policy: transport
@@ -222,6 +214,15 @@ func (c *Coordinator) Client(addr string) (*fedrpc.Client, error) {
 // table could only produce misleading "unknown object" noise.
 func (c *Coordinator) call(addr string, reqs []fedrpc.Request) ([]fedrpc.Response, error) {
 	return c.callCtx(context.Background(), addr, reqs)
+}
+
+// Call issues one request batch to addr through the session's retry,
+// breaker, and recovery machinery — the same funnel every built-in
+// federated operation uses. Callers composing their own operations (the
+// service layer, tests) use it instead of raw clients so their traffic
+// feeds the creation log and the worker's breaker like everything else.
+func (c *Coordinator) Call(addr string, reqs ...fedrpc.Request) ([]fedrpc.Response, error) {
+	return c.call(addr, reqs)
 }
 
 // callCtx is call with trace metadata: the context's obs span/op labels
@@ -266,79 +267,113 @@ func (c *Coordinator) callCtx(ctx context.Context, addr string, reqs []fedrpc.Re
 			}
 			return nil, fmt.Errorf("federated: %s: %w", addr, err)
 		}
-		cl, err := c.Client(addr)
-		if err != nil {
-			c.reg.Counter("fed.transport_errors").Inc()
-			c.breakerFailure(addr)
-			lastErr = err
-			continue
-		}
-		if c.recovery {
-			transient, err := c.ensureIDs(addr, cl, neededIDs(reqs), true)
-			if err != nil {
-				if !transient {
-					return nil, err // ErrUnrecoverable or replay rejected
-				}
-				lastErr = err
-				continue
-			}
-		}
-		resps, err := cl.CallCtx(ctx, reqs...)
-		if err != nil {
-			// Call tore the broken transport down; the next attempt redials
-			// through the cached client.
-			c.reg.Counter("fed.transport_errors").Inc()
-			c.breakerFailure(addr)
-			if errors.Is(err, fedrpc.ErrDeadlineExceeded) {
-				c.reg.Counter("fed.deadline_exceeded").Inc()
-				return nil, err // the budget is spent; never retry
-			}
-			if ctx.Err() != nil {
-				return nil, err // cancelled caller: retrying is pointless
-			}
-			lastErr = err
-			continue
-		}
-		if i := deadlineIdx(resps); i >= 0 {
-			// The worker (or the server's reply backstop) abandoned the
-			// batch at budget expiry and said so with the typed code.
-			c.reg.Counter("fed.deadline_exceeded").Inc()
-			c.breakerFailure(addr)
-			return nil, fmt.Errorf("federated: %s %s: %w: %s",
-				addr, reqs[i].Type, fedrpc.ErrDeadlineExceeded, resps[i].Err)
-		}
-		c.breakerSuccess(addr, isHealth)
-		if c.observeEpoch(addr, epochOf(resps)) {
-			if allOK(resps) {
-				// The batch fully succeeded on the fresh process — it read
-				// nothing that was lost (e.g. a READ/PUT-only batch, or a
-				// health ping). Accept it; the stale marks observeEpoch set
-				// will heal lazily on the next dependent operation.
-				c.recordBatch(addr, reqs, resps)
-				return resps, nil
-			}
-			if !c.recovery {
-				return nil, fmt.Errorf("federated: %s: %w (recovery disabled)", addr, ErrWorkerRestarted)
-			}
-			if !RetryableBatch(reqs) {
-				// An EXEC_UDF batch interrupted by a restart: side effects
-				// cannot be replayed, so the session must fail fast.
-				return nil, fmt.Errorf("federated: %s: EXEC_UDF batch interrupted by worker restart: %w",
-					addr, ErrUnrecoverable)
-			}
+		resps, verdict, err := c.attemptCall(ctx, addr, reqs, isHealth)
+		switch verdict {
+		case attemptDone:
+			return resps, nil
+		case attemptFatal:
+			return nil, err
+		case attemptReplay:
 			recoveries++
 			if recoveries > maxRecoveries {
 				return nil, fmt.Errorf("federated: %s: %w %d times during one operation (crash loop?)",
 					addr, ErrWorkerRestarted, recoveries)
 			}
-			lastErr = fmt.Errorf("federated: %s: %w", addr, ErrWorkerRestarted)
+			lastErr = err
 			attempt-- // the replay round is free: it is repair, not a retry
-			continue
+		default: // attemptRetry
+			lastErr = err
 		}
-		c.recordBatch(addr, reqs, resps)
-		return resps, nil
 	}
 	return nil, lastErr
+}
+
+// attemptVerdict classifies one attemptCall outcome for the retry loop.
+type attemptVerdict int
+
+const (
+	attemptDone   attemptVerdict = iota // success: return the responses
+	attemptFatal                        // unretryable: surface the error now
+	attemptRetry                        // transient: consume a retry attempt
+	attemptReplay                       // worker restarted: free repair round
+)
+
+// attemptCall runs one attempt of a batch against addr over a connection
+// checked out of the fleet pool for the duration of the exchange — the
+// whole reason sessions sharing a fleet do not serialize behind one
+// client's exchange lock. The checkout is returned on every path; a broken
+// client goes back too (its next user transparently redials).
+func (c *Coordinator) attemptCall(ctx context.Context, addr string, reqs []fedrpc.Request, isHealth bool) ([]fedrpc.Response, attemptVerdict, error) {
+	pl, err := c.pool(addr)
+	if err != nil {
+		return nil, attemptFatal, err // coordinator or fleet closed
+	}
+	cl, err := pl.Get(ctx)
+	if err != nil {
+		// Dial failure or checkout starved past the caller's budget.
+		c.reg.Counter("fed.transport_errors").Inc()
+		c.breakerFailure(addr)
+		if ctx.Err() != nil {
+			return nil, attemptFatal, err // the budget is spent; never retry
+		}
+		return nil, attemptRetry, err
+	}
+	defer pl.Put(cl)
+	if c.recovery {
+		transient, err := c.ensureIDs(addr, cl, neededIDs(reqs), true)
+		if err != nil {
+			if !transient {
+				return nil, attemptFatal, err // ErrUnrecoverable or replay rejected
+			}
+			return nil, attemptRetry, err
+		}
+	}
+	resps, err := cl.CallCtx(ctx, reqs...)
+	if err != nil {
+		// Call tore the broken transport down; the next attempt redials
+		// through the pooled client.
+		c.reg.Counter("fed.transport_errors").Inc()
+		c.breakerFailure(addr)
+		if errors.Is(err, fedrpc.ErrDeadlineExceeded) {
+			c.reg.Counter("fed.deadline_exceeded").Inc()
+			return nil, attemptFatal, err // the budget is spent; never retry
+		}
+		if ctx.Err() != nil {
+			return nil, attemptFatal, err // cancelled caller: retrying is pointless
+		}
+		return nil, attemptRetry, err
+	}
+	if i := deadlineIdx(resps); i >= 0 {
+		// The worker (or the server's reply backstop) abandoned the
+		// batch at budget expiry and said so with the typed code.
+		c.reg.Counter("fed.deadline_exceeded").Inc()
+		c.breakerFailure(addr)
+		return nil, attemptFatal, fmt.Errorf("federated: %s %s: %w: %s",
+			addr, reqs[i].Type, fedrpc.ErrDeadlineExceeded, resps[i].Err)
+	}
+	c.breakerSuccess(addr, isHealth)
+	if c.observeEpoch(addr, epochOf(resps)) {
+		if allOK(resps) {
+			// The batch fully succeeded on the fresh process — it read
+			// nothing that was lost (e.g. a READ/PUT-only batch, or a
+			// health ping). Accept it; the stale marks observeEpoch set
+			// will heal lazily on the next dependent operation.
+			c.recordBatch(addr, reqs, resps)
+			return resps, attemptDone, nil
+		}
+		if !c.recovery {
+			return nil, attemptFatal, fmt.Errorf("federated: %s: %w (recovery disabled)", addr, ErrWorkerRestarted)
+		}
+		if !RetryableBatch(reqs) {
+			// An EXEC_UDF batch interrupted by a restart: side effects
+			// cannot be replayed, so the session must fail fast.
+			return nil, attemptFatal, fmt.Errorf("federated: %s: EXEC_UDF batch interrupted by worker restart: %w",
+				addr, ErrUnrecoverable)
+		}
+		return nil, attemptReplay, fmt.Errorf("federated: %s: %w", addr, ErrWorkerRestarted)
+	}
+	c.recordBatch(addr, reqs, resps)
+	return resps, attemptDone, nil
 }
 
 // allOK reports whether every response in a reply succeeded.
@@ -452,50 +487,48 @@ func (c *Coordinator) backoff(attempt int) error {
 	}
 }
 
-// BytesSent returns the total bytes sent to all workers.
-func (c *Coordinator) BytesSent() int64 {
+// BytesSent returns the total bytes sent to all workers over this
+// coordinator's fleet. Sessions sharing a fleet share its wires, so the
+// count is fleet-wide; a legacy standalone coordinator's private fleet
+// makes it exactly the old per-coordinator number.
+func (c *Coordinator) BytesSent() int64 { return c.fleet.BytesSent() }
+
+// BytesReceived returns the total bytes received from all workers over
+// this coordinator's fleet.
+func (c *Coordinator) BytesReceived() int64 { return c.fleet.BytesReceived() }
+
+// touchedAddrs snapshots the worker addresses this session has talked to.
+func (c *Coordinator) touchedAddrs() []string {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	var n int64
-	for _, cl := range c.clients {
-		n += cl.BytesSent()
-	}
-	return n
-}
-
-// BytesReceived returns the total bytes received from all workers.
-func (c *Coordinator) BytesReceived() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	var n int64
-	for _, cl := range c.clients {
-		n += cl.BytesReceived()
-	}
-	return n
-}
-
-// ClearAll sends CLEAR to every connected worker, releasing all
-// symbol-table objects of the training session.
-func (c *Coordinator) ClearAll() error {
-	c.mu.Lock()
-	addrs := make([]string, 0, len(c.clients))
-	for addr := range c.clients {
+	addrs := make([]string, 0, len(c.touched))
+	for addr := range c.touched {
 		addrs = append(addrs, addr)
 	}
-	c.mu.Unlock()
+	return addrs
+}
+
+// ClearAll sends CLEAR to every worker this session has touched, releasing
+// the session's symbol-table objects. The CLEAR travels with the session
+// namespace in its ID field, so on a shared fleet it removes only this
+// session's bindings; a legacy coordinator's namespace is 0, which keeps
+// the old clear-everything semantics.
+func (c *Coordinator) ClearAll() error {
 	var firstErr error
-	for _, addr := range addrs {
-		if _, err := c.callOne(addr, fedrpc.Request{Type: fedrpc.Clear}); err != nil && firstErr == nil {
+	for _, addr := range c.touchedAddrs() {
+		if _, err := c.callOne(addr, fedrpc.Request{Type: fedrpc.Clear, ID: c.ns}); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
 	return firstErr
 }
 
-// Close terminates all worker connections, cancels in-flight retry
-// backoffs, and joins the health prober if one is running. It is
-// idempotent. The prober join happens outside c.mu: the prober's probes go
-// through Client/call, which take c.mu themselves.
+// Close cancels in-flight retry backoffs, joins the health prober if one is
+// running, and — for a standalone coordinator owning its fleet — closes
+// every worker connection. A session on a shared fleet leaves the fleet
+// untouched: its wires belong to every other session too. It is idempotent.
+// The prober join happens outside c.mu: the prober's probes go through
+// pool/call, which take c.mu themselves.
 func (c *Coordinator) Close() {
 	c.mu.Lock()
 	if c.closed {
@@ -504,11 +537,10 @@ func (c *Coordinator) Close() {
 	}
 	c.closed = true
 	close(c.done)
-	for _, cl := range c.clients {
-		cl.Close()
-	}
-	c.clients = map[string]*fedrpc.Client{}
 	c.mu.Unlock()
+	if c.ownFleet {
+		c.fleet.Close()
+	}
 	c.healthWg.Wait()
 }
 

@@ -1,0 +1,188 @@
+package federated
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"exdra/internal/fedrpc"
+	"exdra/internal/obs"
+)
+
+// Fleet is the shared substrate many coordinators multiplex over: one
+// connection pool per worker address, one circuit breaker per worker
+// address, and the namespace allocator that keeps concurrent sessions'
+// object IDs disjoint.
+//
+// The paper's prototype pairs one control program with one worker fleet, so
+// the original Coordinator owned its connections outright. A standing
+// service (internal/fedserve) breaks that: many sessions issue operations
+// against the same workers at once, and per-session connections would both
+// exhaust worker accept limits and hide cross-session breaker signal. The
+// Fleet centralizes what is physically shared — wires and worker health —
+// while each session keeps its own Coordinator for what is logically
+// private: retry policy, creation log, ID sequence, and lifecycle.
+//
+// A Fleet is safe for concurrent use. Sessions come from NewSession; the
+// legacy single-session constructor NewCoordinator wraps a private
+// size-1 Fleet, preserving the old one-client-per-address behavior exactly.
+type Fleet struct {
+	opts     fedrpc.Options
+	poolSize int
+	reg      *obs.Registry
+
+	mu     sync.Mutex
+	pools  map[string]*fedrpc.Pool // guarded by mu
+	closed bool                    // guarded by mu
+
+	// nextNS hands out session namespaces. Sequential, never reused: with
+	// 23 namespace bits a fleet exhausts them after ~8M sessions, long past
+	// any standing daemon's restart cadence, and no reuse means a late
+	// straggler batch from a closed session can never write into a
+	// namespace that was recycled to a live one.
+	nextNS atomic.Int64
+
+	// Circuit-breaker state (breaker.go): policy plus one breaker per
+	// worker address, shared by every session so one session's transport
+	// failures shed load for all of them.
+	brkMu    sync.Mutex
+	breaker  BreakerPolicy       // guarded by brkMu
+	breakers map[string]*breaker // guarded by brkMu
+}
+
+// NewFleet creates a fleet whose per-address pools hold up to poolSize
+// connections each (values below 1 are clamped to 1). opts configure TLS,
+// network emulation, timeouts, and the metrics registry for every worker
+// connection.
+func NewFleet(opts fedrpc.Options, poolSize int) *Fleet {
+	if poolSize < 1 {
+		poolSize = 1
+	}
+	reg := opts.Metrics
+	if reg == nil {
+		reg = obs.Default()
+	}
+	return &Fleet{
+		opts:     opts,
+		poolSize: poolSize,
+		reg:      reg,
+		pools:    map[string]*fedrpc.Pool{},
+		breakers: map[string]*breaker{},
+	}
+}
+
+// NewSession creates a coordinator view of this fleet under a fresh object
+// namespace. The session shares the fleet's pools and breakers but owns its
+// retry policy, creation log, and ID sequence; closing it releases only its
+// own resources, never the fleet's.
+func (f *Fleet) NewSession() (*Coordinator, error) {
+	ns := f.nextNS.Add(1)
+	if ns > fedrpc.MaxNamespace {
+		return nil, fmt.Errorf("federated: fleet namespace space exhausted (%d sessions)", ns-1)
+	}
+	f.mu.Lock()
+	closed := f.closed
+	f.mu.Unlock()
+	if closed {
+		return nil, fmt.Errorf("federated: fleet is closed")
+	}
+	return newCoordinator(f, false, ns), nil
+}
+
+// PoolSize returns the per-address connection bound.
+func (f *Fleet) PoolSize() int { return f.poolSize }
+
+// pool returns (creating if needed) the connection pool for addr. Pools
+// dial lazily, so creation under the lock touches no wire.
+func (f *Fleet) pool(addr string) (*fedrpc.Pool, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return nil, fmt.Errorf("federated: fleet is closed")
+	}
+	p, ok := f.pools[addr]
+	if !ok {
+		p = fedrpc.NewPool(addr, f.poolSize, f.opts)
+		f.pools[addr] = p
+	}
+	return p, nil
+}
+
+// SharedClient returns addr's stable shared client (the pool's first
+// connection, dialed if needed) without holding a checkout. It serves
+// legacy single-connection callers and best-effort cleanup sweeps.
+func (f *Fleet) SharedClient(ctx context.Context, addr string) (*fedrpc.Client, error) {
+	p, err := f.pool(addr)
+	if err != nil {
+		return nil, err
+	}
+	return p.Shared(ctx)
+}
+
+// Addrs lists every worker address the fleet has a pool for.
+func (f *Fleet) Addrs() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]string, 0, len(f.pools))
+	for addr := range f.pools {
+		out = append(out, addr)
+	}
+	return out
+}
+
+// PoolStats returns per-address connection accounting for every pool.
+func (f *Fleet) PoolStats() map[string]fedrpc.PoolStats {
+	f.mu.Lock()
+	pools := make(map[string]*fedrpc.Pool, len(f.pools))
+	for addr, p := range f.pools {
+		pools[addr] = p
+	}
+	f.mu.Unlock()
+	out := make(map[string]fedrpc.PoolStats, len(pools))
+	for addr, p := range pools {
+		out[addr] = p.Stats()
+	}
+	return out
+}
+
+// BytesSent returns the total bytes sent to all workers across all pools.
+func (f *Fleet) BytesSent() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var n int64
+	for _, p := range f.pools {
+		n += p.BytesSent()
+	}
+	return n
+}
+
+// BytesReceived returns the total bytes received from all workers.
+func (f *Fleet) BytesReceived() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var n int64
+	for _, p := range f.pools {
+		n += p.BytesReceived()
+	}
+	return n
+}
+
+// Close closes every pool (terminating all worker connections, checked out
+// or idle) and rejects future sessions and checkouts. Sessions still open
+// see transport errors; a service drains them first (fedserve.Drain). It is
+// idempotent.
+func (f *Fleet) Close() {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return
+	}
+	f.closed = true
+	pools := f.pools
+	f.pools = map[string]*fedrpc.Pool{}
+	f.mu.Unlock()
+	for _, p := range pools {
+		p.Close()
+	}
+}

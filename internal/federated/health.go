@@ -90,8 +90,8 @@ func (c *Coordinator) StartHealth(p HealthPolicy) {
 // the per-client mutex serializes the wire).
 func (c *Coordinator) probeAll() {
 	c.mu.Lock()
-	addrs := make([]string, 0, len(c.clients))
-	for addr := range c.clients {
+	addrs := make([]string, 0, len(c.touched))
+	for addr := range c.touched {
 		addrs = append(addrs, addr)
 	}
 	c.mu.Unlock()

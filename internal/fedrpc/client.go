@@ -62,6 +62,12 @@ type Options struct {
 	// pre-framing build — used by tests and benchmarks to exercise the
 	// fallback path and to measure the old encoding.
 	ForceGob bool
+	// MaxConns caps concurrently served connections (server side only).
+	// Accepts beyond the cap are rejected with backoff: the connection is
+	// held briefly and closed without a byte, so a pooling client cannot
+	// exhaust a worker's goroutines and a reconnect storm is paced rather
+	// than amplified. Zero or negative means unlimited.
+	MaxConns int
 }
 
 // metrics resolves the configured registry against the process default.

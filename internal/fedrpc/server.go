@@ -46,6 +46,7 @@ type Server struct {
 	ioTimeout   time.Duration
 	idleTimeout time.Duration
 	forceGob    bool
+	maxConns    int
 	reg         *obs.Registry
 	cancel      context.CancelFunc
 	baseCtx     context.Context
@@ -73,6 +74,7 @@ func Serve(addr string, h Handler, opts Options) (*Server, error) {
 		ioTimeout:   timeout(opts.IOTimeout, DefaultIOTimeout),
 		idleTimeout: timeout(opts.IdleTimeout, DefaultIdleTimeout),
 		forceGob:    opts.ForceGob,
+		maxConns:    opts.MaxConns,
 		reg:         opts.metrics(),
 		conns:       map[net.Conn]struct{}{},
 	}
@@ -101,11 +103,39 @@ func (s *Server) acceptLoop() {
 			conn.Close()
 			return
 		}
+		if s.maxConns > 0 && len(s.conns) >= s.maxConns {
+			s.mu.Unlock()
+			s.reg.Counter("worker.conn_rejects").Inc()
+			s.wg.Add(1)
+			go s.rejectConn(conn)
+			continue
+		}
 		s.conns[conn] = struct{}{}
 		s.mu.Unlock()
+		s.reg.Gauge("worker.conns").Add(1)
 		s.wg.Add(1)
 		go s.serveConn(conn)
 	}
+}
+
+// rejectDelay is how long an over-limit connection is parked before it is
+// closed. The pause is the "backoff" half of reject-with-backoff: a client
+// retrying in a tight loop is paced at one attempt per delay instead of
+// spinning the accept loop.
+const rejectDelay = 100 * time.Millisecond
+
+// rejectConn disposes of a connection accepted beyond MaxConns: hold it for
+// rejectDelay (or until the server closes), then drop it without a byte.
+// The client sees a dead stream and applies its own retry policy.
+func (s *Server) rejectConn(conn net.Conn) {
+	defer s.wg.Done()
+	t := time.NewTimer(rejectDelay)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-s.baseCtx.Done():
+	}
+	conn.Close()
 }
 
 func (s *Server) serveConn(conn net.Conn) {
@@ -115,6 +145,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		delete(s.conns, conn)
 		s.mu.Unlock()
 		conn.Close()
+		s.reg.Gauge("worker.conns").Add(-1)
 	}()
 	bw := bufio.NewWriterSize(conn, 1<<16)
 	br := bufio.NewReaderSize(conn, 1<<16)

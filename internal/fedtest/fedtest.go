@@ -62,14 +62,25 @@ type Config struct {
 	// (no binary framing), for fallback tests and before/after encoding
 	// benchmarks.
 	ForceGob bool
+	// PoolSize is the number of pooled connections per worker address in
+	// the cluster's shared Fleet (default 1). It sizes Fleet sessions only;
+	// the legacy Coord keeps its private one-connection-per-address fleet.
+	PoolSize int
+	// MaxConns caps concurrently served connections per worker (0 =
+	// unlimited), exercising the accept-limit path.
+	MaxConns int
 }
 
-// Cluster is a running in-process federation.
+// Cluster is a running in-process federation. Coord is the classic
+// single-session coordinator; Fleet is the shared multi-session substrate
+// (connection pools sized by Config.PoolSize) that Fleet.NewSession and
+// fedserve build on. Both talk to the same workers.
 type Cluster struct {
 	Workers []*worker.Worker
 	Servers []*fedrpc.Server
 	Addrs   []string
 	Coord   *federated.Coordinator
+	Fleet   *federated.Fleet
 
 	serverOpts fedrpc.Options
 	baseDirs   []string // per worker, padded to len(Workers)
@@ -95,6 +106,7 @@ func Start(cfg Config) (*Cluster, error) {
 	serverOpts.Netem = cfg.Netem
 	serverOpts.Metrics = cfg.Metrics
 	serverOpts.ForceGob = cfg.ForceGob
+	serverOpts.MaxConns = cfg.MaxConns
 	clientOpts.Netem = cfg.Netem
 	clientOpts.Netem.Faults = cfg.Faults
 	clientOpts.SlowRPC = cfg.SlowRPC
@@ -138,6 +150,10 @@ func Start(cfg Config) (*Cluster, error) {
 	}
 	cl.Coord.SetCallTimeout(cfg.CallTimeout)
 	cl.Coord.StartHealth(cfg.Health)
+	cl.Fleet = federated.NewFleet(clientOpts, cfg.PoolSize)
+	if cfg.Breaker != (federated.BreakerPolicy{}) {
+		cl.Fleet.SetBreakerPolicy(cfg.Breaker)
+	}
 	return cl, nil
 }
 
@@ -166,10 +182,13 @@ func (c *Cluster) RestartWorker(i int) error {
 	return nil
 }
 
-// Close shuts down the coordinator and all workers.
+// Close shuts down the coordinator, the shared fleet, and all workers.
 func (c *Cluster) Close() {
 	if c.Coord != nil {
 		c.Coord.Close()
+	}
+	if c.Fleet != nil {
+		c.Fleet.Close()
 	}
 	for _, s := range c.Servers {
 		s.Close()
