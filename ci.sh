@@ -41,7 +41,13 @@
 #                      seconds against the committed snapshot at 2x, so a
 #                      serialization regression fails CI before it lands.
 #                      On success the committed snapshot is refreshed, so
-#                      the baseline tracks the current machine.
+#                      the baseline tracks the current machine;
+#  13. pipeline gate  — expbench -exp pipeline regenerates
+#                      BENCH_pipeline.json (a depth-8 burst of GETs at a
+#                      35 ms RTT, window 1 vs window 8) and -check-pipeline
+#                      requires the pipelined burst within 3.5 RTTs and at
+#                      least 2x faster than lock-step, so pipelining can
+#                      never silently regress to serialized exchanges.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -52,7 +58,7 @@ go vet ./...
 go run ./cmd/exdralint -json ./... | go run ./cmd/lintfmt
 go test -race ./...
 go test -race -count=1 \
-  -run 'Reset|Retry|Redial|Fault|Fail|Stall|Drop|Broken|Timeout|Restart|Health|Epoch|Recover|Replay|Closed|Unrecover|CreationLog|Chaos|Deadline|Breaker|Cancel|Queued|Truncation|Corrupt|Session|Admission|Drain|Reap|Namespace|MaxConns|Pool' \
+  -run 'Reset|Retry|Redial|Fault|Fail|Stall|Drop|Broken|Timeout|Restart|Health|Epoch|Recover|Replay|Closed|Unrecover|CreationLog|Chaos|Deadline|Breaker|Cancel|Queued|Truncation|Corrupt|Session|Admission|Drain|Reap|Namespace|MaxConns|Pool|Pipeline|Window|Tag|Lockstep|OutOfOrder|Duplicate|Reclaim' \
   ./internal/netem/ ./internal/fedrpc/ ./internal/federated/ ./internal/fedtest/ ./internal/worker/ ./internal/fedserve/
 go test -race -count=1 \
   -run 'Metrics|Span|Histogram|Snapshot|Slow|Instrument|Stats|Breakdown' \
@@ -144,3 +150,12 @@ go run ./cmd/expbench -smoke -json "$tmp/BENCH_smoke.json"
 go run ./cmd/expbench -compare "BENCH_smoke.json,$tmp/BENCH_smoke.json" -max-ratio 2
 cp "$tmp/BENCH_smoke.json" BENCH_smoke.json
 echo "ci.sh: bench smoke gate passed (BENCH_smoke.json refreshed)"
+
+# Pipeline gate: regenerate the pipelined-vs-lock-step burst rows at the
+# fixed 35 ms RTT and hold the acceptance bar — a depth-8 pipelined burst
+# within 3.5 RTTs and at least 2x faster than lock-step (see
+# BENCH_pipeline.json). On success the committed snapshot is refreshed.
+go run ./cmd/expbench -exp pipeline -json "$tmp/BENCH_pipeline.json"
+go run ./cmd/expbench -check-pipeline "$tmp/BENCH_pipeline.json" -max-rtts 3.5 -min-speedup 2
+cp "$tmp/BENCH_pipeline.json" BENCH_pipeline.json
+echo "ci.sh: pipeline gate passed (BENCH_pipeline.json refreshed)"

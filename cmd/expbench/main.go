@@ -4,17 +4,19 @@
 //
 // Usage:
 //
-//	expbench -exp fig5|fig6|fig7|fig8|table1|wire|all [-workers 1,2,3,5]
+//	expbench -exp fig5|fig6|fig7|fig8|table1|wire|pipeline|all [-workers 1,2,3,5]
 //	         [-rows N -cols N -cnnrows N -piperows N]
 //	expbench -smoke [-gob] [-json BENCH_smoke.json]
 //	expbench -compare baseline.json,current.json [-max-ratio 2] [-floor 0.025]
+//	expbench -check-pipeline BENCH_pipeline.json [-max-rtts 3.5] [-min-speedup 2]
 //
 // Sizes default to laptop scale; raise them to approach the paper's
 // 1M x 1,050 setting. -smoke runs the fixed-scale CI smoke and -compare
 // gates the encode+decode phase seconds of a fresh snapshot against a
 // committed baseline (see BENCH_*.json and ci.sh); -exp wire emits the
 // wire-format comparison rows, with -gob measuring the legacy pure-gob
-// encoding.
+// encoding; -exp pipeline emits the pipelined-vs-lock-step burst rows at a
+// fixed 35 ms RTT and -check-pipeline gates them (see BENCH_pipeline.json).
 package main
 
 import (
@@ -41,7 +43,23 @@ func main() {
 	compare := flag.String("compare", "", "baseline.json,current.json: gate enc+dec phase seconds and exit")
 	maxRatio := flag.Float64("max-ratio", 2, "allowed enc+dec regression ratio for -compare")
 	floor := flag.Float64("floor", 0.025, "absolute enc+dec seconds below which -compare never fails")
+	checkPipeline := flag.String("check-pipeline", "", "BENCH_pipeline.json: gate the pipelined burst rows and exit")
+	maxRTTs := flag.Float64("max-rtts", 3.5, "allowed pipelined round trips per depth-8 burst for -check-pipeline")
+	minSpeedup := flag.Float64("min-speedup", 2, "required lock-step/pipelined wall-time ratio for -check-pipeline")
 	flag.Parse()
+
+	if *checkPipeline != "" {
+		snap, err := bench.ReadSnapshot(*checkPipeline)
+		if err != nil {
+			log.Fatalf("expbench: %v", err)
+		}
+		if err := bench.CheckPipeline(snap, *maxRTTs, *minSpeedup); err != nil {
+			log.Fatalf("expbench: %v", err)
+		}
+		fmt.Printf("pipeline gate ok: %s within %.1f RTTs and >= %.1fx over lock-step\n",
+			snap.Name, *maxRTTs, *minSpeedup)
+		return
+	}
 
 	if *compare != "" {
 		parts := strings.Split(*compare, ",")
@@ -87,6 +105,11 @@ func main() {
 	if *exp == "wire" {
 		ms, err := bench.WireBench(*gob)
 		emit("wire", ms, err)
+		return
+	}
+	if *exp == "pipeline" {
+		ms, err := bench.PipelineBench()
+		emit("pipeline", ms, err)
 		return
 	}
 

@@ -417,6 +417,12 @@ func (c *Coordinator) callOne(addr string, req fedrpc.Request) (fedrpc.Response,
 		return fedrpc.Response{}, err
 	}
 	if !resps[0].OK {
+		if resps[0].Code == fedrpc.CodeDeadlineExceeded {
+			// Normally typed upstream by attemptCall; kept here so a typed
+			// reply can never lose its class on this path either.
+			return resps[0], fmt.Errorf("federated: %s %s: %w: %s",
+				addr, req.Type, fedrpc.ErrDeadlineExceeded, resps[0].Err)
+		}
 		return resps[0], fmt.Errorf("federated: %s %s: %s", addr, req.Type, resps[0].Err)
 	}
 	return resps[0], nil

@@ -22,6 +22,13 @@ import (
 // stays closed for good; callers distinguish the two with errors.Is.
 var ErrClosed = errors.New("fedrpc: client closed")
 
+// errSessionDetached is the teardown cause of a session retired by Redial
+// (or replaced after a drain): not a failure, just the end of that
+// transport's life. Calls never observe it — a detached session finishes
+// its in-flight calls before tearing down — only reserve waiters do, and
+// they retry on the successor session.
+var errSessionDetached = errors.New("fedrpc: session detached")
+
 // Default liveness bounds. They are backstops against dead peers, not
 // pacing mechanisms, so they are generous: the WAN setting of the paper
 // (~1.7 MB/s) still moves ~200 MB within the default I/O window.
@@ -40,9 +47,10 @@ type Options struct {
 	Netem netem.Config
 	// DialTimeout bounds connection establishment (default 10s).
 	DialTimeout time.Duration
-	// IOTimeout bounds one full RPC exchange on the client and one reply
-	// write on the server. Zero means DefaultIOTimeout; negative disables
-	// deadlines (trusted in-process test links).
+	// IOTimeout bounds one request write and the wait for the next reply
+	// on the client, and one reply write on the server. Zero means
+	// DefaultIOTimeout; negative disables deadlines (trusted in-process
+	// test links).
 	IOTimeout time.Duration
 	// IdleTimeout bounds how long a server connection may sit between
 	// requests (including mid-request stalls) before it is reclaimed.
@@ -68,6 +76,14 @@ type Options struct {
 	// exhaust a worker's goroutines and a reconnect storm is paced rather
 	// than amplified. Zero or negative means unlimited.
 	MaxConns int
+	// Window caps how many calls may be pipelined in flight on one
+	// connection (client side). Values below 2 (including the zero value)
+	// keep the legacy lock-step behavior: one exchange at a time. Above
+	// that, dependent-free calls overlap on the wire — N calls cost ~1
+	// round trip instead of N — as long as the peer echoes call tags;
+	// against a pre-pipelining peer the client transparently degrades to
+	// lock-step (see tagHint).
+	Window int
 }
 
 // metrics resolves the configured registry against the process default.
@@ -91,23 +107,27 @@ func timeout(configured, def time.Duration) time.Duration {
 }
 
 // rpcEnvelope is the on-wire unit: one envelope per Call. DeadlineNanos is
-// the relative call budget (0 = none); like its binary-framing counterpart
-// (wireEnvelope) it rides gob's skip-unknown/zero-missing field semantics,
-// so old peers interoperate unchanged in both directions.
+// the relative call budget (0 = none) and Tag the pipelining call ID (0 =
+// lock-step); like their binary-framing counterparts (wireEnvelope) both
+// ride gob's skip-unknown/zero-missing field semantics, so old peers
+// interoperate unchanged in both directions.
 type rpcEnvelope struct {
 	Requests      []Request
 	DeadlineNanos int64
+	Tag           uint64
 }
 
 // rpcReply carries the batch responses plus the server-side handler wall
 // time, which the client uses to split its blocked-on-reply wait into
-// Network and Execute span phases. Old peers that omit the field (gob
-// tolerates both directions) simply report Execute=0. This is the
+// Network and Execute span phases, plus the echoed call tag that routes an
+// out-of-order reply to its call. Old peers omit both extra fields (gob
+// tolerates both directions): they report Execute=0 and Tag=0. This is the
 // legacy-gob reply shape; binary-framed connections use wireReply
 // (wire.go), which readReply converts back into this form.
 type rpcReply struct {
 	Responses []Response
 	ExecNanos int64
+	Tag       uint64
 }
 
 // Format-hint states: what dialTransport learned about the peer. The hint
@@ -121,67 +141,149 @@ const (
 	hintGob
 )
 
+// Tag-hint states: what the first reply taught us about the peer's
+// pipelining support. Until a session's first reply arrives the window is
+// held at 1 (the probe); a reply echoing our tag opens it to
+// Options.Window for the client's lifetime, a tagless reply pins the
+// client to lock-step for good — the tag twin of the gob fallback.
+const (
+	tagUnknown int32 = iota
+	tagAware
+	tagLockstep
+)
+
+// pendingCall is one in-flight exchange awaiting its reply. Exactly one
+// party ever sends on done: the reader (matched reply) or the session
+// teardown (transport failure) — never both, because both first remove the
+// call from the session tables under the session mutex.
+type pendingCall struct {
+	tag  uint64
+	done chan callReply // buffered (cap 1): the sender never blocks
+}
+
+// callReply is what the reader goroutine delivers per matched reply: the
+// responses plus the per-call accounting slice of the shared cumulative
+// counters (readWait/bytesIn deltas around this reply's decode).
+type callReply struct {
+	resps      []Response
+	execNanos  int64
+	readWait   time.Duration
+	bytesIn    int64
+	decodeWall time.Duration
+	err        error
+}
+
+// sessionDeadError marks a call that found its session already torn down
+// before touching the wire; CallCtx retries it on a fresh session.
+type sessionDeadError struct{ err error }
+
+func (e *sessionDeadError) Error() string {
+	if e.err == nil {
+		return "fedrpc: session dead"
+	}
+	return e.err.Error()
+}
+func (e *sessionDeadError) Unwrap() error { return e.err }
+
+// session is one transport's lifetime: the connection, its codecs, the
+// in-flight call tables, and the single reader goroutine demultiplexing
+// replies. A Client replaces its session wholesale on failure or Redial —
+// a gob stream cannot be resumed after a partial exchange — while draining
+// sessions finish their in-flight calls before closing.
+type session struct {
+	c      *Client
+	conn   net.Conn
+	bw     *bufio.Writer
+	br     *bufio.Reader
+	enc    *gob.Encoder
+	dec    *gob.Decoder
+	binary bool
+
+	// writeTok serializes request writes (send to acquire, receive to
+	// release): neither gob streams nor slab frames can interleave two
+	// encodes. The reader never needs it — replies flow on the other half
+	// of the duplex.
+	writeTok chan struct{}
+	// work wakes the reader (buffered, cap 1): signaled after every flush
+	// and on teardown/detach, so an idle session keeps no outstanding
+	// read and no read deadline.
+	work chan struct{}
+
+	mu       sync.Mutex
+	inflight map[uint64]*pendingCall // written calls by tag; guarded by mu
+	fifo     []*pendingCall          // written calls in send order; guarded by mu
+	nextTag  uint64                  // last allocated call tag; guarded by mu
+	active   int                     // reserved window slots; guarded by mu
+	awaited  int                     // flushed, not yet answered; guarded by mu
+	curWin   int                     // current in-flight cap (1 while probing/lock-step); guarded by mu
+	probing  bool                    // first reply resolves the peer's tag support; guarded by mu
+	waiters  []chan struct{}         // calls queued for a window slot; guarded by mu
+	detached bool                    // draining: no new calls, in-flight finish; guarded by mu
+	dead     bool                    // torn down; guarded by mu
+	deadErr  error                   // teardown cause; guarded by mu
+}
+
 // Client is a coordinator-side connection to one federated worker. A client
-// is safe for concurrent use; calls are serialized per connection (the
-// coordinator parallelizes across workers, as in the paper).
+// is safe for concurrent use; up to Options.Window calls are pipelined on
+// the connection (tagged envelopes, out-of-order replies), and the
+// coordinator additionally parallelizes across workers, as in the paper.
 //
 // A transport failure (encode, flush, decode, or timeout) leaves the gob
-// stream desynchronized, so the client tears the connection down and marks
-// itself broken instead of silently reusing the dead stream; the next Call
-// (or an explicit Redial) transparently re-establishes the transport. The
-// cumulative byte counters survive reconnects.
+// stream desynchronized, so the client tears the session down — failing
+// every in-flight call on it with the same error surface a lock-step
+// failure has — and marks itself broken instead of silently reusing the
+// dead stream; the next Call (or an explicit Redial) transparently
+// re-establishes the transport. The cumulative byte counters survive
+// reconnects.
 //
-// The exchange path and the transport state are guarded separately so that
-// Close never waits behind an in-flight Call: exchange is a capacity-1
-// semaphore serializing exchanges (held for the full request/reply I/O —
-// a channel rather than a mutex so a caller whose context dies while
-// queued can give up without touching the untorn connection), connMu
-// guards the transport fields and is never held across I/O or dialing.
-// Close takes only connMu, closes the connection — interrupting any
-// in-flight exchange — and the interrupted Call observes the closed flag
-// and surfaces ErrClosed. Order where both are needed: exchange before
-// connMu.
+// connMu guards only the session pointer set and is never held across I/O
+// or dialing; per-session state lives behind session.mu, acquired strictly
+// after connMu when both are needed. Close takes only connMu, then tears
+// every live session down — interrupting in-flight calls, which observe
+// the closed flag and surface ErrClosed.
 type Client struct {
 	addr      string
 	opts      Options
 	ioTimeout time.Duration
 	slowRPC   time.Duration
+	window    int
 	reg       *obs.Registry
 
-	// exchange serializes RPC exchanges: send to acquire, receive to
-	// release. Time blocked acquiring it is the span's Queue phase.
-	exchange chan struct{}
-
-	connMu sync.Mutex
-	conn   net.Conn      // nil while broken (pre-redial) or after Close; guarded by connMu
-	bw     *bufio.Writer // guarded by connMu
-	br     *bufio.Reader // guarded by connMu
-	enc    *gob.Encoder  // guarded by connMu
-	dec    *gob.Decoder  // guarded by connMu
-	binary bool          // this transport negotiated binary framing; guarded by connMu
-	closed bool          // Close was called; distinguishes closed from broken; guarded by connMu
+	connMu   sync.Mutex
+	sess     *session              // active session; nil while broken; guarded by connMu
+	sessions map[*session]struct{} // every live session, draining included; guarded by connMu
+	dialing  chan struct{}         // closed when the in-flight dial settles; guarded by connMu
+	closed   bool                  // Close was called; distinguishes closed from broken; guarded by connMu
 
 	hint     atomic.Int32 // hint* state: survives transport teardown across redials
+	tagHint  atomic.Int32 // tag* state: survives transport teardown across redials
 	bytesOut atomic.Int64
 	bytesIn  atomic.Int64
-	readWait atomic.Int64 // ns blocked in conn reads during the current exchange
+	readWait atomic.Int64 // cumulative ns blocked in conn reads; reader slices per reply
 }
 
 // Dial connects to a federated worker at addr.
 func Dial(addr string, opts Options) (*Client, error) {
+	window := opts.Window
+	if window < 1 {
+		window = 1
+	}
 	c := &Client{
 		addr:      addr,
 		opts:      opts,
 		ioTimeout: timeout(opts.IOTimeout, DefaultIOTimeout),
 		slowRPC:   opts.SlowRPC,
+		window:    window,
 		reg:       opts.metrics(),
-		exchange:  make(chan struct{}, 1),
+		sessions:  map[*session]struct{}{},
 	}
 	conn, binary, err := c.dialTransport()
 	if err != nil {
 		return nil, err
 	}
-	c.installLocked(conn, binary) // client not yet shared: exclusive access
+	s := c.newSession(conn, binary) // client not yet shared: exclusive access
+	c.sess = s
+	c.sessions[s] = struct{}{}
 	return c, nil
 }
 
@@ -204,7 +306,7 @@ func (c *Client) dialTransport() (net.Conn, bool, error) {
 	}
 	herr := negotiate(conn, timeout(c.opts.DialTimeout, DefaultDialTimeout))
 	if herr == nil {
-		_ = conn.SetDeadline(time.Time{}) // handshake deadline off; CallCtx arms per exchange
+		_ = conn.SetDeadline(time.Time{}) // handshake deadline off; per-exchange arming follows
 		c.hint.Store(hintBinary)
 		return conn, true, nil
 	}
@@ -244,19 +346,38 @@ func (c *Client) dialRaw() (net.Conn, error) {
 	return conn, nil
 }
 
-// installLocked wires conn up as the active transport: fresh encoder and
-// decoder — a gob stream cannot be resumed after a partial exchange, so
-// both ends must restart their codecs. The cumulative byte counters carry
-// over. Callers hold c.connMu (or own the client exclusively, as in Dial).
-func (c *Client) installLocked(conn net.Conn, binary bool) {
-	c.conn = conn
-	c.binary = binary
+// newSession wires conn up as a live session: fresh encoder and decoder —
+// a gob stream cannot be resumed after a partial exchange, so both ends
+// must restart their codecs — and the session's reader goroutine. The
+// cumulative byte counters carry over.
+func (c *Client) newSession(conn net.Conn, binary bool) *session {
 	out := &countingWriter{w: conn, n: &c.bytesOut}
 	in := &countingReader{r: conn, n: &c.bytesIn, wait: &c.readWait}
-	c.bw = bufio.NewWriterSize(out, 1<<16)
-	c.br = bufio.NewReaderSize(in, 1<<16)
-	c.enc = gob.NewEncoder(c.bw)
-	c.dec = gob.NewDecoder(c.br)
+	bw := bufio.NewWriterSize(out, 1<<16)
+	br := bufio.NewReaderSize(in, 1<<16)
+	s := &session{
+		c:        c,
+		conn:     conn,
+		bw:       bw,
+		br:       br,
+		enc:      gob.NewEncoder(bw),
+		dec:      gob.NewDecoder(br),
+		binary:   binary,
+		writeTok: make(chan struct{}, 1),
+		work:     make(chan struct{}, 1),
+		inflight: map[uint64]*pendingCall{},
+		curWin:   1,
+	}
+	switch c.tagHint.Load() {
+	case tagAware:
+		s.curWin = c.window
+	case tagUnknown:
+		// Hold the window at 1 until the first reply proves (or refutes)
+		// tag support; a tagLockstep verdict keeps it there for good.
+		s.probing = true
+	}
+	go s.readLoop()
+	return s
 }
 
 // WireBinary reports whether the current transport negotiated binary
@@ -264,7 +385,22 @@ func (c *Client) installLocked(conn net.Conn, binary bool) {
 func (c *Client) WireBinary() bool {
 	c.connMu.Lock()
 	defer c.connMu.Unlock()
-	return c.conn != nil && c.binary
+	return c.sess != nil && c.sess.binary
+}
+
+// WindowCap reports how many calls may currently be multiplexed in flight
+// on this client: Options.Window once a peer has proven it echoes call
+// tags, 1 before that (and forever against a lock-step peer). Pools use it
+// to decide between multiplexing onto a live connection and dialing a new
+// one.
+func (c *Client) WindowCap() int {
+	if c.window <= 1 {
+		return 1
+	}
+	if c.tagHint.Load() == tagAware {
+		return c.window
+	}
+	return 1
 }
 
 // Addr returns the worker address this client is connected to.
@@ -289,9 +425,11 @@ func (c *Client) Call(reqs ...Request) ([]Response, error) {
 // relative deadline in the request envelope, where it bounds handler
 // execution. Budget exhaustion surfaces as an error wrapping both
 // ErrDeadlineExceeded and context.DeadlineExceeded. Cancelling ctx while
-// the call is still queued behind another exchange returns ctx.Err()
-// without touching the connection; cancelling it mid-exchange interrupts
-// the I/O promptly and tears the transport down (the stream is desynced).
+// the call is still queued for a window slot returns ctx.Err() without
+// touching the connection; cancelling it once the call is on the wire
+// interrupts the exchange promptly and tears the session down (the stream
+// is desynced), failing any calls pipelined alongside it with a transport
+// error their retry policy handles like any other connection loss.
 func (c *Client) CallCtx(ctx context.Context, reqs ...Request) ([]Response, error) {
 	queueStart := time.Now()
 
@@ -307,14 +445,51 @@ func (c *Client) CallCtx(ctx context.Context, reqs ...Request) ([]Response, erro
 		span.ReqType = reqs[0].Type.String()
 	}
 
-	if err := c.acquireExchange(ctx); err != nil {
-		// Cancelled while queued: no exchange started, the connection
-		// belongs to someone else and stays up. The caller's own context
-		// error is the whole story.
+	// A call can land on a session that died (or detached for a redial)
+	// between lookup and reservation; that touched no wire state, so try
+	// a successor session a bounded number of times before giving up.
+	var lastErr error
+	for attempt := 0; attempt < 3; attempt++ {
+		s, err := c.session(ctx)
+		if err != nil {
+			c.record(span, reqs, err)
+			return nil, err
+		}
+		resps, err := c.callOn(ctx, s, span, reqs, queueStart)
+		var dead *sessionDeadError
+		if !errors.As(err, &dead) {
+			return resps, err
+		}
+		lastErr = dead.err
+	}
+	err := c.classify(ctx, lastErr)
+	if err == nil {
+		err = fmt.Errorf("fedrpc: call to %s: transport churn", c.addr)
+	}
+	c.record(span, reqs, err)
+	return nil, err
+}
+
+// callOn runs one exchange attempt on s. A *sessionDeadError return means
+// nothing touched the wire and the caller may retry on a fresh session;
+// every other outcome is final and already recorded.
+func (c *Client) callOn(ctx context.Context, s *session, span *obs.Span, reqs []Request, queueStart time.Time) ([]Response, error) {
+	if err := s.reserve(ctx); err != nil {
+		var dead *sessionDeadError
+		if errors.As(err, &dead) {
+			return nil, err
+		}
+		// Cancelled while queued for a slot: no exchange started, the
+		// connection belongs to the in-flight calls and stays up. The
+		// caller's own context error is the whole story.
 		c.record(span, reqs, err)
 		return nil, err
 	}
-	defer c.releaseExchange()
+	if err := s.acquireWrite(ctx); err != nil {
+		s.unreserve()
+		c.record(span, reqs, err)
+		return nil, err
+	}
 	span.Queue = time.Since(queueStart)
 
 	// The remaining budget (when ctx carries a deadline) travels to the
@@ -324,6 +499,8 @@ func (c *Client) CallCtx(ctx context.Context, reqs ...Request) ([]Response, erro
 	if dl, ok := ctx.Deadline(); ok {
 		budget = time.Until(dl)
 		if budget <= 0 {
+			s.releaseWrite()
+			s.unreserve()
 			err := fmt.Errorf("fedrpc: call to %s: %w", c.addr, ErrDeadlineExceeded)
 			c.record(span, reqs, err)
 			return nil, err
@@ -331,183 +508,211 @@ func (c *Client) CallCtx(ctx context.Context, reqs ...Request) ([]Response, erro
 		deadlineNanos = int64(budget)
 	}
 
-	t, err := c.transport()
+	call, err := s.register()
 	if err != nil {
+		s.releaseWrite()
+		s.unreserve()
+		return nil, err // session died while we queued: retryable
+	}
+
+	// Write the tagged envelope under the write token. An explicit
+	// cancellation must interrupt a blocked write now, not when the write
+	// deadline fires; the watchdog is scoped strictly to this write (armed
+	// before, stopped right after), so a late firing can only poison a
+	// session the cancellation is about to tear down anyway.
+	conn := s.conn
+	s.armWriteDeadline(budget)
+	stopWatch := context.AfterFunc(ctx, func() {
+		if context.Cause(ctx) == context.Canceled {
+			_ = conn.SetWriteDeadline(time.Now())
+		}
+	})
+	outStart := c.bytesOut.Load()
+	encStart := time.Now()
+	var serr error
+	if s.binary {
+		serr = writeBatch(s.enc, s.bw, reqs, deadlineNanos, call.tag)
+	} else {
+		serr = s.enc.Encode(rpcEnvelope{Requests: reqs, DeadlineNanos: deadlineNanos, Tag: call.tag})
+	}
+	if serr != nil {
+		serr = fmt.Errorf("fedrpc: send to %s: %w", c.addr, serr)
+	} else if ferr := s.bw.Flush(); ferr != nil {
+		serr = fmt.Errorf("fedrpc: flush to %s: %w", c.addr, ferr)
+	}
+	stopWatch()
+	span.Encode = time.Since(encStart)
+	span.BytesOut = c.bytesOut.Load() - outStart
+	if serr != nil {
+		// A partial write desyncs the stream for every call on it.
+		s.releaseWrite()
+		c.failSession(s, serr)
+		err := c.classify(ctx, serr)
 		c.record(span, reqs, err)
 		return nil, err
 	}
-	conn := t.conn
-	outStart, inStart := c.bytesOut.Load(), c.bytesIn.Load()
-	c.readWait.Store(0)
+	s.flushed()
+	s.releaseWrite()
 
-	// Every failure exit tears the transport down (fail), which both closes
-	// the conn — retiring its armed deadline with it — and prevents the next
-	// Call from silently reusing a desynced stream.
-	c.armDeadline(conn, budget)
-	// An explicit cancellation must interrupt in-flight I/O now, not when
-	// the armed deadline fires. Deadline expiry is deliberately left to the
-	// armed grace window: the worker's typed reply is usually already in
-	// flight and beats it.
-	stopWatch := context.AfterFunc(ctx, func() {
-		if context.Cause(ctx) == context.Canceled {
-			_ = conn.SetDeadline(time.Now())
-		}
-	})
-	defer stopWatch()
-	encStart := time.Now()
-	// The exchange I/O below runs while holding the exchange semaphore by
-	// design: it IS the per-connection serializer (time blocked on it is
-	// the span's Queue phase), not a data guard — neither gob streams nor
-	// slab frames can interleave two exchanges. connMu, the data guard, is
-	// never held across this I/O, and the conn deadline armed above bounds
-	// the hold time.
-	var serr error
-	if t.binary {
-		serr = writeBatch(t.enc, t.bw, reqs, deadlineNanos)
-	} else {
-		serr = t.enc.Encode(rpcEnvelope{Requests: reqs, DeadlineNanos: deadlineNanos})
+	// Await the demultiplexed reply. Deadline expiry grants the worker's
+	// typed DEADLINE_EXCEEDED reply a short grace window before the
+	// session is declared wedged; cancellation interrupts immediately.
+	var cr callReply
+	select {
+	case cr = <-call.done:
+	case <-ctx.Done():
+		cr = c.interrupt(ctx, s, call, budget)
 	}
-	if serr != nil {
-		return c.fail(ctx, span, reqs, conn, fmt.Errorf("fedrpc: send to %s: %w", c.addr, serr))
+	if cr.err != nil {
+		err := c.classify(ctx, cr.err)
+		c.record(span, reqs, err)
+		return nil, err
 	}
-	if err := t.bw.Flush(); err != nil {
-		return c.fail(ctx, span, reqs, conn, fmt.Errorf("fedrpc: flush to %s: %w", c.addr, err))
-	}
-	span.Encode = time.Since(encStart)
-
-	decStart := time.Now()
-	var reply rpcReply
-	var derr error
-	if t.binary {
-		reply, derr = readReply(t.dec, t.br)
-	} else {
-		derr = t.dec.Decode(&reply)
-	}
-	if derr != nil {
-		return c.fail(ctx, span, reqs, conn, fmt.Errorf("fedrpc: receive from %s: %w", c.addr, derr))
-	}
-	decodeWall := time.Since(decStart)
-	c.disarmDeadline(conn)
 
 	// Phase split: time blocked on the wire minus the server's reported
 	// handler time is Network; decode wall time minus wire wait is Decode.
 	// Both clamp at zero — the clock domains differ.
-	readWait := time.Duration(c.readWait.Load())
-	span.Execute = time.Duration(reply.ExecNanos)
-	if span.Network = readWait - span.Execute; span.Network < 0 {
+	span.Execute = time.Duration(cr.execNanos)
+	if span.Network = cr.readWait - span.Execute; span.Network < 0 {
 		span.Network = 0
 	}
-	if span.Decode = decodeWall - readWait; span.Decode < 0 {
+	if span.Decode = cr.decodeWall - cr.readWait; span.Decode < 0 {
 		span.Decode = 0
 	}
-	span.BytesOut = c.bytesOut.Load() - outStart
-	span.BytesIn = c.bytesIn.Load() - inStart
+	span.BytesIn = cr.bytesIn
 
-	if len(reply.Responses) != len(reqs) {
+	if len(cr.resps) != len(reqs) {
 		// The stream answered, but with the wrong cardinality: a protocol
 		// desync this connection cannot recover from.
-		return c.fail(ctx, span, reqs, conn, fmt.Errorf("fedrpc: %s returned %d responses for %d requests",
-			c.addr, len(reply.Responses), len(reqs)))
+		serr := fmt.Errorf("fedrpc: %s returned %d responses for %d requests",
+			c.addr, len(cr.resps), len(reqs))
+		c.failSession(s, serr)
+		err := c.classify(ctx, serr)
+		c.record(span, reqs, err)
+		return nil, err
 	}
 	c.record(span, reqs, nil)
-	return reply.Responses, nil
+	return cr.resps, nil
 }
 
-// acquireExchange takes the exchange semaphore, or gives up when ctx dies
-// first. The fast path never touches ctx, so an already-cancelled context
-// still wins an uncontended semaphore — matching mutex semantics for
-// callers that don't race cancellation.
-func (c *Client) acquireExchange(ctx context.Context) error {
+// interrupt handles ctx dying while the call is on the wire: prefer a
+// reply that already landed; otherwise grant deadline expiry a grace
+// window for the worker's typed reply, then tear the session down and
+// collect the teardown verdict.
+func (c *Client) interrupt(ctx context.Context, s *session, call *pendingCall, budget time.Duration) callReply {
 	select {
-	case c.exchange <- struct{}{}:
-		return nil
+	case cr := <-call.done:
+		return cr
 	default:
 	}
-	select {
-	case c.exchange <- struct{}{}:
-		return nil
-	case <-ctx.Done():
-		return ctx.Err()
+	if errors.Is(ctx.Err(), context.DeadlineExceeded) && budget > 0 {
+		grace := budget / 2
+		if grace > time.Second {
+			grace = time.Second
+		}
+		t := time.NewTimer(grace)
+		defer t.Stop()
+		select {
+		case cr := <-call.done:
+			return cr
+		case <-t.C:
+		}
 	}
+	c.failSession(s, fmt.Errorf("fedrpc: exchange with %s interrupted: %w", c.addr, ctx.Err()))
+	return <-call.done
 }
 
-// releaseExchange returns the exchange semaphore.
-func (c *Client) releaseExchange() { <-c.exchange }
-
-// transportState is one Call's snapshot of the live transport, taken under
-// connMu and then used lock-free for the exchange I/O (the exchange
-// semaphore guarantees one exchange at a time).
-type transportState struct {
-	conn   net.Conn
-	bw     *bufio.Writer
-	br     *bufio.Reader
-	enc    *gob.Encoder
-	dec    *gob.Decoder
-	binary bool
-}
-
-// transport returns the live transport, redialing if the client is broken.
-// Dialing happens outside connMu so Close stays prompt; if Close won the
-// race the fresh connection is discarded and ErrClosed returned.
-func (c *Client) transport() (transportState, error) {
-	c.connMu.Lock()
-	if c.closed {
-		c.connMu.Unlock()
-		return transportState{}, fmt.Errorf("fedrpc: call to %s: %w", c.addr, ErrClosed)
-	}
-	if c.conn != nil {
-		t := transportState{conn: c.conn, bw: c.bw, br: c.br, enc: c.enc, dec: c.dec, binary: c.binary}
-		c.connMu.Unlock()
-		return t, nil
-	}
-	c.connMu.Unlock()
-
-	// Broken by an earlier transport failure: reconnect transparently. Only
-	// one exchange runs at a time (the exchange semaphore), so no
-	// concurrent install races us.
-	conn, binary, err := c.dialTransport()
-	if err != nil {
-		return transportState{}, err
-	}
-	c.connMu.Lock()
-	if c.closed {
-		c.connMu.Unlock()
-		conn.Close()
-		return transportState{}, fmt.Errorf("fedrpc: call to %s: %w", c.addr, ErrClosed)
-	}
-	c.installLocked(conn, binary)
-	t := transportState{conn: c.conn, bw: c.bw, br: c.br, enc: c.enc, dec: c.dec, binary: c.binary}
-	c.connMu.Unlock()
-	return t, nil
-}
-
-// fail tears the transport down after a failed or desynced exchange and
-// classifies the error. If a racing Close already claimed the connection
-// the I/O error it provoked is reported as ErrClosed — the caller raced
-// Close and must see that, not a bare transport error. Likewise, when the
-// caller's own context expired or was cancelled, the I/O error is just the
-// mechanism by which the interruption surfaced: the caller sees a typed
-// deadline/cancellation error with the transport detail attached.
-func (c *Client) fail(ctx context.Context, sp *obs.Span, reqs []Request, conn net.Conn, err error) ([]Response, error) {
+// classify maps a transport-level failure onto the caller-facing error. If
+// a racing Close already claimed the connection the I/O error it provoked
+// is reported as ErrClosed — the caller raced Close and must see that, not
+// a bare transport error. Likewise, when the caller's own context expired
+// or was cancelled, the I/O error is just the mechanism by which the
+// interruption surfaced: the caller sees a typed deadline/cancellation
+// error with the transport detail attached.
+func (c *Client) classify(ctx context.Context, err error) error {
 	c.connMu.Lock()
 	closed := c.closed
-	if conn != nil && c.conn == conn {
-		conn.Close()
-		c.conn = nil
-		c.bw, c.br, c.enc, c.dec = nil, nil, nil, nil
-		c.binary = false
-	}
 	c.connMu.Unlock()
 	switch {
 	case closed:
-		err = fmt.Errorf("fedrpc: call to %s: %w", c.addr, ErrClosed)
+		return fmt.Errorf("fedrpc: call to %s: %w", c.addr, ErrClosed)
 	case ctx != nil && errors.Is(ctx.Err(), context.DeadlineExceeded):
-		err = fmt.Errorf("fedrpc: call to %s: %w (%v)", c.addr, ErrDeadlineExceeded, err)
+		return fmt.Errorf("fedrpc: call to %s: %w (%v)", c.addr, ErrDeadlineExceeded, err)
 	case ctx != nil && errors.Is(ctx.Err(), context.Canceled):
-		err = fmt.Errorf("fedrpc: call to %s cancelled: %w (%v)", c.addr, ctx.Err(), err)
+		return fmt.Errorf("fedrpc: call to %s cancelled: %w (%v)", c.addr, ctx.Err(), err)
 	}
-	c.record(sp, reqs, err)
-	return nil, err
+	return err
+}
+
+// session returns the live session, redialing if the client is broken.
+// Concurrent callers share one dial (the dialing latch); dialing happens
+// outside connMu so Close stays prompt, and if Close won the race the
+// fresh connection is discarded and ErrClosed returned.
+func (c *Client) session(ctx context.Context) (*session, error) {
+	for {
+		c.connMu.Lock()
+		if c.closed {
+			c.connMu.Unlock()
+			return nil, fmt.Errorf("fedrpc: call to %s: %w", c.addr, ErrClosed)
+		}
+		if c.sess != nil {
+			s := c.sess
+			c.connMu.Unlock()
+			return s, nil
+		}
+		if ch := c.dialing; ch != nil {
+			c.connMu.Unlock()
+			select {
+			case <-ch:
+				continue
+			case <-ctx.Done():
+				// Someone else's dial proceeds; we just stop waiting.
+				return nil, ctx.Err()
+			}
+		}
+		ch := make(chan struct{})
+		c.dialing = ch
+		c.connMu.Unlock()
+		s, err := c.dialSession()
+		c.connMu.Lock()
+		c.dialing = nil
+		c.connMu.Unlock()
+		close(ch)
+		return s, err
+	}
+}
+
+// dialSession dials a fresh transport and installs it as the active
+// session. The caller owns the dialing latch.
+func (c *Client) dialSession() (*session, error) {
+	conn, binary, err := c.dialTransport()
+	if err != nil {
+		return nil, err
+	}
+	c.connMu.Lock()
+	if c.closed {
+		c.connMu.Unlock()
+		conn.Close()
+		return nil, fmt.Errorf("fedrpc: call to %s: %w", c.addr, ErrClosed)
+	}
+	s := c.newSession(conn, binary)
+	c.sess = s
+	c.sessions[s] = struct{}{}
+	c.connMu.Unlock()
+	return s, nil
+}
+
+// failSession retires s from the client and tears it down: every call
+// in flight on it fails with err, reserve waiters wake and retry on the
+// successor. Safe to call from any goroutine; idempotent per session.
+func (c *Client) failSession(s *session, err error) {
+	c.connMu.Lock()
+	if c.sess == s {
+		c.sess = nil
+	}
+	delete(c.sessions, s)
+	c.connMu.Unlock()
+	s.teardown(err)
 }
 
 // record finalizes the span and reports the exchange into the registry:
@@ -547,44 +752,31 @@ func (c *Client) record(sp *obs.Span, reqs []Request, err error) {
 func (c *Client) Broken() bool {
 	c.connMu.Lock()
 	defer c.connMu.Unlock()
-	return c.conn == nil && !c.closed
+	return c.sess == nil && !c.closed
 }
 
-// Redial forces a fresh transport, tearing down the current connection
-// first if one is live. Byte counters are preserved. Redial waits for any
-// in-flight Call to finish rather than yanking its connection.
+// Redial forces a fresh transport. The current session (if live) is
+// detached rather than yanked: calls already in flight on it finish on the
+// old connection, which closes itself once the last one drains, while the
+// fresh connection serves everything new. Byte counters are preserved.
 func (c *Client) Redial() error {
-	_ = c.acquireExchange(context.Background()) // never fails: ctx cannot die
-	defer c.releaseExchange()
 	c.connMu.Lock()
 	if c.closed {
 		c.connMu.Unlock()
 		return fmt.Errorf("fedrpc: redial %s: %w", c.addr, ErrClosed)
 	}
-	if c.conn != nil {
-		c.conn.Close()
-		c.conn = nil
-		c.bw, c.br, c.enc, c.dec = nil, nil, nil, nil
-		c.binary = false
-	}
+	old := c.sess
+	c.sess = nil
 	c.connMu.Unlock()
-
-	// Dialing happens while holding only the exchange semaphore: holding
-	// the serializer is what "Redial waits for in-flight Calls" means, and
-	// it keeps a concurrent Call from racing the transport swap. connMu is
-	// released, so Close and state queries stay responsive during a slow
-	// dial.
-	conn, binary, err := c.dialTransport()
-	if err != nil {
+	if old != nil {
+		old.detach()
+	}
+	if _, err := c.session(context.Background()); err != nil {
+		if errors.Is(err, ErrClosed) {
+			return fmt.Errorf("fedrpc: redial %s: %w", c.addr, ErrClosed)
+		}
 		return err
 	}
-	c.connMu.Lock()
-	defer c.connMu.Unlock()
-	if c.closed {
-		conn.Close()
-		return fmt.Errorf("fedrpc: redial %s: %w", c.addr, ErrClosed)
-	}
-	c.installLocked(conn, binary)
 	return nil
 }
 
@@ -594,50 +786,21 @@ func (c *Client) CallOne(req Request) (Response, error) {
 	return c.CallOneCtx(context.Background(), req)
 }
 
-// CallOneCtx is CallOne with trace metadata from ctx (see CallCtx).
+// CallOneCtx is CallOne with trace metadata from ctx (see CallCtx). A
+// failed response with a known Code surfaces as the matching typed error
+// (a worker-reported DEADLINE_EXCEEDED satisfies
+// errors.Is(err, ErrDeadlineExceeded) exactly like a local expiry), so
+// breaker and retry verdicts agree across the transport and typed-reply
+// paths.
 func (c *Client) CallOneCtx(ctx context.Context, req Request) (Response, error) {
 	resps, err := c.CallCtx(ctx, req)
 	if err != nil {
 		return Response{}, err
 	}
 	if !resps[0].OK {
-		return resps[0], fmt.Errorf("fedrpc: %s %s: %s", c.addr, req.Type, resps[0].Err)
+		return resps[0], ResponseError(c.addr, req.Type, resps[0])
 	}
 	return resps[0], nil
-}
-
-// armDeadline bounds the upcoming RPC exchange so a dead or wedged peer
-// surfaces as a timeout error instead of hanging the coordinator forever.
-// When the call carries a time budget the bound tightens to the budget
-// plus a short grace window — long enough for the worker's own typed
-// DEADLINE_EXCEEDED reply (sent exactly at budget expiry) to cross the
-// wire, short enough that a fully wedged link still fails within ~2× the
-// budget.
-func (c *Client) armDeadline(conn net.Conn, budget time.Duration) {
-	d := c.ioTimeout
-	if budget > 0 {
-		grace := budget / 2
-		if grace > time.Second {
-			grace = time.Second
-		}
-		if b := budget + grace; d <= 0 || b < d {
-			d = b
-		}
-	}
-	if d > 0 {
-		_ = conn.SetDeadline(time.Now().Add(d))
-	} else {
-		// Clear rather than skip: a cancelled previous call's watchdog may
-		// have left a poison (past) deadline on this connection.
-		_ = conn.SetDeadline(time.Time{})
-	}
-}
-
-// disarmDeadline clears the exchange deadline so an idle connection is not
-// killed between calls. Errors are ignored: a racing Close may have
-// retired the connection already.
-func (c *Client) disarmDeadline(conn net.Conn) {
-	_ = conn.SetDeadline(time.Time{})
 }
 
 // BytesSent returns the total bytes written to this worker.
@@ -650,25 +813,362 @@ func (c *Client) BytesReceived() int64 { return c.bytesIn.Load() }
 // broken one, it does not reconnect on the next Call (which then returns an
 // error identifiable with errors.Is(err, ErrClosed)). Close is idempotent —
 // including after a transport failure left the client Broken — and releases
-// the underlying connection exactly once; repeated calls return nil.
+// the underlying connections exactly once; repeated calls return nil.
 //
-// Close is prompt: it does not wait behind an in-flight Call. Closing the
-// connection interrupts that call's I/O, and the call reports ErrClosed.
+// Close is prompt: it does not wait behind in-flight calls. Tearing the
+// sessions down interrupts their I/O, and those calls report ErrClosed.
 func (c *Client) Close() error {
 	c.connMu.Lock()
-	defer c.connMu.Unlock()
 	if c.closed {
+		c.connMu.Unlock()
 		return nil
 	}
 	c.closed = true
-	if c.conn == nil {
-		return nil // already broken: the transport died with the failure
+	all := make([]*session, 0, len(c.sessions))
+	for s := range c.sessions {
+		all = append(all, s)
 	}
-	err := c.conn.Close()
-	c.conn = nil
-	c.bw, c.br, c.enc, c.dec = nil, nil, nil, nil
-	c.binary = false
-	return err
+	c.sess = nil
+	c.sessions = map[*session]struct{}{}
+	c.connMu.Unlock()
+	err := fmt.Errorf("fedrpc: call to %s: %w", c.addr, ErrClosed)
+	for _, s := range all {
+		s.teardown(err)
+	}
+	return nil
+}
+
+// --- session machinery ----------------------------------------------------
+
+// reserve claims an in-flight window slot, waiting (FIFO-ish: woken
+// waiters re-race) while the window is full, until ctx dies first. The
+// fast path never touches ctx, so an already-cancelled context still wins
+// a free slot — matching mutex semantics for callers that don't race
+// cancellation. A *sessionDeadError means the session is gone and the call
+// should retry on its successor.
+func (s *session) reserve(ctx context.Context) error {
+	s.mu.Lock()
+	for {
+		if s.dead {
+			err := s.deadErr
+			s.mu.Unlock()
+			return &sessionDeadError{err: err}
+		}
+		if s.detached {
+			s.mu.Unlock()
+			return &sessionDeadError{err: errSessionDetached}
+		}
+		if s.active < s.curWin {
+			s.active++
+			s.mu.Unlock()
+			return nil
+		}
+		w := make(chan struct{}, 1)
+		s.waiters = append(s.waiters, w)
+		s.mu.Unlock()
+		select {
+		case <-w:
+		case <-ctx.Done():
+			s.mu.Lock()
+			s.dropWaiterLocked(w)
+			s.mu.Unlock()
+			// Wakes are broadcast (every waiter re-checks), so a wake this
+			// waiter consumed — or will never consume — strands no slot.
+			return ctx.Err()
+		}
+		s.mu.Lock()
+	}
+}
+
+// unreserve returns a window slot claimed by reserve for a call that never
+// registered (budget expired, cancelled waiting for the write token, or
+// the session died underneath it). Registered calls release their slot
+// through reply delivery or teardown instead.
+func (s *session) unreserve() {
+	s.mu.Lock()
+	s.active--
+	waiters := s.takeWaitersLocked()
+	drained := s.detached && !s.dead && s.active == 0
+	s.mu.Unlock()
+	wakeAll(waiters)
+	if drained {
+		s.c.failSession(s, errSessionDetached)
+	}
+}
+
+// acquireWrite takes the write token, or gives up when ctx dies first (the
+// fast path never touches ctx, mirroring reserve).
+func (s *session) acquireWrite(ctx context.Context) error {
+	select {
+	case s.writeTok <- struct{}{}:
+		return nil
+	default:
+	}
+	select {
+	case s.writeTok <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// releaseWrite returns the write token.
+func (s *session) releaseWrite() { <-s.writeTok }
+
+// register allocates the call's tag and enters it into the in-flight
+// tables. From here on exactly one of the reader or teardown will complete
+// the call.
+func (s *session) register() (*pendingCall, error) {
+	s.mu.Lock()
+	if s.dead {
+		err := s.deadErr
+		s.mu.Unlock()
+		return nil, &sessionDeadError{err: err}
+	}
+	s.nextTag++
+	call := &pendingCall{tag: s.nextTag, done: make(chan callReply, 1)}
+	s.inflight[call.tag] = call
+	s.fifo = append(s.fifo, call)
+	s.mu.Unlock()
+	return call, nil
+}
+
+// flushed marks one written batch as awaiting its reply and wakes the
+// reader. Called after Flush succeeds, while still holding the write
+// token, so the reader's decode window for a sole in-flight call starts at
+// the moment its bytes left the buffer.
+func (s *session) flushed() {
+	s.mu.Lock()
+	s.awaited++
+	s.mu.Unlock()
+	select {
+	case s.work <- struct{}{}:
+	default:
+	}
+}
+
+// armWriteDeadline bounds the upcoming batch write so a dead or wedged
+// peer surfaces as a timeout error instead of hanging the writer forever.
+// When the call carries a time budget the bound tightens to the budget
+// plus a short grace window. Only write deadlines: the reader owns the
+// read deadline.
+func (s *session) armWriteDeadline(budget time.Duration) {
+	d := s.c.ioTimeout
+	if budget > 0 {
+		grace := budget / 2
+		if grace > time.Second {
+			grace = time.Second
+		}
+		if b := budget + grace; d <= 0 || b < d {
+			d = b
+		}
+	}
+	if d > 0 {
+		_ = s.conn.SetWriteDeadline(time.Now().Add(d))
+	} else {
+		// Clear rather than skip: a cancelled previous call's watchdog may
+		// have left a poison (past) deadline on this connection.
+		_ = s.conn.SetWriteDeadline(time.Time{})
+	}
+}
+
+// readLoop is the session's single reader: it sleeps while nothing is
+// awaited (an idle connection keeps no outstanding read and no read
+// deadline), then decodes replies and routes each to its call — by echoed
+// tag when the peer pipelines, by send order when it answers untagged.
+// Any decode failure, unknown tag, or unsolicited reply is a stream
+// desync the session cannot recover from: teardown fails every in-flight
+// call and the reader exits.
+func (s *session) readLoop() {
+	for {
+		s.mu.Lock()
+		for s.awaited == 0 {
+			if s.dead {
+				s.mu.Unlock()
+				return
+			}
+			if s.detached && s.active == 0 {
+				s.mu.Unlock()
+				s.c.failSession(s, errSessionDetached)
+				return
+			}
+			s.mu.Unlock()
+			<-s.work
+			s.mu.Lock()
+		}
+		if s.dead {
+			s.mu.Unlock()
+			return
+		}
+		s.mu.Unlock()
+
+		// The I/O timeout bounds the wait for the next reply while calls
+		// are in flight; per-call budgets are enforced by their callers.
+		if s.c.ioTimeout > 0 {
+			_ = s.conn.SetReadDeadline(time.Now().Add(s.c.ioTimeout))
+		} else {
+			_ = s.conn.SetReadDeadline(time.Time{})
+		}
+		waitStart := time.Duration(s.c.readWait.Load())
+		inStart := s.c.bytesIn.Load()
+		decStart := time.Now()
+		var reply rpcReply
+		var derr error
+		if s.binary {
+			reply, derr = readReply(s.dec, s.br)
+		} else {
+			derr = s.dec.Decode(&reply)
+		}
+		if derr != nil {
+			s.c.failSession(s, fmt.Errorf("fedrpc: receive from %s: %w", s.c.addr, derr))
+			return
+		}
+		cr := callReply{
+			resps:      reply.Responses,
+			execNanos:  reply.ExecNanos,
+			readWait:   time.Duration(s.c.readWait.Load()) - waitStart,
+			bytesIn:    s.c.bytesIn.Load() - inStart,
+			decodeWall: time.Since(decStart),
+		}
+
+		s.mu.Lock()
+		var call *pendingCall
+		if reply.Tag != 0 {
+			call = s.inflight[reply.Tag]
+			if call == nil {
+				s.mu.Unlock()
+				s.c.failSession(s, fmt.Errorf("fedrpc: %s answered unknown call tag %d (duplicate or forged reply)",
+					s.c.addr, reply.Tag))
+				return
+			}
+			delete(s.inflight, reply.Tag)
+			s.dropFIFOLocked(call)
+		} else {
+			if len(s.fifo) == 0 {
+				s.mu.Unlock()
+				s.c.failSession(s, fmt.Errorf("fedrpc: %s sent an unsolicited reply", s.c.addr))
+				return
+			}
+			call = s.fifo[0]
+			s.fifo = s.fifo[1:]
+			delete(s.inflight, call.tag)
+		}
+		s.active--
+		s.awaited--
+		if s.probing {
+			// First reply on a fresh client: does the peer echo tags?
+			s.probing = false
+			if reply.Tag != 0 {
+				s.c.tagHint.Store(tagAware)
+				s.curWin = s.c.window
+			} else {
+				s.c.tagHint.Store(tagLockstep)
+			}
+		}
+		waiters := s.takeWaitersLocked()
+		drained := s.detached && s.active == 0
+		s.mu.Unlock()
+		wakeAll(waiters)
+		call.done <- cr
+		if drained {
+			s.c.failSession(s, errSessionDetached)
+			return
+		}
+	}
+}
+
+// detach retires the session from new calls while letting in-flight ones
+// drain on the old connection; the last one out tears it down. An idle
+// session tears down immediately.
+func (s *session) detach() {
+	s.mu.Lock()
+	if s.dead || s.detached {
+		s.mu.Unlock()
+		return
+	}
+	s.detached = true
+	idle := s.active == 0
+	waiters := s.takeWaitersLocked()
+	s.mu.Unlock()
+	wakeAll(waiters)
+	select {
+	case s.work <- struct{}{}:
+	default:
+	}
+	if idle {
+		s.c.failSession(s, errSessionDetached)
+	}
+}
+
+// teardown kills the session: the connection closes, every in-flight call
+// completes with err, every reserve waiter wakes (to observe dead and
+// retry elsewhere), and the reader exits. Idempotent; never touches
+// Client.connMu (failSession layers that on top).
+func (s *session) teardown(err error) {
+	s.mu.Lock()
+	if s.dead {
+		s.mu.Unlock()
+		return
+	}
+	s.dead = true
+	s.deadErr = err
+	calls := s.fifo
+	s.fifo = nil
+	s.inflight = map[uint64]*pendingCall{}
+	s.active -= len(calls)
+	s.awaited = 0
+	waiters := s.takeWaitersLocked()
+	s.mu.Unlock()
+	s.conn.Close()
+	wakeAll(waiters)
+	for _, call := range calls {
+		call.done <- callReply{err: err}
+	}
+	select {
+	case s.work <- struct{}{}:
+	default:
+	}
+}
+
+// takeWaitersLocked empties the waiter list for a broadcast wake. Callers
+// hold s.mu and must send only after releasing it.
+func (s *session) takeWaitersLocked() []chan struct{} {
+	w := s.waiters
+	s.waiters = nil
+	return w
+}
+
+// dropWaiterLocked removes w from the waiter list if still queued. Callers
+// hold s.mu.
+func (s *session) dropWaiterLocked(w chan struct{}) {
+	for i, q := range s.waiters {
+		if q == w {
+			s.waiters = append(s.waiters[:i], s.waiters[i+1:]...)
+			return
+		}
+	}
+}
+
+// dropFIFOLocked removes call from the send-order queue (an out-of-order
+// tagged reply claimed it). Callers hold s.mu.
+func (s *session) dropFIFOLocked(call *pendingCall) {
+	for i, q := range s.fifo {
+		if q == call {
+			s.fifo = append(s.fifo[:i], s.fifo[i+1:]...)
+			return
+		}
+	}
+}
+
+// wakeAll sends one non-blocking wake to each waiter channel (each is
+// buffered, cap 1, so the signal is never lost).
+func wakeAll(waiters []chan struct{}) {
+	for _, w := range waiters {
+		select {
+		case w <- struct{}{}:
+		default:
+		}
+	}
 }
 
 type countingWriter struct {
@@ -683,8 +1183,8 @@ func (c *countingWriter) Write(p []byte) (int, error) {
 }
 
 // countingReader counts bytes and, when wait is set, accumulates the time
-// spent blocked in Read — the client resets it per exchange to split reply
-// latency into network wait vs. decode CPU.
+// spent blocked in Read — the reader goroutine slices the cumulative total
+// per reply to split latency into network wait vs. decode CPU.
 type countingReader struct {
 	r    interface{ Read([]byte) (int, error) }
 	n    *atomic.Int64

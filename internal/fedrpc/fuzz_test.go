@@ -10,18 +10,18 @@ import (
 
 // encodeBatch renders a request batch in the binary-v1 wire form (gob
 // control envelope + raw slabs) for the fuzz seed corpus.
-func encodeBatch(t interface{ Fatal(...any) }, reqs []Request, deadlineNanos int64) []byte {
+func encodeBatch(t interface{ Fatal(...any) }, reqs []Request, deadlineNanos int64, tag uint64) []byte {
 	var buf bytes.Buffer
-	if err := writeBatch(gob.NewEncoder(&buf), &buf, reqs, deadlineNanos); err != nil {
+	if err := writeBatch(gob.NewEncoder(&buf), &buf, reqs, deadlineNanos, tag); err != nil {
 		t.Fatal(err)
 	}
 	return buf.Bytes()
 }
 
 // encodeReply renders a response batch in the binary-v1 wire form.
-func encodeReply(t interface{ Fatal(...any) }, resps []Response) []byte {
+func encodeReply(t interface{ Fatal(...any) }, resps []Response, tag uint64) []byte {
 	var buf bytes.Buffer
-	if err := writeReply(gob.NewEncoder(&buf), &buf, resps, 42); err != nil {
+	if err := writeReply(gob.NewEncoder(&buf), &buf, resps, 42, tag); err != nil {
 		t.Fatal(err)
 	}
 	return buf.Bytes()
@@ -34,21 +34,21 @@ func encodeReply(t interface{ Fatal(...any) }, resps []Response) []byte {
 // length field alone.
 func FuzzWireEnvelope(f *testing.F) {
 	m := matrix.FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
-	f.Add(encodeBatch(f, []Request{{Type: Health}}, 0))
+	f.Add(encodeBatch(f, []Request{{Type: Health}}, 0, 0))
 	f.Add(encodeBatch(f, []Request{
 		{Type: Put, ID: 7, Data: MatrixPayload(m)},
 		{Type: Get, ID: 7},
-	}, int64(5e9)))
+	}, int64(5e9), 1))
 	f.Add(encodeBatch(f, []Request{{Type: ExecInst, Inst: &Instruction{
 		Opcode: "rmvar", Inputs: []int64{1, 2, 3},
-	}}}, 1))
+	}}}, 1, ^uint64(0)))
 	// A hand-forged mutation seed: valid envelope with its tail cut off.
-	full := encodeBatch(f, []Request{{Type: Put, ID: 9, Data: MatrixPayload(m)}}, 0)
+	full := encodeBatch(f, []Request{{Type: Put, ID: 9, Data: MatrixPayload(m)}}, 0, 12)
 	f.Add(full[:len(full)/2])
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r := bytes.NewReader(data)
-		reqs, deadline, err := readBatch(gob.NewDecoder(r), r)
+		reqs, deadline, _, err := readBatch(gob.NewDecoder(r), r)
 		if err != nil {
 			return // rejected: the only acceptable failure mode
 		}
@@ -70,12 +70,13 @@ func FuzzWireEnvelope(f *testing.F) {
 // unbounded allocation.
 func FuzzWireReply(f *testing.F) {
 	m := matrix.FromRows([][]float64{{1.5, -2.5}, {3.25, 0}})
-	f.Add(encodeReply(f, []Response{{OK: true}}))
+	f.Add(encodeReply(f, []Response{{OK: true}}, 0))
 	f.Add(encodeReply(f, []Response{
 		{OK: true, Data: MatrixPayload(m), Epoch: 3},
 		{Err: "deadline exceeded", Code: CodeDeadlineExceeded},
-	}))
-	full := encodeReply(f, []Response{{OK: true, Data: MatrixPayload(m)}})
+	}, 7))
+	f.Add(encodeReply(f, []Response{{OK: true}}, ^uint64(0)))
+	full := encodeReply(f, []Response{{OK: true, Data: MatrixPayload(m)}}, 9999)
 	f.Add(full[:len(full)-3])
 
 	f.Fuzz(func(t *testing.T, data []byte) {

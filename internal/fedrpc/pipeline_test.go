@@ -1,0 +1,562 @@
+package fedrpc
+
+import (
+	"context"
+	"encoding/gob"
+	"errors"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"exdra/internal/matrix"
+	"exdra/internal/netem"
+	"exdra/internal/obs"
+)
+
+// warm resolves a fresh client's pipelining probe (the first call always
+// runs lock-step) so the tests below start with the window fully open.
+func warm(t *testing.T, c *Client) {
+	t.Helper()
+	if _, err := c.Call(Request{Type: Clear}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPipelineOutOfOrderReplies pins the tentpole behavior: two calls in
+// flight on ONE connection, where the first to be sent is the last to be
+// answered. The fast call must complete while the slow one is still parked
+// in its handler — impossible under lock-step — and both must succeed.
+func TestPipelineOutOfOrderReplies(t *testing.T) {
+	block := make(chan struct{})
+	entered := make(chan struct{}, 8)
+	h := HandlerFunc(func(reqs []Request) []Response {
+		out := make([]Response, len(reqs))
+		for i, r := range reqs {
+			if r.Type == Get && r.ID == 1 {
+				entered <- struct{}{}
+				<-block // park the slow call until released
+			}
+			out[i] = Response{OK: true}
+		}
+		return out
+	})
+	s, err := Serve("127.0.0.1:0", h, Options{Metrics: obs.New()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	c, err := Dial(s.Addr(), Options{Metrics: obs.New(), Window: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	warm(t, c)
+	if got := c.WindowCap(); got != 4 {
+		t.Fatalf("WindowCap after tag-aware reply = %d, want 4", got)
+	}
+
+	slow := make(chan error, 1)
+	go func() {
+		_, err := c.Call(Request{Type: Get, ID: 1})
+		slow <- err
+	}()
+	select {
+	case <-entered:
+	case <-time.After(10 * time.Second):
+		t.Fatal("slow call never reached the handler")
+	}
+	// The slow call is parked server-side. A second call on the same
+	// client must go out on the same connection and come back first.
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Call(Request{Type: Get, ID: 2})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("fast call failed while slow call in flight: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("fast call did not overtake the parked slow call: pipelining is not overlapping exchanges")
+	}
+	close(block)
+	if err := <-slow; err != nil {
+		t.Fatalf("slow call failed: %v", err)
+	}
+	// Both calls shared the client's single connection: pipelining must
+	// not fall back to dialing a second transport.
+	s.mu.Lock()
+	conns := len(s.conns)
+	s.mu.Unlock()
+	if conns != 1 {
+		t.Fatalf("server saw %d connections, want 1 (calls must share the pipelined conn)", conns)
+	}
+	if c.Broken() {
+		t.Fatal("client broken after successful pipelined calls")
+	}
+}
+
+// lockstepPeer emulates a pre-pipelining worker: pure gob, decodes the
+// legacy envelope shape (no Tag field — gob skips the unknown field a new
+// client sends), and answers strictly in order with untagged replies.
+func lockstepPeer(t *testing.T, mangleTag func(uint64) uint64) net.Listener {
+	t.Helper()
+	type oldEnvelope struct {
+		Requests      []Request
+		DeadlineNanos int64
+		Tag           uint64 // read so mangleTag can echo a wrong value; old peers would skip it
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				dec := gob.NewDecoder(conn)
+				enc := gob.NewEncoder(conn)
+				for {
+					var env oldEnvelope
+					if err := dec.Decode(&env); err != nil {
+						return
+					}
+					resps := make([]Response, len(env.Requests))
+					for i := range resps {
+						resps[i] = Response{OK: true}
+					}
+					if err := enc.Encode(rpcReply{Responses: resps, Tag: mangleTag(env.Tag)}); err != nil {
+						return
+					}
+				}
+			}(conn)
+		}
+	}()
+	return ln
+}
+
+// TestUntaggedPeerFallsBackToLockstep pins the compatibility matrix row
+// "new client, old worker": the first untagged reply pins the client to
+// lock-step for good (sticky across redials, like the gob fallback), and
+// calls keep working.
+func TestUntaggedPeerFallsBackToLockstep(t *testing.T) {
+	ln := lockstepPeer(t, func(uint64) uint64 { return 0 })
+	c, err := Dial(ln.Addr().String(), Options{Metrics: obs.New(), ForceGob: true, Window: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Call(Request{Type: Clear}); err != nil {
+		t.Fatalf("first call against untagged peer: %v", err)
+	}
+	if got := c.WindowCap(); got != 1 {
+		t.Fatalf("WindowCap after untagged reply = %d, want sticky lock-step 1", got)
+	}
+	// Concurrent calls still work — serialized, exactly like the legacy
+	// exchange lock.
+	var wg sync.WaitGroup
+	var fail atomic.Value
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := c.Call(Request{Type: Clear}); err != nil {
+				fail.Store(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if err := fail.Load(); err != nil {
+		t.Fatalf("lock-step fallback call failed: %v", err)
+	}
+	// The verdict survives a redial: the peer did not learn tags overnight.
+	if err := c.Redial(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.WindowCap(); got != 1 {
+		t.Fatalf("WindowCap after redial = %d, want sticky lock-step 1", got)
+	}
+	if c.Broken() {
+		t.Fatal("client broken after clean lock-step fallback")
+	}
+}
+
+// TestUnknownTagTearsDownSession: a reply bearing a tag that matches no
+// in-flight call is a protocol desync (duplicate, forged, or corrupt); the
+// session must fail loudly, not mis-deliver the reply.
+func TestUnknownTagTearsDownSession(t *testing.T) {
+	ln := lockstepPeer(t, func(tag uint64) uint64 { return tag + 9000 })
+	c, err := Dial(ln.Addr().String(), Options{Metrics: obs.New(), ForceGob: true, Window: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_, err = c.Call(Request{Type: Clear})
+	if err == nil {
+		t.Fatal("reply with unknown tag was accepted")
+	}
+	if !strings.Contains(err.Error(), "unknown call tag") {
+		t.Fatalf("err = %v, want the unknown-tag teardown", err)
+	}
+	if !c.Broken() {
+		t.Fatal("client not broken after unknown-tag reply")
+	}
+}
+
+// TestDuplicateTagReplyTearsDownSession: the first copy of a duplicated
+// reply completes its call normally; the stale second copy must kill the
+// session the moment it is read (its tag no longer matches anything)
+// rather than complete some later call with stale data.
+func TestDuplicateTagReplyTearsDownSession(t *testing.T) {
+	type oldEnvelope struct {
+		Requests      []Request
+		DeadlineNanos int64
+		Tag           uint64
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		dec := gob.NewDecoder(conn)
+		enc := gob.NewEncoder(conn)
+		first := true
+		for {
+			var env oldEnvelope
+			if err := dec.Decode(&env); err != nil {
+				return
+			}
+			resps := []Response{{OK: true}}
+			if err := enc.Encode(rpcReply{Responses: resps, Tag: env.Tag}); err != nil {
+				return
+			}
+			if first {
+				first = false
+				// The duplicate: same tag, sent again unprompted.
+				if err := enc.Encode(rpcReply{Responses: resps, Tag: env.Tag}); err != nil {
+					return
+				}
+			}
+		}
+	}()
+	c, err := Dial(ln.Addr().String(), Options{Metrics: obs.New(), ForceGob: true, Window: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Call(Request{Type: Clear}); err != nil {
+		t.Fatalf("first call (first copy of the reply) failed: %v", err)
+	}
+	// The duplicate is sitting unread in the buffer; the next call's read
+	// encounters it first and must refuse to proceed.
+	_, err = c.Call(Request{Type: Clear})
+	if err == nil {
+		t.Fatal("call after duplicated reply succeeded — stale reply was mis-delivered")
+	}
+	if !strings.Contains(err.Error(), "unknown call tag") {
+		t.Fatalf("err = %v, want the unknown-tag teardown", err)
+	}
+	if !c.Broken() {
+		t.Fatal("client not broken after duplicate reply")
+	}
+}
+
+// TestFailedExchangeBytesMatchAtomics is the regression test for the
+// accounting bug where a failed exchange recorded its span before the byte
+// deltas were assigned: the rpc.client.bytes_out counter (fed by span
+// deltas) silently diverged from the atomic BytesSent total (fed by the
+// counting writer) on every transport failure. A mid-write truncation
+// leaves real bytes on the wire and then fails the call; counter and
+// atomic must still agree, and the failed span must carry its bytes.
+func TestFailedExchangeBytesMatchAtomics(t *testing.T) {
+	reg := obs.New()
+	s, _ := startServer(t, Options{})
+	faults := netem.NewFaults(netem.FaultConfig{Seed: 5, Truncations: 1, TruncateAfterBytes: 4096})
+	c, err := Dial(s.Addr(), Options{Netem: netem.Config{Faults: faults}, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// Warmup both counts the handshake-free happy path and resolves the
+	// probe, so the failing call below is an ordinary exchange.
+	warm(t, c)
+	payload := MatrixPayload(matrix.Fill(128, 128, 1)) // ~128 KB: crosses the cut mid-slab
+	_, err = c.Call(Request{Type: Put, ID: 1, Data: payload})
+	if err == nil {
+		t.Fatal("injected truncation did not surface")
+	}
+	if faults.Stats().Truncations != 1 {
+		t.Fatalf("faults injected %d truncations, want 1", faults.Stats().Truncations)
+	}
+	snap := reg.Snapshot()
+	if got, want := snap.Counters["rpc.client.bytes_out"], c.BytesSent(); got != want {
+		t.Fatalf("rpc.client.bytes_out = %d, atomic BytesSent = %d: failed exchanges dropped their byte deltas", got, want)
+	}
+	if got, want := snap.Counters["rpc.client.bytes_in"], c.BytesReceived(); got != want {
+		t.Fatalf("rpc.client.bytes_in = %d, atomic BytesReceived = %d", got, want)
+	}
+	var failed *obs.Span
+	for _, sp := range reg.Spans() {
+		if sp.Err != "" {
+			sp := sp
+			failed = &sp
+		}
+	}
+	if failed == nil {
+		t.Fatal("no errored span recorded")
+	}
+	if failed.BytesOut <= 0 {
+		t.Fatalf("failed span BytesOut = %d, want the bytes written before the cut", failed.BytesOut)
+	}
+}
+
+// TestCallOneTypedDeadlineReply is the regression test for the typed-error
+// flattening bug: a worker-reported CodeDeadlineExceeded response must
+// surface as ErrDeadlineExceeded from CallOne — the same verdict a local
+// budget expiry gets — not as an untyped string error that breaker/retry
+// logic then misclassifies as retryable.
+func TestCallOneTypedDeadlineReply(t *testing.T) {
+	h := HandlerFunc(func(reqs []Request) []Response {
+		out := make([]Response, len(reqs))
+		for i := range out {
+			out[i] = Response{Err: "budget spent mid-batch", Code: CodeDeadlineExceeded}
+		}
+		return out
+	})
+	s, err := Serve("127.0.0.1:0", h, Options{Metrics: obs.New()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	c, err := Dial(s.Addr(), Options{Metrics: obs.New()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_, err = c.CallOne(Request{Type: Get, ID: 1})
+	if err == nil {
+		t.Fatal("failed response did not surface as an error")
+	}
+	if !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("worker-typed deadline reply = %v, want errors.Is(err, ErrDeadlineExceeded)", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("typed reply must also match context.DeadlineExceeded, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "budget spent mid-batch") {
+		t.Fatalf("worker's message lost from %v", err)
+	}
+	// A typed reply is an application verdict, not a transport failure:
+	// the connection stays usable.
+	if c.Broken() {
+		t.Fatal("typed deadline reply broke the transport")
+	}
+}
+
+// TestPipelineDepth8Latency is the acceptance measurement as a test: at an
+// emulated 35 ms RTT, a depth-8 burst of small calls must complete in a
+// couple of round trips when pipelined (they share bursts on one
+// connection) and must beat the same burst on a lock-step client by at
+// least 2x (which pays ~1 RTT per call).
+func TestPipelineDepth8Latency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive WAN emulation")
+	}
+	const rtt = 35 * time.Millisecond
+	const depth = 8
+	wan := netem.Config{RTT: rtt}
+	// Shape both directions (netem charges RTT/2 per write burst): requests
+	// on the client conn, replies on the server conn — as on a real WAN.
+	s, _ := startServer(t, Options{Netem: wan})
+
+	run := func(window int) time.Duration {
+		c, err := Dial(s.Addr(), Options{Netem: wan, Window: window, Metrics: obs.New()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		// Seed the objects and resolve the probe in one batched call, then
+		// let the netem burst gap elapse so measurement starts clean.
+		reqs := make([]Request, depth)
+		for i := range reqs {
+			reqs[i] = Request{Type: Put, ID: int64(i + 1), Data: ScalarPayload(float64(i))}
+		}
+		if _, err := c.Call(reqs...); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(5 * time.Millisecond)
+
+		start := time.Now()
+		var wg sync.WaitGroup
+		var fail atomic.Value
+		for i := 0; i < depth; i++ {
+			wg.Add(1)
+			go func(id int64) {
+				defer wg.Done()
+				if _, err := c.CallOne(Request{Type: Get, ID: id}); err != nil {
+					fail.Store(err)
+				}
+			}(int64(i + 1))
+		}
+		wg.Wait()
+		if err := fail.Load(); err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(start)
+	}
+
+	pipelined := run(depth)
+	lockstep := run(1)
+	t.Logf("depth-%d burst at RTT %v: pipelined %v, lock-step %v", depth, rtt, pipelined, lockstep)
+	if limit := 7 * rtt / 2; pipelined >= limit {
+		t.Fatalf("pipelined depth-%d burst took %v, want < %v (~3.5 RTTs)", depth, pipelined, limit)
+	}
+	if pipelined >= lockstep/2 {
+		t.Fatalf("pipelined %v not at least 2x faster than lock-step %v", pipelined, lockstep)
+	}
+}
+
+// TestPoolReclaimDoesNotCountCheckout is the regression test for the
+// accounting bug where the cancelled-waiter reclaim path counted a
+// checkout for a client the caller never received: reclaim must rebalance
+// the lease without touching serve.pool.checkouts.
+func TestPoolReclaimDoesNotCountCheckout(t *testing.T) {
+	reg := obs.New()
+	s, _ := startServer(t, Options{})
+	p := NewPool(s.Addr(), 1, Options{Metrics: reg})
+	defer p.Close()
+	cl, err := p.Get(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reproduce the race deterministically: a Put handed cl to a waiter
+	// whose ctx died before it could receive. The lease rode along on the
+	// channel; reclaim returns it to the pool.
+	w := make(chan *Client, 1)
+	w <- cl
+	p.reclaim(w)
+	if got := reg.Counter("serve.pool.checkouts").Value(); got != 1 {
+		t.Fatalf("checkouts = %d after reclaim, want 1 (only the real Get)", got)
+	}
+	st := p.Stats()
+	if st.InUse != 0 || st.Idle != 1 {
+		t.Fatalf("pool after reclaim = %+v, want the client idle again", st)
+	}
+	if got := reg.Gauge("serve.pool.in_use").Value(); got != 0 {
+		t.Fatalf("in_use gauge = %d after reclaim, want 0", got)
+	}
+}
+
+// TestPoolCancelStormCheckoutAccounting hammers Get with expiring contexts
+// against a size-1 pool: whatever interleaving of handoffs and
+// cancellations occurs, serve.pool.checkouts must equal the number of Gets
+// that actually returned a client, and the pool must quiesce balanced.
+func TestPoolCancelStormCheckoutAccounting(t *testing.T) {
+	reg := obs.New()
+	s, _ := startServer(t, Options{})
+	p := NewPool(s.Addr(), 1, Options{Metrics: reg})
+	defer p.Close()
+	var succ atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 60; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), time.Duration(i%7)*time.Millisecond)
+			defer cancel()
+			cl, err := p.Get(ctx)
+			if err != nil {
+				return
+			}
+			succ.Add(1)
+			time.Sleep(500 * time.Microsecond) // hold the lease so waiters pile up
+			p.Put(cl)
+		}(i)
+	}
+	wg.Wait()
+	if got := reg.Counter("serve.pool.checkouts").Value(); got != succ.Load() {
+		t.Fatalf("checkouts = %d, successful Gets = %d: reclaim or handoff miscounted", got, succ.Load())
+	}
+	st := p.Stats()
+	if st.InUse != 0 || st.Waiting != 0 {
+		t.Fatalf("pool did not quiesce: %+v", st)
+	}
+	if got := reg.Gauge("serve.pool.in_use").Value(); got != 0 {
+		t.Fatalf("in_use gauge = %d after storm, want 0", got)
+	}
+}
+
+// TestPoolMultiplexesPipelinedConnection: once a pooled client has proven
+// its peer pipelines, additional checkouts lease the same connection (up
+// to its window) instead of waiting — a size-1 pool serves three
+// concurrent checkouts over one transport.
+func TestPoolMultiplexesPipelinedConnection(t *testing.T) {
+	s, _ := startServer(t, Options{})
+	p := NewPool(s.Addr(), 1, Options{Metrics: obs.New(), Window: 4})
+	defer p.Close()
+	ctx := context.Background()
+	cl, err := p.Get(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm(t, cl) // prove tag support so WindowCap opens to 4
+	p.Put(cl)
+
+	c1, err := p.Get(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := p.Get(ctx) // would block forever on a non-multiplexing size-1 pool
+	if err != nil {
+		t.Fatal(err)
+	}
+	c3, err := p.Get(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 != cl || c2 != cl || c3 != cl {
+		t.Fatal("multiplexed checkouts did not share the one pooled connection")
+	}
+	st := p.Stats()
+	if st.Conns != 1 || st.InUse != 3 || st.Idle != 0 {
+		t.Fatalf("stats with three leases on one conn = %+v", st)
+	}
+	// The leases are real: all three can run exchanges.
+	var wg sync.WaitGroup
+	var fail atomic.Value
+	for _, c := range []*Client{c1, c2, c3} {
+		wg.Add(1)
+		go func(c *Client) {
+			defer wg.Done()
+			if _, err := c.Call(Request{Type: Clear}); err != nil {
+				fail.Store(err)
+			}
+		}(c)
+	}
+	wg.Wait()
+	if err := fail.Load(); err != nil {
+		t.Fatalf("multiplexed exchange failed: %v", err)
+	}
+	p.Put(c1)
+	p.Put(c2)
+	p.Put(c3)
+	st = p.Stats()
+	if st.Conns != 1 || st.InUse != 0 || st.Idle != 1 {
+		t.Fatalf("stats after returning all leases = %+v", st)
+	}
+}

@@ -16,19 +16,22 @@ var ErrPoolClosed = errors.New("fedrpc: pool closed")
 // Pool is a bounded set of clients to one worker address with
 // checkout/checkin semantics. It exists so a multi-session coordinator
 // service stops serializing independent sessions behind one client's
-// exchange lock: each checkout owns a whole connection for the duration of
-// its exchange, up to Size concurrent exchanges per worker.
+// exchange lock: each checkout leases a connection for the duration of its
+// exchange, up to Size connections per worker.
 //
-// Connections are dialed lazily, one per checkout demand, never more than
-// Size; a checkout beyond that waits (FIFO) for a checkin, giving natural
-// backpressure that pairs with the service's admission control. Broken
-// clients are handed out as-is — fedrpc.Client transparently redials on its
-// next Call, so the pool needs no health bookkeeping of its own.
+// Connections are dialed lazily and never beyond Size, but a connection is
+// not exclusively owned: once a client has proven its peer pipelines (see
+// Client.WindowCap), up to W checkouts multiplex onto it — their tagged
+// exchanges interleave on the wire — before the pool dials another
+// connection. A checkout beyond Size×W waits (FIFO) for a checkin, giving
+// natural backpressure that pairs with the service's admission control.
+// Broken clients are handed out as-is — fedrpc.Client transparently redials
+// on its next Call, so the pool needs no health bookkeeping of its own.
 //
 // Metrics: the pool reports into the serve.pool.* series (the coordinator
 // service's namespace — pools are its substrate even when used standalone):
 // serve.pool.dials / serve.pool.checkouts / serve.pool.waits counters and
-// the serve.pool.in_use gauge.
+// the serve.pool.in_use gauge (leases, not connections).
 type Pool struct {
 	addr string
 	opts Options
@@ -36,12 +39,13 @@ type Pool struct {
 	reg  *obs.Registry
 
 	mu      sync.Mutex
-	idle    []*Client      // checked-in clients; guarded by mu
-	all     []*Client      // every client ever dialed (byte counters); guarded by mu
-	slots   int            // checked-out plus mid-dial connection slots; guarded by mu
-	out     int            // checked-out clients; guarded by mu
-	waiters []chan *Client // FIFO checkout queue; guarded by mu
-	closed  bool           // guarded by mu
+	idle    []*Client       // zero-lease clients ready for checkout; guarded by mu
+	all     []*Client       // every client ever dialed (byte counters); guarded by mu
+	leases  map[*Client]int // live checkouts per client; guarded by mu
+	dialing int             // connection slots reserved across a dial; guarded by mu
+	out     int             // total live leases; guarded by mu
+	waiters []chan *Client  // FIFO checkout queue; guarded by mu
+	closed  bool            // guarded by mu
 }
 
 // NewPool creates a pool of up to size clients for addr. Size below 1 is
@@ -50,7 +54,7 @@ func NewPool(addr string, size int, opts Options) *Pool {
 	if size < 1 {
 		size = 1
 	}
-	return &Pool{addr: addr, opts: opts, size: size, reg: opts.metrics()}
+	return &Pool{addr: addr, opts: opts, size: size, reg: opts.metrics(), leases: map[*Client]int{}}
 }
 
 // Addr returns the worker address this pool connects to.
@@ -59,9 +63,10 @@ func (p *Pool) Addr() string { return p.addr }
 // Size returns the connection bound.
 func (p *Pool) Size() int { return p.size }
 
-// Get checks a client out of the pool: an idle one if available, a freshly
-// dialed one while fewer than Size exist, otherwise it waits until a
-// checkin (FIFO) or ctx dies. The caller must return the client with Put
+// Get checks a client out of the pool: an idle one if available, a lease
+// multiplexed onto a live pipelining connection with window headroom, a
+// freshly dialed one while fewer than Size exist, otherwise it waits until
+// a checkin (FIFO) or ctx dies. The caller must return the client with Put
 // when its exchange completes — broken or not.
 func (p *Pool) Get(ctx context.Context) (*Client, error) {
 	for {
@@ -73,19 +78,29 @@ func (p *Pool) Get(ctx context.Context) (*Client, error) {
 		if n := len(p.idle); n > 0 {
 			cl := p.idle[n-1]
 			p.idle = p.idle[:n-1]
-			p.slots++
+			p.leases[cl]++
 			p.out++
 			p.mu.Unlock()
 			p.reg.Counter("serve.pool.checkouts").Inc()
 			p.reg.Gauge("serve.pool.in_use").Add(1)
 			return cl, nil
 		}
-		if p.slots < p.size {
-			p.slots++ // reserve the connection slot across the dial
+		if cl := p.leastLoadedLocked(); cl != nil {
+			// Multiplex: the connection already carries exchanges, but its
+			// pipelining window has headroom — cheaper than a fresh dial.
+			p.leases[cl]++
+			p.out++
+			p.mu.Unlock()
+			p.reg.Counter("serve.pool.checkouts").Inc()
+			p.reg.Gauge("serve.pool.in_use").Add(1)
+			return cl, nil
+		}
+		if len(p.all)+p.dialing < p.size {
+			p.dialing++ // reserve the connection slot across the dial
 			p.mu.Unlock()
 			return p.dialSlot()
 		}
-		// Every connection is out: queue for the next checkin.
+		// Every connection is leased to capacity: queue for a checkin.
 		w := make(chan *Client, 1)
 		p.waiters = append(p.waiters, w)
 		p.mu.Unlock()
@@ -95,7 +110,7 @@ func (p *Pool) Get(ctx context.Context) (*Client, error) {
 			if cl == nil {
 				continue // a slot freed without a client (failed dial, or Close)
 			}
-			// Direct handoff from Put: the slot and in_use accounting
+			// Direct handoff from Put: the lease and in_use accounting
 			// transferred with the client.
 			p.reg.Counter("serve.pool.checkouts").Inc()
 			return cl, nil
@@ -104,19 +119,43 @@ func (p *Pool) Get(ctx context.Context) (*Client, error) {
 			removed := p.removeWaiterLocked(w)
 			p.mu.Unlock()
 			if !removed {
-				// A handoff raced the cancellation; reclaim it for others.
-				select {
-				case cl := <-w:
-					if cl != nil {
-						p.reg.Counter("serve.pool.checkouts").Inc()
-						p.Put(cl)
-					}
-				default:
-				}
+				p.reclaim(w)
 			}
 			return nil, fmt.Errorf("fedrpc: pool %s checkout: %w", p.addr, ctx.Err())
 		}
 	}
+}
+
+// reclaim returns a handoff that raced the waiter's cancellation to the
+// pool. The cancelled waiter never used the client, so this is not a
+// checkout: no serve.pool.checkouts increment — Put alone rebalances the
+// lease the handoff carried over.
+func (p *Pool) reclaim(w chan *Client) {
+	select {
+	case cl := <-w:
+		if cl != nil {
+			p.Put(cl)
+		}
+	default:
+	}
+}
+
+// leastLoadedLocked picks the live client with the most pipelining-window
+// headroom (fewest leases below its WindowCap), or nil when none has room.
+// Callers hold p.mu.
+func (p *Pool) leastLoadedLocked() *Client {
+	var best *Client
+	spare := 0
+	for _, cl := range p.all {
+		n := p.leases[cl]
+		if n <= 0 {
+			continue // idle clients are claimed through p.idle
+		}
+		if s := cl.WindowCap() - n; s > spare {
+			best, spare = cl, s
+		}
+	}
+	return best
 }
 
 // dialSlot fills a reserved connection slot with a fresh client. On failure
@@ -124,8 +163,8 @@ func (p *Pool) Get(ctx context.Context) (*Client, error) {
 func (p *Pool) dialSlot() (*Client, error) {
 	cl, err := Dial(p.addr, p.opts)
 	p.mu.Lock()
+	p.dialing--
 	if err != nil {
-		p.slots--
 		w := p.popWaiterLocked()
 		p.mu.Unlock()
 		if w != nil {
@@ -134,12 +173,12 @@ func (p *Pool) dialSlot() (*Client, error) {
 		return nil, err
 	}
 	if p.closed {
-		p.slots--
 		p.mu.Unlock()
 		cl.Close()
 		return nil, fmt.Errorf("fedrpc: pool %s: %w", p.addr, ErrPoolClosed)
 	}
 	p.all = append(p.all, cl)
+	p.leases[cl] = 1
 	p.out++
 	p.mu.Unlock()
 	p.reg.Counter("serve.pool.dials").Inc()
@@ -148,9 +187,10 @@ func (p *Pool) dialSlot() (*Client, error) {
 	return cl, nil
 }
 
-// Put checks a client back in. If a waiter is queued the client is handed
-// straight over (its connection slot transfers with it); otherwise it goes
-// idle. Putting a broken client back is fine — its next user redials.
+// Put checks a lease back in. If a waiter is queued the client is handed
+// straight over (the lease transfers with it); otherwise the lease is
+// released, and a client whose last lease drops goes idle. Putting a broken
+// client back is fine — its next user redials.
 func (p *Pool) Put(cl *Client) {
 	if cl == nil {
 		return
@@ -162,9 +202,12 @@ func (p *Pool) Put(cl *Client) {
 	}
 	w := p.popWaiterLocked()
 	if w == nil {
-		p.slots--
+		p.leases[cl]--
 		p.out--
-		p.idle = append(p.idle, cl)
+		if p.leases[cl] <= 0 {
+			delete(p.leases, cl)
+			p.idle = append(p.idle, cl)
+		}
 	}
 	p.mu.Unlock()
 	if w != nil {
@@ -176,9 +219,10 @@ func (p *Pool) Put(cl *Client) {
 
 // Shared returns a client without checking it out: the pool's first live
 // connection, dialing one if none exists yet. The returned client may be
-// used concurrently by checkout holders — fedrpc.Client serializes its own
-// exchanges — so Shared is for legacy one-client-per-address callers and
-// best-effort cleanup sweeps, not for latency-sensitive traffic.
+// used concurrently by checkout holders — fedrpc.Client serializes (or
+// pipelines) its own exchanges — so Shared is for legacy
+// one-client-per-address callers and best-effort cleanup sweeps, not for
+// latency-sensitive traffic.
 func (p *Pool) Shared(ctx context.Context) (*Client, error) {
 	p.mu.Lock()
 	if p.closed {
@@ -228,7 +272,8 @@ type PoolStats struct {
 	Conns int
 	// Idle is the number of checked-in clients ready for checkout.
 	Idle int
-	// InUse is the number of checked-out clients.
+	// InUse is the number of live checkout leases (with pipelining, several
+	// can share one connection).
 	InUse int
 	// Waiting is the number of checkouts queued behind a full pool.
 	Waiting int
@@ -278,7 +323,7 @@ func (p *Pool) Close() {
 	ws := p.waiters
 	out := p.out
 	p.all, p.idle, p.waiters = nil, nil, nil
-	p.slots, p.out = 0, 0
+	p.leases, p.out = map[*Client]int{}, 0
 	p.mu.Unlock()
 	for _, w := range ws {
 		close(w) // receivers observe nil, loop, and see the closed pool

@@ -135,6 +135,19 @@ func Errorf(format string, args ...any) Response {
 	return Response{Err: fmt.Sprintf(format, args...)}
 }
 
+// ResponseError converts a failed response into the caller-facing error,
+// mapping known response codes onto their typed sentinels: a worker-reported
+// CodeDeadlineExceeded satisfies errors.Is(err, ErrDeadlineExceeded) exactly
+// like a local budget expiry, so retry and breaker verdicts cannot diverge
+// between the transport-error and typed-reply paths. Unclassified failures
+// keep the plain "addr type: message" form.
+func ResponseError(addr string, t RequestType, resp Response) error {
+	if resp.Code == CodeDeadlineExceeded {
+		return fmt.Errorf("fedrpc: %s %s: %w: %s", addr, t, ErrDeadlineExceeded, resp.Err)
+	}
+	return fmt.Errorf("fedrpc: %s %s: %s", addr, t, resp.Err)
+}
+
 // PayloadKind discriminates payload contents.
 type PayloadKind int
 

@@ -11,6 +11,7 @@ import (
 	"log"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"exdra/internal/netem"
@@ -138,6 +139,12 @@ func (s *Server) rejectConn(conn net.Conn) {
 	conn.Close()
 }
 
+// serverInflightWindow caps concurrently executing batches per connection.
+// It backstops a runaway pipelining client: past the cap the read loop stops
+// pulling envelopes off the wire, so backpressure reaches the sender through
+// TCP flow control rather than unbounded handler goroutines.
+const serverInflightWindow = 64
+
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
 	defer func() {
@@ -147,6 +154,11 @@ func (s *Server) serveConn(conn net.Conn) {
 		conn.Close()
 		s.reg.Gauge("worker.conns").Add(-1)
 	}()
+	// Registered after the cleanup defer, so it runs first (LIFO): every
+	// in-flight tagged batch finishes and flushes its reply before the
+	// connection closes, even when the read side exits on EOF.
+	var hwg sync.WaitGroup
+	defer hwg.Wait()
 	bw := bufio.NewWriterSize(conn, 1<<16)
 	br := bufio.NewReaderSize(conn, 1<<16)
 
@@ -180,6 +192,48 @@ func (s *Server) serveConn(conn net.Conn) {
 
 	enc := gob.NewEncoder(bw)
 	dec := gob.NewDecoder(br)
+
+	// Replies from concurrently executing tagged batches are written one at
+	// a time under a write token (a channel, not a mutex: gob encoding can
+	// block on the network and must never happen under a lock). wfail
+	// poisons the connection after the first write failure so later replies
+	// don't log a cascade against a stream already known dead.
+	wtok := make(chan struct{}, 1)
+	var wfail atomic.Bool
+	writeOne := func(resps []Response, elapsed time.Duration, tag uint64) {
+		wtok <- struct{}{}
+		defer func() { <-wtok }()
+		if wfail.Load() {
+			return
+		}
+		if s.ioTimeout > 0 {
+			_ = conn.SetWriteDeadline(time.Now().Add(s.ioTimeout))
+		}
+		var werr error
+		if useBinary {
+			werr = writeReply(enc, bw, resps, int64(elapsed), tag)
+		} else {
+			werr = enc.Encode(rpcReply{Responses: resps, ExecNanos: int64(elapsed), Tag: tag})
+		}
+		if werr != nil {
+			log.Printf("fedrpc: encode to %s: %v", conn.RemoteAddr(), werr)
+		} else if ferr := bw.Flush(); ferr != nil {
+			// A reply lost mid-write must leave a server-side trace, same
+			// as an encode failure: the client only sees a dead stream.
+			log.Printf("fedrpc: flush to %s: %v", conn.RemoteAddr(), ferr)
+		} else {
+			return
+		}
+		// A partial reply desyncs the stream for every batch on it: poison
+		// the writer and close the connection to unblock the read loop.
+		wfail.Store(true)
+		conn.Close()
+	}
+
+	// sem bounds concurrently executing tagged batches (see
+	// serverInflightWindow); untagged batches run inline, preserving the
+	// strict read-execute-reply lock-step a legacy peer expects.
+	sem := make(chan struct{}, serverInflightWindow)
 	for {
 		// The read deadline doubles as the idle bound: a coordinator that
 		// vanished mid-request or stopped talking entirely releases this
@@ -190,14 +244,16 @@ func (s *Server) serveConn(conn net.Conn) {
 		}
 		var reqs []Request
 		var deadlineNanos int64
+		var tag uint64
 		var rerr error
 		if useBinary {
-			reqs, deadlineNanos, rerr = readBatch(dec, br)
+			reqs, deadlineNanos, tag, rerr = readBatch(dec, br)
 		} else {
 			var env rpcEnvelope
 			rerr = dec.Decode(&env)
 			reqs = env.Requests
 			deadlineNanos = env.DeadlineNanos
+			tag = env.Tag
 		}
 		if rerr != nil {
 			if !errors.Is(rerr, io.EOF) && !errors.Is(rerr, net.ErrClosed) {
@@ -205,29 +261,35 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 			return
 		}
-		start := time.Now()
-		resps := s.handleBatch(reqs, deadlineNanos)
-		elapsed := time.Since(start)
-		s.observe(reqs, elapsed)
-		if s.ioTimeout > 0 {
-			_ = conn.SetWriteDeadline(time.Now().Add(s.ioTimeout))
-		}
-		var werr error
-		if useBinary {
-			werr = writeReply(enc, bw, resps, int64(elapsed))
-		} else {
-			werr = enc.Encode(rpcReply{Responses: resps, ExecNanos: int64(elapsed)})
-		}
-		if werr != nil {
-			log.Printf("fedrpc: encode to %s: %v", conn.RemoteAddr(), werr)
+		if wfail.Load() {
 			return
 		}
-		if err := bw.Flush(); err != nil {
-			// A reply lost mid-write must leave a server-side trace, same
-			// as an encode failure: the client only sees a dead stream.
-			log.Printf("fedrpc: flush to %s: %v", conn.RemoteAddr(), err)
-			return
+		if tag == 0 {
+			// Untagged: a lock-step peer. Execute inline and reply before
+			// reading the next envelope, exactly as the legacy server did.
+			start := time.Now()
+			resps := s.handleBatch(reqs, deadlineNanos)
+			elapsed := time.Since(start)
+			s.observe(reqs, elapsed)
+			writeOne(resps, elapsed, 0)
+			if wfail.Load() {
+				return
+			}
+			continue
 		}
+		// Tagged: execute concurrently; the reply carries the echoed tag so
+		// the client routes it regardless of completion order.
+		sem <- struct{}{}
+		hwg.Add(1)
+		go func(reqs []Request, deadlineNanos int64, tag uint64) {
+			defer hwg.Done()
+			defer func() { <-sem }()
+			start := time.Now()
+			resps := s.handleBatch(reqs, deadlineNanos)
+			elapsed := time.Since(start)
+			s.observe(reqs, elapsed)
+			writeOne(resps, elapsed, tag)
+		}(reqs, deadlineNanos, tag)
 	}
 }
 

@@ -95,6 +95,11 @@ type wireEnvelope struct {
 	// a CRC-32C of its slab contents. Old peers send false (zero value) and
 	// their slabs are accepted unverified, as before.
 	Checksums bool
+	// Tag identifies this batch for pipelining: a nonzero per-connection
+	// call ID the server echoes on the matching reply, so replies may
+	// return out of order. Zero (what every pre-pipelining peer sends)
+	// means lock-step: replies arrive in request order, one at a time.
+	Tag uint64
 }
 
 // wireRequest mirrors Request with Data replaced by its slab descriptor.
@@ -118,6 +123,9 @@ type wireReply struct {
 	Epoch     uint64
 	// Checksums mirrors wireEnvelope.Checksums for the reply direction.
 	Checksums bool
+	// Tag echoes the request envelope's call tag (see wireEnvelope.Tag);
+	// zero from peers that never learned to pipeline.
+	Tag uint64
 }
 
 // wireResponse mirrors Response minus the per-response Epoch (hoisted into
@@ -291,10 +299,11 @@ func readBytesAlloc(r io.Reader, n int) ([]byte, error) {
 
 // writeBatch frames one request batch: envelope, then slabs.
 // deadlineNanos is the relative call budget carried to the server (0 = no
-// deadline). The caller flushes the underlying writer.
-func writeBatch(enc *gob.Encoder, w io.Writer, reqs []Request, deadlineNanos int64) error {
+// deadline); tag is the pipelining call ID the server echoes on the reply
+// (0 = lock-step). The caller flushes the underlying writer.
+func writeBatch(enc *gob.Encoder, w io.Writer, reqs []Request, deadlineNanos int64, tag uint64) error {
 	env := wireEnvelope{Requests: make([]wireRequest, len(reqs)),
-		DeadlineNanos: deadlineNanos, Checksums: true}
+		DeadlineNanos: deadlineNanos, Checksums: true, Tag: tag}
 	for i, rq := range reqs {
 		env.Requests[i] = wireRequest{
 			Type: rq.Type, ID: rq.ID, Filename: rq.Filename,
@@ -314,17 +323,18 @@ func writeBatch(enc *gob.Encoder, w io.Writer, reqs []Request, deadlineNanos int
 }
 
 // readBatch decodes one framed request batch plus its relative deadline
-// (0 when the peer sent none — including every pre-deadline peer).
-func readBatch(dec *gob.Decoder, r io.Reader) ([]Request, int64, error) {
+// (0 when the peer sent none — including every pre-deadline peer) and its
+// pipelining tag (0 from every lock-step peer).
+func readBatch(dec *gob.Decoder, r io.Reader) ([]Request, int64, uint64, error) {
 	var env wireEnvelope
 	if err := dec.Decode(&env); err != nil {
-		return nil, 0, err
+		return nil, 0, 0, err
 	}
 	reqs := make([]Request, len(env.Requests))
 	for i, wr := range env.Requests {
 		data, err := readPayload(r, wr.Data, env.Checksums)
 		if err != nil {
-			return nil, 0, err
+			return nil, 0, 0, err
 		}
 		reqs[i] = Request{
 			Type: wr.Type, ID: wr.ID, Filename: wr.Filename,
@@ -332,16 +342,16 @@ func readBatch(dec *gob.Decoder, r io.Reader) ([]Request, int64, error) {
 			Data: data, Inst: wr.Inst, UDF: wr.UDF,
 		}
 	}
-	return reqs, env.DeadlineNanos, nil
+	return reqs, env.DeadlineNanos, env.Tag, nil
 }
 
-// writeReply frames one response batch. The epoch is hoisted from the
-// responses (one worker process answered the whole batch, so the first
-// nonzero stamp represents them all) into the envelope. The caller
-// flushes.
-func writeReply(enc *gob.Encoder, w io.Writer, resps []Response, execNanos int64) error {
+// writeReply frames one response batch, echoing the request's pipelining
+// tag. The epoch is hoisted from the responses (one worker process answered
+// the whole batch, so the first nonzero stamp represents them all) into the
+// envelope. The caller flushes.
+func writeReply(enc *gob.Encoder, w io.Writer, resps []Response, execNanos int64, tag uint64) error {
 	rep := wireReply{Responses: make([]wireResponse, len(resps)), ExecNanos: execNanos,
-		Checksums: true}
+		Checksums: true, Tag: tag}
 	for i, rs := range resps {
 		if rep.Epoch == 0 {
 			rep.Epoch = rs.Epoch
@@ -367,7 +377,7 @@ func readReply(dec *gob.Decoder, r io.Reader) (rpcReply, error) {
 	if err := dec.Decode(&rep); err != nil {
 		return rpcReply{}, err
 	}
-	out := rpcReply{Responses: make([]Response, len(rep.Responses)), ExecNanos: rep.ExecNanos}
+	out := rpcReply{Responses: make([]Response, len(rep.Responses)), ExecNanos: rep.ExecNanos, Tag: rep.Tag}
 	for i, wr := range rep.Responses {
 		data, err := readPayload(r, wr.Data, rep.Checksums)
 		if err != nil {

@@ -200,10 +200,10 @@ func TestWireBatchRoundTrip(t *testing.T) {
 				ColPrivacy: []int{0, 1}, Data: p,
 				Inst: &Instruction{Opcode: "mm", Inputs: []int64{1, 2}, Output: 3, Scalars: []float64{0.5}}}
 			var buf bytes.Buffer
-			if err := writeBatch(gob.NewEncoder(&buf), &buf, []Request{req}, 0); err != nil {
+			if err := writeBatch(gob.NewEncoder(&buf), &buf, []Request{req}, 0, 0); err != nil {
 				t.Fatal(err)
 			}
-			got, _, err := readBatch(gob.NewDecoder(&buf), &buf)
+			got, _, _, err := readBatch(gob.NewDecoder(&buf), &buf)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -225,15 +225,18 @@ func TestWireBatchRoundTrip(t *testing.T) {
 	}
 
 	var buf bytes.Buffer
-	if err := writeBatch(gob.NewEncoder(&buf), &buf, batch, 0); err != nil {
+	if err := writeBatch(gob.NewEncoder(&buf), &buf, batch, 0, 31); err != nil {
 		t.Fatal(err)
 	}
-	got, _, err := readBatch(gob.NewDecoder(&buf), &buf)
+	got, _, tag, err := readBatch(gob.NewDecoder(&buf), &buf)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(got) != len(batch) {
 		t.Fatalf("decoded %d requests, want %d", len(got), len(batch))
+	}
+	if tag != 31 {
+		t.Fatalf("decoded call tag %d, want 31", tag)
 	}
 	for i := range batch {
 		if !payloadEqual(got[i].Data, batch[i].Data) {
@@ -256,7 +259,7 @@ func TestWireReplyRoundTrip(t *testing.T) {
 		{OK: true, Data: cases["bytes"], Epoch: 0xfeed},
 	}
 	var buf bytes.Buffer
-	if err := writeReply(gob.NewEncoder(&buf), &buf, resps, 12345); err != nil {
+	if err := writeReply(gob.NewEncoder(&buf), &buf, resps, 12345, 77); err != nil {
 		t.Fatal(err)
 	}
 	rep, err := readReply(gob.NewDecoder(&buf), &buf)
@@ -265,6 +268,9 @@ func TestWireReplyRoundTrip(t *testing.T) {
 	}
 	if rep.ExecNanos != 12345 {
 		t.Fatalf("ExecNanos = %d, want 12345", rep.ExecNanos)
+	}
+	if rep.Tag != 77 {
+		t.Fatalf("Tag = %d, want the echoed call tag 77", rep.Tag)
 	}
 	if len(rep.Responses) != len(resps) {
 		t.Fatalf("decoded %d responses, want %d", len(rep.Responses), len(resps))

@@ -152,3 +152,114 @@ func TestChaosLMTrainingUnderByzantineFaults(t *testing.T) {
 		t.Fatalf("cumulative fault stats %+v: a byzantine fault class never fired across all seeds", total)
 	}
 }
+
+// TestChaosPipelinedSessionsUnderResets interleaves two pipelined sessions
+// (Window 8) over a size-1 pool — so both multiplex in-flight calls onto the
+// same connection — while seeded mid-stream resets tear that connection down
+// under them. The pipelining failure contract under test: a teardown fails
+// every in-flight call on the session, the retry layer replays each one on a
+// fresh transport, and neither session's result may differ by a single bit
+// from a fault-free lock-step (Window 1) federation. A duplicate- or
+// cross-delivered reply after a reset would land as wrong numbers right at
+// the bitwise check.
+func TestChaosPipelinedSessionsUnderResets(t *testing.T) {
+	x, y := data.Regression(4, 600, 20, 0.05)
+
+	// Fault-free lock-step reference: the acceptance bar says pipelined
+	// recovery must be indistinguishable from the legacy exchange.
+	ref, err := fedtest.Start(fedtest.Config{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refFx, err := federated.Distribute(ref.Coord, x, ref.Addrs, federated.RowPartitioned, privacy.Public)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refModel, err := algo.LM(refFx, y, algo.LMConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.Close()
+
+	healed := 0
+	for _, seed := range []int64{3, 11} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			faults := netem.NewFaults(netem.FaultConfig{
+				Seed:            seed,
+				ConnResets:      3,
+				ResetAfterBytes: 10 << 10, // mid-stream: inside a session's PUT slabs
+				ResetJitter:     0.5,
+			})
+			cl, err := fedtest.Start(fedtest.Config{
+				Workers:     3,
+				Window:      8,
+				PoolSize:    1, // both sessions share one pipelined conn per worker
+				Faults:      faults,
+				CallTimeout: 5 * time.Second,
+				Metrics:     obs.New(),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(cl.Close)
+
+			type outcome struct {
+				weights *matrix.Dense
+				err     error
+			}
+			results := make(chan outcome, 2)
+			for s := 0; s < 2; s++ {
+				sess, err := cl.Fleet.NewSession()
+				if err != nil {
+					t.Fatal(err)
+				}
+				t.Cleanup(sess.Close)
+				sess.SetRetryPolicy(federated.RetryPolicy{Attempts: 8, Backoff: time.Millisecond, Seed: seed + int64(s)})
+				sess.SetCallTimeout(5 * time.Second)
+				sess.EnableRecovery(true)
+				go func(c *federated.Coordinator) {
+					fx, err := federated.Distribute(c, x, cl.Addrs, federated.RowPartitioned, privacy.Public)
+					if err != nil {
+						results <- outcome{err: err}
+						return
+					}
+					model, err := algo.LM(fx, y, algo.LMConfig{})
+					if err != nil {
+						results <- outcome{err: err}
+						return
+					}
+					results <- outcome{weights: model.Weights}
+				}(sess)
+			}
+
+			for s := 0; s < 2; s++ {
+				var res outcome
+				select {
+				case res = <-results:
+				case <-time.After(60 * time.Second):
+					t.Fatal("pipelined chaos run hung: no result within the watchdog window")
+				}
+				if res.err != nil {
+					if !chaosTypedErr(res.err) {
+						t.Fatalf("pipelined chaos run failed with an untyped error: %v", res.err)
+					}
+					t.Logf("seed %d session gave up with typed error: %v", seed, res.err)
+					continue
+				}
+				if !res.weights.EqualApprox(refModel.Weights, 0) {
+					t.Fatal("pipelined session reported success with weights not bitwise-equal to the lock-step run")
+				}
+				healed++
+			}
+			st := faults.Stats()
+			if st.Resets == 0 {
+				t.Fatalf("fault stats = %+v: no mid-stream reset actually fired; the run proved nothing", st)
+			}
+			t.Logf("seed %d fault stats: %+v", seed, st)
+		})
+	}
+	if healed == 0 {
+		t.Fatal("no pipelined session healed to a bitwise-equal result across any seed")
+	}
+}

@@ -69,6 +69,10 @@ type Config struct {
 	// MaxConns caps concurrently served connections per worker (0 =
 	// unlimited), exercising the accept-limit path.
 	MaxConns int
+	// Window caps pipelined in-flight calls per coordinator→worker
+	// connection (fedrpc.Options.Window). Values below 2 keep the legacy
+	// lock-step exchange.
+	Window int
 }
 
 // Cluster is a running in-process federation. Coord is the classic
@@ -112,6 +116,7 @@ func Start(cfg Config) (*Cluster, error) {
 	clientOpts.SlowRPC = cfg.SlowRPC
 	clientOpts.Metrics = cfg.Metrics
 	clientOpts.ForceGob = cfg.ForceGob
+	clientOpts.Window = cfg.Window
 	if cfg.TLS {
 		srvTLS, cliTLS, err := fedrpc.NewSelfSignedTLS()
 		if err != nil {
